@@ -1,0 +1,95 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "testbed/testbed.hpp"
+
+namespace pqtls::bench {
+
+/// Sample count per configuration; override with argv[1] or PQTLS_SAMPLES.
+inline int sample_count(int argc, char** argv, int fallback) {
+  if (argc > 1) return std::atoi(argv[1]);
+  if (const char* env = std::getenv("PQTLS_SAMPLES")) return std::atoi(env);
+  return fallback;
+}
+
+/// Render a proportional ASCII bar (the paper's tables embed bar charts).
+inline std::string bar(double value, double max_value, int width = 12) {
+  if (max_value <= 0) return "";
+  int filled = static_cast<int>(value / max_value * width + 0.5);
+  if (filled > width) filled = width;
+  std::string out(filled, '#');
+  out.resize(width, ' ');
+  return out;
+}
+
+/// The paper's KA list (Table 2a), grouped by NIST level.
+struct KaRow {
+  int level;
+  const char* name;
+};
+inline const std::vector<KaRow>& table2a_kas() {
+  static const std::vector<KaRow> rows = {
+      {1, "x25519"},        {1, "bikel1"},        {1, "hqc128"},
+      {1, "kyber512"},      {1, "kyber90s512"},   {1, "p256"},
+      {1, "p256_bikel1"},   {1, "p256_hqc128"},   {1, "p256_kyber512"},
+      {3, "bikel3"},        {3, "hqc192"},        {3, "kyber768"},
+      {3, "kyber90s768"},   {3, "p384"},          {3, "p384_bikel3"},
+      {3, "p384_hqc192"},   {3, "p384_kyber768"}, {5, "hqc256"},
+      {5, "kyber1024"},     {5, "kyber90s1024"},  {5, "p521"},
+      {5, "p521_hqc256"},   {5, "p521_kyber1024"},
+  };
+  return rows;
+}
+
+/// The paper's SA list (Table 2b), grouped by NIST level (0 = sub-level-1).
+struct SaRow {
+  int level;
+  const char* name;
+};
+inline const std::vector<SaRow>& table2b_sas() {
+  static const std::vector<SaRow> rows = {
+      {0, "rsa:1024"},        {0, "rsa:2048"},
+      {1, "falcon512"},       {1, "rsa:3072"},
+      {1, "rsa:4096"},        {1, "sphincs128"},
+      {1, "p256_falcon512"},  {1, "p256_sphincs128"},
+      {2, "dilithium2"},      {2, "dilithium2_aes"},
+      {2, "p256_dilithium2"},
+      {3, "dilithium3"},      {3, "dilithium3_aes"},
+      {3, "sphincs192"},      {3, "p384_dilithium3"},
+      {3, "p384_sphincs192"},
+      {5, "dilithium5"},      {5, "dilithium5_aes"},
+      {5, "falcon1024"},      {5, "sphincs256"},
+      {5, "p521_dilithium5"}, {5, "p521_falcon1024"},
+      {5, "p521_sphincs256"},
+  };
+  return rows;
+}
+
+/// Non-hybrid KA x SA combinations per level group for Figure 3 (the paper
+/// groups NIST levels one and two, uses only rsa:3072 among the RSAs).
+struct LevelCombos {
+  const char* label;
+  std::vector<const char*> kas;
+  std::vector<const char*> sas;
+};
+inline const std::vector<LevelCombos>& fig3_levels() {
+  static const std::vector<LevelCombos> levels = {
+      {"level1+2",
+       {"x25519", "bikel1", "hqc128", "kyber512", "kyber90s512", "p256"},
+       {"rsa:3072", "falcon512", "sphincs128", "dilithium2", "dilithium2_aes"}},
+      {"level3",
+       {"bikel3", "hqc192", "kyber768", "kyber90s768", "p384"},
+       {"dilithium3", "dilithium3_aes", "sphincs192"}},
+      {"level5",
+       {"hqc256", "kyber1024", "kyber90s1024", "p521"},
+       {"dilithium5", "dilithium5_aes", "falcon1024", "sphincs256"}},
+  };
+  return levels;
+}
+
+}  // namespace pqtls::bench

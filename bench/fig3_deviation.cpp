@@ -1,0 +1,100 @@
+// Reproduces Figure 3: the KA/SA independence analysis. For every
+// non-hybrid KA x SA combination per NIST level group, measure the
+// handshake latency under (a) the default OpenSSL buffering behaviour and
+// (b) the optimized immediate-push behaviour, compute the deviation from
+// the independence prediction E(k,s) - M(k,s), and report the improvement
+// of the optimized behaviour (Figure 3c).
+#include <cstdio>
+
+#include "analysis/deviation.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using pqtls::analysis::LatencyTable;
+
+LatencyTable measure(const std::vector<std::pair<std::string, std::string>>&
+                         combos,
+                     pqtls::tls::Buffering buffering, int samples) {
+  LatencyTable table;
+  for (const auto& [ka, sa] : combos) {
+    pqtls::testbed::ExperimentConfig config;
+    config.ka = ka;
+    config.sa = sa;
+    config.buffering = buffering;
+    config.sample_handshakes = samples;
+    auto r = pqtls::testbed::run_experiment(config);
+    table[{ka, sa}] = r.ok ? r.median_total : -1;
+  }
+  return table;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pqtls;
+  int samples = bench::sample_count(argc, argv, 9);
+
+  for (auto buffering : {tls::Buffering::kDefault, tls::Buffering::kImmediate}) {
+    const char* mode_label = buffering == tls::Buffering::kDefault
+                                 ? "Figure 3a: default OpenSSL behaviour"
+                                 : "Figure 3b: optimized behaviour";
+    std::printf("\n%s (deviation E(k,s) - M(k,s) in ms; positive = "
+                "faster than predicted)\n",
+                mode_label);
+
+    for (const auto& level : bench::fig3_levels()) {
+      // Collect the measurements needed: all combos + baselines.
+      std::vector<std::pair<std::string, std::string>> combos;
+      std::vector<std::pair<std::string, std::string>> needed;
+      needed.emplace_back("x25519", "rsa:2048");
+      for (const char* ka : level.kas) needed.emplace_back(ka, "rsa:2048");
+      for (const char* sa : level.sas) needed.emplace_back("x25519", sa);
+      for (const char* ka : level.kas)
+        for (const char* sa : level.sas) {
+          combos.emplace_back(ka, sa);
+          needed.emplace_back(ka, sa);
+        }
+      LatencyTable table = measure(needed, buffering, samples);
+
+      auto cells = analysis::deviation_analysis(table, combos);
+      std::printf("  %s:\n", level.label);
+      std::printf("  %-14s", "");
+      for (const char* sa : level.sas) std::printf(" %14s", sa);
+      std::printf("\n");
+      std::size_t idx = 0;
+      for (const char* ka : level.kas) {
+        std::printf("  %-14s", ka);
+        for (std::size_t s = 0; s < level.sas.size(); ++s) {
+          std::printf(" %+14.2f", cells[idx++].deviation * 1e3);
+        }
+        std::printf("\n");
+      }
+    }
+  }
+
+  // Figure 3c: improvement of optimized over default behaviour per combo.
+  std::printf("\nFigure 3c: improvement of the optimized behaviour "
+              "(M_default - M_optimized in ms; positive = optimized faster)\n");
+  for (const auto& level : bench::fig3_levels()) {
+    std::vector<std::pair<std::string, std::string>> combos;
+    for (const char* ka : level.kas)
+      for (const char* sa : level.sas) combos.emplace_back(ka, sa);
+    LatencyTable def = measure(combos, pqtls::tls::Buffering::kDefault, samples);
+    LatencyTable opt =
+        measure(combos, pqtls::tls::Buffering::kImmediate, samples);
+    std::printf("  %s:\n", level.label);
+    std::printf("  %-14s", "");
+    for (const char* sa : level.sas) std::printf(" %14s", sa);
+    std::printf("\n");
+    for (const char* ka : level.kas) {
+      std::printf("  %-14s", ka);
+      for (const char* sa : level.sas) {
+        double d = def[{ka, sa}], o = opt[{ka, sa}];
+        std::printf(" %+14.2f", (d - o) * 1e3);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Reproduces Figure 4: KAs (top) and SAs (bottom) ranked by logarithmic
+// overall handshake latency, linearly scaled to [0, 10] and rounded; the
+// fastest algorithms get the lowest bucket (leftmost in the paper's figure).
+#include <cstdio>
+
+#include "analysis/ranking.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pqtls;
+  int samples = bench::sample_count(argc, argv, 9);
+
+  std::vector<std::pair<std::string, double>> ka_latencies;
+  for (const auto& row : bench::table2a_kas()) {
+    testbed::ExperimentConfig config;
+    config.ka = row.name;
+    config.sa = "rsa:2048";
+    config.sample_handshakes = samples;
+    auto r = testbed::run_experiment(config);
+    if (r.ok) ka_latencies.emplace_back(row.name, r.median_total);
+  }
+
+  std::vector<std::pair<std::string, double>> sa_latencies;
+  for (const auto& row : bench::table2b_sas()) {
+    testbed::ExperimentConfig config;
+    config.ka = "x25519";
+    config.sa = row.name;
+    config.sample_handshakes = samples;
+    auto r = testbed::run_experiment(config);
+    if (r.ok) sa_latencies.emplace_back(row.name, r.median_total);
+  }
+
+  std::printf("Figure 4: algorithms ranked by log handshake latency "
+              "(bucket 0 = fastest, 10 = slowest)\n");
+  std::printf("\nKey agreements (with rsa:2048):\n%s",
+              analysis::render_ranking(analysis::rank_by_latency(ka_latencies))
+                  .c_str());
+  std::printf("\nSignature algorithms (with x25519):\n%s",
+              analysis::render_ranking(analysis::rank_by_latency(sa_latencies))
+                  .c_str());
+  return 0;
+}

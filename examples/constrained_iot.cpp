@@ -1,0 +1,71 @@
+// Constrained-environment advisor: the paper's LTE-M scenario (an IoT
+// deployment over a 15 km LTE-M link: 10% loss, 200 ms RTT, 1 Mbit/s).
+// Evaluates candidate PQ configurations and shows why small keys (Kyber,
+// Falcon) win in low-bandwidth settings, and how flights that exceed the
+// initial TCP congestion window cost whole extra round trips.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "testbed/testbed.hpp"
+
+int main() {
+  using namespace pqtls;
+
+  struct Candidate {
+    const char* ka;
+    const char* sa;
+  };
+  static constexpr Candidate kCandidates[] = {
+      {"x25519", "rsa:2048"},        // classical baseline
+      {"kyber512", "falcon512"},     // small-key PQ
+      {"kyber512", "dilithium2"},    // NIST primary suite
+      {"hqc128", "dilithium2"},      // larger KA keys
+      {"kyber512", "sphincs128"},    // hash-based signatures
+      {"p256_kyber512", "p256_falcon512"},  // hybrid small-key
+  };
+
+  net::NetemConfig lte_m{.loss = 0.10, .delay_s = 0.1, .rate_bps = 1e6};
+
+  std::printf("Constrained IoT deployment: LTE-M over 15 km "
+              "(10%% loss, 200 ms RTT, 1 Mbit/s)\n\n");
+  std::printf("%-16s %-16s %12s %12s %10s %10s\n", "KA", "SA", "median(ms)",
+              "p90(ms)", "bytes up", "bytes down");
+
+  struct Row {
+    Candidate c;
+    double median;
+  };
+  std::vector<Row> rows;
+  for (const auto& c : kCandidates) {
+    testbed::ExperimentConfig config;
+    config.ka = c.ka;
+    config.sa = c.sa;
+    config.netem = lte_m;
+    config.sample_handshakes = 15;
+    auto r = testbed::run_experiment(config);
+    if (!r.ok) {
+      std::printf("%-16s %-16s FAILED\n", c.ka, c.sa);
+      continue;
+    }
+    std::vector<double> totals;
+    for (const auto& s : r.samples) totals.push_back(s.total);
+    std::printf("%-16s %-16s %12.1f %12.1f %10zu %10zu\n", c.ka, c.sa,
+                r.median_total * 1e3, analysis::percentile(totals, 90) * 1e3,
+                r.client_bytes, r.server_bytes);
+    rows.push_back({c, r.median_total});
+  }
+
+  auto best = std::min_element(rows.begin(), rows.end(),
+                               [](const Row& a, const Row& b) {
+                                 return a.median < b.median;
+                               });
+  if (best != rows.end())
+    std::printf("\nRecommendation for this link: %s + %s (%.0f ms median "
+                "handshake).\nSmall keys keep the whole server flight inside "
+                "the initial TCP congestion window\n(10 segments), avoiding "
+                "extra 200 ms round trips.\n",
+                best->c.ka, best->c.sa, best->median * 1e3);
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "analysis/deviation.hpp"
+
+#include <stdexcept>
+
+namespace pqtls::analysis {
+
+std::vector<DeviationCell> deviation_analysis(
+    const LatencyTable& table,
+    const std::vector<std::pair<std::string, std::string>>& combos,
+    const std::string& baseline_ka, const std::string& baseline_sa) {
+  auto lookup = [&](const std::string& ka, const std::string& sa) {
+    auto it = table.find({ka, sa});
+    if (it == table.end())
+      throw std::invalid_argument("missing measurement " + ka + "/" + sa);
+    return it->second;
+  };
+  double base = lookup(baseline_ka, baseline_sa);
+
+  std::vector<DeviationCell> out;
+  out.reserve(combos.size());
+  for (const auto& [ka, sa] : combos) {
+    DeviationCell cell;
+    cell.ka = ka;
+    cell.sa = sa;
+    cell.expected = lookup(ka, baseline_sa) + lookup(baseline_ka, sa) - base;
+    cell.measured = lookup(ka, sa);
+    cell.deviation = cell.expected - cell.measured;
+    out.push_back(cell);
+  }
+  return out;
+}
+
+}  // namespace pqtls::analysis

@@ -1,0 +1,36 @@
+// The paper's KA/SA independence analysis (section 5.2, Figure 3): if key
+// agreement and signature algorithm influenced the handshake independently,
+// M(k1,s1) + M(k2,s2) = M(k1,s2) + M(k2,s1) would hold, so the latency of
+// any combination could be predicted from the baselines
+//   E(k,s) = M(k, rsa:2048) + M(x25519, s) - M(x25519, rsa:2048).
+// The deviation E(k,s) - M(k,s) exposes the coupling introduced by TLS
+// message buffering (positive = faster than predicted).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pqtls::analysis {
+
+/// Measured median handshake latencies, keyed by (ka, sa).
+using LatencyTable = std::map<std::pair<std::string, std::string>, double>;
+
+struct DeviationCell {
+  std::string ka;
+  std::string sa;
+  double expected;   // E(k, s)
+  double measured;   // M(k, s)
+  double deviation;  // E - M (positive: faster than predicted)
+};
+
+/// Compute E(k,s) - M(k,s) for every (ka, sa) in `combos`, using baselines
+/// from `table` (which must contain (ka, baseline_sa), (baseline_ka, sa),
+/// (baseline_ka, baseline_sa), and (ka, sa)).
+std::vector<DeviationCell> deviation_analysis(
+    const LatencyTable& table,
+    const std::vector<std::pair<std::string, std::string>>& combos,
+    const std::string& baseline_ka = "x25519",
+    const std::string& baseline_sa = "rsa:2048");
+
+}  // namespace pqtls::analysis

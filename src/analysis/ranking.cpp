@@ -1,0 +1,49 @@
+#include "analysis/ranking.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace pqtls::analysis {
+
+std::vector<RankedAlgorithm> rank_by_latency(
+    std::vector<std::pair<std::string, double>> latencies) {
+  std::vector<RankedAlgorithm> out;
+  if (latencies.empty()) return out;
+  double lo = 1e300, hi = -1e300;
+  for (const auto& [name, latency] : latencies) {
+    double l = std::log(latency);
+    lo = std::min(lo, l);
+    hi = std::max(hi, l);
+  }
+  double span = hi - lo;
+  for (const auto& [name, latency] : latencies) {
+    double scaled =
+        span > 0 ? (std::log(latency) - lo) / span * 10.0 : 0.0;
+    out.push_back({name, latency, static_cast<int>(std::lround(scaled))});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.latency < b.latency;
+  });
+  return out;
+}
+
+std::string render_ranking(const std::vector<RankedAlgorithm>& ranking) {
+  std::ostringstream os;
+  for (int bucket = 0; bucket <= 10; ++bucket) {
+    bool any = false;
+    for (const auto& r : ranking) {
+      if (r.rank != bucket) continue;
+      if (!any) {
+        os << "  [" << bucket << "] ";
+        any = true;
+      }
+      os << r.name << " ";
+    }
+    if (any) os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pqtls::analysis

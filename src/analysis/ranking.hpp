@@ -1,0 +1,25 @@
+// The paper's Figure 4 ranking: take overall handshake latencies, compute
+// the logarithm, scale linearly to [0, 10], and round — yielding a coarse
+// speed ranking with the fastest algorithms on the left.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pqtls::analysis {
+
+struct RankedAlgorithm {
+  std::string name;
+  double latency;  // seconds
+  int rank;        // 0 (fastest) .. 10 (slowest)
+};
+
+/// Rank a set of (name, latency) pairs on the paper's log scale.
+std::vector<RankedAlgorithm> rank_by_latency(
+    std::vector<std::pair<std::string, double>> latencies);
+
+/// Render the ranking as the paper's figure layout: rank buckets from left
+/// (fastest) to right, one line per bucket.
+std::string render_ranking(const std::vector<RankedAlgorithm>& ranking);
+
+}  // namespace pqtls::analysis

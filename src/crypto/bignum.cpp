@@ -1,0 +1,414 @@
+#include "crypto/bignum.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pqtls::crypto {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::from_bytes_be(BytesView bytes) {
+  BigInt out;
+  out.limbs_.assign((bytes.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::size_t bit = (bytes.size() - 1 - i) * 8;
+    out.limbs_[bit / 64] |= u64{bytes[i]} << (bit % 64);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::from_hex(std::string_view hex) {
+  std::string padded(hex);
+  if (padded.size() % 2) padded.insert(padded.begin(), '0');
+  return from_bytes_be(pqtls::from_hex(padded));
+}
+
+Bytes BigInt::to_bytes_be(std::size_t length) const {
+  std::size_t needed = (bit_length() + 7) / 8;
+  if (length == 0) length = std::max<std::size_t>(needed, 1);
+  if (needed > length) throw std::length_error("BigInt does not fit");
+  Bytes out(length, 0);
+  for (std::size_t i = 0; i < needed; ++i) {
+    std::size_t bit = i * 8;
+    out[length - 1 - i] =
+        static_cast<std::uint8_t>(limbs_[bit / 64] >> (bit % 64));
+  }
+  return out;
+}
+
+std::string BigInt::to_hex() const { return pqtls::to_hex(to_bytes_be()); }
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::size_t top = 64;
+  u64 high = limbs_.back();
+  while (top > 0 && !(high >> (top - 1))) --top;
+  return (limbs_.size() - 1) * 64 + top;
+}
+
+bool BigInt::bit(std::size_t i) const {
+  std::size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+BigInt BigInt::random_bits(Drbg& rng, std::size_t bits) {
+  if (bits == 0) return BigInt{};
+  BigInt out;
+  out.limbs_.assign((bits + 63) / 64, 0);
+  for (auto& limb : out.limbs_) limb = rng.u64();
+  std::size_t top_bits = bits % 64 == 0 ? 64 : bits % 64;
+  out.limbs_.back() &= (top_bits == 64) ? ~u64{0} : ((u64{1} << top_bits) - 1);
+  out.limbs_.back() |= u64{1} << (top_bits - 1);
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::random_below(Drbg& rng, const BigInt& bound) {
+  std::size_t bits = bound.bit_length();
+  for (;;) {
+    BigInt candidate;
+    candidate.limbs_.assign((bits + 63) / 64, 0);
+    for (auto& limb : candidate.limbs_) limb = rng.u64();
+    std::size_t top_bits = bits % 64;
+    if (top_bits)
+      candidate.limbs_.back() &= (u64{1} << top_bits) - 1;
+    candidate.trim();
+    if (cmp(candidate, bound) < 0) return candidate;
+  }
+}
+
+int BigInt::cmp(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size())
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  BigInt out;
+  std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.assign(n + 1, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    u128 sum = u128{carry};
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < other.limbs_.size()) sum += other.limbs_[i];
+    out.limbs_[i] = static_cast<u64>(sum);
+    carry = static_cast<u64>(sum >> 64);
+  }
+  out.limbs_[n] = carry;
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const {
+  if (cmp(*this, other) < 0) throw std::underflow_error("BigInt subtraction");
+  BigInt out;
+  out.limbs_.assign(limbs_.size(), 0);
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    u128 lhs = u128{limbs_[i]};
+    u128 rhs = u128{borrow};
+    if (i < other.limbs_.size()) rhs += other.limbs_[i];
+    if (lhs >= rhs) {
+      out.limbs_[i] = static_cast<u64>(lhs - rhs);
+      borrow = 0;
+    } else {
+      out.limbs_[i] = static_cast<u64>((u128{1} << 64) + lhs - rhs);
+      borrow = 1;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  if (is_zero() || other.is_zero()) return BigInt{};
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+      u128 cur = u128{limbs_[i]} * other.limbs_[j] + out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    out.limbs_[i + other.limbs_.size()] += carry;
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator<<(std::size_t bits) const {
+  if (is_zero()) return BigInt{};
+  std::size_t limb_shift = bits / 64;
+  std::size_t bit_shift = bits % 64;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift)
+      out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator>>(std::size_t bits) const {
+  std::size_t limb_shift = bits / 64;
+  std::size_t bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) return BigInt{};
+  BigInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    out.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < limbs_.size())
+      out.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+  }
+  out.trim();
+  return out;
+}
+
+BigIntDivMod BigInt::divmod(const BigInt& num, const BigInt& den) {
+  if (den.is_zero()) throw std::domain_error("division by zero");
+  if (cmp(num, den) < 0) return {BigInt{}, num};
+  if (den.limbs_.size() == 1) {
+    // Fast single-limb path.
+    BigInt q;
+    q.limbs_.assign(num.limbs_.size(), 0);
+    u128 rem = 0;
+    u64 d = den.limbs_[0];
+    for (std::size_t i = num.limbs_.size(); i-- > 0;) {
+      u128 cur = (rem << 64) | num.limbs_[i];
+      q.limbs_[i] = static_cast<u64>(cur / d);
+      rem = cur % d;
+    }
+    q.trim();
+    return {q, BigInt{static_cast<u64>(rem)}};
+  }
+
+  // Knuth algorithm D with normalization.
+  std::size_t shift = 64 - (den.bit_length() % 64 == 0 ? 64 : den.bit_length() % 64);
+  BigInt u = num << shift;
+  BigInt v = den << shift;
+  std::size_t n = v.limbs_.size();
+  std::size_t m = u.limbs_.size() - n;
+  u.limbs_.push_back(0);  // u has m+n+1 limbs
+
+  BigInt q;
+  q.limbs_.assign(m + 1, 0);
+  u64 v_hi = v.limbs_[n - 1];
+  u64 v_lo = v.limbs_[n - 2];
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    u128 numerator = (u128{u.limbs_[j + n]} << 64) | u.limbs_[j + n - 1];
+    u128 qhat = numerator / v_hi;
+    u128 rhat = numerator % v_hi;
+    while (qhat >> 64 ||
+           qhat * v_lo > ((rhat << 64) | u.limbs_[j + n - 2])) {
+      --qhat;
+      rhat += v_hi;
+      if (rhat >> 64) break;
+    }
+    // Multiply-subtract qhat * v from u[j .. j+n].
+    u128 borrow = 0;
+    u128 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      u128 product = qhat * v.limbs_[i] + carry;
+      carry = product >> 64;
+      u128 sub = u128{u.limbs_[j + i]} - static_cast<u64>(product) - borrow;
+      u.limbs_[j + i] = static_cast<u64>(sub);
+      borrow = (sub >> 64) & 1;
+    }
+    u128 sub = u128{u.limbs_[j + n]} - carry - borrow;
+    u.limbs_[j + n] = static_cast<u64>(sub);
+    bool negative = (sub >> 64) & 1;
+    if (negative) {
+      // qhat was one too large: add v back.
+      --qhat;
+      u128 c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        u128 sum = u128{u.limbs_[j + i]} + v.limbs_[i] + c;
+        u.limbs_[j + i] = static_cast<u64>(sum);
+        c = sum >> 64;
+      }
+      u.limbs_[j + n] += static_cast<u64>(c);
+    }
+    q.limbs_[j] = static_cast<u64>(qhat);
+  }
+  q.trim();
+  u.trim();
+  return {q, u >> shift};
+}
+
+BigInt BigInt::mod_add(const BigInt& a, const BigInt& b, const BigInt& m) {
+  BigInt sum = a + b;
+  if (cmp(sum, m) >= 0) sum = sum - m;
+  return sum;
+}
+
+BigInt BigInt::mod_sub(const BigInt& a, const BigInt& b, const BigInt& m) {
+  if (cmp(a, b) >= 0) return a - b;
+  return a + m - b;
+}
+
+BigInt BigInt::mod_mul(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return (a * b).mod(m);
+}
+
+BigInt BigInt::mod_pow(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  Montgomery mont(m);
+  return mont.pow(base, exp);
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  while (!b.is_zero()) {
+    BigInt r = a.mod(b);
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+BigInt BigInt::mod_inverse(const BigInt& a, const BigInt& m) {
+  // Extended Euclid tracking only the coefficient of a, with values kept in
+  // [0, m) by using mod_sub.
+  BigInt r0 = m, r1 = a.mod(m);
+  BigInt t0{}, t1{1};
+  while (!r1.is_zero()) {
+    BigIntDivMod dm = divmod(r0, r1);
+    BigInt t2 = mod_sub(t0, mod_mul(dm.quotient, t1, m), m);
+    r0 = r1;
+    r1 = dm.remainder;
+    t0 = t1;
+    t1 = t2;
+  }
+  if (!(r0 == BigInt{1})) return BigInt{};
+  return t0;
+}
+
+bool BigInt::is_probable_prime(Drbg& rng, int rounds) const {
+  if (is_zero()) return false;
+  static const std::uint64_t kSmallPrimes[] = {2,  3,  5,  7,  11, 13, 17, 19,
+                                               23, 29, 31, 37, 41, 43, 47};
+  for (u64 p : kSmallPrimes) {
+    BigInt bp{p};
+    if (cmp(*this, bp) == 0) return true;
+    if (mod(bp).is_zero()) return false;
+  }
+  if (!is_odd()) return false;
+
+  BigInt n_minus_1 = *this - BigInt{1};
+  std::size_t s = 0;
+  BigInt d = n_minus_1;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++s;
+  }
+  Montgomery mont(*this);
+  BigInt two{2};
+  for (int round = 0; round < rounds; ++round) {
+    BigInt a = random_below(rng, n_minus_1 - BigInt{2}) + two;
+    BigInt x = mont.pow(a, d);
+    if (x == BigInt{1} || x == n_minus_1) continue;
+    bool composite = true;
+    for (std::size_t i = 1; i < s; ++i) {
+      x = mod_mul(x, x, *this);
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigInt BigInt::generate_prime(Drbg& rng, std::size_t bits) {
+  for (;;) {
+    BigInt candidate = random_bits(rng, bits);
+    candidate.limbs_[0] |= 1;                      // odd
+    if (bits >= 2) {
+      // Set the second-highest bit too so products of two primes have full size.
+      std::size_t second = bits - 2;
+      candidate.limbs_[second / 64] |= u64{1} << (second % 64);
+    }
+    if (candidate.is_probable_prime(rng, 20)) return candidate;
+  }
+}
+
+Montgomery::Montgomery(const BigInt& modulus) : m_(modulus) {
+  if (!m_.is_odd()) throw std::invalid_argument("Montgomery modulus must be odd");
+  n_ = m_.limbs_.size();
+  // n0inv = -m^{-1} mod 2^64 via Newton iteration.
+  u64 m0 = m_.limbs_[0];
+  u64 inv = 1;
+  for (int i = 0; i < 6; ++i) inv *= 2 - m0 * inv;
+  n0inv_ = ~inv + 1;  // negate mod 2^64
+  // R^2 mod m with R = 2^(64 n).
+  BigInt r{1};
+  r = r << (128 * n_);
+  rr_ = r.mod(m_);
+}
+
+BigInt Montgomery::redc(std::vector<std::uint64_t> t) const {
+  t.resize(2 * n_ + 1, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    u64 mfactor = t[i] * n0inv_;
+    u64 carry = 0;
+    for (std::size_t j = 0; j < n_; ++j) {
+      u128 sum = u128{mfactor} * m_.limbs_[j] + t[i + j] + carry;
+      t[i + j] = static_cast<u64>(sum);
+      carry = static_cast<u64>(sum >> 64);
+    }
+    // Propagate the carry.
+    for (std::size_t j = i + n_; carry != 0; ++j) {
+      u128 sum = u128{t[j]} + carry;
+      t[j] = static_cast<u64>(sum);
+      carry = static_cast<u64>(sum >> 64);
+    }
+  }
+  BigInt out;
+  out.limbs_.assign(t.begin() + n_, t.end());
+  out.trim();
+  if (BigInt::cmp(out, m_) >= 0) out = out - m_;
+  return out;
+}
+
+BigInt Montgomery::to_mont(const BigInt& x) const {
+  // REDC(x * R^2) = x * R mod m; requires x < m.
+  return mul(x, rr_);
+}
+
+BigInt Montgomery::from_mont(const BigInt& x) const {
+  std::vector<u64> t = x.limbs_;
+  return redc(std::move(t));
+}
+
+BigInt Montgomery::mul(const BigInt& a_mont, const BigInt& b_mont) const {
+  BigInt product = a_mont * b_mont;
+  return redc(product.limbs_);
+}
+
+BigInt Montgomery::pow(const BigInt& base, const BigInt& exp) const {
+  BigInt b = base.mod(m_);
+  BigInt x = to_mont(b);
+  BigInt acc = to_mont(BigInt{1});
+  std::size_t bits = exp.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    acc = mul(acc, acc);
+    if (exp.bit(i)) acc = mul(acc, x);
+  }
+  return from_mont(acc);
+}
+
+}  // namespace pqtls::crypto

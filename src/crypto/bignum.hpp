@@ -1,0 +1,119 @@
+// Arbitrary-precision unsigned integers: the substrate for RSA and the NIST
+// prime-curve ECC/ECDSA implementations. Little-endian 64-bit limbs,
+// normalized representation (no high zero limbs). Deliberately generic (no
+// per-curve assembly), mirroring the "generic" code paths of the paper's
+// OpenSSL build for P-384/P-521.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+#include "crypto/drbg.hpp"
+
+namespace pqtls::crypto {
+
+class BigInt;
+
+/// Result of BigInt::divmod.
+struct BigIntDivMod;
+
+class BigInt {
+ public:
+  BigInt() = default;
+  explicit BigInt(std::uint64_t v) {
+    if (v != 0) limbs_.push_back(v);
+  }
+
+  static BigInt from_bytes_be(BytesView bytes);
+  /// Parse a lowercase/uppercase hex string (no 0x prefix).
+  static BigInt from_hex(std::string_view hex);
+  /// Uniform integer with exactly `bits` bits (MSB set).
+  static BigInt random_bits(Drbg& rng, std::size_t bits);
+  /// Uniform integer in [0, bound).
+  static BigInt random_below(Drbg& rng, const BigInt& bound);
+
+  /// Big-endian serialization; zero-padded/checked to `length` when nonzero.
+  Bytes to_bytes_be(std::size_t length = 0) const;
+  std::string to_hex() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  std::size_t bit_length() const;
+  bool bit(std::size_t i) const;
+  std::uint64_t low_u64() const { return limbs_.empty() ? 0 : limbs_[0]; }
+
+  /// Three-way compare: <0, 0, >0.
+  static int cmp(const BigInt& a, const BigInt& b);
+  bool operator==(const BigInt& other) const { return cmp(*this, other) == 0; }
+  bool operator<(const BigInt& other) const { return cmp(*this, other) < 0; }
+  bool operator<=(const BigInt& other) const { return cmp(*this, other) <= 0; }
+  bool operator>(const BigInt& other) const { return cmp(*this, other) > 0; }
+
+  BigInt operator+(const BigInt& other) const;
+  /// Requires *this >= other.
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  BigInt operator<<(std::size_t bits) const;
+  BigInt operator>>(std::size_t bits) const;
+
+  /// Knuth algorithm D; divisor must be nonzero.
+  static BigIntDivMod divmod(const BigInt& num, const BigInt& den);
+  BigInt mod(const BigInt& m) const;
+
+  // Modular arithmetic (operands must already be reduced mod m).
+  static BigInt mod_add(const BigInt& a, const BigInt& b, const BigInt& m);
+  static BigInt mod_sub(const BigInt& a, const BigInt& b, const BigInt& m);
+  static BigInt mod_mul(const BigInt& a, const BigInt& b, const BigInt& m);
+  /// Montgomery ladderless left-to-right exponentiation with Montgomery
+  /// reduction; m must be odd.
+  static BigInt mod_pow(const BigInt& base, const BigInt& exp, const BigInt& m);
+  /// Inverse mod m via extended Euclid; returns zero BigInt if not invertible.
+  static BigInt mod_inverse(const BigInt& a, const BigInt& m);
+  static BigInt gcd(BigInt a, BigInt b);
+
+  /// Miller-Rabin with `rounds` random bases.
+  bool is_probable_prime(Drbg& rng, int rounds = 32) const;
+  /// Random prime with exactly `bits` bits (top two bits set, odd).
+  static BigInt generate_prime(Drbg& rng, std::size_t bits);
+
+ private:
+  void trim();
+  const std::vector<std::uint64_t>& limbs() const { return limbs_; }
+
+  std::vector<std::uint64_t> limbs_;
+
+  friend class Montgomery;
+};
+
+struct BigIntDivMod {
+  BigInt quotient;
+  BigInt remainder;
+};
+
+inline BigInt BigInt::mod(const BigInt& m) const {
+  return divmod(*this, m).remainder;
+}
+
+/// Montgomery context for repeated multiplication mod a fixed odd modulus.
+class Montgomery {
+ public:
+  explicit Montgomery(const BigInt& modulus);
+
+  BigInt to_mont(const BigInt& x) const;
+  BigInt from_mont(const BigInt& x) const;
+  BigInt mul(const BigInt& a_mont, const BigInt& b_mont) const;
+  BigInt pow(const BigInt& base, const BigInt& exp) const;  // plain in/out
+  const BigInt& modulus() const { return m_; }
+
+ private:
+  BigInt redc(std::vector<std::uint64_t> t) const;
+
+  BigInt m_;
+  BigInt rr_;  // R^2 mod m
+  std::uint64_t n0inv_ = 0;  // -m^-1 mod 2^64
+  std::size_t n_ = 0;        // limb count of m
+};
+
+}  // namespace pqtls::crypto

@@ -1,0 +1,75 @@
+// Common byte-buffer utilities shared by all crypto modules.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pqtls {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Append `src` to `dst`.
+inline void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Concatenate any number of byte spans.
+template <typename... Views>
+Bytes concat(const Views&... views) {
+  Bytes out;
+  std::size_t total = (std::size_t{0} + ... + views.size());
+  out.reserve(total);
+  (append(out, BytesView{views.data(), views.size()}), ...);
+  return out;
+}
+
+/// Constant-time equality over equal-length buffers; false on length mismatch.
+bool ct_equal(BytesView a, BytesView b);
+
+/// Lowercase hex encoding.
+std::string to_hex(BytesView data);
+
+/// Hex decoding; throws std::invalid_argument on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// Big-endian store/load helpers used by hashes and wire formats.
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+inline void store_be64(std::uint8_t* p, std::uint64_t v) {
+  store_be32(p, static_cast<std::uint32_t>(v >> 32));
+  store_be32(p + 4, static_cast<std::uint32_t>(v));
+}
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+inline std::uint64_t load_be64(const std::uint8_t* p) {
+  return (std::uint64_t{load_be32(p)} << 32) | load_be32(p + 4);
+}
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+inline std::uint64_t load_le64(const std::uint8_t* p) {
+  return std::uint64_t{load_le32(p)} | (std::uint64_t{load_le32(p + 4)} << 32);
+}
+inline void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+inline void store_le64(std::uint8_t* p, std::uint64_t v) {
+  store_le32(p, static_cast<std::uint32_t>(v));
+  store_le32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+}  // namespace pqtls

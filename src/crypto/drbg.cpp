@@ -1,0 +1,31 @@
+#include "crypto/drbg.hpp"
+
+namespace pqtls::crypto {
+
+Drbg Drbg::fork(std::string_view label) {
+  Bytes seed = bytes(32);
+  append(seed, BytesView{reinterpret_cast<const std::uint8_t*>(label.data()),
+                         label.size()});
+  return Drbg(seed);
+}
+
+std::uint64_t Drbg::uniform(std::uint64_t bound) {
+  // Rejection sampling over the smallest power-of-two mask covering bound.
+  std::uint64_t mask = bound - 1;
+  mask |= mask >> 1;
+  mask |= mask >> 2;
+  mask |= mask >> 4;
+  mask |= mask >> 8;
+  mask |= mask >> 16;
+  mask |= mask >> 32;
+  for (;;) {
+    std::uint64_t v = u64() & mask;
+    if (v < bound) return v;
+  }
+}
+
+double Drbg::real() {
+  return static_cast<double>(u64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace pqtls::crypto

@@ -1,0 +1,52 @@
+// Deterministic random bit generator used everywhere randomness is needed.
+// Seeded explicitly so every experiment in this repository is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "crypto/keccak.hpp"
+
+namespace pqtls::crypto {
+
+/// SHAKE-256 based DRBG. Not an entropy source: callers seed it explicitly,
+/// making runs bit-reproducible (the testbed derives per-connection seeds
+/// from the experiment seed).
+class Drbg {
+ public:
+  explicit Drbg(BytesView seed) : xof_(256) { xof_.absorb(seed); }
+  explicit Drbg(std::uint64_t seed) : xof_(256) {
+    std::uint8_t buf[8];
+    store_le64(buf, seed);
+    xof_.absorb({buf, 8});
+  }
+  /// Domain-separated child generator.
+  Drbg fork(std::string_view label);
+
+  void fill(std::uint8_t* out, std::size_t len) { xof_.squeeze(out, len); }
+  Bytes bytes(std::size_t len) { return xof_.squeeze(len); }
+  std::uint8_t byte() {
+    std::uint8_t b;
+    fill(&b, 1);
+    return b;
+  }
+  std::uint32_t u32() {
+    std::uint8_t buf[4];
+    fill(buf, 4);
+    return load_le32(buf);
+  }
+  std::uint64_t u64() {
+    std::uint8_t buf[8];
+    fill(buf, 8);
+    return load_le64(buf);
+  }
+  /// Uniform value in [0, bound) via rejection sampling; bound > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+  /// Uniform double in [0, 1).
+  double real();
+
+ private:
+  Shake xof_;
+};
+
+}  // namespace pqtls::crypto

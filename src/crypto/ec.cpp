@@ -1,0 +1,215 @@
+#include "crypto/ec.hpp"
+
+#include <stdexcept>
+
+namespace pqtls::crypto {
+
+// Jacobian point with coordinates kept in Montgomery form. z zero <=> infinity.
+struct EcCurve::JPoint {
+  BigInt x, y, z;
+  bool infinity = true;
+};
+
+EcCurve::EcCurve(std::string name, const char* p_hex, const char* b_hex,
+                 const char* gx_hex, const char* gy_hex, const char* n_hex)
+    : name_(std::move(name)) {
+  p_ = BigInt::from_hex(p_hex);
+  b_ = BigInt::from_hex(b_hex);
+  n_ = BigInt::from_hex(n_hex);
+  g_.x = BigInt::from_hex(gx_hex);
+  g_.y = BigInt::from_hex(gy_hex);
+  g_.infinity = false;
+  field_size_ = (p_.bit_length() + 7) / 8;
+  mont_ = std::make_unique<Montgomery>(p_);
+  a_mont_ = mont_->to_mont(p_ - BigInt{3});  // a = -3 for all NIST curves
+  one_mont_ = mont_->to_mont(BigInt{1});
+}
+
+EcCurve::JPoint EcCurve::to_jacobian(const Point& p) const {
+  if (p.infinity) return JPoint{};
+  JPoint out;
+  out.x = mont_->to_mont(p.x);
+  out.y = mont_->to_mont(p.y);
+  out.z = one_mont_;
+  out.infinity = false;
+  return out;
+}
+
+EcCurve::Point EcCurve::to_affine(const JPoint& p) const {
+  if (p.infinity) return Point{};
+  BigInt z = mont_->from_mont(p.z);
+  BigInt z_inv = BigInt::mod_inverse(z, p_);
+  BigInt z_inv_m = mont_->to_mont(z_inv);
+  BigInt z2 = mont_->mul(z_inv_m, z_inv_m);
+  BigInt z3 = mont_->mul(z2, z_inv_m);
+  Point out;
+  out.x = mont_->from_mont(mont_->mul(p.x, z2));
+  out.y = mont_->from_mont(mont_->mul(p.y, z3));
+  out.infinity = false;
+  return out;
+}
+
+EcCurve::JPoint EcCurve::jacobian_double(const JPoint& p) const {
+  if (p.infinity || p.y.is_zero()) return JPoint{};
+  const Montgomery& m = *mont_;
+  auto add = [&](const BigInt& a, const BigInt& b) {
+    return BigInt::mod_add(a, b, p_);
+  };
+  auto sub = [&](const BigInt& a, const BigInt& b) {
+    return BigInt::mod_sub(a, b, p_);
+  };
+  BigInt y2 = m.mul(p.y, p.y);
+  BigInt s = m.mul(p.x, y2);
+  s = add(add(s, s), add(s, s));  // 4 X Y^2
+  BigInt x2 = m.mul(p.x, p.x);
+  BigInt z2 = m.mul(p.z, p.z);
+  BigInt z4 = m.mul(z2, z2);
+  BigInt mterm = add(add(x2, x2), x2);              // 3 X^2
+  mterm = add(mterm, m.mul(a_mont_, z4));           // + a Z^4
+  JPoint out;
+  out.x = sub(m.mul(mterm, mterm), add(s, s));      // M^2 - 2S
+  BigInt y4 = m.mul(y2, y2);
+  BigInt y4_8 = add(y4, y4);
+  y4_8 = add(y4_8, y4_8);
+  y4_8 = add(y4_8, y4_8);                           // 8 Y^4
+  out.y = sub(m.mul(mterm, sub(s, out.x)), y4_8);
+  BigInt yz = m.mul(p.y, p.z);
+  out.z = add(yz, yz);                              // 2 Y Z
+  out.infinity = out.z.is_zero();
+  return out;
+}
+
+EcCurve::JPoint EcCurve::jacobian_add(const JPoint& a, const JPoint& b) const {
+  if (a.infinity) return b;
+  if (b.infinity) return a;
+  const Montgomery& m = *mont_;
+  auto sub = [&](const BigInt& x, const BigInt& y) {
+    return BigInt::mod_sub(x, y, p_);
+  };
+  auto add2 = [&](const BigInt& x) { return BigInt::mod_add(x, x, p_); };
+
+  BigInt z1z1 = m.mul(a.z, a.z);
+  BigInt z2z2 = m.mul(b.z, b.z);
+  BigInt u1 = m.mul(a.x, z2z2);
+  BigInt u2 = m.mul(b.x, z1z1);
+  BigInt s1 = m.mul(a.y, m.mul(z2z2, b.z));
+  BigInt s2 = m.mul(b.y, m.mul(z1z1, a.z));
+  if (u1 == u2) {
+    if (s1 == s2) return jacobian_double(a);
+    return JPoint{};  // P + (-P) = infinity
+  }
+  BigInt h = sub(u2, u1);
+  BigInt r = sub(s2, s1);
+  BigInt h2 = m.mul(h, h);
+  BigInt h3 = m.mul(h2, h);
+  BigInt u1h2 = m.mul(u1, h2);
+  JPoint out;
+  out.x = sub(sub(m.mul(r, r), h3), add2(u1h2));
+  out.y = sub(m.mul(r, sub(u1h2, out.x)), m.mul(s1, h3));
+  out.z = m.mul(h, m.mul(a.z, b.z));
+  out.infinity = out.z.is_zero();
+  return out;
+}
+
+EcCurve::Point EcCurve::multiply(const BigInt& k, const Point& p) const {
+  if (p.infinity || k.is_zero()) return Point{};
+  JPoint base = to_jacobian(p);
+  JPoint acc;  // infinity
+  for (std::size_t i = k.bit_length(); i-- > 0;) {
+    acc = jacobian_double(acc);
+    if (k.bit(i)) acc = jacobian_add(acc, base);
+  }
+  return to_affine(acc);
+}
+
+EcCurve::Point EcCurve::add(const Point& a, const Point& b) const {
+  return to_affine(jacobian_add(to_jacobian(a), to_jacobian(b)));
+}
+
+bool EcCurve::on_curve(const Point& p) const {
+  if (p.infinity) return true;
+  // y^2 == x^3 - 3x + b (mod p)
+  BigInt lhs = BigInt::mod_mul(p.y, p.y, p_);
+  BigInt x3 = BigInt::mod_mul(BigInt::mod_mul(p.x, p.x, p_), p.x, p_);
+  BigInt threex = BigInt::mod_add(BigInt::mod_add(p.x, p.x, p_), p.x, p_);
+  BigInt rhs = BigInt::mod_add(BigInt::mod_sub(x3, threex, p_), b_.mod(p_), p_);
+  if (BigInt::cmp(rhs, p_) >= 0) rhs = rhs - p_;
+  return lhs == rhs;
+}
+
+Bytes EcCurve::encode_point(const Point& p) const {
+  if (p.infinity) throw std::invalid_argument("cannot encode infinity");
+  Bytes out;
+  out.push_back(0x04);
+  append(out, p.x.to_bytes_be(field_size_));
+  append(out, p.y.to_bytes_be(field_size_));
+  return out;
+}
+
+std::optional<EcCurve::Point> EcCurve::decode_point(BytesView data) const {
+  if (data.size() != 1 + 2 * field_size_ || data[0] != 0x04) return std::nullopt;
+  Point p;
+  p.x = BigInt::from_bytes_be(data.subspan(1, field_size_));
+  p.y = BigInt::from_bytes_be(data.subspan(1 + field_size_, field_size_));
+  p.infinity = false;
+  if (!(p.x < p_) || !(p.y < p_)) return std::nullopt;
+  if (!on_curve(p)) return std::nullopt;
+  return p;
+}
+
+BigInt EcCurve::random_scalar(Drbg& rng) const {
+  for (;;) {
+    BigInt k = BigInt::random_below(rng, n_);
+    if (!k.is_zero()) return k;
+  }
+}
+
+const EcCurve& EcCurve::p256() {
+  static const EcCurve curve(
+      "p256",
+      "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff",
+      "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b",
+      "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296",
+      "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5",
+      "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+  return curve;
+}
+
+const EcCurve& EcCurve::p384() {
+  static const EcCurve curve(
+      "p384",
+      "fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffe"
+      "ffffffff0000000000000000ffffffff",
+      "b3312fa7e23ee7e4988e056be3f82d19181d9c6efe8141120314088f5013875a"
+      "c656398d8a2ed19d2a85c8edd3ec2aef",
+      "aa87ca22be8b05378eb1c71ef320ad746e1d3b628ba79b9859f741e082542a38"
+      "5502f25dbf55296c3a545e3872760ab7",
+      "3617de4a96262c6f5d9e98bf9292dc29f8f41dbd289a147ce9da3113b5f0b8c0"
+      "0a60b1ce1d7e819d7a431d7c90ea0e5f",
+      "ffffffffffffffffffffffffffffffffffffffffffffffffc7634d81f4372ddf"
+      "581a0db248b0a77aecec196accc52973");
+  return curve;
+}
+
+const EcCurve& EcCurve::p521() {
+  static const EcCurve curve(
+      "p521",
+      "01ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"
+      "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"
+      "ffff",
+      "0051953eb9618e1c9a1f929a21a0b68540eea2da725b99b315f3b8b489918ef1"
+      "09e156193951ec7e937b1652c0bd3bb1bf073573df883d2c34f1ef451fd46b50"
+      "3f00",
+      "00c6858e06b70404e9cd9e3ecb662395b4429c648139053fb521f828af606b4d"
+      "3dbaa14b5e77efe75928fe1dc127a2ffa8de3348b3c1856a429bf97e7e31c2e5"
+      "bd66",
+      "011839296a789a3bc0045c8a5fb42c7d1bd998f54449579b446817afbd17273e"
+      "662c97ee72995ef42640c550b9013fad0761353c7086a272c24088be94769fd1"
+      "6650",
+      "01ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"
+      "fffa51868783bf2f966b7fcc0148f709a5d03bb5c9b8899c47aebb6fb71e9138"
+      "6409");
+  return curve;
+}
+
+}  // namespace pqtls::crypto

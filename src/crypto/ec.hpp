@@ -1,0 +1,71 @@
+// Short-Weierstrass elliptic curves P-256 / P-384 / P-521 over BigInt with
+// Montgomery field arithmetic and Jacobian coordinates. Deliberately one
+// generic implementation for all three curves: the paper's OpenSSL build has
+// an optimized P-256 but generic P-384/P-521, and its headline ECC finding
+// (p384/p521 are dramatically slower) is a property of generic code paths.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "crypto/bignum.hpp"
+#include "crypto/drbg.hpp"
+
+namespace pqtls::crypto {
+
+class EcCurve {
+ public:
+  /// Affine point; infinity encoded as is_infinity() (x and y empty).
+  struct Point {
+    BigInt x;
+    BigInt y;
+    bool infinity = true;
+  };
+
+  static const EcCurve& p256();
+  static const EcCurve& p384();
+  static const EcCurve& p521();
+
+  const std::string& name() const { return name_; }
+  /// Field element size in bytes (32 / 48 / 66).
+  std::size_t field_size() const { return field_size_; }
+  const BigInt& order() const { return n_; }
+  const BigInt& prime() const { return p_; }
+  Point generator() const { return g_; }
+
+  /// Scalar multiplication k * P (double-and-add over Jacobian coordinates).
+  Point multiply(const BigInt& k, const Point& p) const;
+  Point multiply_base(const BigInt& k) const { return multiply(k, g_); }
+  Point add(const Point& a, const Point& b) const;
+
+  bool on_curve(const Point& p) const;
+
+  /// SEC1 uncompressed encoding: 0x04 || X || Y. Infinity not encodable.
+  Bytes encode_point(const Point& p) const;
+  std::optional<Point> decode_point(BytesView data) const;
+
+  /// Random scalar in [1, n-1].
+  BigInt random_scalar(Drbg& rng) const;
+
+ private:
+  struct JPoint;  // Jacobian, Montgomery-form coordinates
+
+  EcCurve(std::string name, const char* p_hex, const char* b_hex,
+          const char* gx_hex, const char* gy_hex, const char* n_hex);
+
+  JPoint jacobian_double(const JPoint& p) const;
+  JPoint jacobian_add(const JPoint& a, const JPoint& b) const;
+  JPoint to_jacobian(const Point& p) const;
+  Point to_affine(const JPoint& p) const;
+
+  std::string name_;
+  std::size_t field_size_;
+  BigInt p_, b_, n_;
+  Point g_;
+  std::unique_ptr<Montgomery> mont_;   // mod p
+  BigInt a_mont_;                      // a = -3 in Montgomery form
+  BigInt one_mont_;
+};
+
+}  // namespace pqtls::crypto

@@ -1,0 +1,278 @@
+#include "crypto/gf2.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace pqtls::crypto {
+
+void Gf2Ring::mask_top() {
+  std::size_t top_bits = r_ % 64;
+  if (top_bits) words_.back() &= (std::uint64_t{1} << top_bits) - 1;
+}
+
+Gf2Ring Gf2Ring::from_support(std::size_t r,
+                              const std::vector<std::uint32_t>& ones) {
+  Gf2Ring out(r);
+  for (auto i : ones) out.set(i, true);
+  return out;
+}
+
+Gf2Ring Gf2Ring::random(std::size_t r, Drbg& rng) {
+  Gf2Ring out(r);
+  for (auto& w : out.words_) w = rng.u64();
+  out.mask_top();
+  return out;
+}
+
+Gf2Ring Gf2Ring::random_weight(std::size_t r, std::size_t w, Drbg& rng) {
+  // Floyd's algorithm for a w-subset of [0, r).
+  Gf2Ring out(r);
+  for (std::size_t j = r - w; j < r; ++j) {
+    std::size_t t = rng.uniform(j + 1);
+    if (out.get(t))
+      out.set(j, true);
+    else
+      out.set(t, true);
+  }
+  return out;
+}
+
+std::size_t Gf2Ring::weight() const {
+  std::size_t total = 0;
+  for (auto w : words_) total += std::popcount(w);
+  return total;
+}
+
+bool Gf2Ring::is_zero() const {
+  for (auto w : words_)
+    if (w) return false;
+  return true;
+}
+
+std::vector<std::uint32_t> Gf2Ring::support() const {
+  std::vector<std::uint32_t> out;
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    std::uint64_t w = words_[wi];
+    while (w) {
+      int bit = std::countr_zero(w);
+      out.push_back(static_cast<std::uint32_t>(wi * 64 + bit));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+Gf2Ring Gf2Ring::operator^(const Gf2Ring& other) const {
+  Gf2Ring out = *this;
+  out ^= other;
+  return out;
+}
+
+Gf2Ring& Gf2Ring::operator^=(const Gf2Ring& other) {
+  if (r_ != other.r_) throw std::invalid_argument("ring size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+namespace {
+
+// XOR `src` (nwords words) shifted left by `shift` bits into dst.
+void xor_shift_words(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t nwords, std::size_t shift) {
+  std::size_t ws = shift / 64, bs = shift % 64;
+  for (std::size_t i = 0; i < nwords; ++i) {
+    if (!src[i]) continue;
+    dst[i + ws] ^= src[i] << bs;
+    if (bs) dst[i + ws + 1] ^= src[i] >> (64 - bs);
+  }
+}
+
+}  // namespace
+
+// Fold a (< 2r)-bit scratch buffer back into r bits modulo x^r - 1,
+// word-wise: result = scratch[0, r) XOR (scratch[r, 2r) >> r).
+void Gf2Ring::fold_scratch(const std::vector<std::uint64_t>& scratch) {
+  std::size_t nwords = words_.size();
+  std::size_t ws = r_ / 64, bs = r_ % 64;
+  // High copy, shifted down by r (bits >= r fold onto position p - r < r).
+  for (std::size_t i = ws; i < scratch.size(); ++i) {
+    std::uint64_t w = scratch[i] >> bs;
+    if (bs && i + 1 < scratch.size()) w |= scratch[i + 1] << (64 - bs);
+    if (i - ws < nwords) words_[i - ws] ^= w;
+  }
+  // Low copy; mask_top clears the tail of the last word, which belongs to
+  // the high copy handled above.
+  for (std::size_t i = 0; i < nwords; ++i) words_[i] ^= scratch[i];
+  mask_top();
+}
+
+Gf2Ring Gf2Ring::shifted(std::size_t k) const {
+  k %= r_;
+  if (k == 0) return *this;
+  std::size_t nwords = words_.size();
+  std::vector<std::uint64_t> scratch(2 * nwords + 2, 0);
+  xor_shift_words(scratch.data(), words_.data(), nwords, k);
+  Gf2Ring out(r_);
+  out.fold_scratch(scratch);
+  return out;
+}
+
+Gf2Ring Gf2Ring::mul_sparse(const std::vector<std::uint32_t>& support) const {
+  std::size_t nwords = words_.size();
+  std::vector<std::uint64_t> scratch(2 * nwords + 2, 0);
+  for (std::uint32_t k : support)
+    xor_shift_words(scratch.data(), words_.data(), nwords, k);
+  Gf2Ring out(r_);
+  out.fold_scratch(scratch);
+  return out;
+}
+
+Gf2Ring Gf2Ring::transpose() const {
+  Gf2Ring out(r_);
+  if (get(0)) out.set(0, true);
+  for (std::size_t i = 1; i < r_; ++i)
+    if (get(i)) out.set(r_ - i, true);
+  return out;
+}
+
+Gf2Ring Gf2Ring::operator*(const Gf2Ring& other) const {
+  if (r_ != other.r_) throw std::invalid_argument("ring size mismatch");
+  std::size_t nwords = words_.size();
+  // Schoolbook carry-less multiply into a 2r-bit scratch using 4-bit combs.
+  std::vector<std::uint64_t> scratch(2 * nwords + 1, 0);
+  for (std::size_t i = 0; i < nwords; ++i) {
+    std::uint64_t a = words_[i];
+    if (!a) continue;
+    for (std::size_t j = 0; j < nwords; ++j) {
+      std::uint64_t b = other.words_[j];
+      if (!b) continue;
+      // Carry-less 64x64 -> 128 via 4 shifted 2-bit combs.
+      std::uint64_t lo = 0, hi = 0;
+      std::uint64_t bb = b;
+      while (bb) {
+        int k = std::countr_zero(bb);
+        lo ^= a << k;
+        if (k) hi ^= a >> (64 - k);
+        bb &= bb - 1;
+      }
+      scratch[i + j] ^= lo;
+      scratch[i + j + 1] ^= hi;
+    }
+  }
+  Gf2Ring out(r_);
+  out.fold_scratch(scratch);
+  return out;
+}
+
+bool Gf2Ring::inverse(Gf2Ring& out) const {
+  // Extended Euclid over GF(2)[x] between f = x^r - 1 and g = *this.
+  // Polynomials here are plain (non-cyclic) bit vectors of length <= r+1.
+  const std::size_t cap_words = (r_ + 1 + 63) / 64 + 1;
+  using Poly = std::vector<std::uint64_t>;
+  auto deg = [&](const Poly& p) -> long {
+    for (std::size_t i = p.size(); i-- > 0;)
+      if (p[i]) return static_cast<long>(i * 64 + 63 - std::countl_zero(p[i]));
+    return -1;
+  };
+  auto xor_shifted = [&](Poly& dst, const Poly& src, std::size_t shift) {
+    std::size_t ws = shift / 64, bs = shift % 64;
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      if (!src[i]) continue;
+      if (i + ws < dst.size()) dst[i + ws] ^= src[i] << bs;
+      if (bs && i + ws + 1 < dst.size()) dst[i + ws + 1] ^= src[i] >> (64 - bs);
+    }
+  };
+
+  Poly r0(cap_words, 0), r1(cap_words, 0);
+  r0[r_ / 64] ^= std::uint64_t{1} << (r_ % 64);  // x^r
+  r0[0] ^= 1;                                    // - 1 == + 1
+  for (std::size_t i = 0; i < words_.size(); ++i) r1[i] = words_[i];
+
+  Poly t0(cap_words, 0), t1(cap_words, 0);
+  t1[0] = 1;
+
+  while (true) {
+    long d1 = deg(r1);
+    if (d1 < 0) return false;  // common factor, not invertible
+    if (d1 == 0) break;        // r1 is the constant 1
+    long d0 = deg(r0);
+    if (d0 < d1) {
+      std::swap(r0, r1);
+      std::swap(t0, t1);
+      continue;
+    }
+    std::size_t shift = static_cast<std::size_t>(d0 - d1);
+    xor_shifted(r0, r1, shift);
+    xor_shifted(t0, t1, shift);
+  }
+  out = Gf2Ring(r_);
+  for (std::size_t i = 0; i < out.words_.size(); ++i)
+    out.words_[i] = t1[i];
+  out.mask_top();
+  return true;
+}
+
+Bytes Gf2Ring::to_bytes() const {
+  Bytes out((r_ + 7) / 8, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::size_t word = i / 8, byte = i % 8;
+    if (word < words_.size())
+      out[i] = static_cast<std::uint8_t>(words_[word] >> (8 * byte));
+  }
+  return out;
+}
+
+Gf2Ring Gf2Ring::from_bytes(std::size_t r, BytesView bytes) {
+  Gf2Ring out(r);
+  for (std::size_t i = 0; i < bytes.size() && i / 8 < out.words_.size(); ++i)
+    out.words_[i / 8] |= std::uint64_t{bytes[i]} << (8 * (i % 8));
+  out.mask_top();
+  return out;
+}
+
+namespace {
+
+struct Gf256Tables {
+  std::uint8_t exp[512];
+  std::uint8_t log[256];
+  Gf256Tables() {
+    std::uint8_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = x;
+      log[x] = static_cast<std::uint8_t>(i);
+      // multiply by alpha = 0x02 modulo 0x11d
+      x = static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1d));
+    }
+    for (int i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+    log[0] = 0;
+  }
+};
+
+const Gf256Tables& gf256_tables() {
+  static const Gf256Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t Gf256::mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = gf256_tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+std::uint8_t Gf256::inv(std::uint8_t a) {
+  if (a == 0) throw std::domain_error("GF(256) inverse of zero");
+  const auto& t = gf256_tables();
+  return t.exp[255 - t.log[a]];
+}
+
+std::uint8_t Gf256::pow_alpha(unsigned e) { return gf256_tables().exp[e % 255]; }
+
+unsigned Gf256::log_alpha(std::uint8_t a) {
+  if (a == 0) throw std::domain_error("GF(256) log of zero");
+  return gf256_tables().log[a];
+}
+
+}  // namespace pqtls::crypto

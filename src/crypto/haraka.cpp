@@ -1,0 +1,130 @@
+#include "crypto/haraka.hpp"
+
+#include "crypto/aes.hpp"
+#include "crypto/keccak.hpp"
+
+namespace pqtls::crypto {
+
+namespace {
+
+using State = std::uint8_t[16];
+
+// _mm_unpacklo_epi32 / _mm_unpackhi_epi32 byte semantics.
+void unpacklo32(std::uint8_t out[16], const std::uint8_t a[16],
+                const std::uint8_t b[16]) {
+  std::memcpy(out, a, 4);
+  std::memcpy(out + 4, b, 4);
+  std::memcpy(out + 8, a + 4, 4);
+  std::memcpy(out + 12, b + 4, 4);
+}
+void unpackhi32(std::uint8_t out[16], const std::uint8_t a[16],
+                const std::uint8_t b[16]) {
+  std::memcpy(out, a + 8, 4);
+  std::memcpy(out + 4, b + 8, 4);
+  std::memcpy(out + 8, a + 12, 4);
+  std::memcpy(out + 12, b + 12, 4);
+}
+
+}  // namespace
+
+Haraka::Haraka(BytesView seed) {
+  Shake xof(256);
+  static constexpr std::uint8_t kLabel[] = {'h', 'a', 'r', 'a', 'k', 'a'};
+  xof.absorb({kLabel, sizeof kLabel});
+  xof.absorb(seed);
+  for (auto& rc : rc_) xof.squeeze(rc.data(), rc.size());
+}
+
+void Haraka::permute512(std::uint8_t s[64]) const {
+  std::uint8_t* s0 = s;
+  std::uint8_t* s1 = s + 16;
+  std::uint8_t* s2 = s + 32;
+  std::uint8_t* s3 = s + 48;
+  for (int round = 0; round < 5; ++round) {
+    const auto* rc = &rc_[8 * round];
+    Aes::aesenc(s0, rc[0].data());
+    Aes::aesenc(s1, rc[1].data());
+    Aes::aesenc(s2, rc[2].data());
+    Aes::aesenc(s3, rc[3].data());
+    Aes::aesenc(s0, rc[4].data());
+    Aes::aesenc(s1, rc[5].data());
+    Aes::aesenc(s2, rc[6].data());
+    Aes::aesenc(s3, rc[7].data());
+    // MIX4
+    State tmp, n0, n1, n2, n3;
+    unpacklo32(tmp, s0, s1);
+    unpackhi32(n0, s0, s1);
+    unpacklo32(n1, s2, s3);
+    unpackhi32(n2, s2, s3);
+    unpacklo32(n3, n0, n2);
+    unpackhi32(s0, n0, n2);
+    std::memcpy(s3, n3, 16);
+    unpackhi32(n3, n1, tmp);
+    std::memcpy(s2, n3, 16);
+    unpacklo32(n3, n1, tmp);
+    std::memcpy(s1, n3, 16);
+  }
+}
+
+void Haraka::haraka512(const std::uint8_t in[64], std::uint8_t out[32]) const {
+  std::uint8_t s[64];
+  std::memcpy(s, in, 64);
+  permute512(s);
+  for (int i = 0; i < 64; ++i) s[i] ^= in[i];  // feed-forward
+  // Truncation: bytes 8..15, 24..31, 32..39, 56..63.
+  std::memcpy(out, s + 8, 8);
+  std::memcpy(out + 8, s + 24, 8);
+  std::memcpy(out + 16, s + 32, 8);
+  std::memcpy(out + 24, s + 56, 8);
+}
+
+void Haraka::haraka256(const std::uint8_t in[32], std::uint8_t out[32]) const {
+  std::uint8_t s0[16], s1[16];
+  std::memcpy(s0, in, 16);
+  std::memcpy(s1, in + 16, 16);
+  for (int round = 0; round < 5; ++round) {
+    const auto* rc = &rc_[4 * round];
+    Aes::aesenc(s0, rc[0].data());
+    Aes::aesenc(s1, rc[1].data());
+    Aes::aesenc(s0, rc[2].data());
+    Aes::aesenc(s1, rc[3].data());
+    // MIX2
+    State lo, hi;
+    unpacklo32(lo, s0, s1);
+    unpackhi32(hi, s0, s1);
+    std::memcpy(s0, lo, 16);
+    std::memcpy(s1, hi, 16);
+  }
+  for (int i = 0; i < 16; ++i) {
+    out[i] = s0[i] ^ in[i];
+    out[16 + i] = s1[i] ^ in[16 + i];
+  }
+}
+
+Bytes Haraka::haraka_sponge(BytesView in, std::size_t out_len) const {
+  // Sponge with rate 32 over the Haraka-512 permutation, pad 0x1f / 0x80.
+  std::uint8_t state[64] = {0};
+  std::size_t pos = 0;
+  for (std::uint8_t byte : in) {
+    state[pos++] ^= byte;
+    if (pos == 32) {
+      permute512(state);
+      pos = 0;
+    }
+  }
+  state[pos] ^= 0x1f;
+  state[31] ^= 0x80;
+  permute512(state);
+
+  Bytes out(out_len);
+  std::size_t produced = 0;
+  while (produced < out_len) {
+    std::size_t take = std::min<std::size_t>(32, out_len - produced);
+    std::memcpy(out.data() + produced, state, take);
+    produced += take;
+    if (produced < out_len) permute512(state);
+  }
+  return out;
+}
+
+}  // namespace pqtls::crypto

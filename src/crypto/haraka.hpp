@@ -1,0 +1,35 @@
+// Haraka v2 short-input hash (5-round AES-based permutation), as used by the
+// SPHINCS+-haraka parameter sets — the fastest SPHINCS+ family, which the
+// paper selected. Following the SPHINCS+ convention, the 40 round constants
+// are derived from a seed; we expand them with SHAKE-256 (the reference code
+// uses a Haraka sponge seeded with the pi-based constants — structurally
+// identical, not bit-compatible; see DESIGN.md fidelity notes).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.hpp"
+
+namespace pqtls::crypto {
+
+class Haraka {
+ public:
+  /// Constants derived from `seed` (empty seed = repository default constants).
+  explicit Haraka(BytesView seed = {});
+
+  /// Haraka-512: 64-byte input -> 32-byte output.
+  void haraka512(const std::uint8_t in[64], std::uint8_t out[32]) const;
+  /// Haraka-256: 32-byte input -> 32-byte output.
+  void haraka256(const std::uint8_t in[32], std::uint8_t out[32]) const;
+  /// Haraka-S sponge (rate 32) over the Haraka-512 permutation, for
+  /// variable-length inputs/outputs (SPHINCS+ H_msg / PRF_msg / T_l).
+  Bytes haraka_sponge(BytesView in, std::size_t out_len) const;
+
+ private:
+  void permute512(std::uint8_t state[64]) const;
+
+  std::array<std::array<std::uint8_t, 16>, 40> rc_{};
+};
+
+}  // namespace pqtls::crypto

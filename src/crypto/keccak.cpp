@@ -1,0 +1,118 @@
+#include "crypto/keccak.hpp"
+
+#include <bit>
+
+namespace pqtls::crypto {
+
+namespace {
+
+constexpr std::uint64_t kRoundConstants[24] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL};
+
+constexpr int kRotations[25] = {0,  1,  62, 28, 27, 36, 44, 6,  55, 20, 3,  10, 43,
+                                25, 39, 41, 45, 15, 21, 8,  18, 2,  61, 56, 14};
+
+// Destination index of lane (x, y) under pi: (y, 2x+3y), with lanes laid out
+// as state[x + 5y].
+constexpr int kPi[25] = {0,  10, 20, 5,  15, 16, 1, 11, 21, 6,  7, 17, 2,
+                         12, 22, 23, 8,  18, 3,  13, 14, 24, 9,  19, 4};
+
+}  // namespace
+
+void KeccakSponge::permute() {
+  auto& a = state_;
+  for (int round = 0; round < 24; ++round) {
+    // Theta
+    std::uint64_t c[5], d[5];
+    for (int x = 0; x < 5; ++x)
+      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+    for (int x = 0; x < 5; ++x)
+      d[x] = c[(x + 4) % 5] ^ std::rotl(c[(x + 1) % 5], 1);
+    for (int i = 0; i < 25; ++i) a[i] ^= d[i % 5];
+    // Rho + Pi
+    std::uint64_t b[25];
+    for (int i = 0; i < 25; ++i) b[kPi[i]] = std::rotl(a[i], kRotations[i]);
+    // Chi
+    for (int y = 0; y < 5; ++y)
+      for (int x = 0; x < 5; ++x)
+        a[y * 5 + x] =
+            b[y * 5 + x] ^ (~b[y * 5 + (x + 1) % 5] & b[y * 5 + (x + 2) % 5]);
+    // Iota
+    a[0] ^= kRoundConstants[round];
+  }
+}
+
+void KeccakSponge::reset() {
+  state_.fill(0);
+  offset_ = 0;
+  squeezing_ = false;
+}
+
+void KeccakSponge::absorb(BytesView data) {
+  auto* bytes = reinterpret_cast<std::uint8_t*>(state_.data());
+  for (std::uint8_t byte : data) {
+    bytes[offset_++] ^= byte;
+    if (offset_ == rate_) {
+      permute();
+      offset_ = 0;
+    }
+  }
+}
+
+void KeccakSponge::pad() {
+  auto* bytes = reinterpret_cast<std::uint8_t*>(state_.data());
+  bytes[offset_] ^= domain_;
+  bytes[rate_ - 1] ^= 0x80;
+  permute();
+  offset_ = 0;
+  squeezing_ = true;
+}
+
+void KeccakSponge::squeeze(std::uint8_t* out, std::size_t len) {
+  if (!squeezing_) pad();
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(state_.data());
+  while (len > 0) {
+    if (offset_ == rate_) {
+      permute();
+      offset_ = 0;
+    }
+    std::size_t take = std::min(len, rate_ - offset_);
+    std::memcpy(out, bytes + offset_, take);
+    out += take;
+    len -= take;
+    offset_ += take;
+  }
+}
+
+Bytes sha3_256(BytesView data) {
+  KeccakSponge sponge(136, 0x06);
+  sponge.absorb(data);
+  return sponge.squeeze(32);
+}
+
+Bytes sha3_512(BytesView data) {
+  KeccakSponge sponge(72, 0x06);
+  sponge.absorb(data);
+  return sponge.squeeze(64);
+}
+
+Bytes shake128(BytesView data, std::size_t out_len) {
+  Shake xof(128);
+  xof.absorb(data);
+  return xof.squeeze(out_len);
+}
+
+Bytes shake256(BytesView data, std::size_t out_len) {
+  Shake xof(256);
+  xof.absorb(data);
+  return xof.squeeze(out_len);
+}
+
+}  // namespace pqtls::crypto

@@ -1,0 +1,59 @@
+// Keccak-f[1600] sponge: SHA3-256/512 and the SHAKE-128/256 XOFs (FIPS 202).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.hpp"
+
+namespace pqtls::crypto {
+
+/// Sponge over Keccak-f[1600]. Parameterized by rate and domain separator.
+class KeccakSponge {
+ public:
+  KeccakSponge(std::size_t rate_bytes, std::uint8_t domain)
+      : rate_(rate_bytes), domain_(domain) {}
+
+  void absorb(BytesView data);
+  /// Switch to squeezing (idempotent); then produce output incrementally.
+  void squeeze(std::uint8_t* out, std::size_t len);
+  Bytes squeeze(std::size_t len) {
+    Bytes out(len);
+    squeeze(out.data(), len);
+    return out;
+  }
+  void reset();
+
+ private:
+  void permute();
+  void pad();
+
+  std::array<std::uint64_t, 25> state_{};
+  std::size_t rate_;
+  std::uint8_t domain_;
+  std::size_t offset_ = 0;  // absorb or squeeze position within the rate
+  bool squeezing_ = false;
+};
+
+/// One-shot SHA3-256 / SHA3-512.
+Bytes sha3_256(BytesView data);
+Bytes sha3_512(BytesView data);
+
+/// Incremental SHAKE XOF.
+class Shake {
+ public:
+  /// bits must be 128 or 256.
+  explicit Shake(int bits)
+      : sponge_(bits == 128 ? 168 : 136, 0x1f) {}
+  void absorb(BytesView data) { sponge_.absorb(data); }
+  void squeeze(std::uint8_t* out, std::size_t len) { sponge_.squeeze(out, len); }
+  Bytes squeeze(std::size_t len) { return sponge_.squeeze(len); }
+
+ private:
+  KeccakSponge sponge_;
+};
+
+Bytes shake128(BytesView data, std::size_t out_len);
+Bytes shake256(BytesView data, std::size_t out_len);
+
+}  // namespace pqtls::crypto

@@ -1,0 +1,248 @@
+#include "kem/bike.hpp"
+
+#include <stdexcept>
+
+#include "crypto/gf2.hpp"
+#include "crypto/keccak.hpp"
+
+namespace pqtls::kem {
+
+namespace {
+
+using crypto::Gf2Ring;
+
+Bytes domain_hash(std::uint8_t domain, BytesView a, BytesView b = {},
+                  std::size_t out = 32) {
+  crypto::Shake xof(256);
+  xof.absorb({&domain, 1});
+  xof.absorb(a);
+  xof.absorb(b);
+  return xof.squeeze(out);
+}
+
+// Sample an error pair (e0, e1) of total weight t over 2r positions from a
+// 32-byte seed (the deterministic H function of the FO transform).
+void sample_error(BytesView seed, std::size_t r, int t, Gf2Ring& e0,
+                  Gf2Ring& e1) {
+  crypto::Drbg rng(seed);
+  e0 = Gf2Ring(r);
+  e1 = Gf2Ring(r);
+  int placed = 0;
+  while (placed < t) {
+    std::uint64_t pos = rng.uniform(2 * r);
+    Gf2Ring& block = pos < r ? e0 : e1;
+    std::size_t idx = pos < r ? pos : pos - r;
+    if (block.get(idx)) continue;
+    block.set(idx, true);
+    ++placed;
+  }
+}
+
+struct BgfThreshold {
+  double slope;
+  double intercept;
+  int floor_value;  // (d + 1) / 2
+};
+
+int threshold(const BgfThreshold& th, std::size_t syndrome_weight) {
+  int v = static_cast<int>(th.slope * static_cast<double>(syndrome_weight) +
+                           th.intercept);
+  return std::max(v, th.floor_value);
+}
+
+// Counter: number of unsatisfied parity checks touching position j of block b.
+// supp lists the support of the corresponding secret block.
+int counter(const Gf2Ring& syndrome, std::size_t r,
+            const std::vector<std::uint32_t>& supp, std::size_t j) {
+  int c = 0;
+  for (std::uint32_t k : supp) {
+    std::size_t pos = j + k;
+    if (pos >= r) pos -= r;
+    c += syndrome.get(pos);
+  }
+  return c;
+}
+
+// Black-Gray-Flip decoder. Returns true and fills (e0, e1) on success.
+bool bgf_decode(const Gf2Ring& s0, const Gf2Ring& h0, const Gf2Ring& h1,
+                int d, int t, Gf2Ring& e0, Gf2Ring& e1,
+                const BgfThreshold& th_params) {
+  (void)t;
+  constexpr int kNbIter = 5;
+  constexpr int kTau = 3;
+  std::size_t r = s0.degree_bound();
+  auto h0_supp = h0.support();
+  auto h1_supp = h1.support();
+  e0 = Gf2Ring(r);
+  e1 = Gf2Ring(r);
+
+  auto current_syndrome = [&]() {
+    // s + e0 h0 + e1 h1 (all in GF(2))
+    Gf2Ring s = s0;
+    s ^= h0.mul_sparse(e0.support());
+    s ^= h1.mul_sparse(e1.support());
+    return s;
+  };
+
+  for (int iter = 0; iter < kNbIter; ++iter) {
+    Gf2Ring s = current_syndrome();
+    if (s.is_zero()) return true;
+    int th = threshold(th_params, s.weight());
+
+    std::vector<std::uint8_t> black0(r, 0), black1(r, 0), gray0(r, 0),
+        gray1(r, 0);
+    for (std::size_t j = 0; j < r; ++j) {
+      int c0 = counter(s, r, h0_supp, j);
+      if (c0 >= th) {
+        e0.flip(j);
+        black0[j] = 1;
+      } else if (c0 >= th - kTau) {
+        gray0[j] = 1;
+      }
+      int c1 = counter(s, r, h1_supp, j);
+      if (c1 >= th) {
+        e1.flip(j);
+        black1[j] = 1;
+      } else if (c1 >= th - kTau) {
+        gray1[j] = 1;
+      }
+    }
+
+    if (iter == 0) {
+      // Two extra masked half-iterations on the black and gray sets.
+      int th2 = (d + 1) / 2;
+      for (const auto* mask : {&black0, &gray0}) {
+        Gf2Ring s2 = current_syndrome();
+        const auto& m0 = *mask;
+        const auto& m1 = (mask == &black0) ? black1 : gray1;
+        for (std::size_t j = 0; j < r; ++j) {
+          if (m0[j] && counter(s2, r, h0_supp, j) >= th2) e0.flip(j);
+          if (m1[j] && counter(s2, r, h1_supp, j) >= th2) e1.flip(j);
+        }
+      }
+    }
+  }
+  return current_syndrome().is_zero();
+}
+
+}  // namespace
+
+BikeKem::BikeKem(int level) : level_(level) {
+  switch (level) {
+    case 1: r_ = 12323; d_ = 71; t_ = 134; break;
+    case 3: r_ = 24659; d_ = 103; t_ = 199; break;
+    default: throw std::invalid_argument("BIKE level must be 1 or 3");
+  }
+  name_ = "bikel" + std::to_string(level);
+}
+
+std::size_t BikeKem::secret_key_size() const {
+  // h0 support + h1 support (4 bytes each) + sigma + public key.
+  return 2 * static_cast<std::size_t>(d_) * 4 + 32 + public_key_size();
+}
+
+KeyPair BikeKem::generate_keypair(Drbg& rng) const {
+  for (;;) {
+    Gf2Ring h0 = Gf2Ring::random_weight(r_, d_, rng);
+    Gf2Ring h1 = Gf2Ring::random_weight(r_, d_, rng);
+    Gf2Ring h0_inv;
+    if (!h0.inverse(h0_inv)) continue;
+    Gf2Ring h = h0_inv.mul_sparse(h1.support());
+    Bytes sigma = rng.bytes(32);
+
+    KeyPair kp;
+    kp.public_key = h.to_bytes();
+    for (auto s : h0.support()) {
+      std::uint8_t be[4];
+      store_be32(be, s);
+      append(kp.secret_key, {be, 4});
+    }
+    for (auto s : h1.support()) {
+      std::uint8_t be[4];
+      store_be32(be, s);
+      append(kp.secret_key, {be, 4});
+    }
+    append(kp.secret_key, sigma);
+    append(kp.secret_key, kp.public_key);
+    return kp;
+  }
+}
+
+std::optional<Encapsulation> BikeKem::encapsulate(BytesView public_key,
+                                                  Drbg& rng) const {
+  if (public_key.size() != public_key_size()) return std::nullopt;
+  Gf2Ring h = Gf2Ring::from_bytes(r_, public_key);
+
+  Bytes m = rng.bytes(32);
+  Gf2Ring e0, e1;
+  sample_error(m, r_, t_, e0, e1);
+
+  Gf2Ring c0 = e0 ^ h.mul_sparse(e1.support());
+  Bytes ell = domain_hash(1, e0.to_bytes(), e1.to_bytes());
+  Bytes c1(32);
+  for (int i = 0; i < 32; ++i) c1[i] = m[i] ^ ell[i];
+
+  Encapsulation out;
+  out.ciphertext = concat(c0.to_bytes(), c1);
+  out.shared_secret = domain_hash(2, m, out.ciphertext);
+  return out;
+}
+
+std::optional<Bytes> BikeKem::decapsulate(BytesView secret_key,
+                                          BytesView ciphertext) const {
+  if (secret_key.size() != secret_key_size() ||
+      ciphertext.size() != ciphertext_size())
+    return std::nullopt;
+
+  std::vector<std::uint32_t> h0_supp(d_), h1_supp(d_);
+  std::size_t off = 0;
+  for (int i = 0; i < d_; ++i) {
+    h0_supp[i] = load_be32(secret_key.data() + off);
+    off += 4;
+  }
+  for (int i = 0; i < d_; ++i) {
+    h1_supp[i] = load_be32(secret_key.data() + off);
+    off += 4;
+  }
+  BytesView sigma = secret_key.subspan(off, 32);
+  Gf2Ring h0 = Gf2Ring::from_support(r_, h0_supp);
+  Gf2Ring h1 = Gf2Ring::from_support(r_, h1_supp);
+
+  std::size_t c0_len = (r_ + 7) / 8;
+  Gf2Ring c0 = Gf2Ring::from_bytes(r_, ciphertext.subspan(0, c0_len));
+  BytesView c1 = ciphertext.subspan(c0_len, 32);
+
+  // Syndrome s = c0 * h0 = e0 h0 + e1 h1.
+  Gf2Ring s = c0.mul_sparse(h0_supp);
+
+  BgfThreshold th = level_ == 1
+                        ? BgfThreshold{0.0069722, 13.530, (d_ + 1) / 2}
+                        : BgfThreshold{0.005265, 15.2588, (d_ + 1) / 2};
+  Gf2Ring e0, e1;
+  bool decoded = bgf_decode(s, h0, h1, d_, t_, e0, e1, th) &&
+                 e0.weight() + e1.weight() == static_cast<std::size_t>(t_);
+
+  Bytes m(32);
+  if (decoded) {
+    Bytes ell = domain_hash(1, e0.to_bytes(), e1.to_bytes());
+    for (int i = 0; i < 32; ++i) m[i] = c1[i] ^ ell[i];
+    // FO check: re-derive the error vector from m'.
+    Gf2Ring e0_check, e1_check;
+    sample_error(m, r_, t_, e0_check, e1_check);
+    if (e0_check == e0 && e1_check == e1)
+      return domain_hash(2, m, ciphertext);
+  }
+  // Implicit rejection.
+  return domain_hash(2, sigma, ciphertext);
+}
+
+const BikeKem& BikeKem::bikel1() {
+  static const BikeKem kem(1);
+  return kem;
+}
+const BikeKem& BikeKem::bikel3() {
+  static const BikeKem kem(3);
+  return kem;
+}
+
+}  // namespace pqtls::kem

@@ -1,0 +1,41 @@
+// BIKE (Bit-flipping Key Encapsulation), round-4 NIST candidate, levels 1/3
+// (bikel1 / bikel3 in the paper; BIKE defines no level-5 parameter set, which
+// is why Table 2a has no bikel5 row). QC-MDPC code with the Black-Gray-Flip
+// iterative decoder.
+#pragma once
+
+#include "kem/kem.hpp"
+
+namespace pqtls::kem {
+
+class BikeKem final : public Kem {
+ public:
+  explicit BikeKem(int level);
+
+  const std::string& name() const override { return name_; }
+  int security_level() const override { return level_; }
+  bool is_post_quantum() const override { return true; }
+
+  std::size_t public_key_size() const override { return (r_ + 7) / 8; }
+  std::size_t secret_key_size() const override;
+  std::size_t ciphertext_size() const override { return (r_ + 7) / 8 + 32; }
+  std::size_t shared_secret_size() const override { return 32; }
+
+  KeyPair generate_keypair(Drbg& rng) const override;
+  std::optional<Encapsulation> encapsulate(BytesView public_key,
+                                           Drbg& rng) const override;
+  std::optional<Bytes> decapsulate(BytesView secret_key,
+                                   BytesView ciphertext) const override;
+
+  static const BikeKem& bikel1();
+  static const BikeKem& bikel3();
+
+ private:
+  std::string name_;
+  int level_;
+  std::size_t r_;  // block size (prime, 2 primitive mod r)
+  int d_;          // column weight per block (w/2)
+  int t_;          // error weight
+};
+
+}  // namespace pqtls::kem

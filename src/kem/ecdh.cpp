@@ -1,0 +1,102 @@
+#include "kem/ecdh.hpp"
+
+#include "kem/x25519.hpp"
+
+namespace pqtls::kem {
+
+namespace {
+using crypto::BigInt;
+using crypto::EcCurve;
+}  // namespace
+
+KeyPair X25519Kem::generate_keypair(Drbg& rng) const {
+  KeyPair kp;
+  kp.secret_key = rng.bytes(32);
+  auto pub = x25519_base(kp.secret_key.data());
+  kp.public_key.assign(pub.begin(), pub.end());
+  return kp;
+}
+
+std::optional<Encapsulation> X25519Kem::encapsulate(BytesView public_key,
+                                                    Drbg& rng) const {
+  if (public_key.size() != 32) return std::nullopt;
+  Bytes eph = rng.bytes(32);
+  auto eph_pub = x25519_base(eph.data());
+  Encapsulation out;
+  out.shared_secret.resize(32);
+  if (!x25519(out.shared_secret.data(), eph.data(), public_key.data()))
+    return std::nullopt;
+  out.ciphertext.assign(eph_pub.begin(), eph_pub.end());
+  return out;
+}
+
+std::optional<Bytes> X25519Kem::decapsulate(BytesView secret_key,
+                                            BytesView ciphertext) const {
+  if (secret_key.size() != 32 || ciphertext.size() != 32) return std::nullopt;
+  Bytes out(32);
+  if (!x25519(out.data(), secret_key.data(), ciphertext.data()))
+    return std::nullopt;
+  return out;
+}
+
+const X25519Kem& X25519Kem::instance() {
+  static const X25519Kem kem;
+  return kem;
+}
+
+EcdhKem::EcdhKem(const EcCurve& curve) : curve_(curve), name_(curve.name()) {
+  level_ = curve.field_size() == 32 ? 1 : curve.field_size() == 48 ? 3 : 5;
+}
+
+std::size_t EcdhKem::public_key_size() const {
+  return 1 + 2 * curve_.field_size();
+}
+std::size_t EcdhKem::secret_key_size() const { return curve_.field_size(); }
+std::size_t EcdhKem::shared_secret_size() const { return curve_.field_size(); }
+
+KeyPair EcdhKem::generate_keypair(Drbg& rng) const {
+  BigInt d = curve_.random_scalar(rng);
+  KeyPair kp;
+  kp.secret_key = d.to_bytes_be(curve_.field_size());
+  kp.public_key = curve_.encode_point(curve_.multiply_base(d));
+  return kp;
+}
+
+std::optional<Encapsulation> EcdhKem::encapsulate(BytesView public_key,
+                                                  Drbg& rng) const {
+  auto peer = curve_.decode_point(public_key);
+  if (!peer) return std::nullopt;
+  BigInt d = curve_.random_scalar(rng);
+  EcCurve::Point shared = curve_.multiply(d, *peer);
+  if (shared.infinity) return std::nullopt;
+  Encapsulation out;
+  out.ciphertext = curve_.encode_point(curve_.multiply_base(d));
+  out.shared_secret = shared.x.to_bytes_be(curve_.field_size());
+  return out;
+}
+
+std::optional<Bytes> EcdhKem::decapsulate(BytesView secret_key,
+                                          BytesView ciphertext) const {
+  if (secret_key.size() != curve_.field_size()) return std::nullopt;
+  auto peer = curve_.decode_point(ciphertext);
+  if (!peer) return std::nullopt;
+  BigInt d = BigInt::from_bytes_be(secret_key);
+  EcCurve::Point shared = curve_.multiply(d, *peer);
+  if (shared.infinity) return std::nullopt;
+  return shared.x.to_bytes_be(curve_.field_size());
+}
+
+const EcdhKem& EcdhKem::p256() {
+  static const EcdhKem kem(EcCurve::p256());
+  return kem;
+}
+const EcdhKem& EcdhKem::p384() {
+  static const EcdhKem kem(EcCurve::p384());
+  return kem;
+}
+const EcdhKem& EcdhKem::p521() {
+  static const EcdhKem kem(EcCurve::p521());
+  return kem;
+}
+
+}  // namespace pqtls::kem

@@ -1,0 +1,66 @@
+// Classical Diffie-Hellman key agreements wrapped in the KEM interface:
+// X25519 and ECDH over P-256/P-384/P-521 (paper names: x25519, p256, p384,
+// p521). Encapsulation generates an ephemeral keypair and derives the shared
+// x-coordinate, exactly how TLS 1.3 uses these groups.
+#pragma once
+
+#include "crypto/ec.hpp"
+#include "kem/kem.hpp"
+
+namespace pqtls::kem {
+
+class X25519Kem final : public Kem {
+ public:
+  X25519Kem() = default;
+
+  const std::string& name() const override { return name_; }
+  int security_level() const override { return 1; }
+  bool is_post_quantum() const override { return false; }
+
+  std::size_t public_key_size() const override { return 32; }
+  std::size_t secret_key_size() const override { return 32; }
+  std::size_t ciphertext_size() const override { return 32; }
+  std::size_t shared_secret_size() const override { return 32; }
+
+  KeyPair generate_keypair(Drbg& rng) const override;
+  std::optional<Encapsulation> encapsulate(BytesView public_key,
+                                           Drbg& rng) const override;
+  std::optional<Bytes> decapsulate(BytesView secret_key,
+                                   BytesView ciphertext) const override;
+
+  static const X25519Kem& instance();
+
+ private:
+  std::string name_ = "x25519";
+};
+
+class EcdhKem final : public Kem {
+ public:
+  explicit EcdhKem(const crypto::EcCurve& curve);
+
+  const std::string& name() const override { return name_; }
+  int security_level() const override { return level_; }
+  bool is_post_quantum() const override { return false; }
+
+  std::size_t public_key_size() const override;
+  std::size_t secret_key_size() const override;
+  std::size_t ciphertext_size() const override { return public_key_size(); }
+  std::size_t shared_secret_size() const override;
+
+  KeyPair generate_keypair(Drbg& rng) const override;
+  std::optional<Encapsulation> encapsulate(BytesView public_key,
+                                           Drbg& rng) const override;
+  std::optional<Bytes> decapsulate(BytesView secret_key,
+                                   BytesView ciphertext) const override;
+
+  static const EcdhKem& p256();
+  static const EcdhKem& p384();
+  static const EcdhKem& p521();
+
+ private:
+  const crypto::EcCurve& curve_;
+  std::string name_;
+  int level_;
+};
+
+}  // namespace pqtls::kem

@@ -1,0 +1,202 @@
+#include "kem/hqc.hpp"
+
+#include <stdexcept>
+
+#include "crypto/gf2.hpp"
+#include "crypto/keccak.hpp"
+#include "kem/hqc_codes.hpp"
+
+namespace pqtls::kem {
+
+namespace {
+
+using crypto::Gf2Ring;
+
+constexpr std::size_t kSeedBytes = 40;
+constexpr std::size_t kSaltBytes = 64;  // the "d" commitment in ciphertexts
+
+Bytes domain_hash(std::uint8_t domain, BytesView a, BytesView b = {},
+                  std::size_t out = 64) {
+  crypto::Shake xof(256);
+  xof.absorb({&domain, 1});
+  xof.absorb(a);
+  xof.absorb(b);
+  return xof.squeeze(out);
+}
+
+// Deterministic expansion of a seed into ring elements / sparse vectors.
+class SeedExpander {
+ public:
+  explicit SeedExpander(BytesView seed) : rng_(seed) {}
+
+  Gf2Ring random_dense(std::size_t n) { return Gf2Ring::random(n, rng_); }
+  Gf2Ring random_sparse(std::size_t n, std::size_t w) {
+    return Gf2Ring::random_weight(n, w, rng_);
+  }
+
+ private:
+  crypto::Drbg rng_;
+};
+
+}  // namespace
+
+HqcKem::HqcKem(int level) : level_(level) {
+  switch (level) {
+    case 1:
+      n_ = 17669; n1_ = 46; mult_ = 3; k_ = 16; w_ = 66; wr_ = 75; we_ = 75;
+      break;
+    case 3:
+      n_ = 35851; n1_ = 56; mult_ = 5; k_ = 24; w_ = 100; wr_ = 114; we_ = 114;
+      break;
+    case 5:
+      n_ = 57637; n1_ = 90; mult_ = 5; k_ = 32; w_ = 131; wr_ = 149; we_ = 149;
+      break;
+    default:
+      throw std::invalid_argument("HQC level must be 1, 3, or 5");
+  }
+  name_ = "hqc" + std::to_string(level == 1 ? 128 : level == 3 ? 192 : 256);
+}
+
+std::size_t HqcKem::public_key_size() const {
+  return kSeedBytes + (n_ + 7) / 8;
+}
+
+std::size_t HqcKem::secret_key_size() const {
+  return kSeedBytes + public_key_size();
+}
+
+std::size_t HqcKem::ciphertext_size() const {
+  std::size_t v_bits = static_cast<std::size_t>(n1_) * 128 * mult_;
+  return (n_ + 7) / 8 + (v_bits + 7) / 8 + kSaltBytes;
+}
+
+KeyPair HqcKem::generate_keypair(Drbg& rng) const {
+  Bytes pk_seed = rng.bytes(kSeedBytes);
+  Bytes sk_seed = rng.bytes(kSeedBytes);
+
+  SeedExpander pk_exp(pk_seed);
+  Gf2Ring h = pk_exp.random_dense(n_);
+  SeedExpander sk_exp(sk_seed);
+  Gf2Ring x = sk_exp.random_sparse(n_, w_);
+  Gf2Ring y = sk_exp.random_sparse(n_, w_);
+
+  Gf2Ring s = x ^ h.mul_sparse(y.support());
+
+  KeyPair kp;
+  kp.public_key = concat(pk_seed, s.to_bytes());
+  kp.secret_key = concat(sk_seed, kp.public_key);
+  return kp;
+}
+
+std::optional<Encapsulation> HqcKem::encapsulate(BytesView public_key,
+                                                 Drbg& rng) const {
+  if (public_key.size() != public_key_size()) return std::nullopt;
+  BytesView pk_seed = public_key.subspan(0, kSeedBytes);
+  BytesView s_bytes = public_key.subspan(kSeedBytes);
+
+  Bytes m = rng.bytes(k_);
+  Bytes theta = domain_hash(3, m, public_key);  // encryption randomness seed
+
+  // Deterministic encryption of m under randomness theta.
+  SeedExpander pk_exp(pk_seed);
+  Gf2Ring h = pk_exp.random_dense(n_);
+  Gf2Ring s = Gf2Ring::from_bytes(n_, s_bytes);
+  SeedExpander enc_exp(theta);
+  Gf2Ring r1 = enc_exp.random_sparse(n_, wr_);
+  Gf2Ring r2 = enc_exp.random_sparse(n_, wr_);
+  Gf2Ring e = enc_exp.random_sparse(n_, we_);
+
+  Gf2Ring u = r1 ^ h.mul_sparse(r2.support());
+  Gf2Ring noisy = s.mul_sparse(r2.support()) ^ e;
+
+  HqcCode code(n1_, k_, mult_);
+  std::vector<std::uint8_t> cw = code.encode(m);
+  std::size_t v_bits = cw.size();
+  Gf2Ring v(n_);
+  for (std::size_t i = 0; i < v_bits; ++i)
+    if (cw[i] ^ noisy.get(i)) v.set(i, true);
+  // Truncate v to the codeword length.
+  Bytes v_bytes = v.to_bytes();
+  v_bytes.resize((v_bits + 7) / 8);
+
+  Bytes d = domain_hash(4, m, {}, kSaltBytes);
+
+  Encapsulation out;
+  out.ciphertext = concat(u.to_bytes(), v_bytes, d);
+  out.shared_secret = domain_hash(5, m, out.ciphertext);
+  return out;
+}
+
+std::optional<Bytes> HqcKem::decapsulate(BytesView secret_key,
+                                         BytesView ciphertext) const {
+  if (secret_key.size() != secret_key_size() ||
+      ciphertext.size() != ciphertext_size())
+    return std::nullopt;
+  BytesView sk_seed = secret_key.subspan(0, kSeedBytes);
+  BytesView public_key = secret_key.subspan(kSeedBytes);
+
+  std::size_t u_len = (n_ + 7) / 8;
+  std::size_t v_bits = static_cast<std::size_t>(n1_) * 128 * mult_;
+  std::size_t v_len = (v_bits + 7) / 8;
+  BytesView u_bytes = ciphertext.subspan(0, u_len);
+  BytesView v_bytes = ciphertext.subspan(u_len, v_len);
+  BytesView d = ciphertext.subspan(u_len + v_len, kSaltBytes);
+
+  SeedExpander sk_exp(sk_seed);
+  (void)sk_exp.random_sparse(n_, w_);  // x (unused in decryption)
+  Gf2Ring y = sk_exp.random_sparse(n_, w_);
+
+  Gf2Ring u = Gf2Ring::from_bytes(n_, u_bytes);
+  Gf2Ring v = Gf2Ring::from_bytes(n_, v_bytes);  // zero-padded beyond v_bits
+  Gf2Ring noisy = v ^ u.mul_sparse(y.support());
+
+  std::vector<std::uint8_t> bits(v_bits);
+  for (std::size_t i = 0; i < v_bits; ++i) bits[i] = noisy.get(i);
+
+  HqcCode code(n1_, k_, mult_);
+  Bytes m;
+  if (!code.decode(bits, m)) return std::nullopt;
+
+  // Re-encrypt check (FO transform).
+  Bytes theta = domain_hash(3, m, public_key);
+  BytesView pk_seed = public_key.subspan(0, kSeedBytes);
+  BytesView s_bytes = public_key.subspan(kSeedBytes);
+  SeedExpander pk_exp(pk_seed);
+  Gf2Ring h = pk_exp.random_dense(n_);
+  Gf2Ring s = Gf2Ring::from_bytes(n_, s_bytes);
+  SeedExpander enc_exp(theta);
+  Gf2Ring r1 = enc_exp.random_sparse(n_, wr_);
+  Gf2Ring r2 = enc_exp.random_sparse(n_, wr_);
+  Gf2Ring e = enc_exp.random_sparse(n_, we_);
+  Gf2Ring u2 = r1 ^ h.mul_sparse(r2.support());
+  Gf2Ring noisy2 = s.mul_sparse(r2.support()) ^ e;
+  std::vector<std::uint8_t> cw = code.encode(m);
+  Gf2Ring v2(n_);
+  for (std::size_t i = 0; i < v_bits; ++i)
+    if (cw[i] ^ noisy2.get(i)) v2.set(i, true);
+  Bytes v2_bytes = v2.to_bytes();
+  v2_bytes.resize(v_len);
+  Bytes d2 = domain_hash(4, m, {}, kSaltBytes);
+
+  Bytes u2_bytes = u2.to_bytes();
+  if (!ct_equal(u2_bytes, u_bytes) || !ct_equal(v2_bytes, v_bytes) ||
+      !ct_equal(d2, d))
+    return std::nullopt;
+
+  return domain_hash(5, m, ciphertext);
+}
+
+const HqcKem& HqcKem::hqc128() {
+  static const HqcKem kem(1);
+  return kem;
+}
+const HqcKem& HqcKem::hqc192() {
+  static const HqcKem kem(3);
+  return kem;
+}
+const HqcKem& HqcKem::hqc256() {
+  static const HqcKem kem(5);
+  return kem;
+}
+
+}  // namespace pqtls::kem

@@ -1,0 +1,44 @@
+// HQC (Hamming Quasi-Cyclic) IND-CCA2 KEM, round-4 NIST candidate, at
+// levels 1/3/5 (hqc-128/192/256). Code-based: secrets are fixed-low-weight
+// vectors in GF(2)[x]/(x^n - 1); decryption decodes a duplicated-Reed-Muller
+// + shortened-Reed-Solomon concatenated code.
+#pragma once
+
+#include "kem/kem.hpp"
+
+namespace pqtls::kem {
+
+class HqcKem final : public Kem {
+ public:
+  explicit HqcKem(int level);
+
+  const std::string& name() const override { return name_; }
+  int security_level() const override { return level_; }
+  bool is_post_quantum() const override { return true; }
+
+  std::size_t public_key_size() const override;
+  std::size_t secret_key_size() const override;
+  std::size_t ciphertext_size() const override;
+  std::size_t shared_secret_size() const override { return 64; }
+
+  KeyPair generate_keypair(Drbg& rng) const override;
+  std::optional<Encapsulation> encapsulate(BytesView public_key,
+                                           Drbg& rng) const override;
+  std::optional<Bytes> decapsulate(BytesView secret_key,
+                                   BytesView ciphertext) const override;
+
+  static const HqcKem& hqc128();
+  static const HqcKem& hqc192();
+  static const HqcKem& hqc256();
+
+ private:
+  std::string name_;
+  int level_;
+  std::size_t n_;    // ring size (prime)
+  int n1_;           // RS length
+  int mult_;         // RM duplications (n2 = 128 * mult)
+  int k_;            // message bytes
+  int w_, wr_, we_;  // key / randomness / error weights
+};
+
+}  // namespace pqtls::kem

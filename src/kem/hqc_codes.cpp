@@ -1,0 +1,216 @@
+#include "kem/hqc_codes.hpp"
+
+#include <array>
+#include <bit>
+#include <stdexcept>
+
+#include "crypto/gf2.hpp"
+
+namespace pqtls::kem {
+
+using crypto::Gf256;
+
+ReedSolomon::ReedSolomon(int n, int k) : n_(n), k_(k) {
+  if (n <= k || n > 255) throw std::invalid_argument("bad RS parameters");
+  // generator(x) = prod_{i=1..n-k} (x - alpha^i)
+  generator_ = {1};
+  for (int i = 1; i <= n - k; ++i) {
+    std::uint8_t root = Gf256::pow_alpha(static_cast<unsigned>(i));
+    std::vector<std::uint8_t> next(generator_.size() + 1, 0);
+    for (std::size_t j = 0; j < generator_.size(); ++j) {
+      next[j] ^= Gf256::mul(generator_[j], root);  // * (-root) == * root in GF(2^m)
+      next[j + 1] ^= generator_[j];
+    }
+    generator_ = std::move(next);
+  }
+}
+
+std::vector<std::uint8_t> ReedSolomon::encode(
+    const std::vector<std::uint8_t>& data) const {
+  if (static_cast<int>(data.size()) != k_)
+    throw std::invalid_argument("RS encode: wrong data length");
+  // Systematic: codeword = data || remainder(data * x^(n-k) / g).
+  int parity = n_ - k_;
+  std::vector<std::uint8_t> rem(parity, 0);
+  for (int i = 0; i < k_; ++i) {
+    std::uint8_t feedback = data[i] ^ rem[0];
+    for (int j = 0; j < parity - 1; ++j)
+      rem[j] = rem[j + 1] ^ Gf256::mul(feedback, generator_[parity - 1 - j]);
+    rem[parity - 1] = Gf256::mul(feedback, generator_[0]);
+  }
+  std::vector<std::uint8_t> out(data);
+  out.insert(out.end(), rem.begin(), rem.end());
+  return out;
+}
+
+bool ReedSolomon::decode(std::vector<std::uint8_t>& cw) const {
+  // Codeword polynomial convention: cw[0] is the x^{n-1} coefficient
+  // (systematic encode above produces data at the high end).
+  int parity = n_ - k_;
+  // Syndromes S_i = c(alpha^i), i = 1..parity.
+  std::vector<std::uint8_t> syn(parity, 0);
+  bool all_zero = true;
+  for (int i = 1; i <= parity; ++i) {
+    std::uint8_t s = 0;
+    for (int j = 0; j < n_; ++j) {
+      // c(x) = sum cw[j] x^{n-1-j}
+      s = Gf256::mul(s, Gf256::pow_alpha(static_cast<unsigned>(i))) ^ cw[j];
+    }
+    syn[i - 1] = s;
+    if (s) all_zero = false;
+  }
+  if (all_zero) return true;
+
+  // Berlekamp-Massey for the error locator sigma(x).
+  std::vector<std::uint8_t> sigma = {1}, prev = {1};
+  int l = 0, m = 1;
+  std::uint8_t b = 1;
+  for (int i = 0; i < parity; ++i) {
+    std::uint8_t delta = syn[i];
+    for (int j = 1; j <= l; ++j)
+      if (j < static_cast<int>(sigma.size()))
+        delta ^= Gf256::mul(sigma[j], syn[i - j]);
+    if (delta == 0) {
+      ++m;
+    } else if (2 * l <= i) {
+      std::vector<std::uint8_t> temp = sigma;
+      std::uint8_t coef = Gf256::mul(delta, Gf256::inv(b));
+      sigma.resize(std::max(sigma.size(), prev.size() + m), 0);
+      for (std::size_t j = 0; j < prev.size(); ++j)
+        sigma[j + m] ^= Gf256::mul(coef, prev[j]);
+      l = i + 1 - l;
+      prev = std::move(temp);
+      b = delta;
+      m = 1;
+    } else {
+      std::uint8_t coef = Gf256::mul(delta, Gf256::inv(b));
+      sigma.resize(std::max(sigma.size(), prev.size() + m), 0);
+      for (std::size_t j = 0; j < prev.size(); ++j)
+        sigma[j + m] ^= Gf256::mul(coef, prev[j]);
+      ++m;
+    }
+  }
+  if (l > correctable()) return false;
+
+  // Chien search: find roots alpha^{-pos} ... positions where sigma(alpha^{-(n-1-j)}) = 0.
+  // Error at codeword index j (coefficient of x^{n-1-j}) iff
+  // sigma(alpha^{-(n-1-j)}) == 0.
+  std::vector<int> error_positions;
+  for (int j = 0; j < n_; ++j) {
+    unsigned exp = static_cast<unsigned>(n_ - 1 - j);
+    std::uint8_t x = Gf256::pow_alpha((255 - exp % 255) % 255);  // alpha^{-exp}
+    std::uint8_t val = 0;
+    for (std::size_t t = sigma.size(); t-- > 0;)
+      val = Gf256::mul(val, x) ^ sigma[t];
+    if (val == 0) error_positions.push_back(j);
+  }
+  if (static_cast<int>(error_positions.size()) != l) return false;
+
+  // Forney: error values. Omega(x) = [S(x) sigma(x)] mod x^parity,
+  // S(x) = sum syn[i] x^i.
+  std::vector<std::uint8_t> omega(parity, 0);
+  for (int i = 0; i < parity; ++i) {
+    std::uint8_t acc = 0;
+    for (int j = 0; j <= i; ++j)
+      if (j < static_cast<int>(sigma.size()))
+        acc ^= Gf256::mul(sigma[j], syn[i - j]);
+    omega[i] = acc;
+  }
+  // sigma'(x): formal derivative (odd-degree terms).
+  for (int pos : error_positions) {
+    unsigned exp = static_cast<unsigned>(n_ - 1 - pos);
+    std::uint8_t x_inv = Gf256::pow_alpha((255 - exp % 255) % 255);
+    // Omega(x_inv)
+    std::uint8_t num = 0;
+    for (std::size_t t = omega.size(); t-- > 0;)
+      num = Gf256::mul(num, x_inv) ^ omega[t];
+    // sigma'(x_inv)
+    std::uint8_t den = 0;
+    for (std::size_t t = 1; t < sigma.size(); t += 2) {
+      // derivative term: t * sigma[t] x^{t-1}; in char 2, odd t -> sigma[t] x^{t-1}
+      std::uint8_t term = sigma[t];
+      for (std::size_t s = 0; s + 1 < t; ++s) term = Gf256::mul(term, x_inv);
+      den ^= term;
+    }
+    if (den == 0) return false;
+    // Forney: with S(x) = sum_{i>=0} S_{i+1} x^i and Omega = S*sigma mod
+    // x^{2t}, the magnitude is e_j = Omega(X_j^{-1}) / sigma'(X_j^{-1}).
+    std::uint8_t magnitude = Gf256::mul(num, Gf256::inv(den));
+    cw[pos] ^= magnitude;
+  }
+
+  // Re-check syndromes to confirm successful correction.
+  for (int i = 1; i <= parity; ++i) {
+    std::uint8_t s = 0;
+    for (int j = 0; j < n_; ++j)
+      s = Gf256::mul(s, Gf256::pow_alpha(static_cast<unsigned>(i))) ^ cw[j];
+    if (s != 0) return false;
+  }
+  return true;
+}
+
+void DuplicatedReedMuller::encode(std::uint8_t symbol,
+                                  std::vector<std::uint8_t>& bits) const {
+  // RM(1,7): bit j of the 128-bit word = m0 XOR <m1..m7, bits of j>.
+  for (int copy = 0; copy < mult_; ++copy) {
+    for (int j = 0; j < 128; ++j) {
+      int bit = (symbol & 1) ^
+                (std::popcount(static_cast<unsigned>((symbol >> 1) & j)) & 1);
+      bits.push_back(static_cast<std::uint8_t>(bit));
+    }
+  }
+}
+
+std::uint8_t DuplicatedReedMuller::decode(const std::uint8_t* bits) const {
+  // Soft-combine duplications, then fast Hadamard transform.
+  std::array<int, 128> v{};
+  for (int j = 0; j < 128; ++j) {
+    int count = 0;
+    for (int copy = 0; copy < mult_; ++copy) count += bits[copy * 128 + j];
+    v[j] = mult_ - 2 * count;  // +mult if all zero bits, -mult if all ones
+  }
+  // FHT: after transform, v_hat[a] = sum_j (-1)^{<a,j>} v[j].
+  for (int len = 1; len < 128; len <<= 1) {
+    for (int start = 0; start < 128; start += 2 * len) {
+      for (int j = start; j < start + len; ++j) {
+        int x = v[j], y = v[j + len];
+        v[j] = x + y;
+        v[j + len] = x - y;
+      }
+    }
+  }
+  int best = 0, best_val = v[0], best_sign = 0;
+  for (int a = 0; a < 128; ++a) {
+    if (v[a] > best_val) {
+      best = a; best_val = v[a]; best_sign = 0;
+    }
+    if (-v[a] > best_val) {
+      best = a; best_val = -v[a]; best_sign = 1;
+    }
+  }
+  // codeword for symbol s matches pattern (-1)^{s0 + <s>>1, j>}; correlation
+  // with (-1)^{<a,j>} peaks at a = s>>1, sign gives s0.
+  return static_cast<std::uint8_t>((best << 1) | best_sign);
+}
+
+std::vector<std::uint8_t> HqcCode::encode(BytesView message) const {
+  std::vector<std::uint8_t> data(message.begin(), message.end());
+  std::vector<std::uint8_t> rs_cw = rs_.encode(data);
+  std::vector<std::uint8_t> bits;
+  bits.reserve(codeword_bits());
+  for (std::uint8_t sym : rs_cw) rm_.encode(sym, bits);
+  return bits;
+}
+
+bool HqcCode::decode(const std::vector<std::uint8_t>& bits,
+                     Bytes& message) const {
+  std::vector<std::uint8_t> rs_cw(rs_.n());
+  for (int i = 0; i < rs_.n(); ++i)
+    rs_cw[i] = rm_.decode(bits.data() +
+                          static_cast<std::size_t>(i) * rm_.bits_per_symbol());
+  if (!rs_.decode(rs_cw)) return false;
+  message.assign(rs_cw.begin(), rs_cw.begin() + rs_.k());
+  return true;
+}
+
+}  // namespace pqtls::kem

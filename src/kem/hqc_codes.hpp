@@ -1,0 +1,67 @@
+// The concatenated error-correcting code used by HQC: a shortened Reed-
+// Solomon [n1, k] outer code over GF(256) and a duplicated Reed-Muller
+// RM(1,7) = [128, 8, 64] inner code (each bit repeated `mult` times).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+
+namespace pqtls::kem {
+
+/// Shortened Reed-Solomon code over GF(2^8) with poly 0x11d.
+class ReedSolomon {
+ public:
+  /// n symbols total, k data symbols; corrects (n-k)/2 symbol errors.
+  ReedSolomon(int n, int k);
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+  int correctable() const { return (n_ - k_) / 2; }
+
+  /// Systematic encode: returns n symbols (k data then n-k parity).
+  std::vector<std::uint8_t> encode(const std::vector<std::uint8_t>& data) const;
+  /// Decode in place; returns false if more than (n-k)/2 errors.
+  bool decode(std::vector<std::uint8_t>& codeword) const;
+
+ private:
+  int n_, k_;
+  std::vector<std::uint8_t> generator_;  // generator polynomial coefficients
+};
+
+/// Duplicated first-order Reed-Muller RM(1,7): one byte -> 128*mult bits.
+class DuplicatedReedMuller {
+ public:
+  explicit DuplicatedReedMuller(int mult) : mult_(mult) {}
+
+  int bits_per_symbol() const { return 128 * mult_; }
+
+  /// Encode one byte into 128*mult bits appended to `out` (bit index base).
+  void encode(std::uint8_t symbol, std::vector<std::uint8_t>& bits) const;
+  /// Maximum-likelihood decode of 128*mult bits via fast Hadamard transform.
+  std::uint8_t decode(const std::uint8_t* bits) const;
+
+ private:
+  int mult_;
+};
+
+/// The full HQC concatenated code: k bytes <-> n1 * 128 * mult bits.
+class HqcCode {
+ public:
+  HqcCode(int n1, int k, int mult) : rs_(n1, k), rm_(mult) {}
+
+  int message_bytes() const { return rs_.k(); }
+  int codeword_bits() const { return rs_.n() * rm_.bits_per_symbol(); }
+
+  /// message (k bytes) -> codeword bit vector (codeword_bits() entries 0/1).
+  std::vector<std::uint8_t> encode(BytesView message) const;
+  /// noisy codeword bits -> message; returns false on decoding failure.
+  bool decode(const std::vector<std::uint8_t>& bits, Bytes& message) const;
+
+ private:
+  ReedSolomon rs_;
+  DuplicatedReedMuller rm_;
+};
+
+}  // namespace pqtls::kem

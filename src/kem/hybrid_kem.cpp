@@ -1,0 +1,46 @@
+#include "kem/hybrid_kem.hpp"
+
+#include <algorithm>
+
+namespace pqtls::kem {
+
+HybridKem::HybridKem(const Kem& classical, const Kem& post_quantum)
+    : classical_(classical), pq_(post_quantum) {
+  name_ = classical.name() + "_" + pq_.name();
+  level_ = std::min(classical.security_level(), pq_.security_level());
+}
+
+KeyPair HybridKem::generate_keypair(Drbg& rng) const {
+  KeyPair c = classical_.generate_keypair(rng);
+  KeyPair p = pq_.generate_keypair(rng);
+  return {concat(c.public_key, p.public_key),
+          concat(c.secret_key, p.secret_key)};
+}
+
+std::optional<Encapsulation> HybridKem::encapsulate(BytesView public_key,
+                                                    Drbg& rng) const {
+  if (public_key.size() != public_key_size()) return std::nullopt;
+  auto c = classical_.encapsulate(public_key.subspan(0, classical_.public_key_size()), rng);
+  if (!c) return std::nullopt;
+  auto p = pq_.encapsulate(public_key.subspan(classical_.public_key_size()), rng);
+  if (!p) return std::nullopt;
+  return Encapsulation{concat(c->ciphertext, p->ciphertext),
+                       concat(c->shared_secret, p->shared_secret)};
+}
+
+std::optional<Bytes> HybridKem::decapsulate(BytesView secret_key,
+                                            BytesView ciphertext) const {
+  if (secret_key.size() != secret_key_size() ||
+      ciphertext.size() != ciphertext_size())
+    return std::nullopt;
+  auto c = classical_.decapsulate(
+      secret_key.subspan(0, classical_.secret_key_size()),
+      ciphertext.subspan(0, classical_.ciphertext_size()));
+  if (!c) return std::nullopt;
+  auto p = pq_.decapsulate(secret_key.subspan(classical_.secret_key_size()),
+                           ciphertext.subspan(classical_.ciphertext_size()));
+  if (!p) return std::nullopt;
+  return concat(*c, *p);
+}
+
+}  // namespace pqtls::kem

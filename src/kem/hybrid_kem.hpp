@@ -1,0 +1,48 @@
+// Hybrid key agreement per draft-ietf-tls-hybrid-design: the classical and
+// post-quantum KEMs run independently; key shares and ciphertexts are
+// concatenated, and the final shared secret is the concatenation of the two
+// individual secrets (both must be broken to recover it).
+#pragma once
+
+#include "kem/kem.hpp"
+
+namespace pqtls::kem {
+
+class HybridKem final : public Kem {
+ public:
+  /// name follows the paper convention: "<classical>_<pq>", e.g.
+  /// "p256_kyber512".
+  HybridKem(const Kem& classical, const Kem& post_quantum);
+
+  const std::string& name() const override { return name_; }
+  int security_level() const override { return level_; }
+  bool is_hybrid() const override { return true; }
+  bool is_post_quantum() const override { return true; }
+
+  std::size_t public_key_size() const override {
+    return classical_.public_key_size() + pq_.public_key_size();
+  }
+  std::size_t secret_key_size() const override {
+    return classical_.secret_key_size() + pq_.secret_key_size();
+  }
+  std::size_t ciphertext_size() const override {
+    return classical_.ciphertext_size() + pq_.ciphertext_size();
+  }
+  std::size_t shared_secret_size() const override {
+    return classical_.shared_secret_size() + pq_.shared_secret_size();
+  }
+
+  KeyPair generate_keypair(Drbg& rng) const override;
+  std::optional<Encapsulation> encapsulate(BytesView public_key,
+                                           Drbg& rng) const override;
+  std::optional<Bytes> decapsulate(BytesView secret_key,
+                                   BytesView ciphertext) const override;
+
+ private:
+  const Kem& classical_;
+  const Kem& pq_;
+  std::string name_;
+  int level_;
+};
+
+}  // namespace pqtls::kem

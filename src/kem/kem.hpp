@@ -1,0 +1,64 @@
+// Uniform key-encapsulation interface. TLS 1.3 key agreement maps onto a KEM
+// as follows: the client's key_share is a KEM public key (keygen), the
+// server's key_share is a ciphertext (encapsulate), and the client recovers
+// the shared secret with decapsulate. Classical (EC)DH groups are wrapped in
+// the same interface (encapsulation = ephemeral keypair + derive).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+#include "crypto/drbg.hpp"
+
+namespace pqtls::kem {
+
+using crypto::Drbg;
+
+struct KeyPair {
+  Bytes public_key;
+  Bytes secret_key;
+};
+
+struct Encapsulation {
+  Bytes ciphertext;
+  Bytes shared_secret;
+};
+
+class Kem {
+ public:
+  virtual ~Kem() = default;
+
+  /// Registry name as used by the paper, e.g. "kyber512", "p256_kyber512".
+  virtual const std::string& name() const = 0;
+  /// NIST security level claimed by the parameter set (1, 3, or 5; 0 for
+  /// sub-level-1 legacy parameters).
+  virtual int security_level() const = 0;
+  /// True if this is a hybrid (classical + PQ) construction.
+  virtual bool is_hybrid() const { return false; }
+  /// True for post-quantum or hybrid algorithms.
+  virtual bool is_post_quantum() const = 0;
+
+  virtual std::size_t public_key_size() const = 0;
+  virtual std::size_t secret_key_size() const = 0;
+  virtual std::size_t ciphertext_size() const = 0;
+  virtual std::size_t shared_secret_size() const = 0;
+
+  virtual KeyPair generate_keypair(Drbg& rng) const = 0;
+  /// Returns nullopt if the public key is malformed.
+  virtual std::optional<Encapsulation> encapsulate(BytesView public_key,
+                                                   Drbg& rng) const = 0;
+  /// Returns nullopt only on malformed input sizes; CCA-secure KEMs return
+  /// an implicit-rejection secret for tampered ciphertexts instead.
+  virtual std::optional<Bytes> decapsulate(BytesView secret_key,
+                                           BytesView ciphertext) const = 0;
+};
+
+/// All key agreements measured by the paper (Table 2a): 23 configurations.
+const std::vector<const Kem*>& all_kems();
+/// Look up by paper name; nullptr if unknown.
+const Kem* find_kem(const std::string& name);
+
+}  // namespace pqtls::kem

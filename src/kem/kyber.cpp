@@ -1,0 +1,516 @@
+#include "kem/kyber.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "crypto/aes.hpp"
+#include "crypto/keccak.hpp"
+#include "crypto/sha2.hpp"
+
+namespace pqtls::kem {
+
+namespace {
+
+using crypto::AesCtr;
+using crypto::Shake;
+
+constexpr int kN = 256;
+constexpr int kQ = 3329;
+constexpr int kSymBytes = 32;
+
+using Poly = std::array<std::int16_t, kN>;
+
+// zetas[i] = 17^bitrev7(i) mod q, computed once.
+struct Zetas {
+  std::int16_t z[128];
+  Zetas() {
+    auto bitrev7 = [](int x) {
+      int r = 0;
+      for (int b = 0; b < 7; ++b)
+        if (x & (1 << b)) r |= 1 << (6 - b);
+      return r;
+    };
+    for (int i = 0; i < 128; ++i) {
+      int e = bitrev7(i);
+      std::int32_t v = 1;
+      for (int j = 0; j < e; ++j) v = (v * 17) % kQ;
+      z[i] = static_cast<std::int16_t>(v);
+    }
+  }
+};
+const Zetas kZetas;
+
+std::int16_t fqmul(std::int32_t a, std::int32_t b) {
+  std::int32_t p = (a * b) % kQ;
+  if (p < 0) p += kQ;
+  return static_cast<std::int16_t>(p);
+}
+
+// Reduce into [0, q).
+std::int16_t freduce(std::int32_t a) {
+  a %= kQ;
+  if (a < 0) a += kQ;
+  return static_cast<std::int16_t>(a);
+}
+
+void ntt(Poly& r) {
+  int k = 1;
+  for (int len = 128; len >= 2; len >>= 1) {
+    for (int start = 0; start < kN; start += 2 * len) {
+      std::int16_t zeta = kZetas.z[k++];
+      for (int j = start; j < start + len; ++j) {
+        std::int16_t t = fqmul(zeta, r[j + len]);
+        r[j + len] = freduce(r[j] - t);
+        r[j] = freduce(r[j] + t);
+      }
+    }
+  }
+}
+
+void invntt(Poly& r) {
+  int k = 127;
+  for (int len = 2; len <= 128; len <<= 1) {
+    for (int start = 0; start < kN; start += 2 * len) {
+      std::int16_t zeta = kZetas.z[k--];
+      for (int j = start; j < start + len; ++j) {
+        std::int16_t t = r[j];
+        r[j] = freduce(t + r[j + len]);
+        // zetas[127-s] = -zetas[64+s]^{-1} (17^128 = -1 mod q), so using the
+        // forward table in reverse with the (b - a) operand order yields the
+        // exact inverse butterfly scaled by 2 per layer.
+        r[j + len] = fqmul(zeta, freduce(r[j + len] - t + kQ));
+      }
+    }
+  }
+  constexpr std::int32_t kInv128 = 3303;  // 128^{-1} mod q
+  for (auto& c : r) c = fqmul(c, kInv128);
+}
+
+void poly_add(Poly& r, const Poly& a) {
+  for (int i = 0; i < kN; ++i) r[i] = freduce(r[i] + a[i]);
+}
+
+void poly_sub(Poly& r, const Poly& a) {
+  for (int i = 0; i < kN; ++i) r[i] = freduce(r[i] - a[i] + kQ);
+}
+
+// Multiplication of NTT-domain polynomials: pairwise products in
+// Z_q[X]/(X^2 - zeta).
+void basemul_acc(Poly& r, const Poly& a, const Poly& b, bool accumulate) {
+  for (int i = 0; i < 64; ++i) {
+    std::int16_t zeta = kZetas.z[64 + i];
+    for (int half = 0; half < 2; ++half) {
+      int off = 4 * i + 2 * half;
+      std::int16_t z = half == 0 ? zeta : freduce(kQ - zeta);
+      std::int16_t c0 =
+          freduce(fqmul(a[off], b[off]) + fqmul(fqmul(a[off + 1], b[off + 1]), z));
+      std::int16_t c1 =
+          freduce(fqmul(a[off], b[off + 1]) + fqmul(a[off + 1], b[off]));
+      if (accumulate) {
+        r[off] = freduce(r[off] + c0);
+        r[off + 1] = freduce(r[off + 1] + c1);
+      } else {
+        r[off] = c0;
+        r[off + 1] = c1;
+      }
+    }
+  }
+}
+
+// ---- symmetric primitives, parameterized over the 90s flag ----
+
+Bytes hash_h(bool use_90s, BytesView in) {
+  return use_90s ? crypto::sha256(in) : crypto::sha3_256(in);
+}
+
+Bytes hash_g(bool use_90s, BytesView in) {
+  return use_90s ? crypto::sha512(in) : crypto::sha3_512(in);
+}
+
+Bytes kdf(bool use_90s, BytesView in) {
+  return use_90s ? crypto::sha256(in) : crypto::shake256(in, kSymBytes);
+}
+
+Bytes prf(bool use_90s, BytesView seed32, std::uint8_t nonce, std::size_t len) {
+  if (use_90s) {
+    Bytes iv(16, 0);
+    iv[0] = nonce;
+    AesCtr ctr(seed32, iv);
+    Bytes out(len);
+    ctr.keystream(out.data(), out.size());
+    return out;
+  }
+  Bytes input(seed32.begin(), seed32.end());
+  input.push_back(nonce);
+  return crypto::shake256(input, len);
+}
+
+// Uniform sampling of an NTT-domain polynomial from the seed (matrix A).
+Poly sample_uniform(bool use_90s, BytesView rho, std::uint8_t i, std::uint8_t j) {
+  Poly out{};
+  int count = 0;
+  if (use_90s) {
+    Bytes iv(16, 0);
+    iv[0] = i;
+    iv[1] = j;
+    AesCtr ctr(rho, iv);
+    std::uint8_t buf[192];
+    while (count < kN) {
+      ctr.keystream(buf, sizeof buf);
+      for (std::size_t b = 0; b + 3 <= sizeof buf && count < kN; b += 3) {
+        int d1 = buf[b] | ((buf[b + 1] & 0x0f) << 8);
+        int d2 = (buf[b + 1] >> 4) | (buf[b + 2] << 4);
+        if (d1 < kQ) out[count++] = static_cast<std::int16_t>(d1);
+        if (d2 < kQ && count < kN) out[count++] = static_cast<std::int16_t>(d2);
+      }
+    }
+  } else {
+    Shake xof(128);
+    Bytes input(rho.begin(), rho.end());
+    input.push_back(i);
+    input.push_back(j);
+    xof.absorb(input);
+    std::uint8_t buf[168];
+    while (count < kN) {
+      xof.squeeze(buf, sizeof buf);
+      for (std::size_t b = 0; b + 3 <= sizeof buf && count < kN; b += 3) {
+        int d1 = buf[b] | ((buf[b + 1] & 0x0f) << 8);
+        int d2 = (buf[b + 1] >> 4) | (buf[b + 2] << 4);
+        if (d1 < kQ) out[count++] = static_cast<std::int16_t>(d1);
+        if (d2 < kQ && count < kN) out[count++] = static_cast<std::int16_t>(d2);
+      }
+    }
+  }
+  return out;
+}
+
+// Centered binomial distribution with parameter eta (2 or 3).
+Poly cbd(BytesView buf, int eta) {
+  Poly r{};
+  if (eta == 2) {
+    for (int i = 0; i < kN / 8; ++i) {
+      std::uint32_t t = load_le32(buf.data() + 4 * i);
+      std::uint32_t d = (t & 0x55555555u) + ((t >> 1) & 0x55555555u);
+      for (int j = 0; j < 8; ++j) {
+        int a = (d >> (4 * j)) & 0x3;
+        int b = (d >> (4 * j + 2)) & 0x3;
+        r[8 * i + j] = freduce(a - b + kQ);
+      }
+    }
+  } else {  // eta == 3
+    for (int i = 0; i < kN / 4; ++i) {
+      std::uint32_t t = buf[3 * i] | (std::uint32_t{buf[3 * i + 1]} << 8) |
+                        (std::uint32_t{buf[3 * i + 2]} << 16);
+      std::uint32_t d = (t & 0x00249249u) + ((t >> 1) & 0x00249249u) +
+                        ((t >> 2) & 0x00249249u);
+      for (int j = 0; j < 4; ++j) {
+        int a = (d >> (6 * j)) & 0x7;
+        int b = (d >> (6 * j + 3)) & 0x7;
+        r[4 * i + j] = freduce(a - b + kQ);
+      }
+    }
+  }
+  return r;
+}
+
+// 12-bit packing of an uncompressed polynomial.
+void poly_tobytes(Bytes& out, const Poly& a) {
+  for (int i = 0; i < kN / 2; ++i) {
+    std::uint16_t t0 = static_cast<std::uint16_t>(a[2 * i]);
+    std::uint16_t t1 = static_cast<std::uint16_t>(a[2 * i + 1]);
+    out.push_back(static_cast<std::uint8_t>(t0));
+    out.push_back(static_cast<std::uint8_t>((t0 >> 8) | (t1 << 4)));
+    out.push_back(static_cast<std::uint8_t>(t1 >> 4));
+  }
+}
+
+Poly poly_frombytes(BytesView in) {
+  Poly r{};
+  for (int i = 0; i < kN / 2; ++i) {
+    r[2 * i] = static_cast<std::int16_t>(
+        (in[3 * i] | (std::uint16_t{in[3 * i + 1]} << 8)) & 0xfff);
+    r[2 * i + 1] = static_cast<std::int16_t>(
+        ((in[3 * i + 1] >> 4) | (std::uint16_t{in[3 * i + 2]} << 4)) & 0xfff);
+  }
+  return r;
+}
+
+std::uint16_t compress_coeff(std::int16_t x, int d) {
+  // round(2^d / q * x) mod 2^d
+  std::uint32_t v = ((static_cast<std::uint32_t>(x) << d) + kQ / 2) / kQ;
+  return static_cast<std::uint16_t>(v & ((1u << d) - 1));
+}
+
+std::int16_t decompress_coeff(std::uint16_t y, int d) {
+  // round(q / 2^d * y)
+  return static_cast<std::int16_t>((static_cast<std::uint32_t>(y) * kQ +
+                                    (1u << (d - 1))) >> d);
+}
+
+// Bit-pack n coefficients of d bits each.
+void pack_bits(Bytes& out, const Poly& a, int d) {
+  std::uint32_t acc = 0;
+  int bits = 0;
+  for (int i = 0; i < kN; ++i) {
+    acc |= std::uint32_t{compress_coeff(a[i], d)} << bits;
+    bits += d;
+    while (bits >= 8) {
+      out.push_back(static_cast<std::uint8_t>(acc));
+      acc >>= 8;
+      bits -= 8;
+    }
+  }
+}
+
+Poly unpack_bits(BytesView in, int d) {
+  Poly r{};
+  std::uint32_t acc = 0;
+  int bits = 0;
+  std::size_t pos = 0;
+  for (int i = 0; i < kN; ++i) {
+    while (bits < d) {
+      acc |= std::uint32_t{in[pos++]} << bits;
+      bits += 8;
+    }
+    std::uint16_t v = acc & ((1u << d) - 1);
+    acc >>= d;
+    bits -= d;
+    r[i] = decompress_coeff(v, d);
+  }
+  return r;
+}
+
+Poly poly_from_msg(BytesView msg32) {
+  Poly r{};
+  for (int i = 0; i < kSymBytes; ++i)
+    for (int j = 0; j < 8; ++j)
+      r[8 * i + j] = ((msg32[i] >> j) & 1) ? (kQ + 1) / 2 : 0;
+  return r;
+}
+
+Bytes poly_to_msg(const Poly& a) {
+  Bytes msg(kSymBytes, 0);
+  for (int i = 0; i < kN; ++i) {
+    std::uint16_t t = compress_coeff(a[i], 1);
+    msg[i / 8] |= static_cast<std::uint8_t>(t << (i % 8));
+  }
+  return msg;
+}
+
+struct KpkeParams {
+  int k;
+  int eta1;
+  int du;
+  int dv;
+  bool use_90s;
+};
+
+using PolyVec = std::vector<Poly>;
+
+// IND-CPA public-key encryption (K-PKE).
+struct Kpke {
+  KpkeParams p;
+
+  std::size_t pk_size() const { return 384 * p.k + kSymBytes; }
+  std::size_t sk_size() const { return 384 * p.k; }
+  std::size_t ct_size() const { return 32 * (p.du * p.k + p.dv); }
+
+  void keygen(BytesView d32, Bytes& pk, Bytes& sk) const {
+    Bytes g = hash_g(p.use_90s, d32);
+    BytesView rho{g.data(), 32};
+    BytesView sigma{g.data() + 32, 32};
+
+    std::uint8_t nonce = 0;
+    PolyVec s(p.k), e(p.k);
+    std::size_t cbd_len = p.eta1 * kN / 4;
+    for (auto& poly : s) {
+      poly = cbd(prf(p.use_90s, sigma, nonce++, cbd_len), p.eta1);
+      ntt(poly);
+    }
+    for (auto& poly : e) {
+      poly = cbd(prf(p.use_90s, sigma, nonce++, cbd_len), p.eta1);
+      ntt(poly);
+    }
+
+    PolyVec t(p.k);
+    for (int i = 0; i < p.k; ++i) {
+      t[i] = Poly{};
+      for (int j = 0; j < p.k; ++j) {
+        Poly a = sample_uniform(p.use_90s, rho, static_cast<std::uint8_t>(j),
+                                static_cast<std::uint8_t>(i));
+        basemul_acc(t[i], a, s[j], /*accumulate=*/true);
+      }
+      poly_add(t[i], e[i]);
+    }
+
+    pk.clear();
+    for (const auto& poly : t) poly_tobytes(pk, poly);
+    append(pk, rho);
+    sk.clear();
+    for (const auto& poly : s) poly_tobytes(sk, poly);
+  }
+
+  Bytes encrypt(BytesView pk, BytesView msg32, BytesView coins32) const {
+    PolyVec t(p.k);
+    for (int i = 0; i < p.k; ++i)
+      t[i] = poly_frombytes(pk.subspan(384 * i, 384));
+    BytesView rho = pk.subspan(384 * p.k, kSymBytes);
+
+    std::uint8_t nonce = 0;
+    PolyVec r(p.k);
+    std::size_t cbd1_len = p.eta1 * kN / 4;
+    for (auto& poly : r) {
+      poly = cbd(prf(p.use_90s, coins32, nonce++, cbd1_len), p.eta1);
+      ntt(poly);
+    }
+    PolyVec e1(p.k);
+    for (auto& poly : e1)
+      poly = cbd(prf(p.use_90s, coins32, nonce++, kN / 2), 2);
+    Poly e2 = cbd(prf(p.use_90s, coins32, nonce++, kN / 2), 2);
+
+    // u = invNTT(A^T r) + e1
+    PolyVec u(p.k);
+    for (int i = 0; i < p.k; ++i) {
+      u[i] = Poly{};
+      for (int j = 0; j < p.k; ++j) {
+        Poly a = sample_uniform(p.use_90s, rho, static_cast<std::uint8_t>(i),
+                                static_cast<std::uint8_t>(j));
+        basemul_acc(u[i], a, r[j], true);
+      }
+      invntt(u[i]);
+      poly_add(u[i], e1[i]);
+    }
+    // v = invNTT(t . r) + e2 + msg
+    Poly v{};
+    for (int j = 0; j < p.k; ++j) basemul_acc(v, t[j], r[j], true);
+    invntt(v);
+    poly_add(v, e2);
+    Poly m = poly_from_msg(msg32);
+    poly_add(v, m);
+
+    Bytes ct;
+    ct.reserve(ct_size());
+    for (const auto& poly : u) pack_bits(ct, poly, p.du);
+    pack_bits(ct, v, p.dv);
+    return ct;
+  }
+
+  Bytes decrypt(BytesView sk, BytesView ct) const {
+    PolyVec u(p.k);
+    std::size_t u_bytes = 32 * p.du;
+    for (int i = 0; i < p.k; ++i) {
+      u[i] = unpack_bits(ct.subspan(i * u_bytes, u_bytes), p.du);
+      ntt(u[i]);
+    }
+    Poly v = unpack_bits(ct.subspan(p.k * u_bytes, 32 * p.dv), p.dv);
+
+    PolyVec s(p.k);
+    for (int i = 0; i < p.k; ++i)
+      s[i] = poly_frombytes(sk.subspan(384 * i, 384));
+
+    Poly su{};
+    for (int j = 0; j < p.k; ++j) basemul_acc(su, s[j], u[j], true);
+    invntt(su);
+    poly_sub(v, su);
+    return poly_to_msg(v);
+  }
+};
+
+}  // namespace
+
+KyberKem::KyberKem(int level, bool use_90s) : level_(level), use_90s_(use_90s) {
+  switch (level) {
+    case 1: k_ = 2; eta1_ = 3; du_ = 10; dv_ = 4; break;
+    case 3: k_ = 3; eta1_ = 2; du_ = 10; dv_ = 4; break;
+    case 5: k_ = 4; eta1_ = 2; du_ = 11; dv_ = 5; break;
+    default: throw std::invalid_argument("Kyber level must be 1, 3, or 5");
+  }
+  int bits = k_ == 2 ? 512 : k_ == 3 ? 768 : 1024;
+  name_ = (use_90s ? "kyber90s" : "kyber") + std::to_string(bits);
+}
+
+std::size_t KyberKem::public_key_size() const { return 384 * k_ + 32; }
+std::size_t KyberKem::secret_key_size() const {
+  return 384 * k_ + public_key_size() + 2 * kSymBytes;
+}
+std::size_t KyberKem::ciphertext_size() const {
+  return 32 * (du_ * k_ + dv_);
+}
+
+KeyPair KyberKem::generate_keypair(Drbg& rng) const {
+  Kpke kpke{{k_, eta1_, du_, dv_, use_90s_}};
+  Bytes d = rng.bytes(kSymBytes);
+  Bytes z = rng.bytes(kSymBytes);
+  Bytes pk, sk_pke;
+  kpke.keygen(d, pk, sk_pke);
+  Bytes h_pk = hash_h(use_90s_, pk);
+  KeyPair kp;
+  kp.public_key = pk;
+  kp.secret_key = concat(sk_pke, pk, h_pk, z);
+  return kp;
+}
+
+std::optional<Encapsulation> KyberKem::encapsulate(BytesView public_key,
+                                                   Drbg& rng) const {
+  if (public_key.size() != public_key_size()) return std::nullopt;
+  Kpke kpke{{k_, eta1_, du_, dv_, use_90s_}};
+  Bytes m = hash_h(use_90s_, rng.bytes(kSymBytes));
+  Bytes h_pk = hash_h(use_90s_, public_key);
+  Bytes g = hash_g(use_90s_, concat(m, h_pk));
+  BytesView k_bar{g.data(), 32};
+  BytesView coins{g.data() + 32, 32};
+  Encapsulation out;
+  out.ciphertext = kpke.encrypt(public_key, m, coins);
+  Bytes h_ct = hash_h(use_90s_, out.ciphertext);
+  out.shared_secret = kdf(use_90s_, concat(k_bar, h_ct));
+  return out;
+}
+
+std::optional<Bytes> KyberKem::decapsulate(BytesView secret_key,
+                                           BytesView ciphertext) const {
+  if (secret_key.size() != secret_key_size() ||
+      ciphertext.size() != ciphertext_size())
+    return std::nullopt;
+  Kpke kpke{{k_, eta1_, du_, dv_, use_90s_}};
+  std::size_t sk_pke_len = 384 * k_;
+  BytesView sk_pke = secret_key.subspan(0, sk_pke_len);
+  BytesView pk = secret_key.subspan(sk_pke_len, public_key_size());
+  BytesView h_pk = secret_key.subspan(sk_pke_len + public_key_size(), 32);
+  BytesView z = secret_key.subspan(sk_pke_len + public_key_size() + 32, 32);
+
+  Bytes m = kpke.decrypt(sk_pke, ciphertext);
+  Bytes g = hash_g(use_90s_, concat(m, h_pk));
+  BytesView k_bar{g.data(), 32};
+  BytesView coins{g.data() + 32, 32};
+  Bytes ct2 = kpke.encrypt(pk, m, coins);
+  Bytes h_ct = hash_h(use_90s_, ciphertext);
+  if (ct_equal(ct2, ciphertext)) return kdf(use_90s_, concat(k_bar, h_ct));
+  return kdf(use_90s_, concat(z, h_ct));  // implicit rejection
+}
+
+const KyberKem& KyberKem::kyber512() {
+  static const KyberKem kem(1, false);
+  return kem;
+}
+const KyberKem& KyberKem::kyber768() {
+  static const KyberKem kem(3, false);
+  return kem;
+}
+const KyberKem& KyberKem::kyber1024() {
+  static const KyberKem kem(5, false);
+  return kem;
+}
+const KyberKem& KyberKem::kyber90s512() {
+  static const KyberKem kem(1, true);
+  return kem;
+}
+const KyberKem& KyberKem::kyber90s768() {
+  static const KyberKem kem(3, true);
+  return kem;
+}
+const KyberKem& KyberKem::kyber90s1024() {
+  static const KyberKem kem(5, true);
+  return kem;
+}
+
+}  // namespace pqtls::kem

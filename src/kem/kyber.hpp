@@ -1,0 +1,48 @@
+// CRYSTALS-Kyber (round-3 / ML-KEM lineage) IND-CCA2 KEM for security levels
+// 1/3/5 (Kyber-512/768/1024), including the "90s" variants that replace the
+// Keccak-based symmetric primitives with AES-256-CTR and SHA-2 — the paper
+// measures both families (kyber512 vs kyber90s512, etc.).
+#pragma once
+
+#include "kem/kem.hpp"
+
+namespace pqtls::kem {
+
+class KyberKem final : public Kem {
+ public:
+  /// level in {1, 3, 5} selects Kyber-512/768/1024; use_90s selects the
+  /// AES/SHA-2 symmetric backend.
+  KyberKem(int level, bool use_90s);
+
+  const std::string& name() const override { return name_; }
+  int security_level() const override { return level_; }
+  bool is_post_quantum() const override { return true; }
+
+  std::size_t public_key_size() const override;
+  std::size_t secret_key_size() const override;
+  std::size_t ciphertext_size() const override;
+  std::size_t shared_secret_size() const override { return 32; }
+
+  KeyPair generate_keypair(Drbg& rng) const override;
+  std::optional<Encapsulation> encapsulate(BytesView public_key,
+                                           Drbg& rng) const override;
+  std::optional<Bytes> decapsulate(BytesView secret_key,
+                                   BytesView ciphertext) const override;
+
+  static const KyberKem& kyber512();
+  static const KyberKem& kyber768();
+  static const KyberKem& kyber1024();
+  static const KyberKem& kyber90s512();
+  static const KyberKem& kyber90s768();
+  static const KyberKem& kyber90s1024();
+
+ private:
+  std::string name_;
+  int level_;
+  int k_;       // module rank: 2 / 3 / 4
+  int eta1_;    // noise parameter for secrets
+  int du_, dv_; // ciphertext compression bits
+  bool use_90s_;
+};
+
+}  // namespace pqtls::kem

@@ -1,0 +1,69 @@
+// Registry of the 23 key-agreement configurations measured by the paper
+// (Table 2a): classical, post-quantum, and classical+PQ hybrids per NIST
+// security level.
+#include "kem/bike.hpp"
+#include "kem/ecdh.hpp"
+#include "kem/hqc.hpp"
+#include "kem/hybrid_kem.hpp"
+#include "kem/kem.hpp"
+#include "kem/kyber.hpp"
+
+namespace pqtls::kem {
+
+namespace {
+
+std::vector<const Kem*> build_registry() {
+  static const HybridKem p256_bikel1(EcdhKem::p256(), BikeKem::bikel1());
+  static const HybridKem p256_hqc128(EcdhKem::p256(), HqcKem::hqc128());
+  static const HybridKem p256_kyber512(EcdhKem::p256(), KyberKem::kyber512());
+  static const HybridKem p384_bikel3(EcdhKem::p384(), BikeKem::bikel3());
+  static const HybridKem p384_hqc192(EcdhKem::p384(), HqcKem::hqc192());
+  static const HybridKem p384_kyber768(EcdhKem::p384(), KyberKem::kyber768());
+  static const HybridKem p521_hqc256(EcdhKem::p521(), HqcKem::hqc256());
+  static const HybridKem p521_kyber1024(EcdhKem::p521(),
+                                        KyberKem::kyber1024());
+
+  return {
+      // Level 1
+      &X25519Kem::instance(),
+      &BikeKem::bikel1(),
+      &HqcKem::hqc128(),
+      &KyberKem::kyber512(),
+      &KyberKem::kyber90s512(),
+      &EcdhKem::p256(),
+      &p256_bikel1,
+      &p256_hqc128,
+      &p256_kyber512,
+      // Level 3
+      &BikeKem::bikel3(),
+      &HqcKem::hqc192(),
+      &KyberKem::kyber768(),
+      &KyberKem::kyber90s768(),
+      &EcdhKem::p384(),
+      &p384_bikel3,
+      &p384_hqc192,
+      &p384_kyber768,
+      // Level 5
+      &HqcKem::hqc256(),
+      &KyberKem::kyber1024(),
+      &KyberKem::kyber90s1024(),
+      &EcdhKem::p521(),
+      &p521_hqc256,
+      &p521_kyber1024,
+  };
+}
+
+}  // namespace
+
+const std::vector<const Kem*>& all_kems() {
+  static const std::vector<const Kem*> registry = build_registry();
+  return registry;
+}
+
+const Kem* find_kem(const std::string& name) {
+  for (const Kem* kem : all_kems())
+    if (kem->name() == name) return kem;
+  return nullptr;
+}
+
+}  // namespace pqtls::kem

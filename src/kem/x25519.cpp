@@ -1,0 +1,246 @@
+#include "kem/x25519.hpp"
+
+#include <cstring>
+
+#include "crypto/bytes.hpp"
+
+namespace pqtls::kem {
+
+namespace {
+
+// Field element mod 2^255 - 19, five 51-bit limbs (curve25519-donna layout).
+struct Fe {
+  std::uint64_t v[5];
+};
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+constexpr u64 kMask51 = (u64{1} << 51) - 1;
+
+Fe fe_zero() { return {{0, 0, 0, 0, 0}}; }
+Fe fe_one() { return {{1, 0, 0, 0, 0}}; }
+
+Fe fe_add(const Fe& a, const Fe& b) {
+  Fe out;
+  for (int i = 0; i < 5; ++i) out.v[i] = a.v[i] + b.v[i];
+  return out;
+}
+
+// a - b with bias 2p to stay positive.
+Fe fe_sub(const Fe& a, const Fe& b) {
+  Fe out;
+  out.v[0] = a.v[0] + 0xfffffffffffdaULL - b.v[0];
+  out.v[1] = a.v[1] + 0xffffffffffffeULL - b.v[1];
+  out.v[2] = a.v[2] + 0xffffffffffffeULL - b.v[2];
+  out.v[3] = a.v[3] + 0xffffffffffffeULL - b.v[3];
+  out.v[4] = a.v[4] + 0xffffffffffffeULL - b.v[4];
+  return out;
+}
+
+Fe fe_mul(const Fe& f, const Fe& g) {
+  u128 r0 = (u128)f.v[0] * g.v[0] + (u128)(19 * f.v[1]) * g.v[4] +
+            (u128)(19 * f.v[2]) * g.v[3] + (u128)(19 * f.v[3]) * g.v[2] +
+            (u128)(19 * f.v[4]) * g.v[1];
+  u128 r1 = (u128)f.v[0] * g.v[1] + (u128)f.v[1] * g.v[0] +
+            (u128)(19 * f.v[2]) * g.v[4] + (u128)(19 * f.v[3]) * g.v[3] +
+            (u128)(19 * f.v[4]) * g.v[2];
+  u128 r2 = (u128)f.v[0] * g.v[2] + (u128)f.v[1] * g.v[1] +
+            (u128)f.v[2] * g.v[0] + (u128)(19 * f.v[3]) * g.v[4] +
+            (u128)(19 * f.v[4]) * g.v[3];
+  u128 r3 = (u128)f.v[0] * g.v[3] + (u128)f.v[1] * g.v[2] +
+            (u128)f.v[2] * g.v[1] + (u128)f.v[3] * g.v[0] +
+            (u128)(19 * f.v[4]) * g.v[4];
+  u128 r4 = (u128)f.v[0] * g.v[4] + (u128)f.v[1] * g.v[3] +
+            (u128)f.v[2] * g.v[2] + (u128)f.v[3] * g.v[1] +
+            (u128)f.v[4] * g.v[0];
+
+  Fe out;
+  u64 carry;
+  out.v[0] = (u64)r0 & kMask51; carry = (u64)(r0 >> 51);
+  r1 += carry;
+  out.v[1] = (u64)r1 & kMask51; carry = (u64)(r1 >> 51);
+  r2 += carry;
+  out.v[2] = (u64)r2 & kMask51; carry = (u64)(r2 >> 51);
+  r3 += carry;
+  out.v[3] = (u64)r3 & kMask51; carry = (u64)(r3 >> 51);
+  r4 += carry;
+  out.v[4] = (u64)r4 & kMask51; carry = (u64)(r4 >> 51);
+  out.v[0] += carry * 19;
+  carry = out.v[0] >> 51; out.v[0] &= kMask51;
+  out.v[1] += carry;
+  return out;
+}
+
+Fe fe_sq(const Fe& f) { return fe_mul(f, f); }
+
+Fe fe_mul_small(const Fe& f, u64 s) {
+  u128 acc = 0;
+  Fe out;
+  for (int i = 0; i < 5; ++i) {
+    acc += (u128)f.v[i] * s;
+    out.v[i] = (u64)acc & kMask51;
+    acc >>= 51;
+  }
+  out.v[0] += (u64)acc * 19;
+  return out;
+}
+
+// Inversion via Fermat: a^(p-2).
+Fe fe_invert(const Fe& z) {
+  Fe z2 = fe_sq(z);                     // 2
+  Fe z8 = fe_sq(fe_sq(z2));             // 8
+  Fe z9 = fe_mul(z8, z);                // 9
+  Fe z11 = fe_mul(z9, z2);              // 11
+  Fe z22 = fe_sq(z11);                  // 22
+  Fe z_5_0 = fe_mul(z22, z9);           // 2^5 - 2^0
+  Fe t = z_5_0;
+  for (int i = 0; i < 5; ++i) t = fe_sq(t);
+  Fe z_10_0 = fe_mul(t, z_5_0);
+  t = z_10_0;
+  for (int i = 0; i < 10; ++i) t = fe_sq(t);
+  Fe z_20_0 = fe_mul(t, z_10_0);
+  t = z_20_0;
+  for (int i = 0; i < 20; ++i) t = fe_sq(t);
+  Fe z_40_0 = fe_mul(t, z_20_0);
+  t = z_40_0;
+  for (int i = 0; i < 10; ++i) t = fe_sq(t);
+  Fe z_50_0 = fe_mul(t, z_10_0);
+  t = z_50_0;
+  for (int i = 0; i < 50; ++i) t = fe_sq(t);
+  Fe z_100_0 = fe_mul(t, z_50_0);
+  t = z_100_0;
+  for (int i = 0; i < 100; ++i) t = fe_sq(t);
+  Fe z_200_0 = fe_mul(t, z_100_0);
+  t = z_200_0;
+  for (int i = 0; i < 50; ++i) t = fe_sq(t);
+  Fe z_250_0 = fe_mul(t, z_50_0);
+  t = z_250_0;
+  for (int i = 0; i < 5; ++i) t = fe_sq(t);
+  return fe_mul(t, z11);  // 2^255 - 21
+}
+
+Fe fe_from_bytes(const std::uint8_t s[32]) {
+  Fe out;
+  out.v[0] = pqtls::load_le64(s) & kMask51;
+  out.v[1] = (pqtls::load_le64(s + 6) >> 3) & kMask51;
+  out.v[2] = (pqtls::load_le64(s + 12) >> 6) & kMask51;
+  out.v[3] = (pqtls::load_le64(s + 19) >> 1) & kMask51;
+  out.v[4] = (pqtls::load_le64(s + 24) >> 12) & kMask51;
+  return out;
+}
+
+void fe_to_bytes(std::uint8_t out[32], const Fe& f) {
+  // Carry chain and final reduction mod p.
+  Fe t = f;
+  auto carry_pass = [&]() {
+    for (int i = 0; i < 4; ++i) {
+      t.v[i + 1] += t.v[i] >> 51;
+      t.v[i] &= kMask51;
+    }
+    t.v[0] += 19 * (t.v[4] >> 51);
+    t.v[4] &= kMask51;
+  };
+  carry_pass();
+  carry_pass();
+  // Now 0 <= t < 2p; subtract p if needed (constant-time-ish select).
+  t.v[0] += 19;
+  carry_pass();
+  // Add 2^255 - 2^255 trick: after adding 19 and reducing, subtract 19 back
+  // using the complement.
+  t.v[0] += (u64{1} << 51) - 19;
+  t.v[1] += (u64{1} << 51) - 1;
+  t.v[2] += (u64{1} << 51) - 1;
+  t.v[3] += (u64{1} << 51) - 1;
+  t.v[4] += (u64{1} << 51) - 1;
+  for (int i = 0; i < 4; ++i) {
+    t.v[i + 1] += t.v[i] >> 51;
+    t.v[i] &= kMask51;
+  }
+  t.v[4] &= kMask51;
+
+  std::uint8_t* p = out;
+  u64 limbs[4];
+  limbs[0] = t.v[0] | (t.v[1] << 51);
+  limbs[1] = (t.v[1] >> 13) | (t.v[2] << 38);
+  limbs[2] = (t.v[2] >> 26) | (t.v[3] << 25);
+  limbs[3] = (t.v[3] >> 39) | (t.v[4] << 12);
+  for (int i = 0; i < 4; ++i)
+    for (int b = 0; b < 8; ++b) p[8 * i + b] = (std::uint8_t)(limbs[i] >> (8 * b));
+}
+
+void cswap(Fe& a, Fe& b, u64 swap) {
+  u64 mask = ~(swap - 1);  // swap ? all-ones : 0
+  for (int i = 0; i < 5; ++i) {
+    u64 x = mask & (a.v[i] ^ b.v[i]);
+    a.v[i] ^= x;
+    b.v[i] ^= x;
+  }
+}
+
+void ladder(std::uint8_t out[32], const std::uint8_t scalar[32],
+            const std::uint8_t point[32]) {
+  std::uint8_t e[32];
+  std::memcpy(e, scalar, 32);
+  e[0] &= 248;
+  e[31] &= 127;
+  e[31] |= 64;
+
+  std::uint8_t pt[32];
+  std::memcpy(pt, point, 32);
+  pt[31] &= 127;  // mask the high bit per RFC 7748
+
+  Fe x1 = fe_from_bytes(pt);
+  Fe x2 = fe_one(), z2 = fe_zero();
+  Fe x3 = x1, z3 = fe_one();
+  u64 swap = 0;
+
+  for (int t = 254; t >= 0; --t) {
+    u64 bit = (e[t / 8] >> (t % 8)) & 1;
+    swap ^= bit;
+    cswap(x2, x3, swap);
+    cswap(z2, z3, swap);
+    swap = bit;
+
+    Fe a = fe_add(x2, z2);
+    Fe aa = fe_sq(a);
+    Fe b = fe_sub(x2, z2);
+    Fe bb = fe_sq(b);
+    Fe e_ = fe_sub(aa, bb);
+    Fe c = fe_add(x3, z3);
+    Fe d = fe_sub(x3, z3);
+    Fe da = fe_mul(d, a);
+    Fe cb = fe_mul(c, b);
+    Fe t0 = fe_add(da, cb);
+    x3 = fe_sq(t0);
+    Fe t1 = fe_sub(da, cb);
+    z3 = fe_mul(x1, fe_sq(t1));
+    x2 = fe_mul(aa, bb);
+    Fe t2 = fe_mul_small(e_, 121665);
+    z2 = fe_mul(e_, fe_add(aa, t2));
+  }
+  cswap(x2, x3, swap);
+  cswap(z2, z3, swap);
+
+  Fe result = fe_mul(x2, fe_invert(z2));
+  fe_to_bytes(out, result);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 32> x25519_base(const std::uint8_t scalar[32]) {
+  static constexpr std::uint8_t kBasePoint[32] = {9};
+  std::array<std::uint8_t, 32> out{};
+  ladder(out.data(), scalar, kBasePoint);
+  return out;
+}
+
+bool x25519(std::uint8_t out[32], const std::uint8_t scalar[32],
+            const std::uint8_t peer_public[32]) {
+  ladder(out, scalar, peer_public);
+  std::uint8_t zero = 0;
+  for (int i = 0; i < 32; ++i) zero |= out[i];
+  return zero != 0;
+}
+
+}  // namespace pqtls::kem

@@ -1,0 +1,21 @@
+// X25519 Diffie-Hellman (RFC 7748) with 51-bit-limb field arithmetic.
+// This is the paper's pre-quantum key-agreement baseline ("x25519").
+#pragma once
+
+#include <array>
+
+#include "crypto/bytes.hpp"
+
+namespace pqtls::kem {
+
+inline constexpr std::size_t kX25519KeySize = 32;
+
+/// scalar * base point -> public key (RFC 7748 section 5).
+std::array<std::uint8_t, 32> x25519_base(const std::uint8_t scalar[32]);
+
+/// scalar * peer_public -> shared secret. Returns false if the result is the
+/// all-zero point (contributory behaviour check, RFC 7748 section 6.1).
+bool x25519(std::uint8_t out[32], const std::uint8_t scalar[32],
+            const std::uint8_t peer_public[32]);
+
+}  // namespace pqtls::kem

@@ -1,0 +1,32 @@
+#include "net/link.hpp"
+
+namespace pqtls::net {
+
+namespace {
+constexpr double kLineRateBps = 10e9;  // the paper's 10 Gbit/s fiber
+}
+
+void Link::send(Packet packet) {
+  ++packets_sent_;
+  bytes_sent_ += packet.wire_size();
+  if (tap_) tap_(packet);
+
+  // Serialization: packets queue behind each other at the shaped rate.
+  double rate = config_.rate_bps > 0 ? config_.rate_bps : kLineRateBps;
+  double tx_time = static_cast<double>(packet.wire_size()) * 8.0 / rate;
+  double start = std::max(loop_.now(), tx_free_at_);
+  double tx_end = start + tx_time;
+  tx_free_at_ = tx_end;
+
+  if (config_.loss > 0 && rng_.real() < config_.loss) {
+    ++packets_dropped_;
+    return;
+  }
+
+  double arrival = tx_end + config_.delay_s;
+  loop_.schedule_at(arrival, [this, p = std::move(packet)]() {
+    if (deliver_) deliver_(p);
+  });
+}
+
+}  // namespace pqtls::net

@@ -1,0 +1,59 @@
+// Point-to-point link with netem-style impairment (i.i.d. loss, fixed
+// one-way delay, token-rate serialization) and a passive optical tap — the
+// simulated equivalent of the paper's fiber link + timestamper setup and of
+// its `tc netem` constrained-environment emulation.
+#pragma once
+
+#include <functional>
+
+#include "crypto/drbg.hpp"
+#include "net/packet.hpp"
+#include "sim/event_loop.hpp"
+
+namespace pqtls::net {
+
+struct NetemConfig {
+  double loss = 0.0;       // i.i.d. drop probability per packet
+  double delay_s = 0.0;    // one-way propagation delay (RTT / 2)
+  double rate_bps = 0.0;   // serialization rate; 0 = line-rate 10 Gbit/s
+};
+
+/// Unidirectional link. Delivery callback runs at arrival time; the tap
+/// callback runs at transmission time (passive fiber tap before impairment,
+/// like the paper's optical splitters which see every transmitted packet).
+class Link {
+ public:
+  using Deliver = std::function<void(const Packet&)>;
+  using Tap = std::function<void(const Packet&)>;
+
+  Link(sim::EventLoop& loop, NetemConfig config, crypto::Drbg rng)
+      : loop_(loop), config_(config), rng_(std::move(rng)) {}
+
+  void set_deliver(Deliver deliver) { deliver_ = std::move(deliver); }
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+  void send(Packet packet);
+
+  /// Counters (all transmitted packets, including later-lost ones).
+  std::size_t packets_sent() const { return packets_sent_; }
+  std::size_t bytes_sent() const { return bytes_sent_; }
+  std::size_t packets_dropped() const { return packets_dropped_; }
+  void reset_counters() {
+    packets_sent_ = 0;
+    bytes_sent_ = 0;
+    packets_dropped_ = 0;
+  }
+
+ private:
+  sim::EventLoop& loop_;
+  NetemConfig config_;
+  crypto::Drbg rng_;
+  Deliver deliver_;
+  Tap tap_;
+  double tx_free_at_ = 0.0;  // serialization queue
+  std::size_t packets_sent_ = 0;
+  std::size_t bytes_sent_ = 0;
+  std::size_t packets_dropped_ = 0;
+};
+
+}  // namespace pqtls::net

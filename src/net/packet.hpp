@@ -1,0 +1,33 @@
+// Wire packet: a TCP segment plus layer-2/3 framing accounting. Sizes feed
+// the paper's "Data Sent" columns, which were measured from PCAPs and thus
+// include all protocol overhead.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/bytes.hpp"
+
+namespace pqtls::net {
+
+/// Ethernet(14) + IPv4(20) + TCP(20) + TCP timestamp option(12).
+inline constexpr std::size_t kFrameOverhead = 66;
+/// Maximum TCP payload for a 1500-byte MTU with timestamp options.
+inline constexpr std::size_t kMss = 1448;
+
+struct TcpHeader {
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  bool syn = false;
+  bool ack_flag = false;
+  bool fin = false;
+  std::uint16_t window = 0xffff;
+};
+
+struct Packet {
+  TcpHeader tcp;
+  Bytes payload;
+
+  std::size_t wire_size() const { return kFrameOverhead + payload.size(); }
+};
+
+}  // namespace pqtls::net

@@ -1,0 +1,18 @@
+#include "perf/profiler.hpp"
+
+namespace pqtls::perf {
+
+std::string_view lib_name(Lib lib) {
+  switch (lib) {
+    case Lib::kLibcrypto: return "libcrypto";
+    case Lib::kLibssl: return "libssl";
+    case Lib::kKernel: return "kernel";
+    case Lib::kLibc: return "libc";
+    case Lib::kIxgbe: return "ixgbe";
+    case Lib::kPython: return "python";
+    case Lib::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace pqtls::perf

@@ -1,0 +1,74 @@
+// White-box CPU profiler: reproduces the paper's Linux-perf methodology of
+// attributing CPU time to shared objects. Each subsystem of this stack is
+// tagged with the library it corresponds to in the OQS-OpenSSL build the
+// paper measured: cryptographic kernels -> libcrypto, TLS protocol code ->
+// libssl, packet processing -> kernel, driver -> ixgbe, testbed harness ->
+// python, miscellaneous runtime -> libc.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+namespace pqtls::perf {
+
+enum class Lib : int {
+  kLibcrypto = 0,
+  kLibssl,
+  kKernel,
+  kLibc,
+  kIxgbe,
+  kPython,
+  kCount,
+};
+
+std::string_view lib_name(Lib lib);
+
+/// Accumulates CPU seconds per library category. One profiler per host.
+class Profiler {
+ public:
+  void add(Lib lib, double seconds) {
+    totals_[static_cast<int>(lib)] += seconds;
+  }
+  double total(Lib lib) const { return totals_[static_cast<int>(lib)]; }
+  double total() const {
+    double sum = 0;
+    for (double v : totals_) sum += v;
+    return sum;
+  }
+  /// Share of category in [0, 1]; 0 when nothing was recorded.
+  double share(Lib lib) const {
+    double sum = total();
+    return sum > 0 ? total(lib) / sum : 0.0;
+  }
+  void reset() { totals_.fill(0.0); }
+
+ private:
+  std::array<double, static_cast<int>(Lib::kCount)> totals_{};
+};
+
+/// RAII scope that measures wall time of the enclosed work and attributes it
+/// to a category. Null profiler => no-op (black-box mode: "ran without
+/// interference of other utilities").
+class Scope {
+ public:
+  Scope(Profiler* profiler, Lib lib) : profiler_(profiler), lib_(lib) {
+    if (profiler_) start_ = std::chrono::steady_clock::now();
+  }
+  ~Scope() {
+    if (profiler_) {
+      auto elapsed = std::chrono::steady_clock::now() - start_;
+      profiler_->add(lib_, std::chrono::duration<double>(elapsed).count());
+    }
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  Profiler* profiler_;
+  Lib lib_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace pqtls::perf

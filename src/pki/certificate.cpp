@@ -1,0 +1,203 @@
+#include "pki/certificate.hpp"
+
+namespace pqtls::pki {
+
+namespace {
+
+void put_string(Bytes& out, const std::string& s) {
+  out.push_back(static_cast<std::uint8_t>(s.size() >> 8));
+  out.push_back(static_cast<std::uint8_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_bytes(Bytes& out, BytesView b) {
+  std::uint8_t be[4];
+  store_be32(be, static_cast<std::uint32_t>(b.size()));
+  append(out, {be, 4});
+  append(out, b);
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  std::uint8_t be[8];
+  store_be64(be, v);
+  append(out, {be, 8});
+}
+
+struct Reader {
+  BytesView data;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  std::optional<std::string> get_string() {
+    if (pos + 2 > data.size()) {
+      failed = true;
+      return std::nullopt;
+    }
+    std::size_t len = (std::size_t{data[pos]} << 8) | data[pos + 1];
+    pos += 2;
+    if (pos + len > data.size()) {
+      failed = true;
+      return std::nullopt;
+    }
+    std::string s(data.begin() + pos, data.begin() + pos + len);
+    pos += len;
+    return s;
+  }
+
+  std::optional<Bytes> get_bytes() {
+    if (pos + 4 > data.size()) {
+      failed = true;
+      return std::nullopt;
+    }
+    std::size_t len = load_be32(data.data() + pos);
+    pos += 4;
+    if (pos + len > data.size()) {
+      failed = true;
+      return std::nullopt;
+    }
+    Bytes b(data.begin() + pos, data.begin() + pos + len);
+    pos += len;
+    return b;
+  }
+
+  std::optional<std::uint64_t> get_u64() {
+    if (pos + 8 > data.size()) {
+      failed = true;
+      return std::nullopt;
+    }
+    std::uint64_t v = load_be64(data.data() + pos);
+    pos += 8;
+    return v;
+  }
+};
+
+}  // namespace
+
+Bytes Certificate::tbs() const {
+  Bytes out;
+  put_string(out, subject);
+  put_string(out, issuer);
+  put_string(out, key_algorithm);
+  put_string(out, signature_algorithm);
+  put_u64(out, not_before);
+  put_u64(out, not_after);
+  put_bytes(out, subject_public_key);
+  return out;
+}
+
+Bytes Certificate::encode() const {
+  Bytes out = tbs();
+  put_bytes(out, signature);
+  return out;
+}
+
+std::optional<Certificate> Certificate::decode(BytesView data) {
+  Reader r{data};
+  Certificate cert;
+  auto subject = r.get_string();
+  auto issuer = r.get_string();
+  auto key_alg = r.get_string();
+  auto sig_alg = r.get_string();
+  auto nb = r.get_u64();
+  auto na = r.get_u64();
+  auto pk = r.get_bytes();
+  auto sig = r.get_bytes();
+  if (r.failed || r.pos != data.size()) return std::nullopt;
+  cert.subject = *subject;
+  cert.issuer = *issuer;
+  cert.key_algorithm = *key_alg;
+  cert.signature_algorithm = *sig_alg;
+  cert.not_before = *nb;
+  cert.not_after = *na;
+  cert.subject_public_key = *pk;
+  cert.signature = *sig;
+  return cert;
+}
+
+Bytes CertificateChain::encode() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(certificates.size()));
+  for (const auto& cert : certificates) put_bytes(out, cert.encode());
+  return out;
+}
+
+std::optional<CertificateChain> CertificateChain::decode(BytesView data) {
+  if (data.empty()) return std::nullopt;
+  std::size_t count = data[0];
+  Reader r{data, 1};
+  CertificateChain chain;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto blob = r.get_bytes();
+    if (!blob) return std::nullopt;
+    auto cert = Certificate::decode(*blob);
+    if (!cert) return std::nullopt;
+    chain.certificates.push_back(std::move(*cert));
+  }
+  if (r.failed || r.pos != data.size()) return std::nullopt;
+  return chain;
+}
+
+namespace {
+constexpr std::uint64_t kValidFrom = 1'700'000'000;
+constexpr std::uint64_t kValidTo = 2'000'000'000;
+}  // namespace
+
+CertificateAuthority make_root_ca(const sig::Signer& signer,
+                                  const std::string& subject, sig::Drbg& rng) {
+  CertificateAuthority ca;
+  ca.signer = &signer;
+  sig::SigKeyPair kp = signer.generate_keypair(rng);
+  ca.secret_key = kp.secret_key;
+  ca.certificate.subject = subject;
+  ca.certificate.issuer = subject;  // self-signed
+  ca.certificate.key_algorithm = signer.name();
+  ca.certificate.signature_algorithm = signer.name();
+  ca.certificate.not_before = kValidFrom;
+  ca.certificate.not_after = kValidTo;
+  ca.certificate.subject_public_key = kp.public_key;
+  ca.certificate.signature = signer.sign(ca.secret_key, ca.certificate.tbs(), rng);
+  return ca;
+}
+
+Certificate issue_certificate(const CertificateAuthority& ca,
+                              const std::string& subject,
+                              const std::string& key_algorithm,
+                              BytesView subject_public_key, sig::Drbg& rng) {
+  Certificate cert;
+  cert.subject = subject;
+  cert.issuer = ca.certificate.subject;
+  cert.key_algorithm = key_algorithm;
+  cert.signature_algorithm = ca.signer->name();
+  cert.not_before = kValidFrom;
+  cert.not_after = kValidTo;
+  cert.subject_public_key.assign(subject_public_key.begin(),
+                                 subject_public_key.end());
+  cert.signature = ca.signer->sign(ca.secret_key, cert.tbs(), rng);
+  return cert;
+}
+
+bool verify_chain(const CertificateChain& chain, const Certificate& root,
+                  std::uint64_t now) {
+  if (chain.certificates.empty()) return false;
+  for (std::size_t i = 0; i < chain.certificates.size(); ++i) {
+    const Certificate& cert = chain.certificates[i];
+    if (now < cert.not_before || now > cert.not_after) return false;
+    const Certificate* issuer = (i + 1 < chain.certificates.size())
+                                    ? &chain.certificates[i + 1]
+                                    : &root;
+    if (cert.issuer != issuer->subject) return false;
+    const sig::Signer* signer = sig::find_signer(cert.signature_algorithm);
+    if (!signer || signer->name() != issuer->key_algorithm) return false;
+    if (!signer->verify(issuer->subject_public_key, cert.tbs(),
+                        cert.signature))
+      return false;
+  }
+  // The last chain certificate must be the root itself or directly issued
+  // by it; verify the root's self-signature too.
+  const sig::Signer* root_signer = sig::find_signer(root.signature_algorithm);
+  if (!root_signer) return false;
+  return root_signer->verify(root.subject_public_key, root.tbs(),
+                             root.signature);
+}
+
+}  // namespace pqtls::pki

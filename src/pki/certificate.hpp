@@ -1,0 +1,62 @@
+// Minimal x509-like PKI: binary certificates carrying a subject, issuer,
+// algorithm identifiers, a subject public key and an issuer signature, plus
+// two-level chains (root CA -> server). Field sizes mirror what dominates
+// real x509 certificates (the SA public key and signature), so the
+// Certificate-message volumes match the paper's Table 2 data.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sig/sig.hpp"
+
+namespace pqtls::pki {
+
+struct Certificate {
+  std::string subject;
+  std::string issuer;
+  std::string key_algorithm;        // SA of subject_public_key
+  std::string signature_algorithm;  // SA the issuer signed with
+  std::uint64_t not_before = 0;
+  std::uint64_t not_after = 0;
+  Bytes subject_public_key;
+  Bytes signature;
+
+  /// The to-be-signed portion (everything except the signature).
+  Bytes tbs() const;
+  Bytes encode() const;
+  static std::optional<Certificate> decode(BytesView data);
+};
+
+/// Ordered leaf-first chain, as sent in the TLS Certificate message.
+struct CertificateChain {
+  std::vector<Certificate> certificates;
+
+  Bytes encode() const;
+  static std::optional<CertificateChain> decode(BytesView data);
+};
+
+/// A CA able to issue certificates.
+struct CertificateAuthority {
+  Certificate certificate;  // self-signed root
+  Bytes secret_key;
+  const sig::Signer* signer = nullptr;
+};
+
+/// Create a self-signed root CA for `signer`.
+CertificateAuthority make_root_ca(const sig::Signer& signer,
+                                  const std::string& subject, sig::Drbg& rng);
+
+/// Issue an end-entity certificate for `subject_public_key` signed by `ca`.
+Certificate issue_certificate(const CertificateAuthority& ca,
+                              const std::string& subject,
+                              const std::string& key_algorithm,
+                              BytesView subject_public_key, sig::Drbg& rng);
+
+/// Verify a leaf-first chain against a trusted root certificate: signatures,
+/// issuer linkage, and validity at `now`.
+bool verify_chain(const CertificateChain& chain, const Certificate& root,
+                  std::uint64_t now);
+
+}  // namespace pqtls::pki

@@ -1,0 +1,40 @@
+// ECDSA over P-256/P-384/P-521 with SHA-256/384/512. In this repository it
+// serves as the classical half of the hybrid signature configurations
+// (p256_falcon512, p384_dilithium3, ...), mirroring the OQS hybrids.
+#pragma once
+
+#include "crypto/ec.hpp"
+#include "sig/sig.hpp"
+
+namespace pqtls::sig {
+
+class EcdsaSigner final : public Signer {
+ public:
+  explicit EcdsaSigner(const crypto::EcCurve& curve);
+
+  const std::string& name() const override { return name_; }
+  int security_level() const override { return level_; }
+  bool is_post_quantum() const override { return false; }
+
+  std::size_t public_key_size() const override;
+  std::size_t secret_key_size() const override;
+  std::size_t signature_size() const override;
+
+  SigKeyPair generate_keypair(Drbg& rng) const override;
+  Bytes sign(BytesView secret_key, BytesView message, Drbg& rng) const override;
+  bool verify(BytesView public_key, BytesView message,
+              BytesView signature) const override;
+
+  static const EcdsaSigner& p256();
+  static const EcdsaSigner& p384();
+  static const EcdsaSigner& p521();
+
+ private:
+  Bytes hash_message(BytesView message) const;
+
+  const crypto::EcCurve& curve_;
+  std::string name_;
+  int level_;
+};
+
+}  // namespace pqtls::sig

@@ -1,0 +1,77 @@
+#include "sig/hybrid_sig.hpp"
+
+#include <algorithm>
+
+namespace pqtls::sig {
+
+namespace {
+
+// 4-byte big-endian length prefix for the (variable-size) classical part.
+void put_len(Bytes& out, std::size_t len) {
+  std::uint8_t be[4];
+  store_be32(be, static_cast<std::uint32_t>(len));
+  append(out, {be, 4});
+}
+
+std::size_t get_len(BytesView in) { return load_be32(in.data()); }
+
+}  // namespace
+
+HybridSigner::HybridSigner(const Signer& classical, const Signer& post_quantum,
+                           std::string name)
+    : classical_(classical), pq_(post_quantum), name_(std::move(name)) {
+  level_ = std::min(classical.security_level(), pq_.security_level());
+}
+
+SigKeyPair HybridSigner::generate_keypair(Drbg& rng) const {
+  SigKeyPair c = classical_.generate_keypair(rng);
+  SigKeyPair p = pq_.generate_keypair(rng);
+  SigKeyPair out;
+  put_len(out.public_key, c.public_key.size());
+  append(out.public_key, c.public_key);
+  append(out.public_key, p.public_key);
+  put_len(out.secret_key, c.secret_key.size());
+  append(out.secret_key, c.secret_key);
+  append(out.secret_key, p.secret_key);
+  return out;
+}
+
+Bytes HybridSigner::sign(BytesView secret_key, BytesView message,
+                         Drbg& rng) const {
+  std::size_t c_len = get_len(secret_key);
+  BytesView c_sk = secret_key.subspan(4, c_len);
+  BytesView p_sk = secret_key.subspan(4 + c_len);
+  Bytes c_sig = classical_.sign(c_sk, message, rng);
+  Bytes p_sig = pq_.sign(p_sk, message, rng);
+  Bytes out;
+  put_len(out, c_sig.size());
+  append(out, c_sig);
+  append(out, p_sig);
+  // Pad to the declared fixed size so wire sizes are deterministic.
+  out.resize(signature_size(), 0);
+  return out;
+}
+
+bool HybridSigner::verify(BytesView public_key, BytesView message,
+                          BytesView signature) const {
+  if (public_key.size() < 4 || signature.size() != signature_size())
+    return false;
+  std::size_t c_pk_len = get_len(public_key);
+  if (4 + c_pk_len > public_key.size()) return false;
+  BytesView c_pk = public_key.subspan(4, c_pk_len);
+  BytesView p_pk = public_key.subspan(4 + c_pk_len);
+
+  std::size_t c_sig_len = get_len(signature);
+  if (4 + c_sig_len + pq_.signature_size() > signature.size()) return false;
+  BytesView c_sig = signature.subspan(4, c_sig_len);
+  BytesView p_sig = signature.subspan(4 + c_sig_len, pq_.signature_size());
+  // Trailing padding must be zero.
+  for (std::size_t i = 4 + c_sig_len + pq_.signature_size();
+       i < signature.size(); ++i)
+    if (signature[i] != 0) return false;
+
+  return classical_.verify(c_pk, message, c_sig) &&
+         pq_.verify(p_pk, message, p_sig);
+}
+
+}  // namespace pqtls::sig

@@ -1,0 +1,186 @@
+#include "sig/rsa.hpp"
+
+#include <stdexcept>
+
+#include "crypto/bignum.hpp"
+#include "crypto/sha2.hpp"
+
+namespace pqtls::sig {
+
+namespace {
+
+using crypto::BigInt;
+using crypto::Montgomery;
+
+constexpr std::uint64_t kPublicExponent = 65537;
+
+// Length-prefixed field serialization (u16 big-endian length).
+void put_field(Bytes& out, const BigInt& v) {
+  Bytes bytes = v.to_bytes_be();
+  out.push_back(static_cast<std::uint8_t>(bytes.size() >> 8));
+  out.push_back(static_cast<std::uint8_t>(bytes.size()));
+  append(out, bytes);
+}
+
+BigInt get_field(BytesView in, std::size_t& off) {
+  if (off + 2 > in.size()) throw std::invalid_argument("truncated RSA key");
+  std::size_t len = (std::size_t{in[off]} << 8) | in[off + 1];
+  off += 2;
+  if (off + len > in.size()) throw std::invalid_argument("truncated RSA key");
+  BigInt v = BigInt::from_bytes_be(in.subspan(off, len));
+  off += len;
+  return v;
+}
+
+// EMSA-PSS-ENCODE with SHA-256, salt length = 32.
+Bytes pss_encode(BytesView message, std::size_t em_bits, Drbg& rng) {
+  constexpr std::size_t kHashLen = 32;
+  std::size_t em_len = (em_bits + 7) / 8;
+  if (em_len < kHashLen + kHashLen + 2)
+    throw std::invalid_argument("RSA modulus too small for PSS");
+  Bytes m_hash = crypto::sha256(message);
+  Bytes salt = rng.bytes(kHashLen);
+  Bytes m_prime = concat(Bytes(8, 0), m_hash, salt);
+  Bytes h = crypto::sha256(m_prime);
+  std::size_t ps_len = em_len - 2 * kHashLen - 2;
+  Bytes db = concat(Bytes(ps_len, 0), Bytes{0x01}, salt);
+  Bytes mask = crypto::mgf1_sha256(h, db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) db[i] ^= mask[i];
+  // Clear leftmost bits so EM < 2^em_bits.
+  db[0] &= static_cast<std::uint8_t>(0xff >> (8 * em_len - em_bits));
+  return concat(db, h, Bytes{0xbc});
+}
+
+bool pss_verify(BytesView message, BytesView em, std::size_t em_bits) {
+  constexpr std::size_t kHashLen = 32;
+  std::size_t em_len = (em_bits + 7) / 8;
+  if (em.size() != em_len || em_len < 2 * kHashLen + 2) return false;
+  if (em[em_len - 1] != 0xbc) return false;
+  std::size_t db_len = em_len - kHashLen - 1;
+  Bytes db(em.begin(), em.begin() + db_len);
+  BytesView h = em.subspan(db_len, kHashLen);
+  if (db[0] & ~static_cast<std::uint8_t>(0xff >> (8 * em_len - em_bits)))
+    return false;
+  Bytes mask = crypto::mgf1_sha256(h, db_len);
+  for (std::size_t i = 0; i < db_len; ++i) db[i] ^= mask[i];
+  db[0] &= static_cast<std::uint8_t>(0xff >> (8 * em_len - em_bits));
+  std::size_t ps_len = db_len - kHashLen - 1;
+  for (std::size_t i = 0; i < ps_len; ++i)
+    if (db[i] != 0) return false;
+  if (db[ps_len] != 0x01) return false;
+  BytesView salt{db.data() + ps_len + 1, kHashLen};
+  Bytes m_hash = crypto::sha256(message);
+  Bytes m_prime = concat(Bytes(8, 0), m_hash, salt);
+  Bytes expected = crypto::sha256(m_prime);
+  return ct_equal(expected, h);
+}
+
+}  // namespace
+
+RsaSigner::RsaSigner(int modulus_bits) : bits_(modulus_bits) {
+  name_ = "rsa:" + std::to_string(modulus_bits);
+  // NIST SP 800-57 equivalences: 1024 ~ 80-bit, 2048 ~ 112-bit (both below
+  // level 1), 3072 ~ 128-bit (level 1), 4096 between levels 1 and 2.
+  level_ = modulus_bits >= 3072 ? 1 : 0;
+}
+
+std::size_t RsaSigner::public_key_size() const {
+  return 2 + bits_ / 8 + 2 + 3;  // n field + e field
+}
+
+std::size_t RsaSigner::secret_key_size() const {
+  // n, d, p, q, dp, dq, qinv fields (approximate upper bound).
+  return 7 * 2 + bits_ / 8 * 3 + 8;
+}
+
+SigKeyPair RsaSigner::generate_keypair(Drbg& rng) const {
+  BigInt e{kPublicExponent};
+  BigInt p, q, n, d;
+  std::size_t half = static_cast<std::size_t>(bits_) / 2;
+  for (;;) {
+    p = BigInt::generate_prime(rng, half);
+    q = BigInt::generate_prime(rng, half);
+    if (p == q) continue;
+    n = p * q;
+    if (n.bit_length() != static_cast<std::size_t>(bits_)) continue;
+    BigInt phi = (p - BigInt{1}) * (q - BigInt{1});
+    if (!(BigInt::gcd(e, phi) == BigInt{1})) continue;
+    d = BigInt::mod_inverse(e, phi);
+    break;
+  }
+  if (BigInt::cmp(q, p) > 0) std::swap(p, q);  // ensure p > q for CRT
+  BigInt dp = d.mod(p - BigInt{1});
+  BigInt dq = d.mod(q - BigInt{1});
+  BigInt qinv = BigInt::mod_inverse(q, p);
+
+  SigKeyPair kp;
+  put_field(kp.public_key, n);
+  put_field(kp.public_key, e);
+  put_field(kp.secret_key, n);
+  put_field(kp.secret_key, p);
+  put_field(kp.secret_key, q);
+  put_field(kp.secret_key, dp);
+  put_field(kp.secret_key, dq);
+  put_field(kp.secret_key, qinv);
+  return kp;
+}
+
+Bytes RsaSigner::sign(BytesView secret_key, BytesView message,
+                      Drbg& rng) const {
+  std::size_t off = 0;
+  BigInt n = get_field(secret_key, off);
+  BigInt p = get_field(secret_key, off);
+  BigInt q = get_field(secret_key, off);
+  BigInt dp = get_field(secret_key, off);
+  BigInt dq = get_field(secret_key, off);
+  BigInt qinv = get_field(secret_key, off);
+
+  std::size_t em_bits = n.bit_length() - 1;
+  Bytes em = pss_encode(message, em_bits, rng);
+  BigInt m = BigInt::from_bytes_be(em);
+
+  // CRT: s = sq + q * ((sp - sq) * qinv mod p)
+  BigInt sp = BigInt::mod_pow(m.mod(p), dp, p);
+  BigInt sq = BigInt::mod_pow(m.mod(q), dq, q);
+  BigInt h = BigInt::mod_mul(BigInt::mod_sub(sp, sq.mod(p), p), qinv, p);
+  BigInt s = sq + q * h;
+  return s.to_bytes_be(static_cast<std::size_t>(bits_) / 8);
+}
+
+bool RsaSigner::verify(BytesView public_key, BytesView message,
+                       BytesView signature) const {
+  if (signature.size() != static_cast<std::size_t>(bits_) / 8) return false;
+  std::size_t off = 0;
+  BigInt n, e;
+  try {
+    n = get_field(public_key, off);
+    e = get_field(public_key, off);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  BigInt s = BigInt::from_bytes_be(signature);
+  if (!(s < n)) return false;
+  BigInt m = BigInt::mod_pow(s, e, n);
+  std::size_t em_bits = n.bit_length() - 1;
+  Bytes em = m.to_bytes_be((em_bits + 7) / 8);
+  return pss_verify(message, em, em_bits);
+}
+
+const RsaSigner& RsaSigner::rsa1024() {
+  static const RsaSigner s(1024);
+  return s;
+}
+const RsaSigner& RsaSigner::rsa2048() {
+  static const RsaSigner s(2048);
+  return s;
+}
+const RsaSigner& RsaSigner::rsa3072() {
+  static const RsaSigner s(3072);
+  return s;
+}
+const RsaSigner& RsaSigner::rsa4096() {
+  static const RsaSigner s(4096);
+  return s;
+}
+
+}  // namespace pqtls::sig

@@ -1,0 +1,39 @@
+// RSA signatures (RSASSA-PSS with SHA-256, as negotiated by TLS 1.3) for
+// moduli of 1024/2048/3072/4096 bits — the paper's pre-quantum SA baselines
+// rsa:1024 ... rsa:4096. Keys are generated with Miller-Rabin; signing uses
+// the CRT. Key material is serialized in a simple length-prefixed format.
+#pragma once
+
+#include "sig/sig.hpp"
+
+namespace pqtls::sig {
+
+class RsaSigner final : public Signer {
+ public:
+  explicit RsaSigner(int modulus_bits);
+
+  const std::string& name() const override { return name_; }
+  int security_level() const override { return level_; }
+  bool is_post_quantum() const override { return false; }
+
+  std::size_t public_key_size() const override;
+  std::size_t secret_key_size() const override;
+  std::size_t signature_size() const override { return bits_ / 8; }
+
+  SigKeyPair generate_keypair(Drbg& rng) const override;
+  Bytes sign(BytesView secret_key, BytesView message, Drbg& rng) const override;
+  bool verify(BytesView public_key, BytesView message,
+              BytesView signature) const override;
+
+  static const RsaSigner& rsa1024();
+  static const RsaSigner& rsa2048();
+  static const RsaSigner& rsa3072();
+  static const RsaSigner& rsa4096();
+
+ private:
+  std::string name_;
+  int bits_;
+  int level_;
+};
+
+}  // namespace pqtls::sig

@@ -1,0 +1,51 @@
+// Uniform signature-algorithm interface. Covers the paper's 22 SA
+// configurations: RSA, Falcon, Dilithium (+_aes), SPHINCS+, and the
+// ECDSA/RSA-hybrid composites.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+#include "crypto/drbg.hpp"
+
+namespace pqtls::sig {
+
+using crypto::Drbg;
+
+struct SigKeyPair {
+  Bytes public_key;
+  Bytes secret_key;
+};
+
+class Signer {
+ public:
+  virtual ~Signer() = default;
+
+  /// Registry name as used by the paper, e.g. "dilithium2", "rsa:2048".
+  virtual const std::string& name() const = 0;
+  virtual int security_level() const = 0;
+  virtual bool is_hybrid() const { return false; }
+  virtual bool is_post_quantum() const = 0;
+
+  virtual std::size_t public_key_size() const = 0;
+  virtual std::size_t secret_key_size() const = 0;
+  /// Maximum signature size; variable-size schemes (Falcon, ECDSA) may
+  /// produce shorter signatures.
+  virtual std::size_t signature_size() const = 0;
+
+  virtual SigKeyPair generate_keypair(Drbg& rng) const = 0;
+  virtual Bytes sign(BytesView secret_key, BytesView message,
+                     Drbg& rng) const = 0;
+  virtual bool verify(BytesView public_key, BytesView message,
+                      BytesView signature) const = 0;
+};
+
+/// All signature algorithms measured by the paper (Table 2b) plus the
+/// rsa3072_dilithium2 hybrid from Table 4b.
+const std::vector<const Signer*>& all_signers();
+const Signer* find_signer(const std::string& name);
+
+}  // namespace pqtls::sig

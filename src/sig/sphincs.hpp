@@ -1,0 +1,52 @@
+// SPHINCS+ stateless hash-based signatures, haraka-"f"(fast)-simple parameter
+// sets at NIST levels 1/3/5. The paper measured exactly this family: "our
+// paper considers only the fastest SPHINCS+ configuration (simple haraka
+// signature optimized for signing speed)". Structure: WOTS+ chains, a
+// d-layer hypertree of height-h/d XMSS trees, and FORS few-time signatures.
+#pragma once
+
+#include "sig/sig.hpp"
+
+namespace pqtls::sig {
+
+class SphincsSigner final : public Signer {
+ public:
+  /// level in {1, 3, 5} selects sphincs-haraka-{128,192,256}; `fast`
+  /// selects the "f" (speed-optimized, larger signatures) or "s"
+  /// (size-optimized, slower signing) parameter sets.
+  explicit SphincsSigner(int level, bool fast = true);
+
+  const std::string& name() const override { return name_; }
+  int security_level() const override { return level_; }
+  bool is_post_quantum() const override { return true; }
+
+  std::size_t public_key_size() const override { return 2 * n_; }
+  std::size_t secret_key_size() const override { return 4 * n_; }
+  std::size_t signature_size() const override;
+
+  SigKeyPair generate_keypair(Drbg& rng) const override;
+  Bytes sign(BytesView secret_key, BytesView message, Drbg& rng) const override;
+  bool verify(BytesView public_key, BytesView message,
+              BytesView signature) const override;
+
+  static const SphincsSigner& sphincs128();
+  static const SphincsSigner& sphincs192();
+  static const SphincsSigner& sphincs256();
+  // The size-optimized "s" parameter sets (paper appendix B's all-sphincs
+  // experiment compares the variants; the paper's tables use the fastest).
+  static const SphincsSigner& sphincs128s();
+  static const SphincsSigner& sphincs192s();
+  static const SphincsSigner& sphincs256s();
+
+ private:
+  std::string name_;
+  int level_;
+  std::size_t n_;   // hash output bytes
+  int h_;           // total hypertree height
+  int d_;           // number of layers
+  int a_;           // FORS tree height (log t)
+  int k_;           // number of FORS trees
+  int wots_len_;    // WOTS chain count (2n + 3 for w = 16)
+};
+
+}  // namespace pqtls::sig

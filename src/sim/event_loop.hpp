@@ -1,0 +1,77 @@
+// Discrete-event simulation core. The virtual clock advances through
+// scheduled events only; hosts inject *measured real compute time* of the
+// actual cryptographic/TLS code as virtual delays, and links inject
+// propagation/serialization delays — reproducing the paper's
+// "real crypto + emulated network" testbed (see DESIGN.md section 1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace pqtls::sim {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const { return now_; }
+
+  /// Schedule at an absolute simulation time (clamped to now).
+  void schedule_at(double time, Callback cb) {
+    if (time < now_) time = now_;
+    queue_.push(Event{time, next_seq_++, std::move(cb)});
+  }
+  void schedule_in(double delay, Callback cb) {
+    schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Run events until the queue is empty or the horizon is reached.
+  /// Returns the number of events processed.
+  std::size_t run(double horizon = 1e18) {
+    std::size_t processed = 0;
+    while (!queue_.empty() && !stopped_) {
+      if (queue_.top().time > horizon) break;
+      Event event = queue_.top();
+      queue_.pop();
+      now_ = event.time;
+      event.callback();
+      ++processed;
+    }
+    return processed;
+  }
+
+  /// Process exactly one event; returns false when idle.
+  bool run_one() {
+    if (queue_.empty() || stopped_) return false;
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    event.callback();
+    return true;
+  }
+
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  // FIFO tie-break for simultaneous events
+    Callback callback;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  double now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace pqtls::sim

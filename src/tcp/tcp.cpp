@@ -1,0 +1,262 @@
+#include "tcp/tcp.hpp"
+
+#include <algorithm>
+
+namespace pqtls::tcp {
+
+using net::kMss;
+using net::Packet;
+
+namespace {
+constexpr double kMinRto = 0.2;  // Linux TCP_RTO_MIN
+constexpr double kInitialRto = 1.0;
+}  // namespace
+
+TcpEndpoint::TcpEndpoint(sim::EventLoop& loop, net::Link& out,
+                         std::size_t initial_window_segments)
+    : loop_(loop), out_(out) {
+  cwnd_ = static_cast<double>(initial_window_segments * kMss);
+  rto_ = kInitialRto;
+}
+
+void TcpEndpoint::connect() {
+  state_ = State::kSynSent;
+  transmit(0, 0, /*syn=*/true, /*fin=*/false, /*retransmit=*/false);
+  snd_nxt_ = 1;  // SYN consumes one sequence number
+  arm_rto();
+}
+
+void TcpEndpoint::listen() { state_ = State::kListen; }
+
+void TcpEndpoint::send(BytesView data) {
+  append(send_buffer_, data);
+  try_send();
+}
+
+void TcpEndpoint::close() {
+  close_requested_ = true;
+  maybe_send_fin();
+}
+
+void TcpEndpoint::maybe_send_fin() {
+  if (!close_requested_ || fin_sent_) return;
+  // FIN goes out only after all application data is transmitted and acked.
+  std::uint32_t data_end = static_cast<std::uint32_t>(send_buffer_.size()) + 1;
+  if (snd_nxt_ < data_end || snd_una_ < data_end) return;
+  fin_sent_ = true;
+  transmit(snd_nxt_, 0, /*syn=*/false, /*fin=*/true, /*retransmit=*/false);
+  snd_nxt_ += 1;  // FIN consumes a sequence number
+  arm_rto();
+}
+
+void TcpEndpoint::transmit(std::uint32_t seq, std::size_t len, bool syn,
+                           bool fin, bool retransmit) {
+  Packet packet;
+  packet.tcp.seq = seq;
+  packet.tcp.syn = syn;
+  packet.tcp.fin = fin;
+  packet.tcp.ack_flag = state_ != State::kClosed && peer_syn_seen_;
+  packet.tcp.ack = rcv_nxt_;
+  if (len > 0) {
+    // Application byte for sequence s lives at send_buffer_[s - 1].
+    packet.payload.assign(send_buffer_.begin() + (seq - 1),
+                          send_buffer_.begin() + (seq - 1 + len));
+  }
+  if (retransmit) {
+    ++retransmissions_;
+  } else if (!rtt_sample_pending_ && (len > 0 || syn)) {
+    rtt_sample_pending_ = true;
+    rtt_sample_seq_ = seq + static_cast<std::uint32_t>(len) + (syn ? 1 : 0);
+    rtt_sample_time_ = loop_.now();
+  }
+  out_.send(std::move(packet));
+}
+
+void TcpEndpoint::try_send() {
+  if (state_ != State::kEstablished && state_ != State::kSynReceived) return;
+  std::uint32_t limit =
+      snd_una_ + static_cast<std::uint32_t>(cwnd_);
+  std::uint32_t data_end = static_cast<std::uint32_t>(send_buffer_.size()) + 1;
+  bool sent = false;
+  while (snd_nxt_ < data_end && snd_nxt_ < limit) {
+    std::size_t len = std::min<std::size_t>(
+        {kMss, data_end - snd_nxt_, limit - snd_nxt_});
+    if (len == 0) break;
+    transmit(snd_nxt_, len, false, false, false);
+    snd_nxt_ += static_cast<std::uint32_t>(len);
+    sent = true;
+  }
+  if (sent) arm_rto();
+}
+
+void TcpEndpoint::arm_rto() {
+  rto_armed_ = true;
+  std::uint64_t generation = ++rto_generation_;
+  loop_.schedule_in(rto_, [this, generation]() { on_rto(generation); });
+}
+
+void TcpEndpoint::on_rto(std::uint64_t generation) {
+  if (generation != rto_generation_ || !rto_armed_) return;
+  if (snd_una_ >= snd_nxt_ && state_ == State::kEstablished) return;
+  // Timeout: retransmit the earliest outstanding segment.
+  if (state_ == State::kSynSent) {
+    transmit(0, 0, true, false, true);
+  } else if (state_ == State::kSynReceived) {
+    transmit(0, 0, true, false, true);
+  } else if (fin_sent_ && !fin_acked_ &&
+             snd_una_ + 1 >= snd_nxt_) {
+    transmit(snd_nxt_ - 1, 0, false, /*fin=*/true, /*retransmit=*/true);
+  } else {
+    std::size_t len = std::min<std::size_t>(
+        kMss, send_buffer_.size() + 1 - snd_una_);
+    if (len == 0 || snd_una_ == 0) return;
+    ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * kMss);
+    cwnd_ = kMss;
+    in_recovery_ = false;
+    transmit(snd_una_, len, false, false, true);
+  }
+  rto_ = std::min(rto_ * 2.0, 60.0);  // exponential backoff
+  rtt_sample_pending_ = false;        // Karn's algorithm
+  arm_rto();
+}
+
+void TcpEndpoint::enter_established() {
+  bool was_established = state_ == State::kEstablished;
+  state_ = State::kEstablished;
+  if (!was_established && on_connected_) on_connected_();
+}
+
+void TcpEndpoint::on_packet(const Packet& packet) {
+  const auto& h = packet.tcp;
+
+  if (h.syn) {
+    peer_syn_seen_ = true;
+    rcv_nxt_ = std::max(rcv_nxt_, 1u);
+    if (state_ == State::kListen) {
+      state_ = State::kSynReceived;
+      transmit(0, 0, /*syn=*/true, false, false);
+      snd_nxt_ = 1;
+      arm_rto();
+      return;
+    }
+    if (state_ == State::kSynSent && h.ack_flag && h.ack >= 1) {
+      handle_ack(packet);  // advances snd_una_ and records the SYN RTT sample
+      enter_established();
+      send_ack();  // completes the 3-way handshake
+      try_send();
+      return;
+    }
+  }
+
+  if (h.ack_flag) handle_ack(packet);
+  if (!packet.payload.empty()) handle_data(packet);
+  if (h.fin && !peer_fin_seen_) {
+    // Accept the FIN only once all preceding data has been delivered.
+    if (h.seq <= rcv_nxt_) {
+      peer_fin_seen_ = true;
+      rcv_nxt_ = std::max(rcv_nxt_, h.seq + 1);
+      send_ack();
+    }
+  }
+}
+
+void TcpEndpoint::handle_ack(const Packet& packet) {
+  std::uint32_t ack = packet.tcp.ack;
+  if (state_ == State::kSynReceived && ack >= 1) {
+    snd_una_ = std::max(snd_una_, 1u);
+    enter_established();
+  }
+  if (ack > snd_una_) {
+    std::uint32_t newly_acked = ack - snd_una_;
+    if (snd_una_ == 0 && newly_acked > 0)
+      --newly_acked;  // the SYN's sequence byte carries no data
+    snd_una_ = ack;
+    dup_acks_ = 0;
+    if (in_recovery_ && ack >= recovery_point_) {
+      in_recovery_ = false;
+      cwnd_ = ssthresh_;
+    } else if (cwnd_ < ssthresh_) {
+      cwnd_ += newly_acked;  // slow start
+    } else {
+      cwnd_ += static_cast<double>(kMss) * kMss / cwnd_;  // cong. avoidance
+    }
+    // RTT sample (Karn: only for never-retransmitted sequences).
+    if (rtt_sample_pending_ && ack >= rtt_sample_seq_) {
+      double sample = loop_.now() - rtt_sample_time_;
+      rtt_sample_pending_ = false;
+      if (srtt_ == 0) {
+        srtt_ = sample;
+        rttvar_ = sample / 2;
+      } else {
+        rttvar_ = 0.75 * rttvar_ + 0.25 * std::abs(srtt_ - sample);
+        srtt_ = 0.875 * srtt_ + 0.125 * sample;
+      }
+      rto_ = std::max(kMinRto, srtt_ + 4 * rttvar_);
+    }
+    if (fin_sent_ && ack >= snd_nxt_) fin_acked_ = true;
+    if (snd_una_ == snd_nxt_) {
+      rto_armed_ = false;  // everything acked
+    } else {
+      arm_rto();
+    }
+    try_send();
+    maybe_send_fin();
+  } else if (ack == snd_una_ && snd_nxt_ > snd_una_ &&
+             packet.payload.empty() && !packet.tcp.syn) {
+    // Duplicate ACK.
+    if (++dup_acks_ == 3 && !in_recovery_) {
+      in_recovery_ = true;
+      recovery_point_ = snd_nxt_;
+      ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * kMss);
+      cwnd_ = ssthresh_ + 3.0 * kMss;
+      std::size_t len = std::min<std::size_t>(
+          kMss, send_buffer_.size() + 1 - snd_una_);
+      if (len > 0 && snd_una_ >= 1)
+        transmit(snd_una_, len, false, false, true);
+      arm_rto();
+    }
+  }
+}
+
+void TcpEndpoint::handle_data(const Packet& packet) {
+  std::uint32_t seq = packet.tcp.seq;
+  const Bytes& payload = packet.payload;
+
+  if (seq > rcv_nxt_) {
+    out_of_order_[seq] = payload;  // buffer the gap
+    send_ack();                    // duplicate ACK
+    return;
+  }
+  if (seq + payload.size() <= rcv_nxt_) {
+    send_ack();  // fully duplicate segment
+    return;
+  }
+  // In-order (possibly with overlap).
+  std::size_t skip = rcv_nxt_ - seq;
+  Bytes deliverable(payload.begin() + skip, payload.end());
+  rcv_nxt_ += static_cast<std::uint32_t>(deliverable.size());
+  // Drain contiguous out-of-order segments.
+  for (auto it = out_of_order_.begin(); it != out_of_order_.end();) {
+    if (it->first > rcv_nxt_) break;
+    std::uint32_t end = it->first + static_cast<std::uint32_t>(it->second.size());
+    if (end > rcv_nxt_) {
+      std::size_t offset = rcv_nxt_ - it->first;
+      deliverable.insert(deliverable.end(), it->second.begin() + offset,
+                         it->second.end());
+      rcv_nxt_ = end;
+    }
+    it = out_of_order_.erase(it);
+  }
+  send_ack();
+  if (on_receive_ && !deliverable.empty()) on_receive_(deliverable);
+}
+
+void TcpEndpoint::send_ack() {
+  Packet packet;
+  packet.tcp.seq = snd_nxt_;
+  packet.tcp.ack = rcv_nxt_;
+  packet.tcp.ack_flag = true;
+  out_.send(std::move(packet));
+}
+
+}  // namespace pqtls::tcp

@@ -1,0 +1,103 @@
+// Simplified TCP endpoint over the simulated link: 3-way handshake, MSS
+// segmentation, slow start from IW = 10 MSS, congestion avoidance, duplicate
+// ACK fast retransmit, and RFC 6298 retransmission timeouts. This is the
+// substrate behind the paper's key congestion finding: post-quantum
+// handshakes whose server flight exceeds the initial congestion window need
+// extra round trips (section 5.4).
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+
+namespace pqtls::tcp {
+
+inline constexpr std::size_t kInitialWindowSegments = 10;  // Linux IW10
+
+class TcpEndpoint {
+ public:
+  using ReceiveCallback = std::function<void(BytesView)>;
+  using ConnectedCallback = std::function<void()>;
+
+  TcpEndpoint(sim::EventLoop& loop, net::Link& out,
+              std::size_t initial_window_segments = kInitialWindowSegments);
+
+  void set_on_receive(ReceiveCallback cb) { on_receive_ = std::move(cb); }
+  void set_on_connected(ConnectedCallback cb) { on_connected_ = std::move(cb); }
+
+  /// Active open (client).
+  void connect();
+  /// Passive open (server).
+  void listen();
+  /// Queue application data; transmitted within the congestion window.
+  void send(BytesView data);
+  /// Graceful close: a FIN is sent once all queued data has been
+  /// transmitted and acknowledged.
+  void close();
+  /// Deliver a packet from the peer's link.
+  void on_packet(const net::Packet& packet);
+
+  bool established() const { return state_ == State::kEstablished; }
+  /// True once our FIN has been acknowledged and the peer's FIN received.
+  bool closed() const { return fin_acked_ && peer_fin_seen_; }
+  std::size_t retransmissions() const { return retransmissions_; }
+  double smoothed_rtt() const { return srtt_; }
+
+ private:
+  enum class State { kClosed, kListen, kSynSent, kSynReceived, kEstablished };
+
+  void maybe_send_fin();
+
+  void try_send();
+  void transmit(std::uint32_t seq, std::size_t len, bool syn, bool fin,
+                bool retransmit);
+  void send_ack();
+  void arm_rto();
+  void on_rto(std::uint64_t timer_generation);
+  void enter_established();
+  void handle_ack(const net::Packet& packet);
+  void handle_data(const net::Packet& packet);
+
+  sim::EventLoop& loop_;
+  net::Link& out_;
+  State state_ = State::kClosed;
+
+  // Send side. Sequence 0 is the SYN; application data starts at 1.
+  Bytes send_buffer_;          // all app bytes ever written
+  std::uint32_t snd_una_ = 0;  // lowest unacked sequence
+  std::uint32_t snd_nxt_ = 0;  // next sequence to transmit
+  double cwnd_ = 0;            // bytes
+  double ssthresh_ = 1e9;
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  std::uint32_t recovery_point_ = 0;
+
+  // RTT estimation (RFC 6298).
+  double srtt_ = 0;
+  double rttvar_ = 0;
+  double rto_ = 1.0;
+  bool rtt_sample_pending_ = false;
+  std::uint32_t rtt_sample_seq_ = 0;
+  double rtt_sample_time_ = 0;
+  std::uint64_t rto_generation_ = 0;
+  bool rto_armed_ = false;
+
+  // Receive side.
+  std::uint32_t rcv_nxt_ = 0;
+  std::map<std::uint32_t, Bytes> out_of_order_;
+  bool peer_syn_seen_ = false;
+
+  ReceiveCallback on_receive_;
+  ConnectedCallback on_connected_;
+  std::size_t retransmissions_ = 0;
+
+  // Teardown state.
+  bool close_requested_ = false;
+  bool fin_sent_ = false;
+  bool fin_acked_ = false;
+  bool peer_fin_seen_ = false;
+};
+
+}  // namespace pqtls::tcp

@@ -1,0 +1,415 @@
+#include "testbed/testbed.hpp"
+
+#include <chrono>
+#include <map>
+#include <stdexcept>
+
+#include "analysis/stats.hpp"
+#include "sim/event_loop.hpp"
+#include "tcp/tcp.hpp"
+
+namespace pqtls::testbed {
+
+namespace {
+
+using crypto::Drbg;
+using perf::Lib;
+using sim::EventLoop;
+
+// Per-connection harness overhead (socket churn, process loop) modeled after
+// the paper's observed cycle times (e.g. x25519/rsa:2048 completed 22.3k
+// handshakes in 60 s at a 1.7 ms median latency => ~0.9 ms per-connection
+// overhead on their testbed tooling).
+constexpr double kHarnessOverhead = 0.9e-3;
+// White-box bookkeeping constants for the harness-side categories.
+constexpr double kPythonPerHandshake = 120e-6;
+constexpr double kLibcPerHandshake = 40e-6;
+constexpr double kIxgbePerPacket = 1.5e-6;
+// Modeled in-kernel cost per received packet (interrupts, softirq, skb
+// handling) that the simulated TCP does not spend for real; the paper's
+// perf profiles attribute a substantial share to the kernel.
+constexpr double kKernelPerPacket = 15e-6;
+
+double elapsed_seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// A host couples a TLS endpoint with a TCP endpoint. Real compute time of
+// the TLS processing is measured and re-injected as virtual time: flights
+// are scheduled on the event loop at the offset at which they were produced.
+class Host {
+ public:
+  Host(EventLoop& loop, net::Link& out, perf::Profiler* profiler,
+       std::size_t initial_cwnd)
+      : loop_(loop), tcp_(loop, out, initial_cwnd), profiler_(profiler) {
+    tcp_.set_on_receive([this](BytesView data) { on_app_data(data); });
+  }
+
+  tcp::TcpEndpoint& tcp() { return tcp_; }
+
+  void set_client(std::unique_ptr<tls::ClientConnection> client) {
+    client_ = std::move(client);
+  }
+  void set_server(std::unique_ptr<tls::ServerConnection> server) {
+    server_ = std::move(server);
+  }
+
+  void start_client_handshake() {
+    run_measured([&](const tls::FlightSink& sink) { client_->start(sink); });
+  }
+
+  bool complete() const {
+    if (client_) return client_->handshake_complete();
+    if (server_) return server_->handshake_complete();
+    return false;
+  }
+  bool failed() const {
+    if (client_ && client_->failed()) return true;
+    if (server_ && server_->failed()) return true;
+    return false;
+  }
+
+  /// Wall time spent in TLS processing since the last call (lets the
+  /// harness separate in-kernel packet work from application time).
+  double take_app_wall() {
+    double v = app_wall_;
+    app_wall_ = 0;
+    return v;
+  }
+
+ private:
+  void on_app_data(BytesView data) {
+    // Single-core host model: if the previous computation (in virtual time)
+    // is still running, the newly arrived bytes wait — this is what makes a
+    // slow client decapsulation delay the client Finished even though the
+    // kernel already ACKed the packets.
+    if (loop_.now() < busy_until_) {
+      loop_.schedule_at(busy_until_,
+                        [this, copy = Bytes(data.begin(), data.end())]() {
+                          on_app_data(copy);
+                        });
+      return;
+    }
+    run_measured([&](const tls::FlightSink& sink) {
+      if (client_)
+        client_->on_data(data, sink);
+      else
+        server_->on_data(data, sink);
+    });
+  }
+
+  template <typename Fn>
+  void run_measured(Fn&& fn) {
+    auto t0 = std::chrono::steady_clock::now();
+    double crypto_before =
+        profiler_ ? profiler_->total(Lib::kLibcrypto) : 0.0;
+    std::vector<std::pair<double, Bytes>> flights;
+    fn([&](BytesView flight) {
+      flights.emplace_back(elapsed_seconds(t0),
+                           Bytes(flight.begin(), flight.end()));
+    });
+    double wall = elapsed_seconds(t0);
+    app_wall_ += wall;
+    busy_until_ = loop_.now() + wall;
+    if (profiler_) {
+      double crypto_delta =
+          profiler_->total(Lib::kLibcrypto) - crypto_before;
+      profiler_->add(Lib::kLibssl, std::max(0.0, wall - crypto_delta));
+    }
+    for (auto& [offset, bytes] : flights) {
+      loop_.schedule_in(offset, [this, data = std::move(bytes)]() {
+        if (profiler_) {
+          // Socket write / segmentation happens in the kernel.
+          perf::Scope scope(profiler_, Lib::kKernel);
+          tcp_.send(data);
+        } else {
+          tcp_.send(data);
+        }
+      });
+    }
+  }
+
+  EventLoop& loop_;
+  tcp::TcpEndpoint tcp_;
+  perf::Profiler* profiler_;
+  std::unique_ptr<tls::ClientConnection> client_;
+  std::unique_ptr<tls::ServerConnection> server_;
+  double busy_until_ = 0;
+  double app_wall_ = 0;
+};
+
+// Passive tap: reconstructs the paper's measurable events from packet
+// observations alone (no decryption): CH = first client payload packet,
+// SH = first server payload packet, Client Finished = first client payload
+// packet after the SH.
+class Timestamper {
+ public:
+  void on_client_packet(const net::Packet& p, double now) {
+    ++client_packets_;
+    client_bytes_ += p.wire_size();
+    if (p.payload.empty()) return;
+    if (t_ch_ < 0) {
+      t_ch_ = now;
+    } else if (t_sh_ >= 0) {
+      // Latest client payload before completion: the Client Finished (under
+      // HelloRetryRequest the retried ClientHello precedes it; the
+      // experiment loop stops at completion, so later traffic never lands
+      // here).
+      t_fin_ = now;
+    }
+  }
+  void on_server_packet(const net::Packet& p, double now) {
+    ++server_packets_;
+    server_bytes_ += p.wire_size();
+    if (p.payload.empty()) return;
+    if (t_ch_ >= 0 && t_sh_ < 0) t_sh_ = now;
+  }
+
+  double part_a() const { return t_sh_ - t_ch_; }
+  double part_b() const { return t_fin_ - t_sh_; }
+  double total() const { return t_fin_ - t_ch_; }
+  bool complete() const { return t_ch_ >= 0 && t_sh_ >= 0 && t_fin_ >= 0; }
+
+  std::size_t client_packets() const { return client_packets_; }
+  std::size_t server_packets() const { return server_packets_; }
+  std::size_t client_bytes() const { return client_bytes_; }
+  std::size_t server_bytes() const { return server_bytes_; }
+
+ private:
+  double t_ch_ = -1, t_sh_ = -1, t_fin_ = -1;
+  std::size_t client_packets_ = 0, server_packets_ = 0;
+  std::size_t client_bytes_ = 0, server_bytes_ = 0;
+};
+
+struct PkiMaterial {
+  pki::CertificateChain chain;
+  Bytes leaf_secret;
+  pki::Certificate root;
+};
+
+PkiMaterial setup_pki(const sig::Signer& sa, Drbg& rng) {
+  PkiMaterial out;
+  auto ca = pki::make_root_ca(sa, "pqtls-bench root CA", rng);
+  sig::SigKeyPair leaf = sa.generate_keypair(rng);
+  pki::Certificate leaf_cert = pki::issue_certificate(
+      ca, "pqtls-bench.example.net", sa.name(), leaf.public_key, rng);
+  // Only the leaf goes on the wire (the root is the client's pre-installed
+  // trust anchor); this matches the paper's measured server volumes, e.g.
+  // ~36 kB for sphincs128 = one certificate signature + the CV signature.
+  out.chain.certificates = {leaf_cert};
+  out.leaf_secret = leaf.secret_key;
+  out.root = ca.certificate;
+  return out;
+}
+
+// Certificate setup is expensive (RSA-4096 prime search, SPHINCS+ keygen)
+// and unrelated to the measured handshake, so the harness caches per
+// (SA, seed) — certificates were likewise pre-generated on the paper's
+// testbed. Single-threaded harness; no locking.
+const PkiMaterial& cached_pki(const sig::Signer& sa, std::uint64_t seed) {
+  static std::map<std::pair<std::string, std::uint64_t>, PkiMaterial> cache;
+  auto key = std::make_pair(sa.name(), seed);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    Drbg rng(seed);
+    Drbg pki_rng = rng.fork("pki:" + sa.name());
+    it = cache.emplace(key, setup_pki(sa, pki_rng)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& standard_scenarios() {
+  // Parameters from the paper's Table 4 footnotes: LTE-M over 15 km and a
+  // measured 5G deployment.
+  static const std::vector<Scenario> scenarios = {
+      {"No Emulation", {}},
+      {"High Loss (10%)", {.loss = 0.10, .delay_s = 0, .rate_bps = 0}},
+      {"Low Bandwidth (1 Mbit/s)", {.loss = 0, .delay_s = 0, .rate_bps = 1e6}},
+      {"High Delay (1s RTT)", {.loss = 0, .delay_s = 0.5, .rate_bps = 0}},
+      {"LTE-M", {.loss = 0.10, .delay_s = 0.1, .rate_bps = 1e6}},
+      {"5G", {.loss = 0.04, .delay_s = 0.022, .rate_bps = 880e6}},
+  };
+  return scenarios;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  const kem::Kem* ka = kem::find_kem(config.ka);
+  const sig::Signer* sa = sig::find_signer(config.sa);
+  if (!ka || !sa)
+    throw std::invalid_argument("unknown algorithm: " + config.ka + " / " +
+                                config.sa);
+
+  ExperimentResult result;
+  result.ka = config.ka;
+  result.sa = config.sa;
+
+  Drbg master(config.seed);
+  const PkiMaterial& pki = cached_pki(*sa, config.seed);
+
+  perf::Profiler server_profiler, client_profiler;
+  perf::Profiler* sp = config.white_box ? &server_profiler : nullptr;
+  perf::Profiler* cp = config.white_box ? &client_profiler : nullptr;
+
+  std::size_t total_client_packets = 0, total_server_packets = 0;
+
+  for (int i = 0; i < config.sample_handshakes; ++i) {
+    Drbg hs_rng = master.fork("handshake" + std::to_string(i));
+    EventLoop loop;
+    Timestamper tap;
+
+    net::Link c2s(loop, config.netem, hs_rng.fork("link-c2s"));
+    net::Link s2c(loop, config.netem, hs_rng.fork("link-s2c"));
+    c2s.set_tap([&](const net::Packet& p) { tap.on_client_packet(p, loop.now()); });
+    s2c.set_tap([&](const net::Packet& p) { tap.on_server_packet(p, loop.now()); });
+
+    Host client_host(loop, c2s, cp, config.initial_cwnd_segments);
+    Host server_host(loop, s2c, sp, config.initial_cwnd_segments);
+    // Kernel time = packet-processing wall time minus any nested TLS
+    // application time (which attributes itself to libcrypto/libssl).
+    c2s.set_deliver([&](const net::Packet& p) {
+      if (sp) {
+        auto t0 = std::chrono::steady_clock::now();
+        server_host.take_app_wall();
+        server_host.tcp().on_packet(p);
+        double wall = elapsed_seconds(t0);
+        sp->add(Lib::kKernel,
+                kKernelPerPacket +
+                    std::max(0.0, wall - server_host.take_app_wall()));
+      } else {
+        server_host.tcp().on_packet(p);
+      }
+    });
+    s2c.set_deliver([&](const net::Packet& p) {
+      if (cp) {
+        auto t0 = std::chrono::steady_clock::now();
+        client_host.take_app_wall();
+        client_host.tcp().on_packet(p);
+        double wall = elapsed_seconds(t0);
+        cp->add(Lib::kKernel,
+                kKernelPerPacket +
+                    std::max(0.0, wall - client_host.take_app_wall()));
+      } else {
+        client_host.tcp().on_packet(p);
+      }
+    });
+
+    tls::ClientConfig ccfg;
+    ccfg.ka = ka;
+    if (!config.client_wrong_guess.empty()) {
+      const kem::Kem* guess = kem::find_kem(config.client_wrong_guess);
+      if (!guess)
+        throw std::invalid_argument("unknown guess " + config.client_wrong_guess);
+      ccfg.ka = guess;             // precomputed share for the wrong group
+      ccfg.also_supported = {ka};  // forces a HelloRetryRequest
+    }
+    ccfg.sa = sa;
+    ccfg.root = pki.root;
+    tls::ServerConfig scfg;
+    scfg.ka = ka;
+    scfg.sa = sa;
+    scfg.chain = pki.chain;
+    scfg.leaf_secret_key = pki.leaf_secret;
+    scfg.buffering = config.buffering;
+
+    client_host.set_client(std::make_unique<tls::ClientConnection>(
+        ccfg, hs_rng.fork("client"), cp));
+    server_host.set_server(std::make_unique<tls::ServerConnection>(
+        scfg, hs_rng.fork("server"), sp));
+
+    // Client connects, then starts TLS once TCP is established.
+    server_host.tcp().listen();
+    client_host.tcp().set_on_connected(
+        [&]() { client_host.start_client_handshake(); });
+    double t_syn = loop.now();
+    client_host.tcp().connect();
+
+    // Run until both sides complete (bounded horizon: 120 virtual seconds).
+    double completed_at = -1;
+    while (loop.run_one()) {
+      if (client_host.failed() || server_host.failed()) break;
+      if (client_host.complete() && server_host.complete()) {
+        completed_at = loop.now();
+        break;
+      }
+      if (loop.now() > 120.0) break;
+    }
+    if (completed_at < 0 || !tap.complete()) continue;  // lost-sample
+
+    // Graceful teardown, as the sequential-handshake tooling does between
+    // connections; the FIN/ACK exchange counts toward the PCAP byte totals.
+    client_host.tcp().close();
+    server_host.tcp().close();
+    loop.run(completed_at + 2.0);
+
+    HandshakeSample sample;
+    sample.part_a = tap.part_a();
+    sample.part_b = tap.part_b();
+    sample.total = tap.total();
+    sample.cycle = completed_at - t_syn;
+    sample.client_bytes = tap.client_bytes();
+    sample.server_bytes = tap.server_bytes();
+    sample.client_packets = tap.client_packets();
+    sample.server_packets = tap.server_packets();
+    result.samples.push_back(sample);
+    total_client_packets += tap.client_packets();
+    total_server_packets += tap.server_packets();
+
+    if (config.white_box) {
+      server_profiler.add(Lib::kPython, kPythonPerHandshake);
+      client_profiler.add(Lib::kPython, kPythonPerHandshake);
+      server_profiler.add(Lib::kLibc, kLibcPerHandshake);
+      client_profiler.add(Lib::kLibc, kLibcPerHandshake);
+      server_profiler.add(Lib::kIxgbe,
+                          kIxgbePerPacket * static_cast<double>(
+                                                tap.server_packets()));
+      client_profiler.add(Lib::kIxgbe,
+                          kIxgbePerPacket * static_cast<double>(
+                                                tap.client_packets()));
+    }
+  }
+
+  if (result.samples.empty()) return result;
+  result.ok = true;
+
+  std::vector<double> part_a, part_b, total, cycles, cbytes, sbytes;
+  for (const auto& s : result.samples) {
+    part_a.push_back(s.part_a);
+    part_b.push_back(s.part_b);
+    total.push_back(s.total);
+    cycles.push_back(s.cycle);
+    cbytes.push_back(static_cast<double>(s.client_bytes));
+    sbytes.push_back(static_cast<double>(s.server_bytes));
+  }
+  result.median_part_a = analysis::median(part_a);
+  result.median_part_b = analysis::median(part_b);
+  result.median_total = analysis::median(total);
+  result.client_bytes = static_cast<std::size_t>(analysis::median(cbytes));
+  result.server_bytes = static_cast<std::size_t>(analysis::median(sbytes));
+
+  double mean_cycle = analysis::mean(cycles) + kHarnessOverhead;
+  result.total_handshakes_60s = static_cast<long>(60.0 / mean_cycle);
+  result.handshakes_per_second = 1.0 / mean_cycle;
+
+  if (config.white_box) {
+    double n = static_cast<double>(result.samples.size());
+    result.server_cpu_ms = server_profiler.total() / n * 1e3;
+    result.client_cpu_ms = client_profiler.total() / n * 1e3;
+    for (int lib = 0; lib < static_cast<int>(Lib::kCount); ++lib) {
+      result.server_shares.share[lib] =
+          server_profiler.share(static_cast<Lib>(lib));
+      result.client_shares.share[lib] =
+          client_profiler.share(static_cast<Lib>(lib));
+    }
+    double n_samples = static_cast<double>(result.samples.size());
+    result.client_packets =
+        static_cast<double>(total_client_packets) / n_samples;
+    result.server_packets =
+        static_cast<double>(total_server_packets) / n_samples;
+  }
+  return result;
+}
+
+}  // namespace pqtls::testbed

@@ -1,0 +1,143 @@
+// TLS 1.3 handshake state machines (1-RTT, server-authenticated), generic
+// over the KEM (key agreement) and signature algorithm — the system under
+// measurement in the paper. The server implements both OpenSSL message-
+// buffering behaviours analysed in the paper's section 4: the default
+// 4096-byte internal buffer (flushed when exceeded or when the
+// CertificateVerify flight completes) and the optimized immediate mode that
+// pushes ServerHello and Certificate as soon as they are computed.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "kem/kem.hpp"
+#include "perf/profiler.hpp"
+#include "pki/certificate.hpp"
+#include "sig/sig.hpp"
+#include "tls/key_schedule.hpp"
+#include "tls/record_layer.hpp"
+
+namespace pqtls::tls {
+
+/// Server message-assembly behaviour (paper section 4).
+enum class Buffering {
+  kDefault,    // buffer until CertificateVerify; flush on 4096 B overflow
+  kImmediate,  // push ServerHello and Certificate as soon as computed
+};
+
+struct ServerConfig {
+  const kem::Kem* ka = nullptr;
+  const sig::Signer* sa = nullptr;
+  pki::CertificateChain chain;  // leaf first (leaf + issuing root)
+  Bytes leaf_secret_key;
+  Buffering buffering = Buffering::kImmediate;
+  std::size_t buffer_limit = 4096;
+};
+
+struct ClientConfig {
+  /// Group the client pre-computes its key share for (the 1-RTT guess).
+  const kem::Kem* ka = nullptr;
+  /// Further groups advertised in supported_groups without a key share; if
+  /// the server insists on one of these, it answers with HelloRetryRequest
+  /// and the handshake costs a second round trip (the paper configured its
+  /// measurements so this never happened; bench/ablation_hrr measures it).
+  std::vector<const kem::Kem*> also_supported;
+  const sig::Signer* sa = nullptr;  // expected server SA
+  pki::Certificate root;            // trust anchor
+  std::uint64_t now = 1'800'000'000;
+};
+
+/// Receives output flights; each call corresponds to one TCP write (the
+/// harness timestamps calls to attribute compute time between flights).
+using FlightSink = std::function<void(BytesView)>;
+
+class ClientConnection {
+ public:
+  ClientConnection(const ClientConfig& config, crypto::Drbg rng,
+                   perf::Profiler* profiler = nullptr);
+
+  /// Emit the ClientHello flight.
+  void start(const FlightSink& sink);
+  /// Feed transport bytes; may emit the client Finished flight.
+  void on_data(BytesView data, const FlightSink& sink);
+
+  bool handshake_complete() const { return state_ == State::kComplete; }
+  bool failed() const { return state_ == State::kFailed; }
+  const Bytes& exporter_secret() const { return key_schedule_.client_application_traffic(); }
+
+ private:
+  enum class State {
+    kStart,
+    kWaitServerHello,
+    kWaitEncryptedExtensions,
+    kWaitCertificate,
+    kWaitCertificateVerify,
+    kWaitFinished,
+    kComplete,
+    kFailed,
+  };
+
+  void handle_handshake_message(std::uint8_t type, BytesView body,
+                                BytesView full, const FlightSink& sink);
+  void fail() { state_ = State::kFailed; }
+  /// Abort with a fatal handshake_failure alert on the wire.
+  void fail_alert(const FlightSink& sink);
+
+  void send_client_hello(const FlightSink& sink);
+
+  ClientConfig config_;
+  crypto::Drbg rng_;
+  perf::Profiler* profiler_;
+  State state_ = State::kStart;
+  RecordLayer records_;
+  KeySchedule key_schedule_;
+  const kem::Kem* active_ka_ = nullptr;  // after HRR may differ from config
+  Bytes kem_secret_key_;
+  Bytes handshake_buffer_;  // handshake-message reassembly
+  pki::CertificateChain peer_chain_;
+  bool hrr_seen_ = false;
+};
+
+class ServerConnection {
+ public:
+  ServerConnection(const ServerConfig& config, crypto::Drbg rng,
+                   perf::Profiler* profiler = nullptr);
+
+  /// Feed transport bytes; emits server flights and completes on client
+  /// Finished.
+  void on_data(BytesView data, const FlightSink& sink);
+
+  bool handshake_complete() const { return state_ == State::kComplete; }
+  bool failed() const { return state_ == State::kFailed; }
+
+ private:
+  enum class State {
+    kWaitClientHello,
+    kWaitClientFinished,
+    kComplete,
+    kFailed,
+  };
+
+  void handle_client_hello(BytesView body, BytesView full,
+                           const FlightSink& sink);
+  void handle_handshake_message(std::uint8_t type, BytesView body,
+                                BytesView full, const FlightSink& sink);
+  // Buffered-send helpers implementing the two OpenSSL behaviours.
+  void queue(Bytes record_bytes, const FlightSink& sink, bool message_done);
+  void flush(const FlightSink& sink);
+  void fail() { state_ = State::kFailed; }
+  /// Abort with a fatal handshake_failure alert on the wire.
+  void fail_alert(const FlightSink& sink);
+
+  ServerConfig config_;
+  crypto::Drbg rng_;
+  perf::Profiler* profiler_;
+  State state_ = State::kWaitClientHello;
+  RecordLayer records_;
+  KeySchedule key_schedule_;
+  Bytes handshake_buffer_;
+  Bytes pending_;  // output buffer (default mode)
+  bool hrr_sent_ = false;
+};
+
+}  // namespace pqtls::tls

@@ -1,0 +1,80 @@
+#include "tls/key_schedule.hpp"
+
+#include "tls/wire.hpp"
+
+namespace pqtls::tls {
+
+using crypto::hkdf_expand_sha256;
+using crypto::hkdf_extract_sha256;
+
+Bytes hkdf_expand_label(BytesView secret, std::string_view label,
+                        BytesView context, std::size_t length) {
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(length));
+  std::string full_label = "tls13 " + std::string(label);
+  w.vec8(BytesView{reinterpret_cast<const std::uint8_t*>(full_label.data()),
+                   full_label.size()});
+  w.vec8(context);
+  return hkdf_expand_sha256(secret, w.buffer(), length);
+}
+
+Bytes derive_secret(BytesView secret, std::string_view label,
+                    BytesView transcript_hash) {
+  return hkdf_expand_label(secret, label, transcript_hash, 32);
+}
+
+TrafficKeys derive_traffic_keys(BytesView traffic_secret) {
+  TrafficKeys keys;
+  keys.key = hkdf_expand_label(traffic_secret, "key", {}, 16);
+  keys.iv = hkdf_expand_label(traffic_secret, "iv", {}, 12);
+  return keys;
+}
+
+KeySchedule::KeySchedule() = default;
+
+void KeySchedule::update_transcript(BytesView message) {
+  transcript_.update(message);
+  append(transcript_snapshot_, message);
+}
+
+Bytes KeySchedule::transcript_hash() const {
+  return crypto::sha256(transcript_snapshot_);
+}
+
+void KeySchedule::convert_to_hrr_transcript() {
+  Bytes hash = crypto::sha256(transcript_snapshot_);
+  transcript_snapshot_.clear();
+  transcript_ .reset();
+  Bytes message_hash = {254, 0, 0, 32};  // HandshakeType message_hash
+  append(message_hash, hash);
+  update_transcript(message_hash);
+}
+
+void KeySchedule::derive_handshake_secrets(BytesView shared_secret) {
+  Bytes zeros(32, 0);
+  Bytes early_secret = hkdf_extract_sha256({}, zeros);
+  Bytes empty_hash = crypto::sha256({});
+  Bytes derived = derive_secret(early_secret, "derived", empty_hash);
+  handshake_secret_ = hkdf_extract_sha256(derived, shared_secret);
+  Bytes th = transcript_hash();
+  client_hs_ = derive_secret(handshake_secret_, "c hs traffic", th);
+  server_hs_ = derive_secret(handshake_secret_, "s hs traffic", th);
+}
+
+void KeySchedule::derive_application_secrets() {
+  Bytes empty_hash = crypto::sha256({});
+  Bytes derived = derive_secret(handshake_secret_, "derived", empty_hash);
+  Bytes zeros(32, 0);
+  master_secret_ = hkdf_extract_sha256(derived, zeros);
+  Bytes th = transcript_hash();
+  client_app_ = derive_secret(master_secret_, "c ap traffic", th);
+  server_app_ = derive_secret(master_secret_, "s ap traffic", th);
+}
+
+Bytes KeySchedule::finished_verify_data(BytesView traffic_secret,
+                                        BytesView th) const {
+  Bytes finished_key = hkdf_expand_label(traffic_secret, "finished", {}, 32);
+  return crypto::hmac_sha256(finished_key, th);
+}
+
+}  // namespace pqtls::tls

@@ -1,0 +1,63 @@
+// RFC 8446 section 7.1 key schedule with HKDF-SHA256, plus the transcript
+// hash and traffic-key derivation for AES-128-GCM record protection.
+#pragma once
+
+#include "crypto/sha2.hpp"
+
+namespace pqtls::tls {
+
+/// HKDF-Expand-Label (RFC 8446 7.1).
+Bytes hkdf_expand_label(BytesView secret, std::string_view label,
+                        BytesView context, std::size_t length);
+
+/// Derive-Secret.
+Bytes derive_secret(BytesView secret, std::string_view label,
+                    BytesView transcript_hash);
+
+struct TrafficKeys {
+  Bytes key;  // 16 bytes (AES-128-GCM)
+  Bytes iv;   // 12 bytes
+};
+
+TrafficKeys derive_traffic_keys(BytesView traffic_secret);
+
+/// The staged TLS 1.3 key schedule.
+class KeySchedule {
+ public:
+  KeySchedule();
+
+  /// Feed handshake messages (header + body) into the transcript.
+  void update_transcript(BytesView message);
+  Bytes transcript_hash() const;
+
+  /// HelloRetryRequest transcript surgery (RFC 8446 4.4.1): replace the
+  /// transcript-so-far (ClientHello1) with a synthetic message_hash message
+  /// containing its hash.
+  void convert_to_hrr_transcript();
+
+  /// Mix in the (EC)DHE/KEM shared secret after ServerHello; derives the
+  /// client/server handshake traffic secrets from the current transcript.
+  void derive_handshake_secrets(BytesView shared_secret);
+  /// Derive application traffic secrets (transcript through server Finished).
+  void derive_application_secrets();
+
+  const Bytes& client_handshake_traffic() const { return client_hs_; }
+  const Bytes& server_handshake_traffic() const { return server_hs_; }
+  const Bytes& client_application_traffic() const { return client_app_; }
+  const Bytes& server_application_traffic() const { return server_app_; }
+
+  /// finished_key = HKDF-Expand-Label(traffic_secret, "finished", "", 32);
+  /// verify_data = HMAC(finished_key, transcript_hash).
+  Bytes finished_verify_data(BytesView traffic_secret,
+                             BytesView transcript_hash) const;
+
+ private:
+  crypto::Sha256 transcript_;
+  Bytes transcript_snapshot_;  // running raw transcript (for re-hash)
+  Bytes handshake_secret_;
+  Bytes master_secret_;
+  Bytes client_hs_, server_hs_;
+  Bytes client_app_, server_app_;
+};
+
+}  // namespace pqtls::tls

@@ -1,0 +1,92 @@
+#include "tls/record_layer.hpp"
+
+#include "tls/wire.hpp"
+
+namespace pqtls::tls {
+
+namespace {
+constexpr std::uint16_t kLegacyVersion = 0x0303;
+}
+
+void RecordLayer::set_write_keys(const TrafficKeys& keys) {
+  write_aead_ = std::make_unique<crypto::AesGcm>(keys.key);
+  write_iv_ = keys.iv;
+  write_seq_ = 0;
+}
+
+void RecordLayer::set_read_keys(const TrafficKeys& keys) {
+  read_aead_ = std::make_unique<crypto::AesGcm>(keys.key);
+  read_iv_ = keys.iv;
+  read_seq_ = 0;
+}
+
+Bytes RecordLayer::next_nonce(Bytes iv, std::uint64_t seq) const {
+  for (int i = 0; i < 8; ++i)
+    iv[iv.size() - 1 - i] ^= static_cast<std::uint8_t>(seq >> (8 * i));
+  return iv;
+}
+
+Bytes RecordLayer::seal(ContentType type, BytesView payload) {
+  Bytes out;
+  std::size_t offset = 0;
+  do {
+    std::size_t take = std::min(kMaxFragment, payload.size() - offset);
+    BytesView fragment = payload.subspan(offset, take);
+    Writer w;
+    if (write_aead_ && type != ContentType::kChangeCipherSpec) {
+      // TLSInnerPlaintext: fragment || real type; outer type 23.
+      Bytes inner(fragment.begin(), fragment.end());
+      inner.push_back(static_cast<std::uint8_t>(type));
+      Bytes nonce = next_nonce(write_iv_, write_seq_++);
+      // Additional data: outer header.
+      Writer aad;
+      aad.u8(static_cast<std::uint8_t>(ContentType::kApplicationData));
+      aad.u16(kLegacyVersion);
+      aad.u16(static_cast<std::uint16_t>(inner.size() + crypto::AesGcm::kTagSize));
+      Bytes ct = write_aead_->seal(nonce, aad.buffer(), inner);
+      w.u8(static_cast<std::uint8_t>(ContentType::kApplicationData));
+      w.u16(kLegacyVersion);
+      w.vec16(ct);
+    } else {
+      w.u8(static_cast<std::uint8_t>(type));
+      w.u16(kLegacyVersion);
+      w.vec16(fragment);
+    }
+    append(out, w.buffer());
+    offset += take;
+  } while (offset < payload.size());
+  return out;
+}
+
+void RecordLayer::feed(BytesView data) { append(input_, data); }
+
+std::optional<Record> RecordLayer::pop() {
+  if (failed_ || input_.size() < 5) return std::nullopt;
+  std::size_t len = (std::size_t{input_[3]} << 8) | input_[4];
+  if (input_.size() < 5 + len) return std::nullopt;
+  auto type = static_cast<ContentType>(input_[0]);
+  Bytes payload(input_.begin() + 5, input_.begin() + 5 + len);
+  Bytes header(input_.begin(), input_.begin() + 5);
+  input_.erase(input_.begin(), input_.begin() + 5 + len);
+
+  if (read_aead_ && type == ContentType::kApplicationData) {
+    Bytes nonce = next_nonce(read_iv_, read_seq_++);
+    auto inner = read_aead_->open(nonce, header, payload);
+    if (!inner) {
+      failed_ = true;
+      return std::nullopt;
+    }
+    // Strip zero padding, recover inner type.
+    while (!inner->empty() && inner->back() == 0) inner->pop_back();
+    if (inner->empty()) {
+      failed_ = true;
+      return std::nullopt;
+    }
+    auto real_type = static_cast<ContentType>(inner->back());
+    inner->pop_back();
+    return Record{real_type, std::move(*inner)};
+  }
+  return Record{type, std::move(payload)};
+}
+
+}  // namespace pqtls::tls

@@ -1,0 +1,60 @@
+// TLS record framing and AEAD protection (RFC 8446 section 5): plaintext
+// records before keys are installed, AES-128-GCM protected records after,
+// with per-direction sequence numbers and inner content types.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "crypto/aes.hpp"
+#include "tls/key_schedule.hpp"
+
+namespace pqtls::tls {
+
+enum class ContentType : std::uint8_t {
+  kChangeCipherSpec = 20,
+  kAlert = 21,
+  kHandshake = 22,
+  kApplicationData = 23,
+};
+
+struct Record {
+  ContentType type;
+  Bytes payload;
+};
+
+/// Maximum plaintext fragment per record.
+inline constexpr std::size_t kMaxFragment = 16384;
+
+class RecordLayer {
+ public:
+  /// Frame (and if write keys are installed, encrypt) a payload, splitting
+  /// into multiple records when it exceeds the fragment limit.
+  Bytes seal(ContentType type, BytesView payload);
+
+  /// Install protection keys.
+  void set_write_keys(const TrafficKeys& keys);
+  void set_read_keys(const TrafficKeys& keys);
+  bool read_protected() const { return read_aead_ != nullptr; }
+
+  /// Feed raw transport bytes; complete records become poppable.
+  void feed(BytesView data);
+  /// Pop the next complete record (decrypted if read keys are installed).
+  /// nullopt when no complete record is buffered; sets failed() on MAC or
+  /// framing errors.
+  std::optional<Record> pop();
+  bool failed() const { return failed_; }
+
+ private:
+  Bytes next_nonce(Bytes iv, std::uint64_t seq) const;
+
+  std::unique_ptr<crypto::AesGcm> write_aead_;
+  std::unique_ptr<crypto::AesGcm> read_aead_;
+  Bytes write_iv_, read_iv_;
+  std::uint64_t write_seq_ = 0, read_seq_ = 0;
+  Bytes input_;
+  bool failed_ = false;
+};
+
+}  // namespace pqtls::tls

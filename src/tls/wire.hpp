@@ -1,0 +1,106 @@
+// Byte-level writer/reader for TLS wire structures (RFC 8446 presentation
+// language: fixed-width integers and length-prefixed vectors).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "crypto/bytes.hpp"
+
+namespace pqtls::tls {
+
+class Writer {
+ public:
+  Bytes& buffer() { return out_; }
+  const Bytes& buffer() const { return out_; }
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u24(std::uint32_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 16));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void raw(BytesView data) { append(out_, data); }
+  /// Length-prefixed vector (prefix of 1, 2, or 3 bytes).
+  void vec8(BytesView data) {
+    u8(static_cast<std::uint8_t>(data.size()));
+    raw(data);
+  }
+  void vec16(BytesView data) {
+    u16(static_cast<std::uint16_t>(data.size()));
+    raw(data);
+  }
+  void vec24(BytesView data) {
+    u24(static_cast<std::uint32_t>(data.size()));
+    raw(data);
+  }
+
+ private:
+  Bytes out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  bool failed() const { return failed_; }
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u24() {
+    if (!need(3)) return 0;
+    std::uint32_t v = (std::uint32_t{data_[pos_]} << 16) |
+                      (std::uint32_t{data_[pos_ + 1]} << 8) | data_[pos_ + 2];
+    pos_ += 3;
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+  Bytes raw(std::size_t len) {
+    if (!need(len)) return {};
+    Bytes out(data_.begin() + pos_, data_.begin() + pos_ + len);
+    pos_ += len;
+    return out;
+  }
+  Bytes vec8() { return raw(u8()); }
+  Bytes vec16() { return raw(u16()); }
+  Bytes vec24() { return raw(u24()); }
+  void skip(std::size_t len) {
+    if (need(len)) pos_ += len;
+  }
+
+ private:
+  bool need(std::size_t len) {
+    if (failed_ || pos_ + len > data_.size()) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace pqtls::tls

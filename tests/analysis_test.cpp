@@ -1,0 +1,105 @@
+// Unit tests for the analysis module: statistics, the Figure-3 deviation
+// analysis, and the Figure-4 ranking.
+#include <gtest/gtest.h>
+
+#include "analysis/deviation.hpp"
+#include "analysis/ranking.hpp"
+#include "analysis/stats.hpp"
+
+namespace pqtls::analysis {
+namespace {
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(median({7}), 7.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, MedianIsRobustToOutliers) {
+  EXPECT_DOUBLE_EQ(median({1, 2, 3, 4, 1000000}), 3.0);
+}
+
+TEST(Stats, MeanAndStddev) {
+  std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(stddev(v), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(stddev({42}), 0.0);
+}
+
+TEST(Stats, Percentiles) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  EXPECT_NEAR(percentile(v, 0), 1.0, 1e-9);
+  EXPECT_NEAR(percentile(v, 50), 50.5, 1e-9);
+  EXPECT_NEAR(percentile(v, 100), 100.0, 1e-9);
+  EXPECT_NEAR(percentile(v, 90), 90.1, 0.2);
+}
+
+TEST(Deviation, ZeroWhenPerfectlyIndependent) {
+  // Construct a table where M(k,s) = base + cost(k) + cost(s): independence
+  // holds exactly, so every deviation must be zero.
+  LatencyTable table;
+  auto m = [](double k_cost, double s_cost) { return 1.0 + k_cost + s_cost; };
+  table[{"x25519", "rsa:2048"}] = m(0, 0);
+  table[{"kyber", "rsa:2048"}] = m(0.2, 0);
+  table[{"x25519", "dil"}] = m(0, 0.5);
+  table[{"kyber", "dil"}] = m(0.2, 0.5);
+  auto cells = deviation_analysis(table, {{"kyber", "dil"}});
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_NEAR(cells[0].deviation, 0.0, 1e-12);
+  EXPECT_NEAR(cells[0].expected, cells[0].measured, 1e-12);
+}
+
+TEST(Deviation, PositiveWhenFasterThanPredicted) {
+  LatencyTable table;
+  table[{"x25519", "rsa:2048"}] = 1.0;
+  table[{"bike", "rsa:2048"}] = 2.0;
+  table[{"x25519", "sphincs"}] = 10.0;
+  table[{"bike", "sphincs"}] = 9.5;  // parallelism made the combo faster
+  auto cells = deviation_analysis(table, {{"bike", "sphincs"}});
+  // E = 2 + 10 - 1 = 11; deviation = 11 - 9.5 = +1.5.
+  EXPECT_NEAR(cells[0].expected, 11.0, 1e-12);
+  EXPECT_NEAR(cells[0].deviation, 1.5, 1e-12);
+}
+
+TEST(Deviation, MissingMeasurementThrows) {
+  LatencyTable table;
+  table[{"x25519", "rsa:2048"}] = 1.0;
+  EXPECT_THROW(deviation_analysis(table, {{"kyber", "dil"}}),
+               std::invalid_argument);
+}
+
+TEST(Ranking, FastestGetsBucketZeroSlowestTen) {
+  auto ranked = rank_by_latency({{"fast", 0.001}, {"mid", 0.01}, {"slow", 0.1}});
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].name, "fast");
+  EXPECT_EQ(ranked[0].rank, 0);
+  EXPECT_EQ(ranked[1].name, "mid");
+  EXPECT_EQ(ranked[1].rank, 5);  // log-middle of a 100x span
+  EXPECT_EQ(ranked[2].name, "slow");
+  EXPECT_EQ(ranked[2].rank, 10);
+}
+
+TEST(Ranking, LogScaleNotLinear) {
+  // 1, 10, 100: log-equidistant, so buckets 0 / 5 / 10 — linear scaling
+  // would put 10 at bucket 1.
+  auto ranked = rank_by_latency({{"a", 1}, {"b", 10}, {"c", 100}});
+  EXPECT_EQ(ranked[1].rank, 5);
+}
+
+TEST(Ranking, EqualLatenciesShareBucketZero) {
+  auto ranked = rank_by_latency({{"a", 5.0}, {"b", 5.0}});
+  EXPECT_EQ(ranked[0].rank, 0);
+  EXPECT_EQ(ranked[1].rank, 0);
+}
+
+TEST(Ranking, RenderGroupsByBucket) {
+  auto ranked = rank_by_latency({{"a", 1}, {"b", 1}, {"c", 100}});
+  std::string out = render_ranking(ranked);
+  EXPECT_NE(out.find("[0] a b"), std::string::npos);
+  EXPECT_NE(out.find("[10] c"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pqtls::analysis

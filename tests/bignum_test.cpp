@@ -1,0 +1,176 @@
+// BigInt / Montgomery property and edge-case tests — the substrate under
+// RSA and the NIST curves.
+#include <gtest/gtest.h>
+
+#include "crypto/bignum.hpp"
+
+namespace pqtls::crypto {
+namespace {
+
+Drbg& rng() {
+  static Drbg r(0xB16);
+  return r;
+}
+
+class BignumPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BignumPropertyTest, AdditionCommutesAndAssociates) {
+  std::size_t bits = GetParam();
+  BigInt a = BigInt::random_bits(rng(), bits);
+  BigInt b = BigInt::random_bits(rng(), bits);
+  BigInt c = BigInt::random_bits(rng(), bits / 2 + 1);
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+}
+
+TEST_P(BignumPropertyTest, SubtractionInvertsAddition) {
+  std::size_t bits = GetParam();
+  BigInt a = BigInt::random_bits(rng(), bits);
+  BigInt b = BigInt::random_bits(rng(), bits);
+  EXPECT_EQ((a + b) - b, a);
+  EXPECT_EQ((a + b) - a, b);
+}
+
+TEST_P(BignumPropertyTest, MultiplicationDistributes) {
+  std::size_t bits = GetParam();
+  BigInt a = BigInt::random_bits(rng(), bits);
+  BigInt b = BigInt::random_bits(rng(), bits);
+  BigInt c = BigInt::random_bits(rng(), bits);
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ(a * b, b * a);
+}
+
+TEST_P(BignumPropertyTest, DivModReconstructs) {
+  std::size_t bits = GetParam();
+  BigInt n = BigInt::random_bits(rng(), 2 * bits);
+  BigInt d = BigInt::random_bits(rng(), bits);
+  auto dm = BigInt::divmod(n, d);
+  EXPECT_EQ(dm.quotient * d + dm.remainder, n);
+  EXPECT_TRUE(dm.remainder < d);
+}
+
+TEST_P(BignumPropertyTest, ShiftsAreMultiplication) {
+  std::size_t bits = GetParam();
+  BigInt a = BigInt::random_bits(rng(), bits);
+  for (std::size_t s : {std::size_t{1}, std::size_t{13}, std::size_t{64},
+                        std::size_t{65}, std::size_t{130}}) {
+    BigInt two_s = BigInt{1} << s;
+    EXPECT_EQ(a << s, a * two_s) << "shift " << s;
+    EXPECT_EQ((a << s) >> s, a) << "shift " << s;
+  }
+}
+
+TEST_P(BignumPropertyTest, BytesCodecRoundTrip) {
+  std::size_t bits = GetParam();
+  BigInt a = BigInt::random_bits(rng(), bits);
+  Bytes be = a.to_bytes_be();
+  EXPECT_EQ(BigInt::from_bytes_be(be), a);
+  // Zero-padded round trip too.
+  Bytes padded = a.to_bytes_be(be.size() + 7);
+  EXPECT_EQ(BigInt::from_bytes_be(padded), a);
+}
+
+TEST_P(BignumPropertyTest, ModPowMatchesRepeatedMultiplication) {
+  std::size_t bits = GetParam();
+  BigInt m = BigInt::random_bits(rng(), bits);
+  if (!m.is_odd()) m = m + BigInt{1};
+  BigInt base = BigInt::random_below(rng(), m);
+  BigInt acc{1};
+  for (int e = 0; e < 17; ++e) {
+    EXPECT_EQ(BigInt::mod_pow(base, BigInt{static_cast<std::uint64_t>(e)}, m),
+              acc)
+        << "exponent " << e;
+    acc = BigInt::mod_mul(acc, base, m);
+  }
+}
+
+TEST_P(BignumPropertyTest, ModInverseIsInverse) {
+  std::size_t bits = GetParam();
+  BigInt m = BigInt::random_bits(rng(), bits);
+  if (!m.is_odd()) m = m + BigInt{1};
+  for (int i = 0; i < 5; ++i) {
+    BigInt a = BigInt::random_below(rng(), m);
+    if (a.is_zero()) continue;
+    BigInt inv = BigInt::mod_inverse(a, m);
+    if (inv.is_zero()) continue;  // not coprime
+    EXPECT_EQ(BigInt::mod_mul(a, inv, m), BigInt{1});
+  }
+}
+
+TEST_P(BignumPropertyTest, MontgomeryMatchesPlainArithmetic) {
+  std::size_t bits = GetParam();
+  BigInt m = BigInt::random_bits(rng(), bits);
+  if (!m.is_odd()) m = m + BigInt{1};
+  Montgomery mont(m);
+  BigInt a = BigInt::random_below(rng(), m);
+  BigInt b = BigInt::random_below(rng(), m);
+  BigInt via_mont = mont.mul(mont.to_mont(a), mont.to_mont(b));
+  EXPECT_EQ(mont.from_mont(via_mont), BigInt::mod_mul(a, b, m));
+  BigInt e = BigInt::random_bits(rng(), 64);
+  EXPECT_EQ(mont.pow(a, e), BigInt::mod_pow(a, e, m));
+}
+
+INSTANTIATE_TEST_SUITE_P(BitSizes, BignumPropertyTest,
+                         ::testing::Values(16, 63, 64, 65, 127, 256, 521,
+                                           1024));
+
+TEST(Bignum, ZeroAndOneBehave) {
+  BigInt zero{}, one{1};
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.bit_length(), 0u);
+  EXPECT_EQ(one.bit_length(), 1u);
+  EXPECT_EQ(zero + one, one);
+  EXPECT_EQ(one - one, zero);
+  EXPECT_EQ(zero * one, zero);
+  EXPECT_TRUE(zero < one);
+}
+
+TEST(Bignum, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigInt{1} - BigInt{2}, std::underflow_error);
+}
+
+TEST(Bignum, DivisionByZeroThrows) {
+  EXPECT_THROW(BigInt::divmod(BigInt{5}, BigInt{}), std::domain_error);
+}
+
+TEST(Bignum, HexRoundTrip) {
+  BigInt v = BigInt::from_hex("deadbeefcafebabe0123456789abcdef");
+  EXPECT_EQ(v.to_hex(), "deadbeefcafebabe0123456789abcdef");
+  EXPECT_EQ(BigInt::from_hex("0").to_hex(), "00");
+}
+
+TEST(Bignum, KnownPrimesPassMillerRabin) {
+  Drbg r(5);
+  // Mersenne prime 2^127 - 1 and some small primes/composites.
+  BigInt m127 = (BigInt{1} << 127) - BigInt{1};
+  EXPECT_TRUE(m127.is_probable_prime(r));
+  EXPECT_TRUE(BigInt{65537}.is_probable_prime(r));
+  EXPECT_FALSE(BigInt{65536}.is_probable_prime(r));
+  EXPECT_FALSE((BigInt{65537} * BigInt{65537}).is_probable_prime(r));
+  // Carmichael number 561 = 3 * 11 * 17 must be caught.
+  EXPECT_FALSE(BigInt{561}.is_probable_prime(r));
+}
+
+TEST(Bignum, GeneratePrimeHasRequestedSize) {
+  Drbg r(6);
+  BigInt p = BigInt::generate_prime(r, 128);
+  EXPECT_EQ(p.bit_length(), 128u);
+  EXPECT_TRUE(p.is_probable_prime(r));
+  EXPECT_TRUE(p.is_odd());
+}
+
+TEST(Bignum, GcdBasics) {
+  EXPECT_EQ(BigInt::gcd(BigInt{12}, BigInt{18}), BigInt{6});
+  EXPECT_EQ(BigInt::gcd(BigInt{17}, BigInt{5}), BigInt{1});
+  EXPECT_EQ(BigInt::gcd(BigInt{0} + BigInt{7}, BigInt{7}), BigInt{7});
+}
+
+TEST(Bignum, RandomBelowIsBelow) {
+  Drbg r(7);
+  BigInt bound = BigInt::from_hex("10000000000000001");
+  for (int i = 0; i < 50; ++i)
+    EXPECT_TRUE(BigInt::random_below(r, bound) < bound);
+}
+
+}  // namespace
+}  // namespace pqtls::crypto

@@ -1,0 +1,143 @@
+// Known-answer tests for the hash/MAC/KDF primitives against published
+// vectors (FIPS 180-4, FIPS 202, RFC 4231, RFC 5869).
+#include <gtest/gtest.h>
+
+#include "crypto/bytes.hpp"
+#include "crypto/keccak.hpp"
+#include "crypto/sha2.hpp"
+
+namespace pqtls::crypto {
+namespace {
+
+Bytes ascii(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(sha256({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(sha256(ascii("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(sha256(ascii(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Bytes msg(317);
+  for (std::size_t i = 0; i < msg.size(); ++i) msg[i] = static_cast<std::uint8_t>(i);
+  Sha256 h;
+  h.update(BytesView{msg}.subspan(0, 100));
+  h.update(BytesView{msg}.subspan(100, 17));
+  h.update(BytesView{msg}.subspan(117));
+  EXPECT_EQ(h.finish(), sha256(msg));
+}
+
+TEST(Sha384, Abc) {
+  EXPECT_EQ(to_hex(sha384(ascii("abc"))),
+            "cb00753f45a35e8bb5a03d699ac65007272c32ab0eded1631a8b605a43ff5bed"
+            "8086072ba1e7cc2358baeca134c825a7");
+}
+
+TEST(Sha512, Abc) {
+  EXPECT_EQ(to_hex(sha512(ascii("abc"))),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, TwoBlock) {
+  EXPECT_EQ(
+      to_hex(sha512(ascii("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghi"
+                          "jklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrst"
+                          "nopqrstu"))),
+      "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+      "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha3, Abc256) {
+  EXPECT_EQ(to_hex(sha3_256(ascii("abc"))),
+            "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532");
+}
+
+TEST(Sha3, Empty256) {
+  EXPECT_EQ(to_hex(sha3_256({})),
+            "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a");
+}
+
+TEST(Sha3, Abc512) {
+  EXPECT_EQ(to_hex(sha3_512(ascii("abc"))),
+            "b751850b1a57168a5693cd924b6b096e08f621827444f70d884f5d0240d2712e"
+            "10e116e9192af3c91a7ec57647e3934057340b4cf408d5a56592f8274eec53f0");
+}
+
+TEST(Shake, Shake128Empty) {
+  EXPECT_EQ(to_hex(shake128({}, 32)),
+            "7f9c2ba4e88f827d616045507605853ed73b8093f6efbc88eb1a6eacfa66ef26");
+}
+
+TEST(Shake, Shake256Empty) {
+  EXPECT_EQ(to_hex(shake256({}, 32)),
+            "46b9dd2b0ba88d13233b3feb743eeb243fcd52ea62b81b82b50c27646ed5762f");
+}
+
+TEST(Shake, IncrementalSqueezeMatchesOneShot) {
+  Bytes msg = ascii("incremental squeeze check");
+  Bytes oneshot = shake256(msg, 100);
+  Shake xof(256);
+  xof.absorb(msg);
+  Bytes a = xof.squeeze(1);
+  Bytes b = xof.squeeze(42);
+  Bytes c = xof.squeeze(57);
+  Bytes joined = concat(a, b, c);
+  EXPECT_EQ(joined, oneshot);
+}
+
+TEST(Hmac, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, ascii("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha256(ascii("Jefe"),
+                               ascii("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231LongKey) {
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(to_hex(hmac_sha256(
+                key, ascii("Test Using Larger Than Block-Size Key - Hash Key "
+                           "First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hkdf, Rfc5869Case1) {
+  Bytes ikm(22, 0x0b);
+  Bytes salt = from_hex("000102030405060708090a0b0c");
+  Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  Bytes prk = hkdf_extract_sha256(salt, ikm);
+  EXPECT_EQ(to_hex(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  Bytes okm = hkdf_expand_sha256(prk, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+}  // namespace
+}  // namespace pqtls::crypto

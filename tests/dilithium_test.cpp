@@ -1,0 +1,111 @@
+// Dilithium signature correctness and soundness tests across all six paper
+// variants (dilithium{2,3,5} and the _aes family).
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "sig/dilithium.hpp"
+
+namespace pqtls::sig {
+namespace {
+
+using crypto::Drbg;
+
+class DilithiumTest : public ::testing::TestWithParam<const DilithiumSigner*> {};
+
+TEST_P(DilithiumTest, SizesMatchSpec) {
+  const DilithiumSigner& s = *GetParam();
+  struct Expected {
+    int level;
+    std::size_t pk, sk, sig;
+  };
+  static constexpr Expected kExpected[] = {
+      {2, 1312, 2528, 2420},
+      {3, 1952, 4000, 3293},
+      {5, 2592, 4864, 4595},
+  };
+  for (const auto& e : kExpected) {
+    if (e.level != s.security_level()) continue;
+    EXPECT_EQ(s.public_key_size(), e.pk);
+    EXPECT_EQ(s.secret_key_size(), e.sk);
+    EXPECT_EQ(s.signature_size(), e.sig);
+  }
+}
+
+TEST_P(DilithiumTest, SignVerifyRoundTrip) {
+  const DilithiumSigner& s = *GetParam();
+  Drbg rng(0xD111 + s.security_level());
+  SigKeyPair kp = s.generate_keypair(rng);
+  EXPECT_EQ(kp.public_key.size(), s.public_key_size());
+  EXPECT_EQ(kp.secret_key.size(), s.secret_key_size());
+  Bytes msg = rng.bytes(117);
+  Bytes sig = s.sign(kp.secret_key, msg, rng);
+  EXPECT_EQ(sig.size(), s.signature_size());
+  EXPECT_TRUE(s.verify(kp.public_key, msg, sig));
+}
+
+TEST_P(DilithiumTest, ManyMessagesRoundTrip) {
+  const DilithiumSigner& s = *GetParam();
+  Drbg rng(1234);
+  SigKeyPair kp = s.generate_keypair(rng);
+  for (int i = 0; i < 5; ++i) {
+    Bytes msg = rng.bytes(1 + i * 31);
+    Bytes sig = s.sign(kp.secret_key, msg, rng);
+    EXPECT_TRUE(s.verify(kp.public_key, msg, sig)) << "message " << i;
+  }
+}
+
+TEST_P(DilithiumTest, RejectsWrongMessage) {
+  const DilithiumSigner& s = *GetParam();
+  Drbg rng(55);
+  SigKeyPair kp = s.generate_keypair(rng);
+  Bytes msg = rng.bytes(64);
+  Bytes sig = s.sign(kp.secret_key, msg, rng);
+  Bytes other = msg;
+  other[0] ^= 1;
+  EXPECT_FALSE(s.verify(kp.public_key, other, sig));
+}
+
+TEST_P(DilithiumTest, RejectsTamperedSignature) {
+  const DilithiumSigner& s = *GetParam();
+  Drbg rng(56);
+  SigKeyPair kp = s.generate_keypair(rng);
+  Bytes msg = rng.bytes(64);
+  Bytes sig = s.sign(kp.secret_key, msg, rng);
+  for (std::size_t pos : {std::size_t{0}, sig.size() / 2, sig.size() - 1}) {
+    Bytes bad = sig;
+    bad[pos] ^= 0x10;
+    EXPECT_FALSE(s.verify(kp.public_key, msg, bad)) << "byte " << pos;
+  }
+}
+
+TEST_P(DilithiumTest, RejectsWrongKey) {
+  const DilithiumSigner& s = *GetParam();
+  Drbg rng(57);
+  SigKeyPair kp1 = s.generate_keypair(rng);
+  SigKeyPair kp2 = s.generate_keypair(rng);
+  Bytes msg = rng.bytes(32);
+  Bytes sig = s.sign(kp1.secret_key, msg, rng);
+  EXPECT_FALSE(s.verify(kp2.public_key, msg, sig));
+}
+
+TEST_P(DilithiumTest, DeterministicSigning) {
+  const DilithiumSigner& s = *GetParam();
+  Drbg rng(58);
+  SigKeyPair kp = s.generate_keypair(rng);
+  Bytes msg = rng.bytes(40);
+  Drbg r1(1), r2(2);
+  EXPECT_EQ(s.sign(kp.secret_key, msg, r1), s.sign(kp.secret_key, msg, r2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, DilithiumTest,
+    ::testing::Values(&DilithiumSigner::dilithium2(),
+                      &DilithiumSigner::dilithium3(),
+                      &DilithiumSigner::dilithium5(),
+                      &DilithiumSigner::dilithium2_aes(),
+                      &DilithiumSigner::dilithium3_aes(),
+                      &DilithiumSigner::dilithium5_aes()),
+    [](const auto& info) { return info.param->name(); });
+
+}  // namespace
+}  // namespace pqtls::sig

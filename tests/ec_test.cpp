@@ -1,0 +1,99 @@
+// Elliptic-curve group-law and parameter sanity tests. The strongest checks
+// here are algebraic: G on curve, n*G = infinity, and ECDH agreement —
+// together they catch any typo in the curve constants.
+#include <gtest/gtest.h>
+
+#include "crypto/bignum.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/ec.hpp"
+
+namespace pqtls::crypto {
+namespace {
+
+class EcCurveTest : public ::testing::TestWithParam<const EcCurve*> {};
+
+TEST_P(EcCurveTest, GeneratorOnCurve) {
+  const EcCurve& c = *GetParam();
+  EXPECT_TRUE(c.on_curve(c.generator()));
+}
+
+TEST_P(EcCurveTest, OrderAnnihilatesGenerator) {
+  const EcCurve& c = *GetParam();
+  EcCurve::Point r = c.multiply_base(c.order());
+  EXPECT_TRUE(r.infinity);
+}
+
+TEST_P(EcCurveTest, OrderMinusOnePlusGeneratorIsInfinity) {
+  const EcCurve& c = *GetParam();
+  EcCurve::Point r = c.multiply_base(c.order() - BigInt{1});
+  ASSERT_FALSE(r.infinity);
+  EXPECT_TRUE(c.on_curve(r));
+  EcCurve::Point sum = c.add(r, c.generator());
+  EXPECT_TRUE(sum.infinity);
+}
+
+TEST_P(EcCurveTest, ScalarMultiplicationDistributes) {
+  const EcCurve& c = *GetParam();
+  // (k1 + k2) G == k1 G + k2 G
+  Drbg rng(42);
+  BigInt k1 = c.random_scalar(rng);
+  BigInt k2 = c.random_scalar(rng);
+  EcCurve::Point lhs = c.multiply_base((k1 + k2).mod(c.order()));
+  EcCurve::Point rhs = c.add(c.multiply_base(k1), c.multiply_base(k2));
+  EXPECT_EQ(lhs.x.to_hex(), rhs.x.to_hex());
+  EXPECT_EQ(lhs.y.to_hex(), rhs.y.to_hex());
+}
+
+TEST_P(EcCurveTest, DiffieHellmanAgreement) {
+  const EcCurve& c = *GetParam();
+  Drbg rng(7);
+  BigInt da = c.random_scalar(rng);
+  BigInt db = c.random_scalar(rng);
+  EcCurve::Point qa = c.multiply_base(da);
+  EcCurve::Point qb = c.multiply_base(db);
+  EcCurve::Point s1 = c.multiply(da, qb);
+  EcCurve::Point s2 = c.multiply(db, qa);
+  ASSERT_FALSE(s1.infinity);
+  EXPECT_EQ(s1.x.to_hex(), s2.x.to_hex());
+}
+
+TEST_P(EcCurveTest, PointCodecRoundTrip) {
+  const EcCurve& c = *GetParam();
+  Drbg rng(11);
+  EcCurve::Point p = c.multiply_base(c.random_scalar(rng));
+  Bytes encoded = c.encode_point(p);
+  EXPECT_EQ(encoded.size(), 1 + 2 * c.field_size());
+  auto decoded = c.decode_point(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->x.to_hex(), p.x.to_hex());
+  EXPECT_EQ(decoded->y.to_hex(), p.y.to_hex());
+
+  // Off-curve point must be rejected.
+  Bytes bad = encoded;
+  bad[encoded.size() - 1] ^= 1;
+  EXPECT_FALSE(c.decode_point(bad).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCurves, EcCurveTest,
+                         ::testing::Values(&EcCurve::p256(), &EcCurve::p384(),
+                                           &EcCurve::p521()),
+                         [](const auto& info) { return info.param->name(); });
+
+TEST(EcCurve, P256KnownScalarMultiple) {
+  // k = 2: 2G on P-256 has a well-known x coordinate.
+  const EcCurve& c = EcCurve::p256();
+  EcCurve::Point doubled = c.multiply_base(BigInt{2});
+  EXPECT_EQ(doubled.x.to_hex(),
+            "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978");
+  EXPECT_EQ(doubled.y.to_hex(),
+            "07775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1");
+}
+
+TEST(EcCurve, FieldSizes) {
+  EXPECT_EQ(EcCurve::p256().field_size(), 32u);
+  EXPECT_EQ(EcCurve::p384().field_size(), 48u);
+  EXPECT_EQ(EcCurve::p521().field_size(), 66u);
+}
+
+}  // namespace
+}  // namespace pqtls::crypto

@@ -1,0 +1,99 @@
+// Falcon signature tests: keygen (NTRU tower solver), signing (Babai
+// round-off over the secret basis), verification (mod-q arithmetic).
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "sig/falcon.hpp"
+
+namespace pqtls::sig {
+namespace {
+
+using crypto::Drbg;
+
+TEST(Falcon, SizesMatchSpec) {
+  EXPECT_EQ(FalconSigner::falcon512().public_key_size(), 897u);
+  EXPECT_EQ(FalconSigner::falcon512().signature_size(), 666u);
+  EXPECT_EQ(FalconSigner::falcon1024().public_key_size(), 1793u);
+  EXPECT_EQ(FalconSigner::falcon1024().signature_size(), 1280u);
+}
+
+TEST(Falcon, SignVerifyRoundTrip512) {
+  const auto& s = FalconSigner::falcon512();
+  Drbg rng(0xFA512);
+  SigKeyPair kp = s.generate_keypair(rng);
+  EXPECT_EQ(kp.public_key.size(), s.public_key_size());
+  Bytes msg = rng.bytes(100);
+  Bytes sig = s.sign(kp.secret_key, msg, rng);
+  EXPECT_EQ(sig.size(), s.signature_size());
+  EXPECT_TRUE(s.verify(kp.public_key, msg, sig));
+}
+
+TEST(Falcon, SignVerifyRoundTrip1024) {
+  const auto& s = FalconSigner::falcon1024();
+  Drbg rng(0xFA1024);
+  SigKeyPair kp = s.generate_keypair(rng);
+  Bytes msg = rng.bytes(64);
+  Bytes sig = s.sign(kp.secret_key, msg, rng);
+  EXPECT_TRUE(s.verify(kp.public_key, msg, sig));
+}
+
+TEST(Falcon, MultipleMessagesOneKey) {
+  const auto& s = FalconSigner::falcon512();
+  Drbg rng(0xAB);
+  SigKeyPair kp = s.generate_keypair(rng);
+  for (int i = 0; i < 8; ++i) {
+    Bytes msg = rng.bytes(10 + 13 * i);
+    Bytes sig = s.sign(kp.secret_key, msg, rng);
+    EXPECT_TRUE(s.verify(kp.public_key, msg, sig)) << "message " << i;
+  }
+}
+
+TEST(Falcon, RejectsWrongMessage) {
+  const auto& s = FalconSigner::falcon512();
+  Drbg rng(0xAC);
+  SigKeyPair kp = s.generate_keypair(rng);
+  Bytes msg = rng.bytes(48);
+  Bytes sig = s.sign(kp.secret_key, msg, rng);
+  Bytes other = msg;
+  other[9] ^= 1;
+  EXPECT_FALSE(s.verify(kp.public_key, other, sig));
+}
+
+TEST(Falcon, RejectsTamperedSignature) {
+  const auto& s = FalconSigner::falcon512();
+  Drbg rng(0xAD);
+  SigKeyPair kp = s.generate_keypair(rng);
+  Bytes msg = rng.bytes(48);
+  Bytes sig = s.sign(kp.secret_key, msg, rng);
+  // Tamper the salt and the compressed body.
+  for (std::size_t pos : {std::size_t{5}, std::size_t{100}}) {
+    Bytes bad = sig;
+    bad[pos] ^= 0x04;
+    EXPECT_FALSE(s.verify(kp.public_key, msg, bad)) << "byte " << pos;
+  }
+}
+
+TEST(Falcon, RejectsWrongKey) {
+  const auto& s = FalconSigner::falcon512();
+  Drbg rng(0xAE);
+  SigKeyPair kp1 = s.generate_keypair(rng);
+  SigKeyPair kp2 = s.generate_keypair(rng);
+  Bytes msg = rng.bytes(32);
+  Bytes sig = s.sign(kp1.secret_key, msg, rng);
+  EXPECT_FALSE(s.verify(kp2.public_key, msg, sig));
+}
+
+TEST(Falcon, SignaturesAreSaltRandomized) {
+  const auto& s = FalconSigner::falcon512();
+  Drbg rng(0xAF);
+  SigKeyPair kp = s.generate_keypair(rng);
+  Bytes msg = rng.bytes(20);
+  Bytes s1 = s.sign(kp.secret_key, msg, rng);
+  Bytes s2 = s.sign(kp.secret_key, msg, rng);
+  EXPECT_NE(s1, s2);
+  EXPECT_TRUE(s.verify(kp.public_key, msg, s1));
+  EXPECT_TRUE(s.verify(kp.public_key, msg, s2));
+}
+
+}  // namespace
+}  // namespace pqtls::sig

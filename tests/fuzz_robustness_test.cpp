@@ -1,0 +1,137 @@
+// Decoder robustness: every public decode/verify surface must survive
+// arbitrary bytes — returning failure, never crashing or reading out of
+// bounds. Seeded random fuzzing plus structured edge cases.
+#include <gtest/gtest.h>
+
+#include "kem/kem.hpp"
+#include "pki/certificate.hpp"
+#include "sig/ecdsa.hpp"
+#include "sig/sig.hpp"
+#include "tls/record_layer.hpp"
+
+namespace pqtls {
+namespace {
+
+using crypto::Drbg;
+
+Bytes random_bytes(Drbg& rng, std::size_t max_len) {
+  return rng.bytes(rng.uniform(max_len + 1));
+}
+
+TEST(Fuzz, CertificateDecodeSurvivesRandomBytes) {
+  Drbg rng(0xF022);
+  for (int i = 0; i < 300; ++i) {
+    Bytes junk = random_bytes(rng, 400);
+    auto cert = pki::Certificate::decode(junk);  // must not crash
+    if (cert) {
+      // If it parsed, re-encoding must reproduce the input exactly.
+      EXPECT_EQ(cert->encode(), junk);
+    }
+  }
+}
+
+TEST(Fuzz, ChainDecodeSurvivesRandomBytes) {
+  Drbg rng(0xF023);
+  for (int i = 0; i < 300; ++i) {
+    Bytes junk = random_bytes(rng, 300);
+    (void)pki::CertificateChain::decode(junk);
+  }
+}
+
+TEST(Fuzz, RecordLayerSurvivesRandomStreams) {
+  Drbg rng(0xF024);
+  for (int i = 0; i < 100; ++i) {
+    tls::RecordLayer rl;
+    rl.feed(random_bytes(rng, 600));
+    // Drain whatever it thinks are records.
+    for (int j = 0; j < 50; ++j)
+      if (!rl.pop()) break;
+  }
+}
+
+TEST(Fuzz, EncryptedRecordLayerRejectsRandomCiphertext) {
+  Drbg rng(0xF025);
+  tls::TrafficKeys keys{rng.bytes(16), rng.bytes(12)};
+  for (int i = 0; i < 100; ++i) {
+    tls::RecordLayer rl;
+    rl.set_read_keys(keys);
+    Bytes header = {23, 3, 3, 0, 64};
+    Bytes record = concat(header, rng.bytes(64));
+    rl.feed(record);
+    EXPECT_FALSE(rl.pop().has_value());
+    EXPECT_TRUE(rl.failed());
+  }
+}
+
+class KemFuzzTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(KemFuzzTest, DecapsulateSurvivesRandomCiphertexts) {
+  const kem::Kem* k = kem::find_kem(GetParam());
+  ASSERT_NE(k, nullptr);
+  Drbg rng(0xF026);
+  auto kp = k->generate_keypair(rng);
+  for (int i = 0; i < 10; ++i) {
+    Bytes junk = rng.bytes(k->ciphertext_size());
+    (void)k->decapsulate(kp.secret_key, junk);  // any outcome but a crash
+  }
+  // And wrong-size inputs.
+  EXPECT_FALSE(k->decapsulate(kp.secret_key, {}).has_value());
+  EXPECT_FALSE(
+      k->decapsulate(kp.secret_key, Bytes(k->ciphertext_size() + 1, 0))
+          .has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kems, KemFuzzTest,
+                         ::testing::Values("x25519", "p256", "kyber512",
+                                           "hqc128", "bikel1",
+                                           "p256_kyber512"));
+
+class SigFuzzTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SigFuzzTest, VerifySurvivesRandomSignatures) {
+  const sig::Signer* s = sig::find_signer(GetParam());
+  ASSERT_NE(s, nullptr);
+  Drbg rng(0xF027);
+  auto kp = s->generate_keypair(rng);
+  Bytes msg = rng.bytes(32);
+  for (int i = 0; i < 10; ++i) {
+    Bytes junk = rng.bytes(s->signature_size());
+    EXPECT_FALSE(s->verify(kp.public_key, msg, junk));
+  }
+}
+
+TEST_P(SigFuzzTest, VerifySurvivesRandomPublicKeys) {
+  const sig::Signer* s = sig::find_signer(GetParam());
+  Drbg rng(0xF028);
+  auto kp = s->generate_keypair(rng);
+  Bytes msg = rng.bytes(32);
+  Bytes good_sig = s->sign(kp.secret_key, msg, rng);
+  for (int i = 0; i < 5; ++i) {
+    Bytes junk_pk = rng.bytes(s->public_key_size());
+    EXPECT_FALSE(s->verify(junk_pk, msg, good_sig));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigs, SigFuzzTest,
+                         ::testing::Values("rsa:2048", "falcon512",
+                                           "dilithium2", "sphincs128",
+                                           "rsa:1024", "p256_dilithium2"));
+
+TEST(Fuzz, EcdsaVerifySurvivesRandomInputs) {
+  const sig::EcdsaSigner& s = sig::EcdsaSigner::p256();
+  Drbg rng(0xF029);
+  auto kp = s.generate_keypair(rng);
+  Bytes msg = rng.bytes(32);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_FALSE(s.verify(kp.public_key, msg, rng.bytes(s.signature_size())));
+  for (int i = 0; i < 5; ++i) {
+    Bytes junk_pk = rng.bytes(s.public_key_size());
+    Bytes good = s.sign(kp.secret_key, msg, rng);
+    EXPECT_FALSE(s.verify(junk_pk, msg, good));
+  }
+  // All-zero signature (r = s = 0) must be rejected outright.
+  EXPECT_FALSE(s.verify(kp.public_key, msg, Bytes(s.signature_size(), 0)));
+}
+
+}  // namespace
+}  // namespace pqtls

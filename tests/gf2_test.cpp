@@ -1,0 +1,128 @@
+// Property tests for the GF(2)[x]/(x^r - 1) ring and GF(256) field — the
+// algebraic substrate of HQC and BIKE.
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "crypto/gf2.hpp"
+
+namespace pqtls::crypto {
+namespace {
+
+class Gf2RingTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Gf2RingTest, MultiplicationCommutes) {
+  std::size_t r = GetParam();
+  Drbg rng(r);
+  Gf2Ring a = Gf2Ring::random(r, rng);
+  Gf2Ring b = Gf2Ring::random(r, rng);
+  EXPECT_EQ(a * b, b * a);
+}
+
+TEST_P(Gf2RingTest, MultiplicationDistributesOverAddition) {
+  std::size_t r = GetParam();
+  Drbg rng(r + 1);
+  Gf2Ring a = Gf2Ring::random(r, rng);
+  Gf2Ring b = Gf2Ring::random(r, rng);
+  Gf2Ring c = Gf2Ring::random(r, rng);
+  EXPECT_EQ(a * (b ^ c), (a * b) ^ (a * c));
+}
+
+TEST_P(Gf2RingTest, MultiplicationByOneIsIdentity) {
+  std::size_t r = GetParam();
+  Drbg rng(r + 2);
+  Gf2Ring a = Gf2Ring::random(r, rng);
+  Gf2Ring one(r);
+  one.set(0, true);
+  EXPECT_EQ(a * one, a);
+}
+
+TEST_P(Gf2RingTest, SparseMultiplicationMatchesDense) {
+  std::size_t r = GetParam();
+  Drbg rng(r + 3);
+  Gf2Ring dense = Gf2Ring::random(r, rng);
+  Gf2Ring sparse = Gf2Ring::random_weight(r, 11, rng);
+  EXPECT_EQ(dense.mul_sparse(sparse.support()), dense * sparse);
+}
+
+TEST_P(Gf2RingTest, ShiftMatchesMonomialMultiplication) {
+  std::size_t r = GetParam();
+  Drbg rng(r + 4);
+  Gf2Ring a = Gf2Ring::random(r, rng);
+  for (std::size_t k : {std::size_t{1}, r / 3, r - 1}) {
+    Gf2Ring xk(r);
+    xk.set(k, true);
+    EXPECT_EQ(a.shifted(k), a * xk) << "shift " << k;
+  }
+}
+
+TEST_P(Gf2RingTest, InverseTimesSelfIsOne) {
+  std::size_t r = GetParam();
+  Drbg rng(r + 5);
+  Gf2Ring one(r);
+  one.set(0, true);
+  // Odd-weight elements are invertible when r is prime and 2 is a unit.
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    Gf2Ring a = Gf2Ring::random(r, rng);
+    Gf2Ring inv;
+    if (!a.inverse(inv)) continue;
+    EXPECT_EQ(a * inv, one);
+    return;
+  }
+  FAIL() << "no invertible element found in 20 attempts";
+}
+
+TEST_P(Gf2RingTest, RandomWeightHasExactWeight) {
+  std::size_t r = GetParam();
+  Drbg rng(r + 6);
+  for (std::size_t w : {std::size_t{1}, std::size_t{17}, std::size_t{66}}) {
+    Gf2Ring a = Gf2Ring::random_weight(r, w, rng);
+    EXPECT_EQ(a.weight(), w);
+    EXPECT_EQ(a.support().size(), w);
+  }
+}
+
+TEST_P(Gf2RingTest, BytesCodecRoundTrip) {
+  std::size_t r = GetParam();
+  Drbg rng(r + 7);
+  Gf2Ring a = Gf2Ring::random(r, rng);
+  EXPECT_EQ(Gf2Ring::from_bytes(r, a.to_bytes()), a);
+}
+
+// Ring sizes used by BIKE (12323, 24659) and HQC (17669), plus odd smalls.
+INSTANTIATE_TEST_SUITE_P(RingSizes, Gf2RingTest,
+                         ::testing::Values(131, 521, 12323, 17669, 24659));
+
+TEST(Gf2Ring, TransposeIsInvolution) {
+  Drbg rng(9);
+  Gf2Ring a = Gf2Ring::random(523, rng);
+  EXPECT_EQ(a.transpose().transpose(), a);
+}
+
+TEST(Gf256, MultiplicationAgreesWithSchoolbook) {
+  // Check against the definition for some values: slow carry-less multiply
+  // reduced mod 0x11d.
+  auto slow_mul = [](std::uint8_t a, std::uint8_t b) {
+    unsigned acc = 0;
+    for (int i = 0; i < 8; ++i)
+      if (b & (1 << i)) acc ^= unsigned{a} << i;
+    for (int i = 15; i >= 8; --i)
+      if (acc & (1u << i)) acc ^= 0x11du << (i - 8);
+    return static_cast<std::uint8_t>(acc);
+  };
+  Drbg rng(10);
+  for (int i = 0; i < 200; ++i) {
+    std::uint8_t a = rng.byte(), b = rng.byte();
+    EXPECT_EQ(Gf256::mul(a, b), slow_mul(a, b));
+  }
+}
+
+TEST(Gf256, InverseIsCorrect) {
+  for (int a = 1; a < 256; ++a) {
+    std::uint8_t inv = Gf256::inv(static_cast<std::uint8_t>(a));
+    EXPECT_EQ(Gf256::mul(static_cast<std::uint8_t>(a), inv), 1) << "a=" << a;
+  }
+  EXPECT_THROW(Gf256::inv(0), std::domain_error);
+}
+
+}  // namespace
+}  // namespace pqtls::crypto

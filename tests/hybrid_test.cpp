@@ -1,0 +1,154 @@
+// Hybrid KEM / hybrid signature composition tests: both halves must work,
+// sizes are additive, and secrets combine by concatenation (the paper's
+// construction: "the final shared secret is a concatenated version of the
+// two individual secrets").
+#include <gtest/gtest.h>
+
+#include "kem/ecdh.hpp"
+#include "kem/hybrid_kem.hpp"
+#include "kem/kyber.hpp"
+#include "sig/sig.hpp"
+
+namespace pqtls {
+namespace {
+
+using crypto::Drbg;
+
+TEST(HybridKem, SizesAreAdditive) {
+  const kem::Kem* hybrid = kem::find_kem("p256_kyber512");
+  const kem::Kem* p256 = kem::find_kem("p256");
+  const kem::Kem* kyber = kem::find_kem("kyber512");
+  ASSERT_TRUE(hybrid && p256 && kyber);
+  EXPECT_EQ(hybrid->public_key_size(),
+            p256->public_key_size() + kyber->public_key_size());
+  EXPECT_EQ(hybrid->ciphertext_size(),
+            p256->ciphertext_size() + kyber->ciphertext_size());
+  EXPECT_EQ(hybrid->shared_secret_size(),
+            p256->shared_secret_size() + kyber->shared_secret_size());
+  EXPECT_TRUE(hybrid->is_hybrid());
+  EXPECT_TRUE(hybrid->is_post_quantum());
+}
+
+TEST(HybridKem, SecretIsConcatenationOfComponents) {
+  // Decapsulating the hybrid ciphertext piecewise with the component KEMs
+  // must reproduce the halves of the hybrid shared secret.
+  const auto& p256 = kem::EcdhKem::p256();
+  const auto& kyber = kem::KyberKem::kyber512();
+  kem::HybridKem hybrid(p256, kyber);
+  Drbg rng(0x42);
+  auto kp = hybrid.generate_keypair(rng);
+  auto enc = hybrid.encapsulate(kp.public_key, rng);
+  ASSERT_TRUE(enc.has_value());
+  auto ss = hybrid.decapsulate(kp.secret_key, enc->ciphertext);
+  ASSERT_TRUE(ss.has_value());
+  EXPECT_EQ(*ss, enc->shared_secret);
+
+  BytesView classical_sk{kp.secret_key.data(), p256.secret_key_size()};
+  BytesView classical_ct{enc->ciphertext.data(), p256.ciphertext_size()};
+  auto classical_ss = p256.decapsulate(classical_sk, classical_ct);
+  ASSERT_TRUE(classical_ss.has_value());
+  EXPECT_TRUE(std::equal(classical_ss->begin(), classical_ss->end(),
+                         ss->begin()));
+
+  BytesView pq_sk{kp.secret_key.data() + p256.secret_key_size(),
+                  kyber.secret_key_size()};
+  BytesView pq_ct{enc->ciphertext.data() + p256.ciphertext_size(),
+                  kyber.ciphertext_size()};
+  auto pq_ss = kyber.decapsulate(pq_sk, pq_ct);
+  ASSERT_TRUE(pq_ss.has_value());
+  EXPECT_TRUE(std::equal(pq_ss->begin(), pq_ss->end(),
+                         ss->begin() + p256.shared_secret_size()));
+}
+
+TEST(HybridKem, TamperingEitherHalfChangesSecret) {
+  const kem::Kem* hybrid = kem::find_kem("p256_kyber512");
+  Drbg rng(7);
+  auto kp = hybrid->generate_keypair(rng);
+  auto enc = hybrid->encapsulate(kp.public_key, rng);
+  ASSERT_TRUE(enc.has_value());
+  // Tamper the PQ half: Kyber implicitly rejects -> different secret.
+  Bytes tampered = enc->ciphertext;
+  tampered[tampered.size() - 1] ^= 1;
+  auto ss = hybrid->decapsulate(kp.secret_key, tampered);
+  if (ss.has_value()) EXPECT_NE(*ss, enc->shared_secret);
+  // Tamper the classical half: point decoding fails -> nullopt.
+  Bytes tampered2 = enc->ciphertext;
+  tampered2[5] ^= 1;
+  auto ss2 = hybrid->decapsulate(kp.secret_key, tampered2);
+  if (ss2.has_value()) EXPECT_NE(*ss2, enc->shared_secret);
+}
+
+class AllHybridKemsTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AllHybridKemsTest, RoundTrips) {
+  const kem::Kem* hybrid = kem::find_kem(GetParam());
+  ASSERT_NE(hybrid, nullptr);
+  Drbg rng(0x99);
+  auto kp = hybrid->generate_keypair(rng);
+  EXPECT_EQ(kp.public_key.size(), hybrid->public_key_size());
+  auto enc = hybrid->encapsulate(kp.public_key, rng);
+  ASSERT_TRUE(enc.has_value());
+  auto ss = hybrid->decapsulate(kp.secret_key, enc->ciphertext);
+  ASSERT_TRUE(ss.has_value());
+  EXPECT_EQ(*ss, enc->shared_secret);
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, AllHybridKemsTest,
+                         ::testing::Values("p256_bikel1", "p256_hqc128",
+                                           "p256_kyber512", "p384_bikel3",
+                                           "p384_hqc192", "p384_kyber768",
+                                           "p521_hqc256", "p521_kyber1024"));
+
+class AllHybridSigsTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AllHybridSigsTest, SignVerifyAndComponentSoundness) {
+  const sig::Signer* hybrid = sig::find_signer(GetParam());
+  ASSERT_NE(hybrid, nullptr);
+  EXPECT_TRUE(hybrid->is_hybrid());
+  Drbg rng(0x77);
+  auto kp = hybrid->generate_keypair(rng);
+  Bytes msg = rng.bytes(50);
+  Bytes signature = hybrid->sign(kp.secret_key, msg, rng);
+  EXPECT_EQ(signature.size(), hybrid->signature_size());
+  EXPECT_TRUE(hybrid->verify(kp.public_key, msg, signature));
+
+  // Corrupting the classical part (right after the length prefix) or the PQ
+  // part (near the end of the live signature region) must break it.
+  Bytes bad1 = signature;
+  bad1[6] ^= 1;
+  EXPECT_FALSE(hybrid->verify(kp.public_key, msg, bad1));
+  Bytes bad2 = signature;
+  bad2[signature.size() / 2] ^= 1;
+  EXPECT_FALSE(hybrid->verify(kp.public_key, msg, bad2));
+  Bytes other = msg;
+  other[0] ^= 1;
+  EXPECT_FALSE(hybrid->verify(kp.public_key, other, signature));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, AllHybridSigsTest,
+    ::testing::Values("p256_falcon512", "p256_dilithium2", "p256_sphincs128",
+                      "rsa3072_dilithium2", "p384_dilithium3",
+                      "p521_dilithium5", "p521_falcon1024"),
+    [](const auto& info) {
+      std::string n = info.param;
+      return n;
+    });
+
+TEST(Registry, AllPaperKemsArePresent) {
+  EXPECT_EQ(kem::all_kems().size(), 23u);
+  for (const auto* k : kem::all_kems())
+    EXPECT_EQ(kem::find_kem(k->name()), k);
+  EXPECT_EQ(kem::find_kem("nonexistent"), nullptr);
+}
+
+TEST(Registry, AllPaperSignersArePresent) {
+  // 22 from Table 2b + rsa3072_dilithium2 (Table 4b) + 3 SPHINCS+ s-variants.
+  EXPECT_EQ(sig::all_signers().size(), 27u);
+  for (const auto* s : sig::all_signers())
+    EXPECT_EQ(sig::find_signer(s->name()), s);
+  EXPECT_EQ(sig::find_signer("nonexistent"), nullptr);
+}
+
+}  // namespace
+}  // namespace pqtls

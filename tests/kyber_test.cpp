@@ -1,0 +1,109 @@
+// Kyber KEM correctness, size, and robustness tests across all six paper
+// variants (kyber{512,768,1024} and the 90s family).
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "kem/kyber.hpp"
+
+namespace pqtls::kem {
+namespace {
+
+using crypto::Drbg;
+
+class KyberTest : public ::testing::TestWithParam<const KyberKem*> {};
+
+TEST_P(KyberTest, SizesMatchSpec) {
+  const KyberKem& kem = *GetParam();
+  struct Expected {
+    int level;
+    std::size_t pk, sk, ct;
+  };
+  static constexpr Expected kExpected[] = {
+      {1, 800, 1632, 768},
+      {3, 1184, 2400, 1088},
+      {5, 1568, 3168, 1568},
+  };
+  for (const auto& e : kExpected) {
+    if (e.level != kem.security_level()) continue;
+    EXPECT_EQ(kem.public_key_size(), e.pk);
+    EXPECT_EQ(kem.secret_key_size(), e.sk);
+    EXPECT_EQ(kem.ciphertext_size(), e.ct);
+  }
+  EXPECT_EQ(kem.shared_secret_size(), 32u);
+}
+
+TEST_P(KyberTest, EncapsDecapsRoundTrip) {
+  const KyberKem& kem = *GetParam();
+  Drbg rng(0xBEEF + kem.security_level());
+  KeyPair kp = kem.generate_keypair(rng);
+  EXPECT_EQ(kp.public_key.size(), kem.public_key_size());
+  EXPECT_EQ(kp.secret_key.size(), kem.secret_key_size());
+  auto enc = kem.encapsulate(kp.public_key, rng);
+  ASSERT_TRUE(enc.has_value());
+  EXPECT_EQ(enc->ciphertext.size(), kem.ciphertext_size());
+  auto ss = kem.decapsulate(kp.secret_key, enc->ciphertext);
+  ASSERT_TRUE(ss.has_value());
+  EXPECT_EQ(*ss, enc->shared_secret);
+}
+
+TEST_P(KyberTest, ManySeedsRoundTrip) {
+  const KyberKem& kem = *GetParam();
+  for (int seed = 0; seed < 10; ++seed) {
+    Drbg rng(seed);
+    KeyPair kp = kem.generate_keypair(rng);
+    auto enc = kem.encapsulate(kp.public_key, rng);
+    ASSERT_TRUE(enc.has_value());
+    auto ss = kem.decapsulate(kp.secret_key, enc->ciphertext);
+    ASSERT_TRUE(ss.has_value());
+    EXPECT_EQ(*ss, enc->shared_secret) << "seed " << seed;
+  }
+}
+
+TEST_P(KyberTest, TamperedCiphertextImplicitlyRejects) {
+  const KyberKem& kem = *GetParam();
+  Drbg rng(99);
+  KeyPair kp = kem.generate_keypair(rng);
+  auto enc = kem.encapsulate(kp.public_key, rng);
+  ASSERT_TRUE(enc.has_value());
+  Bytes tampered = enc->ciphertext;
+  tampered[5] ^= 0x40;
+  auto ss = kem.decapsulate(kp.secret_key, tampered);
+  ASSERT_TRUE(ss.has_value());  // implicit rejection still returns a secret
+  EXPECT_NE(*ss, enc->shared_secret);
+}
+
+TEST_P(KyberTest, DistinctEncapsulationsYieldDistinctSecrets) {
+  const KyberKem& kem = *GetParam();
+  Drbg rng(7);
+  KeyPair kp = kem.generate_keypair(rng);
+  auto e1 = kem.encapsulate(kp.public_key, rng);
+  auto e2 = kem.encapsulate(kp.public_key, rng);
+  ASSERT_TRUE(e1 && e2);
+  EXPECT_NE(e1->ciphertext, e2->ciphertext);
+  EXPECT_NE(e1->shared_secret, e2->shared_secret);
+}
+
+TEST_P(KyberTest, RejectsWrongSizeInputs) {
+  const KyberKem& kem = *GetParam();
+  Drbg rng(3);
+  EXPECT_FALSE(kem.encapsulate(Bytes(17, 0), rng).has_value());
+  KeyPair kp = kem.generate_keypair(rng);
+  EXPECT_FALSE(kem.decapsulate(kp.secret_key, Bytes(12, 0)).has_value());
+  EXPECT_FALSE(kem.decapsulate(Bytes(1, 0), Bytes(kem.ciphertext_size(), 0))
+                   .has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, KyberTest,
+    ::testing::Values(&KyberKem::kyber512(), &KyberKem::kyber768(),
+                      &KyberKem::kyber1024(), &KyberKem::kyber90s512(),
+                      &KyberKem::kyber90s768(), &KyberKem::kyber90s1024()),
+    [](const auto& info) { return info.param->name(); });
+
+TEST(Kyber, NamesFollowPaperConvention) {
+  EXPECT_EQ(KyberKem::kyber512().name(), "kyber512");
+  EXPECT_EQ(KyberKem::kyber90s1024().name(), "kyber90s1024");
+}
+
+}  // namespace
+}  // namespace pqtls::kem

@@ -1,0 +1,177 @@
+// PKI certificate/chain tests and TLS wire Reader/Writer codec tests.
+#include <gtest/gtest.h>
+
+#include "pki/certificate.hpp"
+#include "tls/wire.hpp"
+
+namespace pqtls {
+namespace {
+
+using crypto::Drbg;
+
+struct PkiFixture {
+  pki::CertificateAuthority ca;
+  pki::Certificate leaf;
+  Bytes leaf_secret;
+
+  explicit PkiFixture(const std::string& sa_name = "dilithium2",
+                      std::uint64_t seed = 0xCA) {
+    const sig::Signer* sa = sig::find_signer(sa_name);
+    Drbg rng(seed);
+    ca = pki::make_root_ca(*sa, "test root", rng);
+    auto kp = sa->generate_keypair(rng);
+    leaf_secret = kp.secret_key;
+    leaf = pki::issue_certificate(ca, "test leaf", sa->name(), kp.public_key,
+                                  rng);
+  }
+};
+
+TEST(Pki, CertificateCodecRoundTrip) {
+  PkiFixture f;
+  Bytes encoded = f.leaf.encode();
+  auto decoded = pki::Certificate::decode(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->subject, "test leaf");
+  EXPECT_EQ(decoded->issuer, "test root");
+  EXPECT_EQ(decoded->key_algorithm, "dilithium2");
+  EXPECT_EQ(decoded->subject_public_key, f.leaf.subject_public_key);
+  EXPECT_EQ(decoded->signature, f.leaf.signature);
+  EXPECT_EQ(decoded->encode(), encoded);
+}
+
+TEST(Pki, TruncatedCertificateRejected) {
+  PkiFixture f;
+  Bytes encoded = f.leaf.encode();
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, encoded.size() / 2,
+                          encoded.size() - 1}) {
+    Bytes truncated(encoded.begin(), encoded.begin() + cut);
+    EXPECT_FALSE(pki::Certificate::decode(truncated).has_value())
+        << "cut at " << cut;
+  }
+  // Trailing garbage also rejected.
+  Bytes extended = encoded;
+  extended.push_back(0);
+  EXPECT_FALSE(pki::Certificate::decode(extended).has_value());
+}
+
+TEST(Pki, ChainVerifies) {
+  PkiFixture f;
+  pki::CertificateChain chain;
+  chain.certificates = {f.leaf};
+  EXPECT_TRUE(pki::verify_chain(chain, f.ca.certificate, 1'800'000'000));
+  chain.certificates = {f.leaf, f.ca.certificate};
+  EXPECT_TRUE(pki::verify_chain(chain, f.ca.certificate, 1'800'000'000));
+}
+
+TEST(Pki, ExpiredCertificateRejected) {
+  PkiFixture f;
+  pki::CertificateChain chain;
+  chain.certificates = {f.leaf};
+  EXPECT_FALSE(pki::verify_chain(chain, f.ca.certificate, 999));           // before
+  EXPECT_FALSE(pki::verify_chain(chain, f.ca.certificate, 3'000'000'000));  // after
+}
+
+TEST(Pki, WrongRootRejected) {
+  PkiFixture f;
+  PkiFixture other("dilithium2", 0xBB);
+  pki::CertificateChain chain;
+  chain.certificates = {f.leaf};
+  EXPECT_FALSE(pki::verify_chain(chain, other.ca.certificate, 1'800'000'000));
+}
+
+TEST(Pki, TamperedCertificateRejected) {
+  PkiFixture f;
+  pki::CertificateChain chain;
+  pki::Certificate tampered = f.leaf;
+  tampered.subject = "evil leaf";
+  chain.certificates = {tampered};
+  EXPECT_FALSE(pki::verify_chain(chain, f.ca.certificate, 1'800'000'000));
+}
+
+TEST(Pki, EmptyChainRejected) {
+  PkiFixture f;
+  pki::CertificateChain chain;
+  EXPECT_FALSE(pki::verify_chain(chain, f.ca.certificate, 1'800'000'000));
+}
+
+TEST(Pki, ChainCodecRoundTrip) {
+  PkiFixture f;
+  pki::CertificateChain chain;
+  chain.certificates = {f.leaf, f.ca.certificate};
+  Bytes encoded = chain.encode();
+  auto decoded = pki::CertificateChain::decode(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->certificates.size(), 2u);
+  EXPECT_EQ(decoded->certificates[0].subject, "test leaf");
+  EXPECT_EQ(decoded->certificates[1].subject, "test root");
+  EXPECT_FALSE(pki::CertificateChain::decode({}).has_value());
+}
+
+TEST(Pki, MixedAlgorithmChain) {
+  // Root signs with falcon512, leaf key is dilithium2 — the "mixed chain"
+  // setting studied by Paul et al. (paper's related work).
+  const sig::Signer* root_sa = sig::find_signer("falcon512");
+  const sig::Signer* leaf_sa = sig::find_signer("dilithium2");
+  Drbg rng(0x4d1);
+  auto ca = pki::make_root_ca(*root_sa, "falcon root", rng);
+  auto leaf_kp = leaf_sa->generate_keypair(rng);
+  auto leaf = pki::issue_certificate(ca, "dilithium leaf", leaf_sa->name(),
+                                     leaf_kp.public_key, rng);
+  pki::CertificateChain chain;
+  chain.certificates = {leaf};
+  EXPECT_TRUE(pki::verify_chain(chain, ca.certificate, 1'800'000'000));
+}
+
+// ---- wire codec ----
+
+TEST(Wire, IntegersRoundTrip) {
+  tls::Writer w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u24(0xABCDEF);
+  w.u32(0xDEADBEEF);
+  tls::Reader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u24(), 0xABCDEFu);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_TRUE(r.done());
+  EXPECT_FALSE(r.failed());
+}
+
+TEST(Wire, VectorsRoundTrip) {
+  Bytes payload = {9, 8, 7, 6, 5};
+  tls::Writer w;
+  w.vec8(payload);
+  w.vec16(payload);
+  w.vec24(payload);
+  tls::Reader r(w.buffer());
+  EXPECT_EQ(r.vec8(), payload);
+  EXPECT_EQ(r.vec16(), payload);
+  EXPECT_EQ(r.vec24(), payload);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, TruncatedReadsFailGracefully) {
+  tls::Writer w;
+  w.u16(1000);  // length prefix promising 1000 bytes
+  tls::Reader r(w.buffer());
+  Bytes v = r.vec16();
+  EXPECT_TRUE(r.failed());
+  EXPECT_TRUE(v.empty());
+  // Reads after failure keep failing and return zero values.
+  EXPECT_EQ(r.u8(), 0);
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(Wire, EmptyVectorsAreValid) {
+  tls::Writer w;
+  w.vec16({});
+  tls::Reader r(w.buffer());
+  EXPECT_TRUE(r.vec16().empty());
+  EXPECT_FALSE(r.failed());
+  EXPECT_TRUE(r.done());
+}
+
+}  // namespace
+}  // namespace pqtls

@@ -1,0 +1,96 @@
+// Profiler accounting tests and record-layer sequence-number semantics.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "perf/profiler.hpp"
+#include "tls/record_layer.hpp"
+
+namespace pqtls {
+namespace {
+
+TEST(Profiler, AccumulatesPerCategory) {
+  perf::Profiler p;
+  p.add(perf::Lib::kLibcrypto, 0.5);
+  p.add(perf::Lib::kLibcrypto, 0.25);
+  p.add(perf::Lib::kKernel, 0.25);
+  EXPECT_DOUBLE_EQ(p.total(perf::Lib::kLibcrypto), 0.75);
+  EXPECT_DOUBLE_EQ(p.total(), 1.0);
+  EXPECT_DOUBLE_EQ(p.share(perf::Lib::kLibcrypto), 0.75);
+  EXPECT_DOUBLE_EQ(p.share(perf::Lib::kKernel), 0.25);
+  EXPECT_DOUBLE_EQ(p.share(perf::Lib::kPython), 0.0);
+  p.reset();
+  EXPECT_DOUBLE_EQ(p.total(), 0.0);
+  EXPECT_DOUBLE_EQ(p.share(perf::Lib::kLibcrypto), 0.0);  // no div by zero
+}
+
+TEST(Profiler, ScopeMeasuresElapsedTime) {
+  perf::Profiler p;
+  {
+    perf::Scope scope(&p, perf::Lib::kLibssl);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(p.total(perf::Lib::kLibssl), 0.004);
+  EXPECT_LT(p.total(perf::Lib::kLibssl), 0.5);
+}
+
+TEST(Profiler, NullProfilerScopeIsNoop) {
+  perf::Scope scope(nullptr, perf::Lib::kKernel);  // must not crash
+}
+
+TEST(Profiler, LibNamesMatchPerfCategories) {
+  EXPECT_EQ(perf::lib_name(perf::Lib::kLibcrypto), "libcrypto");
+  EXPECT_EQ(perf::lib_name(perf::Lib::kLibssl), "libssl");
+  EXPECT_EQ(perf::lib_name(perf::Lib::kKernel), "kernel");
+  EXPECT_EQ(perf::lib_name(perf::Lib::kIxgbe), "ixgbe");
+  EXPECT_EQ(perf::lib_name(perf::Lib::kPython), "python");
+}
+
+TEST(RecordSequence, NoncesAdvancePerRecord) {
+  // Two identical plaintexts sealed back to back must produce different
+  // ciphertexts (sequence number enters the AEAD nonce) and must decrypt
+  // in order on the receiving side.
+  tls::TrafficKeys keys{Bytes(16, 0x21), Bytes(12, 0x42)};
+  tls::RecordLayer tx, rx;
+  tx.set_write_keys(keys);
+  rx.set_read_keys(keys);
+  Bytes payload(40, 0x07);
+  Bytes r1 = tx.seal(tls::ContentType::kHandshake, payload);
+  Bytes r2 = tx.seal(tls::ContentType::kHandshake, payload);
+  EXPECT_NE(r1, r2);
+  rx.feed(r1);
+  rx.feed(r2);
+  auto d1 = rx.pop();
+  auto d2 = rx.pop();
+  ASSERT_TRUE(d1 && d2);
+  EXPECT_EQ(d1->payload, payload);
+  EXPECT_EQ(d2->payload, payload);
+}
+
+TEST(RecordSequence, ReorderedRecordsFailAuthentication) {
+  // Delivering record #2 before record #1 desynchronizes the sequence
+  // numbers: decryption must fail rather than silently accept.
+  tls::TrafficKeys keys{Bytes(16, 0x21), Bytes(12, 0x42)};
+  tls::RecordLayer tx, rx;
+  tx.set_write_keys(keys);
+  rx.set_read_keys(keys);
+  Bytes r1 = tx.seal(tls::ContentType::kHandshake, Bytes(10, 1));
+  Bytes r2 = tx.seal(tls::ContentType::kHandshake, Bytes(10, 2));
+  rx.feed(r2);  // out of order
+  EXPECT_FALSE(rx.pop().has_value());
+  EXPECT_TRUE(rx.failed());
+}
+
+TEST(RecordSequence, ChangeCipherSpecStaysPlaintextAfterKeys) {
+  tls::TrafficKeys keys{Bytes(16, 0x33), Bytes(12, 0x44)};
+  tls::RecordLayer tx;
+  tx.set_write_keys(keys);
+  Bytes ccs = tx.seal(tls::ContentType::kChangeCipherSpec, Bytes{1});
+  // Plaintext CCS: type byte 20 on the wire, 1-byte body.
+  ASSERT_EQ(ccs.size(), 6u);
+  EXPECT_EQ(ccs[0], 20);
+  EXPECT_EQ(ccs[5], 1);
+}
+
+}  // namespace
+}  // namespace pqtls

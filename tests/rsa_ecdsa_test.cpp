@@ -1,0 +1,119 @@
+// RSA-PSS and ECDSA signer tests, and classical KEM wrappers.
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "kem/ecdh.hpp"
+#include "sig/ecdsa.hpp"
+#include "sig/rsa.hpp"
+
+namespace pqtls {
+namespace {
+
+using crypto::Drbg;
+
+TEST(Rsa, SignVerifyRoundTrip1024) {
+  const auto& s = sig::RsaSigner::rsa1024();
+  Drbg rng(101);
+  sig::SigKeyPair kp = s.generate_keypair(rng);
+  Bytes msg = rng.bytes(200);
+  Bytes signature = s.sign(kp.secret_key, msg, rng);
+  EXPECT_EQ(signature.size(), 128u);
+  EXPECT_TRUE(s.verify(kp.public_key, msg, signature));
+}
+
+TEST(Rsa, SignVerifyRoundTrip2048) {
+  const auto& s = sig::RsaSigner::rsa2048();
+  Drbg rng(102);
+  sig::SigKeyPair kp = s.generate_keypair(rng);
+  Bytes msg = rng.bytes(64);
+  Bytes signature = s.sign(kp.secret_key, msg, rng);
+  EXPECT_EQ(signature.size(), 256u);
+  EXPECT_TRUE(s.verify(kp.public_key, msg, signature));
+
+  // Tampering with the message or signature must fail.
+  Bytes other = msg;
+  other[3] ^= 1;
+  EXPECT_FALSE(s.verify(kp.public_key, other, signature));
+  Bytes bad = signature;
+  bad[100] ^= 1;
+  EXPECT_FALSE(s.verify(kp.public_key, msg, bad));
+}
+
+TEST(Rsa, RandomizedPssSignaturesDiffer) {
+  const auto& s = sig::RsaSigner::rsa1024();
+  Drbg rng(103);
+  sig::SigKeyPair kp = s.generate_keypair(rng);
+  Bytes msg = rng.bytes(32);
+  Bytes s1 = s.sign(kp.secret_key, msg, rng);
+  Bytes s2 = s.sign(kp.secret_key, msg, rng);
+  EXPECT_NE(s1, s2);  // PSS salt randomizes
+  EXPECT_TRUE(s.verify(kp.public_key, msg, s1));
+  EXPECT_TRUE(s.verify(kp.public_key, msg, s2));
+}
+
+TEST(Rsa, RejectsSignatureFromDifferentKey) {
+  const auto& s = sig::RsaSigner::rsa1024();
+  Drbg rng(104);
+  sig::SigKeyPair kp1 = s.generate_keypair(rng);
+  sig::SigKeyPair kp2 = s.generate_keypair(rng);
+  Bytes msg = rng.bytes(48);
+  Bytes signature = s.sign(kp1.secret_key, msg, rng);
+  EXPECT_FALSE(s.verify(kp2.public_key, msg, signature));
+}
+
+class EcdsaTest : public ::testing::TestWithParam<const sig::EcdsaSigner*> {};
+
+TEST_P(EcdsaTest, SignVerifyRoundTrip) {
+  const auto& s = *GetParam();
+  Drbg rng(0xEC);
+  sig::SigKeyPair kp = s.generate_keypair(rng);
+  Bytes msg = rng.bytes(99);
+  Bytes signature = s.sign(kp.secret_key, msg, rng);
+  EXPECT_EQ(signature.size(), s.signature_size());
+  EXPECT_TRUE(s.verify(kp.public_key, msg, signature));
+  Bytes other = msg;
+  other[0] ^= 1;
+  EXPECT_FALSE(s.verify(kp.public_key, other, signature));
+  Bytes bad = signature;
+  bad[7] ^= 1;
+  EXPECT_FALSE(s.verify(kp.public_key, msg, bad));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCurves, EcdsaTest,
+                         ::testing::Values(&sig::EcdsaSigner::p256(),
+                                           &sig::EcdsaSigner::p384(),
+                                           &sig::EcdsaSigner::p521()),
+                         [](const auto& info) { return info.param->name(); });
+
+class ClassicalKemTest : public ::testing::TestWithParam<const kem::Kem*> {};
+
+TEST_P(ClassicalKemTest, RoundTrip) {
+  const auto& k = *GetParam();
+  Drbg rng(0xD4 + k.security_level());
+  kem::KeyPair kp = k.generate_keypair(rng);
+  EXPECT_EQ(kp.public_key.size(), k.public_key_size());
+  auto enc = k.encapsulate(kp.public_key, rng);
+  ASSERT_TRUE(enc.has_value());
+  EXPECT_EQ(enc->ciphertext.size(), k.ciphertext_size());
+  auto ss = k.decapsulate(kp.secret_key, enc->ciphertext);
+  ASSERT_TRUE(ss.has_value());
+  EXPECT_EQ(*ss, enc->shared_secret);
+}
+
+TEST_P(ClassicalKemTest, RejectsGarbagePublicKey) {
+  const auto& k = *GetParam();
+  Drbg rng(5);
+  if (k.name() == "x25519") return;  // any 32 bytes are a valid x25519 key
+  Bytes garbage(k.public_key_size(), 0xAB);
+  EXPECT_FALSE(k.encapsulate(garbage, rng).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGroups, ClassicalKemTest,
+                         ::testing::Values(&kem::X25519Kem::instance(),
+                                           &kem::EcdhKem::p256(),
+                                           &kem::EcdhKem::p384(),
+                                           &kem::EcdhKem::p521()),
+                         [](const auto& info) { return info.param->name(); });
+
+}  // namespace
+}  // namespace pqtls

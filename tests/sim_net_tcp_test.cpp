@@ -1,0 +1,220 @@
+// Event loop, link (netem), and TCP substrate tests.
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "net/link.hpp"
+#include "sim/event_loop.hpp"
+#include "tcp/tcp.hpp"
+
+namespace pqtls {
+namespace {
+
+using crypto::Drbg;
+using net::Link;
+using net::NetemConfig;
+using net::Packet;
+using sim::EventLoop;
+using tcp::TcpEndpoint;
+
+TEST(EventLoop, OrdersEventsByTime) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(3.0, [&] { order.push_back(3); });
+  loop.schedule_at(1.0, [&] { order.push_back(1); });
+  loop.schedule_at(2.0, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(loop.now(), 3.0);
+}
+
+TEST(EventLoop, SimultaneousEventsAreFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    loop.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, NestedScheduling) {
+  EventLoop loop;
+  double fired_at = -1;
+  loop.schedule_at(1.0, [&] {
+    loop.schedule_in(0.5, [&] { fired_at = loop.now(); });
+  });
+  loop.run();
+  EXPECT_DOUBLE_EQ(fired_at, 1.5);
+}
+
+TEST(LinkTest, AppliesPropagationDelay) {
+  EventLoop loop;
+  Link link(loop, NetemConfig{.loss = 0, .delay_s = 0.1, .rate_bps = 0},
+            Drbg(1));
+  double arrival = -1;
+  link.set_deliver([&](const Packet&) { arrival = loop.now(); });
+  Packet p;
+  p.payload = Bytes(100, 0);
+  link.send(p);
+  loop.run();
+  EXPECT_NEAR(arrival, 0.1, 1e-6);
+}
+
+TEST(LinkTest, RateLimitSerializesBackToBack) {
+  EventLoop loop;
+  // 1 Mbit/s; 1250-byte frames take 10 ms each.
+  Link link(loop, NetemConfig{.loss = 0, .delay_s = 0, .rate_bps = 1e6},
+            Drbg(2));
+  std::vector<double> arrivals;
+  link.set_deliver([&](const Packet&) { arrivals.push_back(loop.now()); });
+  for (int i = 0; i < 3; ++i) {
+    Packet p;
+    p.payload = Bytes(1250 - net::kFrameOverhead, 0);
+    link.send(p);
+  }
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_NEAR(arrivals[0], 0.01, 1e-4);
+  EXPECT_NEAR(arrivals[1], 0.02, 1e-4);
+  EXPECT_NEAR(arrivals[2], 0.03, 1e-4);
+}
+
+TEST(LinkTest, LossDropsApproximatelyTheConfiguredFraction) {
+  EventLoop loop;
+  Link link(loop, NetemConfig{.loss = 0.3, .delay_s = 0, .rate_bps = 0},
+            Drbg(3));
+  int delivered = 0;
+  link.set_deliver([&](const Packet&) { ++delivered; });
+  for (int i = 0; i < 2000; ++i) {
+    Packet p;
+    p.payload = Bytes(10, 0);
+    link.send(p);
+  }
+  loop.run();
+  EXPECT_NEAR(delivered, 1400, 100);
+  EXPECT_EQ(link.packets_sent(), 2000u);
+  EXPECT_EQ(static_cast<int>(link.packets_dropped()), 2000 - delivered);
+}
+
+TEST(LinkTest, TapSeesAllPacketsIncludingLostOnes) {
+  EventLoop loop;
+  Link link(loop, NetemConfig{.loss = 1.0, .delay_s = 0, .rate_bps = 0},
+            Drbg(4));
+  int tapped = 0, delivered = 0;
+  link.set_tap([&](const Packet&) { ++tapped; });
+  link.set_deliver([&](const Packet&) { ++delivered; });
+  Packet p;
+  link.send(p);
+  loop.run();
+  EXPECT_EQ(tapped, 1);
+  EXPECT_EQ(delivered, 0);
+}
+
+// ---- TCP ----
+
+struct TcpPair {
+  EventLoop loop;
+  Link c2s, s2c;
+  TcpEndpoint client, server;
+
+  explicit TcpPair(NetemConfig netem = {})
+      : c2s(loop, netem, Drbg(10)),
+        s2c(loop, netem, Drbg(11)),
+        client(loop, c2s),
+        server(loop, s2c) {
+    c2s.set_deliver([this](const Packet& p) { server.on_packet(p); });
+    s2c.set_deliver([this](const Packet& p) { client.on_packet(p); });
+  }
+};
+
+TEST(Tcp, ThreeWayHandshake) {
+  TcpPair pair;
+  bool client_connected = false;
+  pair.client.set_on_connected([&] { client_connected = true; });
+  pair.server.listen();
+  pair.client.connect();
+  pair.loop.run();
+  EXPECT_TRUE(client_connected);
+  EXPECT_TRUE(pair.client.established());
+  EXPECT_TRUE(pair.server.established());
+}
+
+TEST(Tcp, TransfersDataInOrder) {
+  TcpPair pair;
+  Bytes received;
+  pair.server.set_on_receive([&](BytesView d) { append(received, d); });
+  pair.server.listen();
+  Bytes data(10000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i * 31);
+  pair.client.set_on_connected([&] { pair.client.send(data); });
+  pair.client.connect();
+  pair.loop.run();
+  EXPECT_EQ(received, data);
+}
+
+TEST(Tcp, BidirectionalEcho) {
+  TcpPair pair;
+  Bytes client_received;
+  pair.server.set_on_receive([&](BytesView d) { pair.server.send(d); });
+  pair.client.set_on_receive([&](BytesView d) { append(client_received, d); });
+  pair.server.listen();
+  Bytes msg(5000, 0x5A);
+  pair.client.set_on_connected([&] { pair.client.send(msg); });
+  pair.client.connect();
+  pair.loop.run();
+  EXPECT_EQ(client_received, msg);
+}
+
+TEST(Tcp, InitialWindowLimitsFirstFlight) {
+  // With a 1s RTT, a flight larger than IW=10 MSS needs a second round trip:
+  // this is the paper's core High-Delay finding for big PQ flights.
+  TcpPair small(NetemConfig{.loss = 0, .delay_s = 0.5, .rate_bps = 0});
+  Bytes received_small;
+  double done_small = -1;
+  small.server.set_on_receive([&](BytesView d) {
+    append(received_small, d);
+    if (received_small.size() == 5000) done_small = small.loop.now();
+  });
+  small.server.listen();
+  small.client.set_on_connected([&] { small.client.send(Bytes(5000, 1)); });
+  small.client.connect();
+  small.loop.run();
+
+  TcpPair big(NetemConfig{.loss = 0, .delay_s = 0.5, .rate_bps = 0});
+  Bytes received_big;
+  double done_big = -1;
+  // 40 kB (a SPHINCS+-sized flight) far exceeds 10 * 1448 B.
+  big.server.set_on_receive([&](BytesView d) {
+    append(received_big, d);
+    if (received_big.size() == 40000) done_big = big.loop.now();
+  });
+  big.server.listen();
+  big.client.set_on_connected([&] { big.client.send(Bytes(40000, 2)); });
+  big.client.connect();
+  big.loop.run();
+
+  ASSERT_GT(done_small, 0);
+  ASSERT_GT(done_big, 0);
+  // Small flight: SYN RTT + data half-RTT ~ 1.5 s. Big flight needs at
+  // least one extra RTT for the cwnd to grow.
+  EXPECT_LT(done_small, 1.6);
+  EXPECT_GT(done_big, done_small + 0.9);
+}
+
+TEST(Tcp, RecoversFromHeavyLoss) {
+  TcpPair pair(NetemConfig{.loss = 0.1, .delay_s = 0.001, .rate_bps = 0});
+  Bytes received;
+  pair.server.set_on_receive([&](BytesView d) { append(received, d); });
+  pair.server.listen();
+  Bytes data(30000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i);
+  pair.client.set_on_connected([&] { pair.client.send(data); });
+  pair.client.connect();
+  pair.loop.run(3600.0);
+  EXPECT_EQ(received, data);
+  EXPECT_GT(pair.client.retransmissions(), 0u);
+}
+
+}  // namespace
+}  // namespace pqtls

@@ -1,0 +1,81 @@
+// SPHINCS+ (haraka-f-simple) signature tests. These exercise the WOTS+,
+// FORS, and hypertree layers end to end.
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "sig/sphincs.hpp"
+
+namespace pqtls::sig {
+namespace {
+
+using crypto::Drbg;
+
+class SphincsTest : public ::testing::TestWithParam<const SphincsSigner*> {};
+
+TEST_P(SphincsTest, SizesMatchSpec) {
+  const SphincsSigner& s = *GetParam();
+  struct Expected {
+    int level;
+    std::size_t pk, sig;
+  };
+  // sphincs-{128,192,256}f-simple signature sizes from the round-3 spec.
+  static constexpr Expected kExpected[] = {
+      {1, 32, 17088},
+      {3, 48, 35664},
+      {5, 64, 49856},
+  };
+  for (const auto& e : kExpected) {
+    if (e.level != s.security_level()) continue;
+    EXPECT_EQ(s.public_key_size(), e.pk);
+    EXPECT_EQ(s.signature_size(), e.sig);
+  }
+}
+
+TEST_P(SphincsTest, SignVerifyRoundTrip) {
+  const SphincsSigner& s = *GetParam();
+  Drbg rng(0x5F + s.security_level());
+  SigKeyPair kp = s.generate_keypair(rng);
+  Bytes msg = rng.bytes(80);
+  Bytes sig = s.sign(kp.secret_key, msg, rng);
+  EXPECT_EQ(sig.size(), s.signature_size());
+  EXPECT_TRUE(s.verify(kp.public_key, msg, sig));
+}
+
+TEST_P(SphincsTest, RejectsWrongMessageAndTamperedSignature) {
+  const SphincsSigner& s = *GetParam();
+  Drbg rng(0x60);
+  SigKeyPair kp = s.generate_keypair(rng);
+  Bytes msg = rng.bytes(33);
+  Bytes sig = s.sign(kp.secret_key, msg, rng);
+  Bytes other = msg;
+  other[5] ^= 1;
+  EXPECT_FALSE(s.verify(kp.public_key, other, sig));
+  // Tamper in the FORS region, the WOTS region, and the final auth path.
+  for (std::size_t pos : {std::size_t{40}, sig.size() / 2, sig.size() - 2}) {
+    Bytes bad = sig;
+    bad[pos] ^= 0x01;
+    EXPECT_FALSE(s.verify(kp.public_key, msg, bad)) << "byte " << pos;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, SphincsTest,
+                         ::testing::Values(&SphincsSigner::sphincs128(),
+                                           &SphincsSigner::sphincs192(),
+                                           &SphincsSigner::sphincs256()),
+                         [](const auto& info) { return info.param->name(); });
+
+TEST(Sphincs, DifferentRandomizersStillVerify) {
+  const SphincsSigner& s = SphincsSigner::sphincs128();
+  Drbg rng(77);
+  SigKeyPair kp = s.generate_keypair(rng);
+  Bytes msg = rng.bytes(16);
+  Drbg r1(1), r2(2);
+  Bytes s1 = s.sign(kp.secret_key, msg, r1);
+  Bytes s2 = s.sign(kp.secret_key, msg, r2);
+  EXPECT_NE(s1, s2);  // randomized via opt_rand
+  EXPECT_TRUE(s.verify(kp.public_key, msg, s1));
+  EXPECT_TRUE(s.verify(kp.public_key, msg, s2));
+}
+
+}  // namespace
+}  // namespace pqtls::sig

@@ -1,0 +1,230 @@
+// Parameterized TCP property sweep: reliable in-order delivery must hold
+// across the full (transfer size x loss x delay x rate) grid the Table 4
+// scenarios draw from, and slow start must produce the expected flight
+// pattern.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "crypto/drbg.hpp"
+#include "net/link.hpp"
+#include "sim/event_loop.hpp"
+#include "tcp/tcp.hpp"
+
+namespace pqtls::tcp {
+namespace {
+
+using crypto::Drbg;
+using net::Link;
+using net::NetemConfig;
+using net::Packet;
+using sim::EventLoop;
+
+struct GridCase {
+  std::size_t transfer_bytes;
+  double loss;
+  double delay_s;
+  double rate_bps;
+};
+
+class TcpGridTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(TcpGridTest, ReliableInOrderDelivery) {
+  const GridCase& c = GetParam();
+  NetemConfig netem{.loss = c.loss, .delay_s = c.delay_s, .rate_bps = c.rate_bps};
+  EventLoop loop;
+  Link c2s(loop, netem, Drbg(c.transfer_bytes + 17));
+  Link s2c(loop, netem, Drbg(c.transfer_bytes + 18));
+  TcpEndpoint client(loop, c2s), server(loop, s2c);
+  c2s.set_deliver([&](const Packet& p) { server.on_packet(p); });
+  s2c.set_deliver([&](const Packet& p) { client.on_packet(p); });
+
+  Bytes data(c.transfer_bytes);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  Bytes received;
+  server.set_on_receive([&](BytesView d) { append(received, d); });
+  server.listen();
+  client.set_on_connected([&] { client.send(data); });
+  client.connect();
+  loop.run(7200.0);
+  EXPECT_EQ(received.size(), data.size());
+  EXPECT_EQ(received, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TcpGridTest,
+    ::testing::Values(
+        // Pristine link, sizes around segment boundaries.
+        GridCase{1, 0, 0, 0}, GridCase{1448, 0, 0, 0},
+        GridCase{1449, 0, 0, 0}, GridCase{100000, 0, 0, 0},
+        // Loss alone (needs fast retransmit / RTO).
+        GridCase{50000, 0.05, 0.001, 0}, GridCase{50000, 0.20, 0.001, 0},
+        // Delay alone (slow-start over many RTTs).
+        GridCase{60000, 0, 0.25, 0},
+        // Bandwidth alone (serialization queueing).
+        GridCase{30000, 0, 0, 1e6},
+        // The LTE-M combination from the paper.
+        GridCase{20000, 0.10, 0.1, 1e6},
+        // The 5G combination.
+        GridCase{40000, 0.04, 0.022, 880e6}),
+    [](const auto& info) {
+      const GridCase& c = info.param;
+      return "b" + std::to_string(c.transfer_bytes) + "_l" +
+             std::to_string(static_cast<int>(c.loss * 100)) + "_d" +
+             std::to_string(static_cast<int>(c.delay_s * 1000)) + "_r" +
+             std::to_string(static_cast<long>(c.rate_bps));
+    });
+
+TEST(TcpSlowStart, FlightSizesDoubleEachRtt) {
+  // 0.5 s one-way delay, large transfer: count data packets per RTT window.
+  EventLoop loop;
+  NetemConfig netem{.loss = 0, .delay_s = 0.25, .rate_bps = 0};
+  Link c2s(loop, netem, Drbg(1));
+  Link s2c(loop, netem, Drbg(2));
+  TcpEndpoint client(loop, c2s), server(loop, s2c);
+  std::vector<double> data_packet_times;
+  c2s.set_tap([&](const Packet& p) {
+    if (!p.payload.empty()) data_packet_times.push_back(loop.now());
+  });
+  c2s.set_deliver([&](const Packet& p) { server.on_packet(p); });
+  s2c.set_deliver([&](const Packet& p) { client.on_packet(p); });
+  server.listen();
+  Bytes data(200 * 1448, 0xAA);
+  client.set_on_connected([&] { client.send(data); });
+  client.connect();
+  loop.run(120.0);
+
+  // Bucket into RTT windows (0.5 s) and count.
+  std::map<int, int> per_rtt;
+  for (double t : data_packet_times) ++per_rtt[static_cast<int>(t / 0.5)];
+  ASSERT_GE(per_rtt.size(), 3u);
+  auto it = per_rtt.begin();
+  int first = it->second;
+  EXPECT_EQ(first, 10);  // IW10
+  ++it;
+  EXPECT_NEAR(it->second, 2 * first, 2);  // doubled in slow start
+  ++it;
+  EXPECT_GE(it->second, 3 * first);  // keeps growing
+}
+
+TEST(TcpSlowStart, CustomInitialWindowRespected) {
+  for (std::size_t iw : {std::size_t{2}, std::size_t{40}}) {
+    EventLoop loop;
+    NetemConfig netem{.loss = 0, .delay_s = 0.25, .rate_bps = 0};
+    Link c2s(loop, netem, Drbg(3));
+    Link s2c(loop, netem, Drbg(4));
+    TcpEndpoint client(loop, c2s, iw), server(loop, s2c);
+    int first_flight = 0;
+    bool counting = false;
+    c2s.set_tap([&](const Packet& p) {
+      if (!p.payload.empty() && loop.now() < 0.6) {
+        counting = true;
+        ++first_flight;
+      }
+    });
+    c2s.set_deliver([&](const Packet& p) { server.on_packet(p); });
+    s2c.set_deliver([&](const Packet& p) { client.on_packet(p); });
+    server.listen();
+    Bytes data(100 * 1448, 1);
+    client.set_on_connected([&] { client.send(data); });
+    client.connect();
+    loop.run(10.0);
+    ASSERT_TRUE(counting);
+    EXPECT_EQ(first_flight, static_cast<int>(iw)) << "IW " << iw;
+  }
+}
+
+TEST(TcpRtt, SmoothedRttConverges) {
+  EventLoop loop;
+  NetemConfig netem{.loss = 0, .delay_s = 0.05, .rate_bps = 0};
+  Link c2s(loop, netem, Drbg(5));
+  Link s2c(loop, netem, Drbg(6));
+  TcpEndpoint client(loop, c2s), server(loop, s2c);
+  c2s.set_deliver([&](const Packet& p) { server.on_packet(p); });
+  s2c.set_deliver([&](const Packet& p) { client.on_packet(p); });
+  server.listen();
+  client.set_on_connected([&] { client.send(Bytes(30000, 2)); });
+  client.connect();
+  loop.run(60.0);
+  EXPECT_NEAR(client.smoothed_rtt(), 0.1, 0.02);  // 2 x 50 ms one-way
+}
+
+}  // namespace
+}  // namespace pqtls::tcp
+
+namespace pqtls::tcp {
+namespace {
+
+TEST(TcpTeardown, GracefulCloseBothSides) {
+  EventLoop loop;
+  NetemConfig netem{.loss = 0, .delay_s = 0.01, .rate_bps = 0};
+  Link c2s(loop, netem, Drbg(21));
+  Link s2c(loop, netem, Drbg(22));
+  TcpEndpoint client(loop, c2s), server(loop, s2c);
+  c2s.set_deliver([&](const Packet& p) { server.on_packet(p); });
+  s2c.set_deliver([&](const Packet& p) { client.on_packet(p); });
+  Bytes received;
+  server.set_on_receive([&](BytesView d) {
+    append(received, d);
+    if (received.size() == 5000) server.close();
+  });
+  server.listen();
+  client.set_on_connected([&] {
+    client.send(Bytes(5000, 0x33));
+    client.close();  // FIN follows the data once it is acked
+  });
+  client.connect();
+  loop.run(120.0);
+  EXPECT_EQ(received.size(), 5000u);
+  EXPECT_TRUE(client.closed());
+  EXPECT_TRUE(server.closed());
+}
+
+TEST(TcpTeardown, FinSurvivesLoss) {
+  EventLoop loop;
+  NetemConfig netem{.loss = 0.3, .delay_s = 0.005, .rate_bps = 0};
+  Link c2s(loop, netem, Drbg(23));
+  Link s2c(loop, netem, Drbg(24));
+  TcpEndpoint client(loop, c2s), server(loop, s2c);
+  c2s.set_deliver([&](const Packet& p) { server.on_packet(p); });
+  s2c.set_deliver([&](const Packet& p) { client.on_packet(p); });
+  Bytes received;
+  server.set_on_receive([&](BytesView d) {
+    append(received, d);
+    if (received.size() == 3000) server.close();
+  });
+  server.listen();
+  client.set_on_connected([&] {
+    client.send(Bytes(3000, 0x44));
+    client.close();
+  });
+  client.connect();
+  loop.run(3600.0);
+  EXPECT_EQ(received.size(), 3000u);
+  EXPECT_TRUE(client.closed());
+}
+
+TEST(TcpTeardown, CloseBeforeDataStillDeliversEverything) {
+  EventLoop loop;
+  Link c2s(loop, NetemConfig{}, Drbg(25));
+  Link s2c(loop, NetemConfig{}, Drbg(26));
+  TcpEndpoint client(loop, c2s), server(loop, s2c);
+  c2s.set_deliver([&](const Packet& p) { server.on_packet(p); });
+  s2c.set_deliver([&](const Packet& p) { client.on_packet(p); });
+  Bytes received;
+  server.set_on_receive([&](BytesView d) { append(received, d); });
+  server.listen();
+  // Close requested while data is still queued: the FIN must not overtake it.
+  Bytes data(50000, 0x55);
+  client.set_on_connected([&] {
+    client.send(data);
+    client.close();
+  });
+  client.connect();
+  loop.run(60.0);
+  EXPECT_EQ(received, data);
+}
+
+}  // namespace
+}  // namespace pqtls::tcp

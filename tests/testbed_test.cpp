@@ -1,0 +1,126 @@
+// End-to-end testbed tests: full measured handshakes over the simulated
+// three-node setup, black-box and white-box.
+#include <gtest/gtest.h>
+
+#include "testbed/testbed.hpp"
+
+namespace pqtls::testbed {
+namespace {
+
+ExperimentConfig quick(const std::string& ka, const std::string& sa) {
+  ExperimentConfig config;
+  config.ka = ka;
+  config.sa = sa;
+  config.sample_handshakes = 5;
+  return config;
+}
+
+TEST(Testbed, BaselineHandshakeCompletes) {
+  ExperimentResult r = run_experiment(quick("x25519", "rsa:2048"));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(static_cast<int>(r.samples.size()), 5);
+  EXPECT_GT(r.median_part_a, 0.0);
+  EXPECT_GT(r.median_part_b, 0.0);
+  EXPECT_NEAR(r.median_total, r.median_part_a + r.median_part_b,
+              r.median_total * 0.5);
+  EXPECT_GT(r.client_bytes, 400u);
+  EXPECT_GT(r.server_bytes, 1000u);
+  EXPECT_GT(r.total_handshakes_60s, 100);
+}
+
+TEST(Testbed, PqHandshakeCompletes) {
+  ExperimentResult r = run_experiment(quick("kyber512", "dilithium2"));
+  ASSERT_TRUE(r.ok);
+  // Dilithium certificates are ~7 kB: server volume well above the RSA case.
+  EXPECT_GT(r.server_bytes, 5000u);
+}
+
+TEST(Testbed, DataVolumeTracksCiphertextSize) {
+  ExperimentResult small = run_experiment(quick("kyber512", "rsa:2048"));
+  ExperimentResult big = run_experiment(quick("hqc256", "rsa:2048"));
+  ASSERT_TRUE(small.ok);
+  ASSERT_TRUE(big.ok);
+  // hqc256's public key (7245 B) and ciphertext (14469 B) dwarf kyber512's.
+  EXPECT_GT(big.client_bytes, small.client_bytes + 5000);
+  EXPECT_GT(big.server_bytes, small.server_bytes + 10000);
+}
+
+TEST(Testbed, HighDelayScenarioIsRttBound) {
+  ExperimentConfig config = quick("x25519", "rsa:2048");
+  config.netem.delay_s = 0.5;  // 1 s RTT
+  ExperimentResult r = run_experiment(config);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.median_total, 1.0);
+  EXPECT_LT(r.median_total, 1.1);  // single extra RTT only
+}
+
+TEST(Testbed, LargeFlightsNeedExtraRttsUnderHighDelay) {
+  // SPHINCS+ server flights (~37 kB) exceed IW10: at 1 s RTT the handshake
+  // takes >= 2 RTTs (paper section 5.4).
+  ExperimentConfig config = quick("x25519", "sphincs128");
+  config.sample_handshakes = 3;
+  config.netem.delay_s = 0.5;
+  ExperimentResult r = run_experiment(config);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.median_total, 2.0);
+}
+
+TEST(Testbed, LowBandwidthPenalizesLargeHandshakes) {
+  ExperimentConfig small = quick("x25519", "rsa:2048");
+  small.netem.rate_bps = 1e6;
+  ExperimentConfig big = quick("x25519", "dilithium2");
+  big.netem.rate_bps = 1e6;
+  ExperimentResult rs = run_experiment(small);
+  ExperimentResult rb = run_experiment(big);
+  ASSERT_TRUE(rs.ok);
+  ASSERT_TRUE(rb.ok);
+  // ~10 kB vs ~2.5 kB at 1 Mbit/s: tens of milliseconds apart.
+  EXPECT_GT(rb.median_total, rs.median_total + 0.02);
+}
+
+TEST(Testbed, WhiteBoxProfilesLibraries) {
+  ExperimentConfig config = quick("kyber512", "dilithium2");
+  config.white_box = true;
+  ExperimentResult r = run_experiment(config);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.server_cpu_ms, 0.0);
+  EXPECT_GT(r.client_cpu_ms, 0.0);
+  EXPECT_GT(r.handshakes_per_second, 0.0);
+  EXPECT_GT(r.server_packets, 2.0);
+  EXPECT_GT(r.client_packets, 2.0);
+  // libcrypto should dominate (the paper observes ~90% crypto+kernel+ssl).
+  double crypto =
+      r.server_shares.share[static_cast<int>(perf::Lib::kLibcrypto)];
+  EXPECT_GT(crypto, 0.2);
+  double sum = 0;
+  for (double s : r.server_shares.share) sum += s;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(Testbed, DeterministicAcrossRuns) {
+  ExperimentConfig config = quick("kyber512", "falcon512");
+  ExperimentResult r1 = run_experiment(config);
+  ExperimentResult r2 = run_experiment(config);
+  ASSERT_TRUE(r1.ok);
+  ASSERT_TRUE(r2.ok);
+  // Data volumes are bit-deterministic; latencies are measured and may
+  // differ slightly.
+  EXPECT_EQ(r1.client_bytes, r2.client_bytes);
+  EXPECT_EQ(r1.server_bytes, r2.server_bytes);
+}
+
+TEST(Testbed, ScenarioTableMatchesPaper) {
+  const auto& scenarios = standard_scenarios();
+  ASSERT_EQ(scenarios.size(), 6u);
+  EXPECT_EQ(scenarios[0].name, "No Emulation");
+  EXPECT_DOUBLE_EQ(scenarios[1].netem.loss, 0.10);
+  EXPECT_DOUBLE_EQ(scenarios[2].netem.rate_bps, 1e6);
+  EXPECT_DOUBLE_EQ(scenarios[3].netem.delay_s, 0.5);
+  // LTE-M: 10% loss, 200 ms RTT, 1 Mbit/s.
+  EXPECT_DOUBLE_EQ(scenarios[4].netem.loss, 0.10);
+  EXPECT_DOUBLE_EQ(scenarios[4].netem.delay_s, 0.1);
+  EXPECT_DOUBLE_EQ(scenarios[4].netem.rate_bps, 1e6);
+}
+
+}  // namespace
+}  // namespace pqtls::testbed

@@ -1,0 +1,233 @@
+// TLS negative-path and robustness tests: corrupted records, truncated
+// streams, downgrade attempts, replay — the handshake must fail cleanly
+// (no crash, no completion) whatever bytes arrive.
+#include <gtest/gtest.h>
+
+#include "tls/connection.hpp"
+#include "tls/key_schedule.hpp"
+
+namespace pqtls::tls {
+namespace {
+
+using crypto::Drbg;
+
+struct Pair {
+  ServerConfig server;
+  ClientConfig client;
+};
+
+Pair make_pair(const std::string& ka = "kyber512",
+               const std::string& sa = "dilithium2") {
+  const sig::Signer* signer = sig::find_signer(sa);
+  Drbg rng(0xDEAD);
+  auto ca = pki::make_root_ca(*signer, "neg root", rng);
+  auto leaf_kp = signer->generate_keypair(rng);
+  auto leaf = pki::issue_certificate(ca, "neg server", signer->name(),
+                                     leaf_kp.public_key, rng);
+  Pair p;
+  p.server.ka = kem::find_kem(ka);
+  p.server.sa = signer;
+  p.server.chain.certificates = {leaf};
+  p.server.leaf_secret_key = leaf_kp.secret_key;
+  p.client.ka = kem::find_kem(ka);
+  p.client.sa = signer;
+  p.client.root = ca.certificate;
+  return p;
+}
+
+// Drive a handshake where every server->client flight is transformed by
+// `mutate` (byte position relative to the concatenated server stream).
+bool run_with_mutation(Pair& p, std::size_t flip_at) {
+  ClientConnection client(p.client, Drbg(1));
+  ServerConnection server(p.server, Drbg(2));
+  std::vector<Bytes> to_server, to_client;
+  std::size_t server_stream_pos = 0;
+  client.start([&](BytesView d) { to_server.emplace_back(d.begin(), d.end()); });
+  for (int round = 0; round < 16; ++round) {
+    bool progress = !to_server.empty() || !to_client.empty();
+    for (auto& f : to_server)
+      server.on_data(f, [&](BytesView d) {
+        Bytes copy(d.begin(), d.end());
+        if (flip_at >= server_stream_pos &&
+            flip_at < server_stream_pos + copy.size())
+          copy[flip_at - server_stream_pos] ^= 0x01;
+        server_stream_pos += copy.size();
+        to_client.push_back(std::move(copy));
+      });
+    to_server.clear();
+    for (auto& f : to_client)
+      client.on_data(f, [&](BytesView d) {
+        to_server.emplace_back(d.begin(), d.end());
+      });
+    to_client.clear();
+    if (!progress) break;
+  }
+  return client.handshake_complete() && server.handshake_complete();
+}
+
+// Measure the clean server-stream length so mutation positions are valid.
+std::size_t server_stream_length() {
+  Pair p = make_pair();
+  ClientConnection client(p.client, Drbg(1));
+  ServerConnection server(p.server, Drbg(2));
+  std::vector<Bytes> to_server, to_client;
+  std::size_t total = 0;
+  client.start([&](BytesView d) { to_server.emplace_back(d.begin(), d.end()); });
+  for (int round = 0; round < 16; ++round) {
+    for (auto& f : to_server)
+      server.on_data(f, [&](BytesView d) {
+        total += d.size();
+        to_client.emplace_back(d.begin(), d.end());
+      });
+    to_server.clear();
+    for (auto& f : to_client)
+      client.on_data(f, [&](BytesView d) {
+        to_server.emplace_back(d.begin(), d.end());
+      });
+    to_client.clear();
+  }
+  return total;
+}
+
+TEST(TlsNegative, AnyCorruptedServerByteBreaksTheHandshake) {
+  // Sample positions across the whole server stream: ServerHello region,
+  // the encrypted certificate region, and the tail (Finished).
+  Pair clean = make_pair();
+  ASSERT_TRUE(run_with_mutation(clean, static_cast<std::size_t>(-1)));
+  std::size_t len = server_stream_length();
+  ASSERT_GT(len, 100u);
+  for (std::size_t pos : {std::size_t{7}, std::size_t{60}, len / 4, len / 2,
+                          3 * len / 4, len - 20}) {
+    Pair p = make_pair();
+    EXPECT_FALSE(run_with_mutation(p, pos)) << "byte " << pos << "/" << len;
+  }
+}
+
+TEST(TlsNegative, ClientRejectsGarbageInsteadOfServerHello) {
+  Pair p = make_pair();
+  ClientConnection client(p.client, Drbg(3));
+  client.start([](BytesView) {});
+  // A complete record carrying a complete bogus handshake message.
+  Bytes garbage = {22, 3, 3, 0, 5, 0x99, 0, 0, 1, 0};
+  client.on_data(garbage, [](BytesView) {});
+  EXPECT_TRUE(client.failed());
+}
+
+TEST(TlsNegative, ServerRejectsGarbageInsteadOfClientHello) {
+  Pair p = make_pair();
+  ServerConnection server(p.server, Drbg(4));
+  Bytes garbage = {22, 3, 3, 0, 4, 0x02, 0x00, 0x00, 0x00};
+  Bytes out;
+  server.on_data(garbage, [&](BytesView d) { append(out, d); });
+  EXPECT_TRUE(server.failed());
+  // Nothing but (at most) an alert goes out.
+  if (!out.empty()) EXPECT_EQ(out[0], 21);
+}
+
+TEST(TlsNegative, AlertRecordFailsClient) {
+  Pair p = make_pair();
+  ClientConnection client(p.client, Drbg(5));
+  client.start([](BytesView) {});
+  Bytes alert = {21, 3, 3, 0, 2, 2, 40};  // fatal handshake_failure
+  client.on_data(alert, [](BytesView) {});
+  EXPECT_TRUE(client.failed());
+}
+
+TEST(TlsNegative, TruncatedStreamNeverCompletes) {
+  Pair p = make_pair();
+  ClientConnection client(p.client, Drbg(6));
+  ServerConnection server(p.server, Drbg(7));
+  Bytes ch;
+  client.start([&](BytesView d) { ch.assign(d.begin(), d.end()); });
+  Bytes server_out;
+  server.on_data(ch, [&](BytesView d) { append(server_out, d); });
+  // Deliver all but the final byte: client must neither complete nor fail
+  // spuriously — it is simply still waiting.
+  client.on_data(BytesView{server_out.data(), server_out.size() - 1},
+                 [](BytesView) {});
+  EXPECT_FALSE(client.handshake_complete());
+  EXPECT_FALSE(client.failed());
+}
+
+TEST(TlsNegative, ReplayedClientFinishedIsIgnored) {
+  Pair p = make_pair();
+  ClientConnection client(p.client, Drbg(8));
+  ServerConnection server(p.server, Drbg(9));
+  std::vector<Bytes> to_server, to_client;
+  client.start([&](BytesView d) { to_server.emplace_back(d.begin(), d.end()); });
+  Bytes last_client_flight;
+  for (int round = 0; round < 8; ++round) {
+    for (auto& f : to_server)
+      server.on_data(f, [&](BytesView d) {
+        to_client.emplace_back(d.begin(), d.end());
+      });
+    to_server.clear();
+    for (auto& f : to_client)
+      client.on_data(f, [&](BytesView d) {
+        last_client_flight.assign(d.begin(), d.end());
+        to_server.emplace_back(d.begin(), d.end());
+      });
+    to_client.clear();
+  }
+  ASSERT_TRUE(server.handshake_complete());
+  // Replaying the Finished flight at the completed server must not crash or
+  // regress the state machine.
+  server.on_data(last_client_flight, [](BytesView) {});
+  EXPECT_TRUE(server.handshake_complete());
+}
+
+TEST(TlsNegative, MismatchedSignatureAlgorithmFails) {
+  Pair p = make_pair();
+  p.client.sa = sig::find_signer("falcon512");  // server has dilithium2
+  ClientConnection client(p.client, Drbg(10));
+  ServerConnection server(p.server, Drbg(11));
+  Bytes ch;
+  client.start([&](BytesView d) { ch.assign(d.begin(), d.end()); });
+  Bytes server_out;
+  server.on_data(ch, [&](BytesView d) { server_out.assign(d.begin(), d.end()); });
+  EXPECT_TRUE(server.failed());
+  // The only thing on the wire is a fatal alert record (type 21).
+  ASSERT_GE(server_out.size(), 7u);
+  EXPECT_EQ(server_out[0], 21);
+  EXPECT_EQ(server_out[5], 2);   // fatal
+  EXPECT_EQ(server_out[6], 40);  // handshake_failure
+}
+
+TEST(KeyScheduleVectors, EarlySecretMatchesRfc8448) {
+  // HKDF-Extract(0, 0^32): the well-known TLS 1.3 early secret.
+  Bytes zeros(32, 0);
+  Bytes early = crypto::hkdf_extract_sha256({}, zeros);
+  EXPECT_EQ(to_hex(early),
+            "33ad0a1c607ec03b09e6cd9893680ce210adf300aa1f2660e1b22e10f170f92a");
+  // Derive-Secret(early, "derived", "") from the RFC 8448 trace.
+  Bytes empty_hash = crypto::sha256({});
+  Bytes derived = derive_secret(early, "derived", empty_hash);
+  EXPECT_EQ(to_hex(derived),
+            "6f2615a108c702c5678f54fc9dbab69716c076189c48250cebeac3576c3611ba");
+}
+
+TEST(KeyScheduleVectors, TrafficKeysHaveAeadShape) {
+  Bytes secret(32, 0x11);
+  TrafficKeys keys = derive_traffic_keys(secret);
+  EXPECT_EQ(keys.key.size(), 16u);
+  EXPECT_EQ(keys.iv.size(), 12u);
+  // Distinct labels ("key" vs "iv") must give unrelated bytes.
+  EXPECT_NE(Bytes(keys.iv.begin(), keys.iv.end()),
+            Bytes(keys.key.begin(), keys.key.begin() + 12));
+}
+
+TEST(KeyScheduleVectors, HrrTranscriptSurgery) {
+  KeySchedule ks1, ks2;
+  Bytes ch1 = {1, 0, 0, 3, 0xAA, 0xBB, 0xCC};
+  ks1.update_transcript(ch1);
+  ks1.convert_to_hrr_transcript();
+  // Equivalent: a fresh transcript fed the synthetic message_hash message.
+  Bytes hash = crypto::sha256(ch1);
+  Bytes synthetic = {254, 0, 0, 32};
+  append(synthetic, hash);
+  ks2.update_transcript(synthetic);
+  EXPECT_EQ(ks1.transcript_hash(), ks2.transcript_hash());
+}
+
+}  // namespace
+}  // namespace pqtls::tls

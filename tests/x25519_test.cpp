@@ -1,0 +1,79 @@
+// RFC 7748 test vectors and properties for X25519.
+#include <gtest/gtest.h>
+
+#include "crypto/bytes.hpp"
+#include "crypto/drbg.hpp"
+#include "kem/x25519.hpp"
+
+namespace pqtls::kem {
+namespace {
+
+using pqtls::crypto::Drbg;
+
+TEST(X25519, Rfc7748Vector1) {
+  Bytes scalar = from_hex(
+      "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  Bytes point = from_hex(
+      "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  std::uint8_t out[32];
+  ASSERT_TRUE(x25519(out, scalar.data(), point.data()));
+  EXPECT_EQ(to_hex({out, 32}),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+TEST(X25519, Rfc7748Vector2) {
+  Bytes scalar = from_hex(
+      "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+  Bytes point = from_hex(
+      "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+  std::uint8_t out[32];
+  ASSERT_TRUE(x25519(out, scalar.data(), point.data()));
+  EXPECT_EQ(to_hex({out, 32}),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+}
+
+TEST(X25519, Rfc7748DiffieHellman) {
+  // Section 6.1: Alice/Bob key exchange.
+  Bytes alice_priv = from_hex(
+      "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  Bytes bob_priv = from_hex(
+      "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+  auto alice_pub = x25519_base(alice_priv.data());
+  auto bob_pub = x25519_base(bob_priv.data());
+  EXPECT_EQ(to_hex(alice_pub),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  EXPECT_EQ(to_hex(bob_pub),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+  std::uint8_t k1[32], k2[32];
+  ASSERT_TRUE(x25519(k1, alice_priv.data(), bob_pub.data()));
+  ASSERT_TRUE(x25519(k2, bob_priv.data(), alice_pub.data()));
+  EXPECT_EQ(to_hex({k1, 32}),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+  EXPECT_EQ(to_hex({k1, 32}), to_hex({k2, 32}));
+}
+
+TEST(X25519, SharedSecretAgreesForRandomKeys) {
+  Drbg rng(0x25519);
+  for (int i = 0; i < 20; ++i) {
+    std::uint8_t a[32], b[32];
+    rng.fill(a, 32);
+    rng.fill(b, 32);
+    auto pub_a = x25519_base(a);
+    auto pub_b = x25519_base(b);
+    std::uint8_t s1[32], s2[32];
+    ASSERT_TRUE(x25519(s1, a, pub_b.data()));
+    ASSERT_TRUE(x25519(s2, b, pub_a.data()));
+    EXPECT_EQ(to_hex({s1, 32}), to_hex({s2, 32})) << "iteration " << i;
+  }
+}
+
+TEST(X25519, RejectsAllZeroOutput) {
+  // The all-zero peer key is a small-order point: must be rejected.
+  std::uint8_t scalar[32] = {1};
+  std::uint8_t zero_point[32] = {0};
+  std::uint8_t out[32];
+  EXPECT_FALSE(x25519(out, scalar, zero_point));
+}
+
+}  // namespace
+}  // namespace pqtls::kem

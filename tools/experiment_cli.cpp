@@ -1,0 +1,184 @@
+// Artifact-style experiment driver, mirroring the paper's published
+// `experiment.py` workflow (appendix B.6/B.7): run named experiments and
+// write one directory per experiment containing a latencies.csv with the
+// artifact's column names (partAMedian, partBMedian, partAllMedian, ...).
+//
+//   pqtls_experiment -o $OUT [-s samples] all-kem all-sig level1 ...
+//
+// Defined experiments (paper appendix B.6):
+//   all-kem                 all KAs with rsa:2048
+//   all-sig                 all SAs with x25519
+//   all-kem-scenarios       all-kem x every emulated network scenario
+//   all-sig-scenarios       all-sig x every emulated network scenario
+//   level1 | level3 | level5        every non-hybrid KA x SA on the level
+//   level1-nopush | ...             same with the default OpenSSL buffering
+//   level1-perf | ...               same with CPU profiling (white-box)
+//   all-sphincs             the SPHINCS+ variant comparison
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using namespace pqtls;
+
+struct Job {
+  std::string kem;
+  std::string sig;
+  std::string scenario = "No Emulation";
+  net::NetemConfig netem;
+  tls::Buffering buffering = tls::Buffering::kImmediate;
+  bool white_box = false;
+};
+
+std::vector<const char*> level_kas(int level) {
+  switch (level) {
+    case 1:
+      return {"x25519", "bikel1", "hqc128", "kyber512", "kyber90s512", "p256"};
+    case 3:
+      return {"bikel3", "hqc192", "kyber768", "kyber90s768", "p384"};
+    default:
+      return {"hqc256", "kyber1024", "kyber90s1024", "p521"};
+  }
+}
+
+std::vector<const char*> level_sas(int level) {
+  switch (level) {
+    case 1:
+      return {"rsa:2048", "rsa:3072", "falcon512", "sphincs128", "dilithium2",
+              "dilithium2_aes"};
+    case 3:
+      return {"dilithium3", "dilithium3_aes", "sphincs192"};
+    default:
+      return {"dilithium5", "dilithium5_aes", "falcon1024", "sphincs256"};
+  }
+}
+
+std::vector<Job> make_jobs(const std::string& name) {
+  std::vector<Job> jobs;
+  auto add_matrix = [&](int level, tls::Buffering buffering, bool perf) {
+    // Baselines needed by the deviation analysis plus the full matrix.
+    jobs.push_back({"x25519", "rsa:2048", "No Emulation", {}, buffering, perf});
+    for (const char* ka : level_kas(level))
+      for (const char* sa : level_sas(level))
+        jobs.push_back({ka, sa, "No Emulation", {}, buffering, perf});
+    for (const char* ka : level_kas(level))
+      jobs.push_back({ka, "rsa:2048", "No Emulation", {}, buffering, perf});
+    for (const char* sa : level_sas(level))
+      jobs.push_back({"x25519", sa, "No Emulation", {}, buffering, perf});
+  };
+
+  if (name == "all-kem" || name == "all-kem-scenarios") {
+    const kem::Kem* dummy = nullptr;
+    (void)dummy;
+    for (const auto* ka : kem::all_kems()) {
+      if (name == "all-kem") {
+        jobs.push_back(Job{.kem = ka->name(), .sig = "rsa:2048"});
+      } else {
+        for (const auto& s : testbed::standard_scenarios())
+          jobs.push_back({ka->name(), "rsa:2048", s.name, s.netem});
+      }
+    }
+  } else if (name == "all-sig" || name == "all-sig-scenarios") {
+    for (const auto* sa : sig::all_signers()) {
+      if (sa->name() == "sphincs192s" || sa->name() == "sphincs256s" ||
+          sa->name() == "sphincs128s")
+        continue;  // all-sphincs covers the s-variants
+      if (name == "all-sig") {
+        jobs.push_back(Job{.kem = "x25519", .sig = sa->name()});
+      } else {
+        for (const auto& s : testbed::standard_scenarios())
+          jobs.push_back({"x25519", sa->name(), s.name, s.netem});
+      }
+    }
+  } else if (name == "all-sphincs") {
+    for (const char* sa : {"sphincs128", "sphincs128s", "sphincs192",
+                           "sphincs192s", "sphincs256", "sphincs256s"})
+      jobs.push_back(Job{.kem = "x25519", .sig = sa});
+  } else if (name.rfind("level", 0) == 0 && name.size() >= 6) {
+    int level = name[5] - '0';
+    if (level != 1 && level != 3 && level != 5) return {};
+    if (name.ends_with("-nopush"))
+      add_matrix(level, tls::Buffering::kDefault, false);
+    else if (name.ends_with("-perf"))
+      add_matrix(level, tls::Buffering::kImmediate, true);
+    else if (name == "level" + std::to_string(level))
+      add_matrix(level, tls::Buffering::kImmediate, false);
+    else
+      return {};
+  }
+  return jobs;
+}
+
+void write_csv(const std::filesystem::path& dir, const std::vector<Job>& jobs,
+               int samples) {
+  std::filesystem::create_directories(dir);
+  std::ofstream csv(dir / "latencies.csv");
+  csv << "kem,sig,scenario,partAMedian,partBMedian,partAllMedian,"
+         "clientBytes,serverBytes,total60s";
+  csv << ",serverCpuMs,clientCpuMs\n";
+  for (const auto& job : jobs) {
+    testbed::ExperimentConfig config;
+    config.ka = job.kem;
+    config.sa = job.sig;
+    config.netem = job.netem;
+    config.buffering = job.buffering;
+    config.white_box = job.white_box;
+    config.sample_handshakes = samples;
+    auto r = testbed::run_experiment(config);
+    if (!r.ok) {
+      std::fprintf(stderr, "  %s/%s (%s): FAILED\n", job.kem.c_str(),
+                   job.sig.c_str(), job.scenario.c_str());
+      continue;
+    }
+    csv << job.kem << ',' << job.sig << ',' << '"' << job.scenario << '"'
+        << ',' << r.median_part_a * 1e3 << ',' << r.median_part_b * 1e3 << ','
+        << r.median_total * 1e3 << ',' << r.client_bytes << ','
+        << r.server_bytes << ',' << r.total_handshakes_60s << ','
+        << r.server_cpu_ms << ',' << r.client_cpu_ms << '\n';
+    std::printf("  %s/%s (%s): %.2f ms\n", job.kem.c_str(), job.sig.c_str(),
+                job.scenario.c_str(), r.median_total * 1e3);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path out = "experiments-out";
+  int samples = 9;
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "-s") == 0 && i + 1 < argc) {
+      samples = std::atoi(argv[++i]);
+    } else {
+      names.emplace_back(argv[i]);
+    }
+  }
+  if (names.empty()) {
+    std::printf(
+        "usage: pqtls_experiment [-o outdir] [-s samples] <experiment>...\n"
+        "experiments: all-kem all-sig all-kem-scenarios all-sig-scenarios\n"
+        "             level[1,3,5] level[1,3,5]-nopush level[1,3,5]-perf\n"
+        "             all-sphincs\n");
+    return 1;
+  }
+  for (const auto& name : names) {
+    auto jobs = make_jobs(name);
+    if (jobs.empty()) {
+      std::fprintf(stderr, "unknown experiment: %s\n", name.c_str());
+      return 1;
+    }
+    std::printf("experiment %s (%zu configurations)\n", name.c_str(),
+                jobs.size());
+    write_csv(out / name, jobs, samples);
+  }
+  return 0;
+}
