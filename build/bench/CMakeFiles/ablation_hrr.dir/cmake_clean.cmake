@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hrr.dir/ablation_hrr.cpp.o"
+  "CMakeFiles/ablation_hrr.dir/ablation_hrr.cpp.o.d"
+  "ablation_hrr"
+  "ablation_hrr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hrr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_initial_cwnd.dir/ablation_initial_cwnd.cpp.o"
+  "CMakeFiles/ablation_initial_cwnd.dir/ablation_initial_cwnd.cpp.o.d"
+  "ablation_initial_cwnd"
+  "ablation_initial_cwnd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_initial_cwnd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

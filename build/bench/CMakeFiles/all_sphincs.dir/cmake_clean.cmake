@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/all_sphincs.dir/all_sphincs.cpp.o"
+  "CMakeFiles/all_sphincs.dir/all_sphincs.cpp.o.d"
+  "all_sphincs"
+  "all_sphincs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/all_sphincs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_deviation.dir/fig3_deviation.cpp.o"
+  "CMakeFiles/fig3_deviation.dir/fig3_deviation.cpp.o.d"
+  "fig3_deviation"
+  "fig3_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

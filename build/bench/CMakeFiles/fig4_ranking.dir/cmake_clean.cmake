@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ranking.dir/fig4_ranking.cpp.o"
+  "CMakeFiles/fig4_ranking.dir/fig4_ranking.cpp.o.d"
+  "fig4_ranking"
+  "fig4_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

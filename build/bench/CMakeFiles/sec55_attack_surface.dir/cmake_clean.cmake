@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec55_attack_surface.dir/sec55_attack_surface.cpp.o"
+  "CMakeFiles/sec55_attack_surface.dir/sec55_attack_surface.cpp.o.d"
+  "sec55_attack_surface"
+  "sec55_attack_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec55_attack_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

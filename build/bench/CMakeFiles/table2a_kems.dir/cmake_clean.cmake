@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2a_kems.dir/table2a_kems.cpp.o"
+  "CMakeFiles/table2a_kems.dir/table2a_kems.cpp.o.d"
+  "table2a_kems"
+  "table2a_kems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2a_kems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

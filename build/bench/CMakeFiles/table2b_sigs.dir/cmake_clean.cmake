@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2b_sigs.dir/table2b_sigs.cpp.o"
+  "CMakeFiles/table2b_sigs.dir/table2b_sigs.cpp.o.d"
+  "table2b_sigs"
+  "table2b_sigs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2b_sigs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

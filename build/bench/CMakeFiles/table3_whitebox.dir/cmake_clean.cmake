@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_whitebox.dir/table3_whitebox.cpp.o"
+  "CMakeFiles/table3_whitebox.dir/table3_whitebox.cpp.o.d"
+  "table3_whitebox"
+  "table3_whitebox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_whitebox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

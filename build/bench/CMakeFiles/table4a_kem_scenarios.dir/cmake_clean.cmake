@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4a_kem_scenarios.dir/table4a_kem_scenarios.cpp.o"
+  "CMakeFiles/table4a_kem_scenarios.dir/table4a_kem_scenarios.cpp.o.d"
+  "table4a_kem_scenarios"
+  "table4a_kem_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4a_kem_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table4a_kem_scenarios.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table4a_kem_scenarios.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4b_sig_scenarios.dir/table4b_sig_scenarios.cpp.o"
+  "CMakeFiles/table4b_sig_scenarios.dir/table4b_sig_scenarios.cpp.o.d"
+  "table4b_sig_scenarios"
+  "table4b_sig_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4b_sig_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

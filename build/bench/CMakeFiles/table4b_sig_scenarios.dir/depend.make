@@ -1,0 +1,2 @@
+# Empty dependencies file for table4b_sig_scenarios.
+# This may be replaced when dependencies are built.

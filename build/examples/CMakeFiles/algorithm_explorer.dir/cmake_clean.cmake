@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_explorer.dir/algorithm_explorer.cpp.o"
+  "CMakeFiles/algorithm_explorer.dir/algorithm_explorer.cpp.o.d"
+  "algorithm_explorer"
+  "algorithm_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

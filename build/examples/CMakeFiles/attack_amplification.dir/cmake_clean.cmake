@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_amplification.dir/attack_amplification.cpp.o"
+  "CMakeFiles/attack_amplification.dir/attack_amplification.cpp.o.d"
+  "attack_amplification"
+  "attack_amplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constrained_iot.dir/constrained_iot.cpp.o"
+  "CMakeFiles/constrained_iot.dir/constrained_iot.cpp.o.d"
+  "constrained_iot"
+  "constrained_iot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constrained_iot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/deviation.cpp" "src/CMakeFiles/pqtls.dir/analysis/deviation.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/analysis/deviation.cpp.o.d"
+  "/root/repo/src/analysis/ranking.cpp" "src/CMakeFiles/pqtls.dir/analysis/ranking.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/analysis/ranking.cpp.o.d"
+  "/root/repo/src/crypto/aes.cpp" "src/CMakeFiles/pqtls.dir/crypto/aes.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/crypto/aes.cpp.o.d"
+  "/root/repo/src/crypto/bignum.cpp" "src/CMakeFiles/pqtls.dir/crypto/bignum.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/crypto/bignum.cpp.o.d"
+  "/root/repo/src/crypto/bytes.cpp" "src/CMakeFiles/pqtls.dir/crypto/bytes.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/crypto/bytes.cpp.o.d"
+  "/root/repo/src/crypto/drbg.cpp" "src/CMakeFiles/pqtls.dir/crypto/drbg.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/crypto/drbg.cpp.o.d"
+  "/root/repo/src/crypto/ec.cpp" "src/CMakeFiles/pqtls.dir/crypto/ec.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/crypto/ec.cpp.o.d"
+  "/root/repo/src/crypto/gf2.cpp" "src/CMakeFiles/pqtls.dir/crypto/gf2.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/crypto/gf2.cpp.o.d"
+  "/root/repo/src/crypto/haraka.cpp" "src/CMakeFiles/pqtls.dir/crypto/haraka.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/crypto/haraka.cpp.o.d"
+  "/root/repo/src/crypto/keccak.cpp" "src/CMakeFiles/pqtls.dir/crypto/keccak.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/crypto/keccak.cpp.o.d"
+  "/root/repo/src/crypto/sha2.cpp" "src/CMakeFiles/pqtls.dir/crypto/sha2.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/crypto/sha2.cpp.o.d"
+  "/root/repo/src/kem/bike.cpp" "src/CMakeFiles/pqtls.dir/kem/bike.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/kem/bike.cpp.o.d"
+  "/root/repo/src/kem/ecdh.cpp" "src/CMakeFiles/pqtls.dir/kem/ecdh.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/kem/ecdh.cpp.o.d"
+  "/root/repo/src/kem/hqc.cpp" "src/CMakeFiles/pqtls.dir/kem/hqc.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/kem/hqc.cpp.o.d"
+  "/root/repo/src/kem/hqc_codes.cpp" "src/CMakeFiles/pqtls.dir/kem/hqc_codes.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/kem/hqc_codes.cpp.o.d"
+  "/root/repo/src/kem/hybrid_kem.cpp" "src/CMakeFiles/pqtls.dir/kem/hybrid_kem.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/kem/hybrid_kem.cpp.o.d"
+  "/root/repo/src/kem/kyber.cpp" "src/CMakeFiles/pqtls.dir/kem/kyber.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/kem/kyber.cpp.o.d"
+  "/root/repo/src/kem/registry.cpp" "src/CMakeFiles/pqtls.dir/kem/registry.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/kem/registry.cpp.o.d"
+  "/root/repo/src/kem/x25519.cpp" "src/CMakeFiles/pqtls.dir/kem/x25519.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/kem/x25519.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/pqtls.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/net/link.cpp.o.d"
+  "/root/repo/src/perf/profiler.cpp" "src/CMakeFiles/pqtls.dir/perf/profiler.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/perf/profiler.cpp.o.d"
+  "/root/repo/src/pki/certificate.cpp" "src/CMakeFiles/pqtls.dir/pki/certificate.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/pki/certificate.cpp.o.d"
+  "/root/repo/src/sig/dilithium.cpp" "src/CMakeFiles/pqtls.dir/sig/dilithium.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/sig/dilithium.cpp.o.d"
+  "/root/repo/src/sig/ecdsa.cpp" "src/CMakeFiles/pqtls.dir/sig/ecdsa.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/sig/ecdsa.cpp.o.d"
+  "/root/repo/src/sig/falcon.cpp" "src/CMakeFiles/pqtls.dir/sig/falcon.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/sig/falcon.cpp.o.d"
+  "/root/repo/src/sig/hybrid_sig.cpp" "src/CMakeFiles/pqtls.dir/sig/hybrid_sig.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/sig/hybrid_sig.cpp.o.d"
+  "/root/repo/src/sig/registry.cpp" "src/CMakeFiles/pqtls.dir/sig/registry.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/sig/registry.cpp.o.d"
+  "/root/repo/src/sig/rsa.cpp" "src/CMakeFiles/pqtls.dir/sig/rsa.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/sig/rsa.cpp.o.d"
+  "/root/repo/src/sig/sphincs.cpp" "src/CMakeFiles/pqtls.dir/sig/sphincs.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/sig/sphincs.cpp.o.d"
+  "/root/repo/src/tcp/tcp.cpp" "src/CMakeFiles/pqtls.dir/tcp/tcp.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/tcp/tcp.cpp.o.d"
+  "/root/repo/src/testbed/testbed.cpp" "src/CMakeFiles/pqtls.dir/testbed/testbed.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/testbed/testbed.cpp.o.d"
+  "/root/repo/src/tls/connection.cpp" "src/CMakeFiles/pqtls.dir/tls/connection.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/tls/connection.cpp.o.d"
+  "/root/repo/src/tls/key_schedule.cpp" "src/CMakeFiles/pqtls.dir/tls/key_schedule.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/tls/key_schedule.cpp.o.d"
+  "/root/repo/src/tls/record_layer.cpp" "src/CMakeFiles/pqtls.dir/tls/record_layer.cpp.o" "gcc" "src/CMakeFiles/pqtls.dir/tls/record_layer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for pqtls.
+# This may be replaced when dependencies are built.

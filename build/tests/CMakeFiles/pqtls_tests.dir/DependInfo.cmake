@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/bignum_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/bignum_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/bignum_test.cpp.o.d"
+  "/root/repo/tests/code_kem_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/code_kem_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/code_kem_test.cpp.o.d"
+  "/root/repo/tests/crypto_aes_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/crypto_aes_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/crypto_aes_test.cpp.o.d"
+  "/root/repo/tests/crypto_hash_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/crypto_hash_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/crypto_hash_test.cpp.o.d"
+  "/root/repo/tests/dilithium_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/dilithium_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/dilithium_test.cpp.o.d"
+  "/root/repo/tests/drbg_haraka_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/drbg_haraka_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/drbg_haraka_test.cpp.o.d"
+  "/root/repo/tests/ec_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/ec_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/ec_test.cpp.o.d"
+  "/root/repo/tests/falcon_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/falcon_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/falcon_test.cpp.o.d"
+  "/root/repo/tests/fuzz_robustness_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/fuzz_robustness_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/fuzz_robustness_test.cpp.o.d"
+  "/root/repo/tests/gf2_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/gf2_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/gf2_test.cpp.o.d"
+  "/root/repo/tests/hrr_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/hrr_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/hrr_test.cpp.o.d"
+  "/root/repo/tests/hybrid_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/hybrid_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/hybrid_test.cpp.o.d"
+  "/root/repo/tests/kat_extended_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/kat_extended_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/kat_extended_test.cpp.o.d"
+  "/root/repo/tests/kyber_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/kyber_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/kyber_test.cpp.o.d"
+  "/root/repo/tests/pki_wire_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/pki_wire_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/pki_wire_test.cpp.o.d"
+  "/root/repo/tests/profiler_record_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/profiler_record_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/profiler_record_test.cpp.o.d"
+  "/root/repo/tests/rsa_ecdsa_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/rsa_ecdsa_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/rsa_ecdsa_test.cpp.o.d"
+  "/root/repo/tests/sim_net_tcp_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/sim_net_tcp_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/sim_net_tcp_test.cpp.o.d"
+  "/root/repo/tests/sphincs_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/sphincs_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/sphincs_test.cpp.o.d"
+  "/root/repo/tests/sweep_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/sweep_test.cpp.o.d"
+  "/root/repo/tests/tcp_grid_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/tcp_grid_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/tcp_grid_test.cpp.o.d"
+  "/root/repo/tests/testbed_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/testbed_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/testbed_test.cpp.o.d"
+  "/root/repo/tests/tls_matrix_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/tls_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/tls_matrix_test.cpp.o.d"
+  "/root/repo/tests/tls_negative_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/tls_negative_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/tls_negative_test.cpp.o.d"
+  "/root/repo/tests/tls_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/tls_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/tls_test.cpp.o.d"
+  "/root/repo/tests/x25519_test.cpp" "tests/CMakeFiles/pqtls_tests.dir/x25519_test.cpp.o" "gcc" "tests/CMakeFiles/pqtls_tests.dir/x25519_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pqtls.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqtls_experiment.dir/experiment_cli.cpp.o"
+  "CMakeFiles/pqtls_experiment.dir/experiment_cli.cpp.o.d"
+  "pqtls_experiment"
+  "pqtls_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqtls_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
