@@ -1,5 +1,7 @@
 #include "crypto/aes.hpp"
 
+#include "crypto/ct.hpp"
+
 #include <stdexcept>
 
 namespace pqtls::crypto {
@@ -313,7 +315,7 @@ std::optional<Bytes> AesGcm::open(BytesView nonce12, BytesView aad,
   store_be64(lengths + 8, ciphertext.size() * 8);
   ghash(expected, {lengths, 16});
   for (int i = 0; i < 16; ++i) expected[i] ^= ek_j0[i];
-  if (!ct_equal({expected, 16}, tag)) return std::nullopt;
+  if (!ct::equal({expected, 16}, tag)) return std::nullopt;
 
   Bytes out(ciphertext.begin(), ciphertext.end());
   std::uint8_t counter[16];

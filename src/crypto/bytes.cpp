@@ -2,14 +2,11 @@
 
 #include <stdexcept>
 
+#include "crypto/ct.hpp"
+
 namespace pqtls {
 
-bool ct_equal(BytesView a, BytesView b) {
-  if (a.size() != b.size()) return false;
-  std::uint8_t diff = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
-  return diff == 0;
-}
+bool ct_equal(BytesView a, BytesView b) { return ct::equal(a, b); }
 
 std::string to_hex(BytesView data) {
   static constexpr char kDigits[] = "0123456789abcdef";

@@ -1,0 +1,38 @@
+#include "crypto/ct.hpp"
+
+namespace pqtls::ct {
+
+bool equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint64_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    diff |= static_cast<std::uint64_t>(a[i] ^ b[i]);
+  return is_zero_mask(diff) != 0;
+}
+
+void select(bool cond, BytesView a, BytesView b, std::uint8_t* out,
+            std::size_t len) {
+  std::uint8_t m = static_cast<std::uint8_t>(mask_from_bool(cond));
+  std::size_t n = len;
+  if (a.size() < n) n = a.size();
+  if (b.size() < n) n = b.size();
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = static_cast<std::uint8_t>((a[i] & m) | (b[i] & ~m));
+}
+
+Bytes select(bool cond, BytesView a, BytesView b) {
+  Bytes out(a.size() < b.size() ? a.size() : b.size());
+  select(cond, a, b, out.data(), out.size());
+  return out;
+}
+
+void wipe(void* p, std::size_t n) {
+  if (p == nullptr || n == 0) return;
+  volatile std::uint8_t* vp = static_cast<volatile std::uint8_t*>(p);
+  for (std::size_t i = 0; i < n; ++i) vp[i] = 0;
+#if defined(__GNUC__) || defined(__clang__)
+  __asm__ volatile("" : : "r"(p) : "memory");
+#endif
+}
+
+}  // namespace pqtls::ct

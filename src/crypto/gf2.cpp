@@ -4,6 +4,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "crypto/ct.hpp"
+
 namespace pqtls::crypto {
 
 void Gf2Ring::mask_top() {
@@ -42,6 +44,10 @@ std::size_t Gf2Ring::weight() const {
   std::size_t total = 0;
   for (auto w : words_) total += std::popcount(w);
   return total;
+}
+
+void Gf2Ring::wipe() {
+  ct::wipe(words_.data(), words_.size() * sizeof(std::uint64_t));
 }
 
 bool Gf2Ring::is_zero() const {

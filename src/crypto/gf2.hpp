@@ -39,6 +39,10 @@ class Gf2Ring {
   bool is_zero() const;
   std::vector<std::uint32_t> support() const;
 
+  /// Zeroize the word storage (ct::wipe semantics) — for secret-carrying
+  /// ring elements such as QC-MDPC error vectors.
+  void wipe();
+
   Gf2Ring operator^(const Gf2Ring& other) const;  // addition in GF(2)
   Gf2Ring& operator^=(const Gf2Ring& other);
   bool operator==(const Gf2Ring& other) const = default;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "crypto/ct.hpp"
 #include "crypto/gf2.hpp"
 #include "crypto/keccak.hpp"
 #include "kem/hqc_codes.hpp"
@@ -154,11 +155,17 @@ std::optional<Bytes> HqcKem::decapsulate(BytesView secret_key,
   for (std::size_t i = 0; i < v_bits; ++i) bits[i] = noisy.get(i);
 
   HqcCode code(n1_, k_, mult_);
-  Bytes m;
-  if (!code.decode(bits, m)) return std::nullopt;
+  Bytes m;  // CT_SECRET
+  ct::Wiper m_guard(m);
+  bool decode_ok = code.decode(bits, m);
+  // Decode failure maps to explicit rejection in this reproduction's API;
+  // the event itself is observable from the returned nullopt, so the branch
+  // leaks nothing beyond the result.
+  if (!decode_ok) return std::nullopt;
 
   // Re-encrypt check (FO transform).
-  Bytes theta = domain_hash(3, m, public_key);
+  Bytes theta = domain_hash(3, m, public_key);  // CT_SECRET
+  ct::Wiper theta_guard(theta);
   BytesView pk_seed = public_key.subspan(0, kSeedBytes);
   BytesView s_bytes = public_key.subspan(kSeedBytes);
   SeedExpander pk_exp(pk_seed);
@@ -179,8 +186,8 @@ std::optional<Bytes> HqcKem::decapsulate(BytesView secret_key,
   Bytes d2 = domain_hash(4, m, {}, kSaltBytes);
 
   Bytes u2_bytes = u2.to_bytes();
-  if (!ct_equal(u2_bytes, u_bytes) || !ct_equal(v2_bytes, v_bytes) ||
-      !ct_equal(d2, d))
+  if (!ct::equal(u2_bytes, u_bytes) || !ct::equal(v2_bytes, v_bytes) ||
+      !ct::equal(d2, d))
     return std::nullopt;
 
   return domain_hash(5, m, ciphertext);

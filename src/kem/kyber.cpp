@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "crypto/aes.hpp"
+#include "crypto/ct.hpp"
 #include "crypto/keccak.hpp"
 #include "crypto/sha2.hpp"
 
@@ -478,14 +479,20 @@ std::optional<Bytes> KyberKem::decapsulate(BytesView secret_key,
   BytesView h_pk = secret_key.subspan(sk_pke_len + public_key_size(), 32);
   BytesView z = secret_key.subspan(sk_pke_len + public_key_size() + 32, 32);
 
-  Bytes m = kpke.decrypt(sk_pke, ciphertext);
-  Bytes g = hash_g(use_90s_, concat(m, h_pk));
+  Bytes m = kpke.decrypt(sk_pke, ciphertext);  // CT_SECRET
+  ct::Wiper m_guard(m);
+  Bytes g = hash_g(use_90s_, concat(m, h_pk));  // CT_SECRET
+  ct::Wiper g_guard(g);
   BytesView k_bar{g.data(), 32};
   BytesView coins{g.data() + 32, 32};
   Bytes ct2 = kpke.encrypt(pk, m, coins);
   Bytes h_ct = hash_h(use_90s_, ciphertext);
-  if (ct_equal(ct2, ciphertext)) return kdf(use_90s_, concat(k_bar, h_ct));
-  return kdf(use_90s_, concat(z, h_ct));  // implicit rejection
+  // Branchless implicit rejection (FO transform): the KDF input is k_bar on
+  // a re-encryption match and z otherwise, selected without revealing which.
+  bool match = ct::equal(ct2, ciphertext);
+  Bytes kdf_in = ct::select(match, k_bar, z);  // CT_SECRET
+  ct::Wiper kdf_in_guard(kdf_in);
+  return kdf(use_90s_, concat(kdf_in, h_ct));
 }
 
 const KyberKem& KyberKem::kyber512() {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "crypto/aes.hpp"
+#include "crypto/ct.hpp"
 #include "crypto/keccak.hpp"
 
 namespace pqtls::sig {
@@ -773,7 +774,7 @@ bool DilithiumSigner::verify(BytesView public_key, BytesView message,
   Bytes w1_packed;
   for (const auto& p : w1) pack_w1(w1_packed, p, gamma2_);
   Bytes expected = crypto::shake256(concat(mu, w1_packed), 32);
-  return ct_equal(expected, c_tilde);
+  return ct::equal(expected, c_tilde);
 }
 
 const DilithiumSigner& DilithiumSigner::dilithium2() {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "crypto/bignum.hpp"
+#include "crypto/ct.hpp"
 #include "crypto/sha2.hpp"
 
 namespace pqtls::sig {
@@ -72,7 +73,7 @@ bool pss_verify(BytesView message, BytesView em, std::size_t em_bits) {
   Bytes m_hash = crypto::sha256(message);
   Bytes m_prime = concat(Bytes(8, 0), m_hash, salt);
   Bytes expected = crypto::sha256(m_prime);
-  return ct_equal(expected, h);
+  return ct::equal(expected, h);
 }
 
 }  // namespace

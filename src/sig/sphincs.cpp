@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "crypto/ct.hpp"
 #include "crypto/haraka.hpp"
 
 namespace pqtls::sig {
@@ -459,7 +460,7 @@ bool SphincsSigner::verify(BytesView public_key, BytesView message,
     leaf_idx = static_cast<std::uint32_t>(tree & ((1u << tree_height) - 1));
     tree >>= tree_height;
   }
-  return ct_equal(node, pk_root);
+  return ct::equal(node, pk_root);
 }
 
 const SphincsSigner& SphincsSigner::sphincs128() {

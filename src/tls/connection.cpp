@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "crypto/ct.hpp"
 #include "tls/wire.hpp"
 
 namespace pqtls::tls {
@@ -292,12 +293,15 @@ void ClientConnection::handle_handshake_message(std::uint8_t type,
         return fail_alert(sink);
 
       key_schedule_.update_transcript(full);
-      std::optional<Bytes> shared;
+      std::optional<Bytes> shared;  // CT_SECRET: shared
       {
         Scope scope(profiler_, Lib::kLibcrypto);
         shared = active_ka_->decapsulate(kem_secret_key_, ciphertext);
       }
-      if (!shared) return fail_alert(sink);
+      // The decapsulation key share is one-shot; drop it immediately.
+      ct::wipe(kem_secret_key_);
+      kem_secret_key_.clear();
+      if (!shared) return fail_alert(sink);  // ct-lint: allow(secret-branch) presence of the decaps result is public
       {
         Scope scope(profiler_, Lib::kLibcrypto);
         key_schedule_.derive_handshake_secrets(*shared);
@@ -306,6 +310,7 @@ void ClientConnection::handle_handshake_message(std::uint8_t type,
         records_.set_write_keys(
             derive_traffic_keys(key_schedule_.client_handshake_traffic()));
       }
+      ct::wipe(*shared);  // traffic secrets are installed; drop the input
       state_ = State::kWaitEncryptedExtensions;
       return;
     }
@@ -366,7 +371,7 @@ void ClientConnection::handle_handshake_message(std::uint8_t type,
             key_schedule_.server_handshake_traffic(),
             key_schedule_.transcript_hash());
       }
-      if (!ct_equal(expected, body)) return fail_alert(sink);
+      if (!ct::equal(expected, body)) return fail_alert(sink);
       key_schedule_.update_transcript(full);
 
       // Client flight: dummy CCS + Finished, one TCP write (the paper
@@ -386,6 +391,7 @@ void ClientConnection::handle_handshake_message(std::uint8_t type,
         append(out, records_.seal(ContentType::kHandshake, fin));
         key_schedule_.derive_application_secrets();
       }
+      key_schedule_.wipe_handshake_secrets();
       state_ = State::kComplete;
       sink(out);
       return;
@@ -481,8 +487,9 @@ void ServerConnection::handle_handshake_message(std::uint8_t type,
           key_schedule_.client_handshake_traffic(),
           key_schedule_.transcript_hash());
     }
-    if (!ct_equal(expected, body)) return fail_alert(sink);
+    if (!ct::equal(expected, body)) return fail_alert(sink);
     key_schedule_.update_transcript(full);
+    key_schedule_.wipe_handshake_secrets();
     state_ = State::kComplete;
     return;
   }
@@ -624,6 +631,7 @@ void ServerConnection::handle_client_hello(BytesView body, BytesView full,
     records_.set_read_keys(
         derive_traffic_keys(key_schedule_.client_handshake_traffic()));
   }
+  ct::wipe(enc->shared_secret);  // traffic secrets are installed; drop the input
 
   // --- EncryptedExtensions ---
   Writer ee;

@@ -1,5 +1,6 @@
 #include "tls/key_schedule.hpp"
 
+#include "crypto/ct.hpp"
 #include "tls/wire.hpp"
 
 namespace pqtls::tls {
@@ -32,6 +33,19 @@ TrafficKeys derive_traffic_keys(BytesView traffic_secret) {
 
 KeySchedule::KeySchedule() = default;
 
+KeySchedule::~KeySchedule() {
+  wipe_handshake_secrets();
+  ct::wipe(master_secret_);
+  ct::wipe(client_app_);
+  ct::wipe(server_app_);
+}
+
+void KeySchedule::wipe_handshake_secrets() {
+  ct::wipe(handshake_secret_);
+  ct::wipe(client_hs_);
+  ct::wipe(server_hs_);
+}
+
 void KeySchedule::update_transcript(BytesView message) {
   transcript_.update(message);
   append(transcript_snapshot_, message);
@@ -52,9 +66,11 @@ void KeySchedule::convert_to_hrr_transcript() {
 
 void KeySchedule::derive_handshake_secrets(BytesView shared_secret) {
   Bytes zeros(32, 0);
-  Bytes early_secret = hkdf_extract_sha256({}, zeros);
+  Bytes early_secret = hkdf_extract_sha256({}, zeros);  // CT_SECRET
+  ct::Wiper early_guard(early_secret);
   Bytes empty_hash = crypto::sha256({});
-  Bytes derived = derive_secret(early_secret, "derived", empty_hash);
+  Bytes derived = derive_secret(early_secret, "derived", empty_hash);  // CT_SECRET
+  ct::Wiper derived_guard(derived);
   handshake_secret_ = hkdf_extract_sha256(derived, shared_secret);
   Bytes th = transcript_hash();
   client_hs_ = derive_secret(handshake_secret_, "c hs traffic", th);
@@ -63,7 +79,8 @@ void KeySchedule::derive_handshake_secrets(BytesView shared_secret) {
 
 void KeySchedule::derive_application_secrets() {
   Bytes empty_hash = crypto::sha256({});
-  Bytes derived = derive_secret(handshake_secret_, "derived", empty_hash);
+  Bytes derived = derive_secret(handshake_secret_, "derived", empty_hash);  // CT_SECRET
+  ct::Wiper derived_guard(derived);
   Bytes zeros(32, 0);
   master_secret_ = hkdf_extract_sha256(derived, zeros);
   Bytes th = transcript_hash();
@@ -73,7 +90,9 @@ void KeySchedule::derive_application_secrets() {
 
 Bytes KeySchedule::finished_verify_data(BytesView traffic_secret,
                                         BytesView th) const {
-  Bytes finished_key = hkdf_expand_label(traffic_secret, "finished", {}, 32);
+  Bytes finished_key =  // CT_SECRET: finished_key
+      hkdf_expand_label(traffic_secret, "finished", {}, 32);
+  ct::Wiper key_guard(finished_key);
   return crypto::hmac_sha256(finished_key, th);
 }
 

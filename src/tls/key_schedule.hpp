@@ -25,6 +25,8 @@ TrafficKeys derive_traffic_keys(BytesView traffic_secret);
 class KeySchedule {
  public:
   KeySchedule();
+  /// Wipes every derived secret still held.
+  ~KeySchedule();
 
   /// Feed handshake messages (header + body) into the transcript.
   void update_transcript(BytesView message);
@@ -51,13 +53,17 @@ class KeySchedule {
   Bytes finished_verify_data(BytesView traffic_secret,
                              BytesView transcript_hash) const;
 
+  /// Zeroize the handshake-stage secrets once the handshake completes (the
+  /// application traffic secrets and resumption material survive).
+  void wipe_handshake_secrets();
+
  private:
   crypto::Sha256 transcript_;
   Bytes transcript_snapshot_;  // running raw transcript (for re-hash)
-  Bytes handshake_secret_;
-  Bytes master_secret_;
-  Bytes client_hs_, server_hs_;
-  Bytes client_app_, server_app_;
+  Bytes handshake_secret_;     // CT_SECRET
+  Bytes master_secret_;        // CT_SECRET
+  Bytes client_hs_, server_hs_;    // CT_SECRET: client_hs_, server_hs_
+  Bytes client_app_, server_app_;  // CT_SECRET: client_app_, server_app_
 };
 
 }  // namespace pqtls::tls

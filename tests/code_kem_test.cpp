@@ -142,7 +142,9 @@ TEST_P(CodeKemTest, TamperedCiphertextRejects) {
   tampered[tampered.size() / 2] ^= 0x20;
   auto ss = kem.decapsulate(kp.secret_key, tampered);
   // Either explicit (nullopt) or implicit rejection (different secret).
-  if (ss.has_value()) EXPECT_NE(*ss, enc->shared_secret);
+  if (ss.has_value()) {
+    EXPECT_NE(*ss, enc->shared_secret);
+  }
 }
 
 TEST_P(CodeKemTest, PaperSizes) {

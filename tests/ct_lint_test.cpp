@@ -1,0 +1,254 @@
+// Fixture corpus for the secret-hygiene linter (tools/ct_lint) plus
+// functional tests for the ct:: primitives it enforces.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "crypto/ct.hpp"
+#include "ct_lint.hpp"
+
+namespace pqtls {
+namespace {
+
+using ctlint::Finding;
+using ctlint::Rule;
+using ctlint::lint_source;
+
+std::vector<Rule> rules_of(const std::vector<Finding>& findings) {
+  std::vector<Rule> out;
+  for (const auto& f : findings) out.push_back(f.rule);
+  return out;
+}
+
+bool has_rule(const std::vector<Finding>& findings, Rule rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+// ---- each rule fires on a seeded violation ----
+
+TEST(CtLint, FlagsRand) {
+  auto f = lint_source("fix.cpp", "int f() { return rand(); }\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, Rule::kRand);
+  EXPECT_EQ(f[0].line, 1);
+  EXPECT_TRUE(has_rule(lint_source("fix.cpp", "void g() { srand(7); }\n"),
+                       Rule::kRand));
+}
+
+TEST(CtLint, FlagsMemcmp) {
+  auto f = lint_source(
+      "fix.cpp", "bool f(const void* a, const void* b) {\n"
+                 "  return memcmp(a, b, 32) == 0;\n}\n");
+  ASSERT_FALSE(f.empty());
+  EXPECT_EQ(f[0].rule, Rule::kMemcmp);
+  EXPECT_EQ(f[0].line, 2);
+  EXPECT_TRUE(has_rule(lint_source("fix.cpp", "int x = strcmp(p, q);\n"),
+                       Rule::kMemcmp));
+}
+
+TEST(CtLint, FlagsSecretCompare) {
+  auto f = lint_source("fix.cpp",
+                       "bool f(Bytes tag) {\n"
+                       "  Bytes key = derive();  // CT_SECRET\n"
+                       "  bool eq = key == tag;\n"
+                       "  ct::wipe(key);\n"
+                       "  return eq;\n}\n");
+  ASSERT_FALSE(f.empty());
+  EXPECT_EQ(f[0].rule, Rule::kSecretCompare);
+  EXPECT_EQ(f[0].line, 3);
+}
+
+TEST(CtLint, FlagsSecretBranch) {
+  auto f = lint_source("fix.cpp",
+                       "int f() {\n"
+                       "  int bit = low_bit();  // CT_SECRET\n"
+                       "  if (bit) leak();\n"
+                       "  return 0;\n}\n");
+  EXPECT_TRUE(has_rule(f, Rule::kSecretBranch));
+  // Ternary selection counts as a branch too.
+  auto g = lint_source("fix.cpp",
+                       "int f() {\n"
+                       "  int bit = low_bit();  // CT_SECRET\n"
+                       "  int v = bit ? 3 : 5;\n"
+                       "  return v;\n}\n");
+  EXPECT_TRUE(has_rule(g, Rule::kSecretBranch));
+}
+
+TEST(CtLint, FlagsSecretIndex) {
+  auto f = lint_source("fix.cpp",
+                       "int f(const int* table) {\n"
+                       "  int idx = secret_byte();  // CT_SECRET\n"
+                       "  return table[idx];\n}\n");
+  EXPECT_TRUE(has_rule(f, Rule::kSecretIndex));
+}
+
+TEST(CtLint, FlagsMissingWipe) {
+  auto f = lint_source("fix.cpp",
+                       "void f() {\n"
+                       "  Bytes key = derive();  // CT_SECRET\n"
+                       "  use(key);\n}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, Rule::kMissingWipe);
+  EXPECT_EQ(f[0].line, 2);  // reported at the declaration
+}
+
+// ---- the corresponding known-good snippets stay quiet ----
+
+TEST(CtLint, QuietOnHygienicCode) {
+  const char* good =
+      "Bytes f(BytesView tag, Drbg& rng) {\n"
+      "  Bytes key = derive(rng);  // CT_SECRET\n"
+      "  ct::Wiper guard(key);\n"
+      "  bool ok = ct::equal(key, tag);\n"
+      "  Bytes out = ct::select(ok, key, tag);  // CT_SECRET\n"
+      "  ct::wipe(out);\n"
+      "  return hash(out);\n}\n";
+  EXPECT_TRUE(lint_source("good.cpp", good).empty());
+}
+
+TEST(CtLint, QuietOnPublicBranches) {
+  // Branching on non-annotated (public) data is fine.
+  const char* good =
+      "int f(int n) {\n"
+      "  if (n > 3) return 1;\n"
+      "  int a[4];\n"
+      "  return a[n] == 2 ? 4 : 5;\n}\n";
+  EXPECT_TRUE(lint_source("good.cpp", good).empty());
+}
+
+TEST(CtLint, MethodWipeAndMoveSatisfyTheWipeRule) {
+  const char* good =
+      "void f() {\n"
+      "  Gf2Ring e0;  // CT_SECRET: e0\n"
+      "  decode(e0);\n"
+      "  e0.wipe();\n}\n";
+  EXPECT_TRUE(lint_source("good.cpp", good).empty());
+  const char* moved =
+      "Bytes f() {\n"
+      "  Bytes key = derive();  // CT_SECRET\n"
+      "  return key;\n}\n";  // ownership moves to the caller
+  EXPECT_TRUE(lint_source("good.cpp", moved).empty());
+}
+
+TEST(CtLint, RandInCommentsStringsAndIdentifiersIsIgnored) {
+  const char* good =
+      "// rand() would be bad here\n"
+      "const char* s = \"memcmp(rand)\";\n"
+      "int operand = 3; /* strcmp */\n"
+      "Gf2Ring r = Gf2Ring::random_weight(n, w, rng);\n";
+  EXPECT_TRUE(lint_source("good.cpp", good).empty());
+}
+
+TEST(CtLint, AllowDirectiveSuppressesNamedRule) {
+  const char* allowed =
+      "void f() {\n"
+      "  Bytes m = decode();  // CT_SECRET\n"
+      "  if (m.empty()) return;  // ct-lint: allow(secret-branch) result is public\n"
+      "  ct::wipe(m);\n}\n";
+  EXPECT_TRUE(lint_source("good.cpp", allowed).empty());
+  // The directive only covers the named rule.
+  const char* partial =
+      "void f() {\n"
+      "  Bytes m = decode();  // CT_SECRET\n"
+      "  if (m.empty()) return;  // ct-lint: allow(secret-compare)\n"
+      "  ct::wipe(m);\n}\n";
+  EXPECT_TRUE(has_rule(lint_source("bad.cpp", partial), Rule::kSecretBranch));
+}
+
+TEST(CtLint, ExplicitNameListRegistersAllSecrets) {
+  const char* bad =
+      "void f() {\n"
+      "  Bytes a, b;  // CT_SECRET: a, b\n"
+      "  if (a[0]) leak();\n"
+      "  if (b[0]) leak();\n"
+      "  ct::wipe(a);\n"
+      "  ct::wipe(b);\n}\n";
+  auto rules = rules_of(lint_source("bad.cpp", bad));
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), Rule::kSecretBranch), 2);
+}
+
+TEST(CtLint, SecretScopeEndsWithItsBlock) {
+  // A same-named identifier in a later function is not tainted.
+  const char* good =
+      "void f() {\n"
+      "  Bytes key = derive();  // CT_SECRET\n"
+      "  ct::wipe(key);\n}\n"
+      "void g(int key) {\n"
+      "  if (key) other();\n}\n";
+  EXPECT_TRUE(lint_source("good.cpp", good).empty());
+}
+
+TEST(CtLint, ClassMembersAreTaintedButNotWipeChecked) {
+  const char* header =
+      "class KeySchedule {\n"
+      " private:\n"
+      "  Bytes master_secret_;  // CT_SECRET\n"
+      "};\n";
+  EXPECT_TRUE(lint_source("good.hpp", header).empty());
+  const char* bad_use =
+      "class KeySchedule {\n"
+      "  Bytes master_secret_;  // CT_SECRET\n"
+      "  bool leak() { return master_secret_[0] == 0; }\n"
+      "};\n";
+  EXPECT_TRUE(has_rule(lint_source("bad.hpp", bad_use), Rule::kSecretCompare));
+}
+
+// ---- ct:: primitive semantics ----
+
+TEST(CtPrimitives, EqualMatchesNaiveComparison) {
+  Bytes a = {1, 2, 3, 4};
+  Bytes b = {1, 2, 3, 4};
+  Bytes c = {1, 2, 3, 5};
+  EXPECT_TRUE(ct::equal(a, b));
+  EXPECT_FALSE(ct::equal(a, c));
+  EXPECT_FALSE(ct::equal(a, BytesView{a.data(), 3}));  // length mismatch
+  EXPECT_TRUE(ct::equal({}, {}));
+  // Every single-bit difference is caught.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes d = a;
+      d[i] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_FALSE(ct::equal(a, d));
+    }
+  }
+}
+
+TEST(CtPrimitives, SelectPicksTheRightBuffer) {
+  Bytes a = {0xaa, 0xbb, 0xcc};
+  Bytes b = {0x11, 0x22, 0x33};
+  EXPECT_EQ(ct::select(true, a, b), a);
+  EXPECT_EQ(ct::select(false, a, b), b);
+  EXPECT_EQ(ct::select<int>(true, 7, 9), 7);
+  EXPECT_EQ(ct::select<int>(false, 7, 9), 9);
+  EXPECT_EQ(ct::select<std::uint8_t>(false, 0xff, 0x01), 0x01);
+}
+
+TEST(CtPrimitives, MasksAreAllOnesOrAllZeros) {
+  EXPECT_EQ(ct::mask_from_bool(true), ~std::uint64_t{0});
+  EXPECT_EQ(ct::mask_from_bool(false), std::uint64_t{0});
+  EXPECT_EQ(ct::is_zero_mask(0), ~std::uint64_t{0});
+  EXPECT_EQ(ct::is_zero_mask(1), std::uint64_t{0});
+  EXPECT_EQ(ct::is_zero_mask(~std::uint64_t{0}), std::uint64_t{0});
+}
+
+TEST(CtPrimitives, WipeZeroizes) {
+  Bytes secret = {9, 9, 9, 9};
+  ct::wipe(secret);
+  EXPECT_EQ(secret, Bytes(4, 0));
+
+  std::array<std::uint8_t, 8> stack_buf;
+  stack_buf.fill(0x5a);
+  ct::wipe(stack_buf);
+  for (auto v : stack_buf) EXPECT_EQ(v, 0);
+
+  Bytes guarded = {1, 2, 3};
+  {
+    ct::Wiper w(guarded);
+    guarded.push_back(4);  // reallocation is re-read at destruction
+  }
+  EXPECT_EQ(guarded, Bytes(4, 0));
+}
+
+}  // namespace
+}  // namespace pqtls

@@ -70,12 +70,16 @@ TEST(HybridKem, TamperingEitherHalfChangesSecret) {
   Bytes tampered = enc->ciphertext;
   tampered[tampered.size() - 1] ^= 1;
   auto ss = hybrid->decapsulate(kp.secret_key, tampered);
-  if (ss.has_value()) EXPECT_NE(*ss, enc->shared_secret);
+  if (ss.has_value()) {
+    EXPECT_NE(*ss, enc->shared_secret);
+  }
   // Tamper the classical half: point decoding fails -> nullopt.
   Bytes tampered2 = enc->ciphertext;
   tampered2[5] ^= 1;
   auto ss2 = hybrid->decapsulate(kp.secret_key, tampered2);
-  if (ss2.has_value()) EXPECT_NE(*ss2, enc->shared_secret);
+  if (ss2.has_value()) {
+    EXPECT_NE(*ss2, enc->shared_secret);
+  }
 }
 
 class AllHybridKemsTest : public ::testing::TestWithParam<const char*> {};

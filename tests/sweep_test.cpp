@@ -56,7 +56,9 @@ TEST_P(KemSweepTest, CrossKeyDecapsulationDoesNotLeakSecret) {
   ASSERT_TRUE(enc.has_value());
   auto ss = k.decapsulate(kp2.secret_key, enc->ciphertext);
   // Either rejected outright or a different secret — never the right one.
-  if (ss.has_value()) EXPECT_NE(*ss, enc->shared_secret);
+  if (ss.has_value()) {
+    EXPECT_NE(*ss, enc->shared_secret);
+  }
 }
 
 TEST_P(KemSweepTest, SecurityLevelAndFlagsAreConsistent) {

@@ -121,7 +121,9 @@ TEST(TlsNegative, ServerRejectsGarbageInsteadOfClientHello) {
   server.on_data(garbage, [&](BytesView d) { append(out, d); });
   EXPECT_TRUE(server.failed());
   // Nothing but (at most) an alert goes out.
-  if (!out.empty()) EXPECT_EQ(out[0], 21);
+  if (!out.empty()) {
+    EXPECT_EQ(out[0], 21);
+  }
 }
 
 TEST(TlsNegative, AlertRecordFailsClient) {

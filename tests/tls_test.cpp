@@ -74,7 +74,9 @@ TEST(RecordLayerTest, PartialFeedReassembly) {
   // Feed byte by byte.
   for (std::size_t i = 0; i < wire.size(); ++i) {
     b.feed(BytesView{wire.data() + i, 1});
-    if (i + 1 < wire.size()) EXPECT_FALSE(b.pop().has_value());
+    if (i + 1 < wire.size()) {
+      EXPECT_FALSE(b.pop().has_value());
+    }
   }
   auto rec = b.pop();
   ASSERT_TRUE(rec.has_value());

@@ -1,0 +1,478 @@
+#include "ct_lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+namespace pqtls::ctlint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// One physical line, split into executable code and comment text.
+struct Line {
+  std::string code;     // comments and string/char literals blanked out
+  std::string comment;  // concatenated comment text on this line
+};
+
+/// Strip comments and literals, preserving column positions in `code`.
+std::vector<Line> split_lines(std::string_view src) {
+  std::vector<Line> lines;
+  lines.emplace_back();
+  bool in_block_comment = false;
+  bool in_string = false;
+  bool in_char = false;
+  bool in_line_comment = false;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    char c = src[i];
+    char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    if (c == '\n') {
+      in_line_comment = false;
+      in_string = in_char = false;  // unterminated literals end with the line
+      lines.emplace_back();
+      continue;
+    }
+    Line& cur = lines.back();
+    if (in_line_comment) {
+      cur.comment.push_back(c);
+      continue;
+    }
+    if (in_block_comment) {
+      if (c == '*' && next == '/') {
+        in_block_comment = false;
+        ++i;
+      } else {
+        cur.comment.push_back(c);
+      }
+      cur.code.push_back(' ');
+      continue;
+    }
+    if (in_string || in_char) {
+      char quote = in_string ? '"' : '\'';
+      if (c == '\\') {
+        cur.code.push_back(' ');
+        if (next != '\0' && next != '\n') {
+          cur.code.push_back(' ');
+          ++i;
+        }
+        continue;
+      }
+      if (c == quote) in_string = in_char = false;
+      cur.code.push_back(c == quote ? c : ' ');
+      continue;
+    }
+    if (c == '/' && next == '/') {
+      in_line_comment = true;
+      cur.code.append("  ");
+      ++i;
+      continue;
+    }
+    if (c == '/' && next == '*') {
+      in_block_comment = true;
+      cur.code.append("  ");
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      cur.code.push_back(c);
+      continue;
+    }
+    if (c == '\'') {
+      in_char = true;
+      cur.code.push_back(c);
+      continue;
+    }
+    cur.code.push_back(c);
+  }
+  return lines;
+}
+
+/// Whole-token occurrences of `name` in `text`, returned as positions.
+std::vector<std::size_t> token_positions(std::string_view text,
+                                         std::string_view name) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while ((pos = text.find(name, pos)) != std::string_view::npos) {
+    bool left_ok = pos == 0 || !is_ident_char(text[pos - 1]);
+    std::size_t end = pos + name.size();
+    bool right_ok = end >= text.size() || !is_ident_char(text[end]);
+    if (left_ok && right_ok) out.push_back(pos);
+    pos = end;
+  }
+  return out;
+}
+
+bool has_token(std::string_view text, std::string_view name) {
+  return !token_positions(text, name).empty();
+}
+
+/// Blank the parenthesized argument list of every call to `callee` so that
+/// sanctioned constant-time operations don't trip the secret-* rules.
+void blank_call_args(std::string& code, std::string_view callee) {
+  for (std::size_t pos : token_positions(code, callee)) {
+    std::size_t open = code.find('(', pos + callee.size());
+    if (open == std::string::npos) continue;
+    // Only whitespace may sit between callee and '('.
+    bool adjacent = true;
+    for (std::size_t i = pos + callee.size(); i < open; ++i)
+      if (!std::isspace(static_cast<unsigned char>(code[i]))) adjacent = false;
+    if (!adjacent) continue;
+    int depth = 0;
+    for (std::size_t i = open; i < code.size(); ++i) {
+      if (code[i] == '(') ++depth;
+      if (code[i] == ')' && --depth == 0) break;
+      if (i > open && depth >= 1) code[i] = ' ';
+    }
+  }
+}
+
+/// Parse `ct-lint: allow(a,b)` directives out of comment text.
+std::vector<std::string> parse_allows(std::string_view comment) {
+  std::vector<std::string> out;
+  std::size_t pos = comment.find("ct-lint:");
+  if (pos == std::string_view::npos) return out;
+  std::size_t open = comment.find("allow(", pos);
+  if (open == std::string_view::npos) return out;
+  std::size_t close = comment.find(')', open);
+  if (close == std::string_view::npos) return out;
+  std::string list(comment.substr(open + 6, close - open - 6));
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item.erase(std::remove_if(item.begin(), item.end(),
+                              [](char c) {
+                                return std::isspace(static_cast<unsigned char>(c)) != 0;
+                              }),
+               item.end());
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Infer the declared identifier from a declaration line: the last
+/// identifier token before the first top-level `=`, `{`, `(`, or `;`.
+std::string infer_declared_name(std::string_view code) {
+  std::size_t stop = code.size();
+  int depth = 0;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    char c = code[i];
+    if (c == '(' || c == '[' || c == '<') ++depth;
+    if (c == ')' || c == ']' || c == '>') --depth;
+    if (depth <= 0 && (c == '=' || c == '{' || c == '(' || c == ';')) {
+      stop = i;
+      break;
+    }
+  }
+  std::size_t end = stop;
+  while (end > 0 && std::isspace(static_cast<unsigned char>(code[end - 1])))
+    --end;
+  std::size_t begin = end;
+  while (begin > 0 && is_ident_char(code[begin - 1])) --begin;
+  if (begin == end) return {};
+  std::string name(code.substr(begin, end - begin));
+  if (std::isdigit(static_cast<unsigned char>(name[0]))) return {};
+  return name;
+}
+
+struct Secret {
+  std::string name;
+  int decl_line = 0;
+  int depth = 0;        // brace depth at declaration
+  bool needs_wipe = false;
+  bool wiped = false;
+  bool wipe_allowed = false;  // decl line carried allow(missing-wipe)
+};
+
+struct Scope {
+  bool is_type = false;  // class/struct/union/enum/namespace/extern block
+};
+
+bool header_opens_type_scope(std::string_view header) {
+  static const char* kTypeKeywords[] = {"class",  "struct",    "union",
+                                        "enum",   "namespace", "extern"};
+  for (const char* kw : kTypeKeywords)
+    if (has_token(header, kw)) return true;
+  return false;
+}
+
+// `random` is deliberately absent: TLS hello fields and Drbg-seeded helpers
+// legitimately use that name; libc random() never appears bare in this repo.
+const char* const kRandTokens[] = {"rand", "srand", "rand_r", "drand48",
+                                   "lrand48", "mrand48"};
+const char* const kMemcmpTokens[] = {"memcmp", "strcmp", "strncmp", "bcmp",
+                                      "strcasecmp"};
+const char* const kSanctionedCalls[] = {"ct::equal", "ct::select", "ct::wipe",
+                                         "ct_equal", "equal", "select",
+                                         "wipe", "Wiper"};
+const char* const kBranchKeywords[] = {"if", "while", "switch", "for"};
+
+}  // namespace
+
+const char* rule_name(Rule rule) {
+  switch (rule) {
+    case Rule::kRand: return "rand";
+    case Rule::kMemcmp: return "memcmp";
+    case Rule::kSecretCompare: return "secret-compare";
+    case Rule::kSecretBranch: return "secret-branch";
+    case Rule::kSecretIndex: return "secret-index";
+    case Rule::kMissingWipe: return "missing-wipe";
+  }
+  return "?";
+}
+
+std::vector<Finding> lint_source(const std::string& file,
+                                 std::string_view source) {
+  std::vector<Finding> findings;
+  std::vector<Line> lines = split_lines(source);
+  std::vector<Scope> scopes;
+  std::vector<Secret> secrets;
+  std::string pending_header;  // text since the last '{', '}', or ';'
+
+  auto allowed = [](const std::vector<std::string>& allows, Rule rule) {
+    for (const auto& a : allows)
+      if (a == rule_name(rule)) return true;
+    return false;
+  };
+
+  auto report = [&](int line_no, Rule rule, std::string message,
+                    const std::vector<std::string>& allows) {
+    if (allowed(allows, rule)) return;
+    findings.push_back({file, line_no, rule, std::move(message)});
+  };
+
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    int line_no = static_cast<int>(li) + 1;
+    const std::string& raw_code = lines[li].code;
+    const std::string& comment = lines[li].comment;
+    std::vector<std::string> allows = parse_allows(comment);
+
+    // ---- banned-function rules (independent of annotations) ----
+    for (const char* tok : kRandTokens)
+      if (has_token(raw_code, tok))
+        report(line_no, Rule::kRand,
+               std::string("variable-time PRNG '") + tok +
+                   "' — use the seeded Drbg instead",
+               allows);
+    for (const char* tok : kMemcmpTokens)
+      if (has_token(raw_code, tok))
+        report(line_no, Rule::kMemcmp,
+               std::string("variable-time compare '") + tok +
+                   "' — use ct::equal instead",
+               allows);
+
+    // ---- CT_SECRET declarations ----
+    std::size_t marker = comment.find("CT_SECRET");
+    if (marker != std::string::npos) {
+      std::vector<std::string> names;
+      std::size_t colon = comment.find(':', marker);
+      if (colon != std::string::npos) {
+        std::stringstream ss(comment.substr(colon + 1));
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+          item.erase(std::remove_if(item.begin(), item.end(),
+                                    [](char c) {
+                                      return !is_ident_char(c);
+                                    }),
+                     item.end());
+          if (!item.empty()) names.push_back(item);
+        }
+      } else {
+        std::string inferred = infer_declared_name(raw_code);
+        if (!inferred.empty()) names.push_back(inferred);
+      }
+      bool in_code_scope = !scopes.empty() && !scopes.back().is_type;
+      for (auto& name : names) {
+        Secret s;
+        s.name = std::move(name);
+        s.decl_line = line_no;
+        s.depth = static_cast<int>(scopes.size());
+        s.needs_wipe = in_code_scope;
+        s.wipe_allowed = allowed(allows, Rule::kMissingWipe);
+        secrets.push_back(std::move(s));
+      }
+    }
+
+    // ---- wipe / ownership-transfer detection ----
+    for (auto& s : secrets) {
+      if (s.wiped) continue;
+      if (!has_token(raw_code, s.name)) continue;
+      for (const char* op : {"ct::wipe", "wipe", "Wiper", "std::move"}) {
+        for (std::size_t pos : token_positions(raw_code, op)) {
+          // Method form: `secret.wipe()` / `secret->wipe()`.
+          std::size_t r = pos;
+          if (r >= 1 && raw_code[r - 1] == '.') r -= 1;
+          else if (r >= 2 && raw_code[r - 2] == '-' && raw_code[r - 1] == '>')
+            r -= 2;
+          if (r != pos) {
+            std::size_t end = r;
+            while (r > 0 && is_ident_char(raw_code[r - 1])) --r;
+            if (raw_code.substr(r, end - r) == s.name) s.wiped = true;
+            continue;
+          }
+          std::size_t open = raw_code.find('(', pos);
+          if (open == std::string::npos) continue;
+          int depth = 0;
+          std::size_t close = open;
+          for (std::size_t i = open; i < raw_code.size(); ++i) {
+            if (raw_code[i] == '(') ++depth;
+            if (raw_code[i] == ')' && --depth == 0) {
+              close = i;
+              break;
+            }
+          }
+          if (close > open &&
+              has_token(std::string_view(raw_code).substr(open, close - open),
+                        s.name))
+            s.wiped = true;
+        }
+      }
+      // `return secret...;` hands ownership to the caller.
+      for (std::size_t pos : token_positions(raw_code, "return")) {
+        std::string_view rest = std::string_view(raw_code).substr(pos + 6);
+        if (has_token(rest, s.name)) s.wiped = true;
+      }
+    }
+
+    // ---- secret-usage rules on a neutralized copy of the line ----
+    std::string code = raw_code;
+    for (const char* callee : kSanctionedCalls) blank_call_args(code, callee);
+
+    for (const auto& s : secrets) {
+      std::vector<std::size_t> uses = token_positions(code, s.name);
+      if (uses.empty()) continue;
+      bool is_decl_line = s.decl_line == line_no;
+
+      bool compare_hit = false;
+      if (!is_decl_line || uses.size() > 1) {
+        for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+          bool eq = (code[i] == '=' && code[i + 1] == '=') ||
+                    (code[i] == '!' && code[i + 1] == '=');
+          if (!eq) continue;
+          report(line_no, Rule::kSecretCompare,
+                 "variable-time comparison involving secret '" + s.name +
+                     "' — use ct::equal",
+                 allows);
+          compare_hit = true;
+          break;
+        }
+      }
+
+      if (!compare_hit) {
+        for (const char* kw : kBranchKeywords) {
+          if (kw == std::string_view("return")) continue;
+          for (std::size_t kpos : token_positions(code, kw)) {
+            bool secret_after =
+                std::any_of(uses.begin(), uses.end(),
+                            [&](std::size_t u) { return u > kpos; });
+            if (secret_after) {
+              report(line_no, Rule::kSecretBranch,
+                     std::string("'") + kw + "' condition depends on secret '" +
+                         s.name + "' — restructure with ct::select",
+                     allows);
+              break;
+            }
+          }
+        }
+        // Ternary: secret mentioned before `?` on the same line.
+        std::size_t q = code.find('?');
+        if (q != std::string::npos && code.find(':', q) != std::string::npos &&
+            std::any_of(uses.begin(), uses.end(),
+                        [&](std::size_t u) { return u < q; }))
+          report(line_no, Rule::kSecretBranch,
+                 "ternary selection depends on secret '" + s.name +
+                     "' — use ct::select",
+                 allows);
+      }
+
+      // Array subscript with the secret inside the brackets.
+      for (std::size_t u : uses) {
+        std::size_t i = u;
+        int depth = 0;
+        bool inside = false;
+        while (i > 0) {
+          --i;
+          if (code[i] == ']') ++depth;
+          if (code[i] == '[') {
+            if (depth == 0) {
+              inside = i > 0 && (is_ident_char(code[i - 1]) ||
+                                 code[i - 1] == ']' || code[i - 1] == ')');
+              break;
+            }
+            --depth;
+          }
+        }
+        if (inside) {
+          report(line_no, Rule::kSecretIndex,
+                 "array index depends on secret '" + s.name +
+                     "' — use a constant-time scan",
+                 allows);
+          break;
+        }
+      }
+    }
+
+    // ---- scope tracking ----
+    for (std::size_t i = 0; i < raw_code.size(); ++i) {
+      char c = raw_code[i];
+      if (c == ';' || c == '}') pending_header.clear();
+      if (c == '{') {
+        scopes.push_back({header_opens_type_scope(pending_header)});
+        pending_header.clear();
+      } else if (c == '}') {
+        if (!scopes.empty()) scopes.pop_back();
+        int depth = static_cast<int>(scopes.size());
+        for (auto it = secrets.begin(); it != secrets.end();) {
+          if (it->depth > depth) {
+            if (it->needs_wipe && !it->wiped && !it->wipe_allowed)
+              findings.push_back({file, it->decl_line, Rule::kMissingWipe,
+                                  "secret '" + it->name +
+                                      "' leaves scope without ct::wipe"});
+            it = secrets.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      } else {
+        pending_header.push_back(c);
+      }
+    }
+  }
+
+  for (const auto& s : secrets)
+    if (s.needs_wipe && !s.wiped && !s.wipe_allowed)
+      findings.push_back({file, s.decl_line, Rule::kMissingWipe,
+                          "secret '" + s.name +
+                              "' leaves scope without ct::wipe"});
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+            });
+  return findings;
+}
+
+bool lint_file(const std::string& path, std::vector<Finding>& findings) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string src = ss.str();
+  std::vector<Finding> f = lint_source(path, src);
+  findings.insert(findings.end(), f.begin(), f.end());
+  return true;
+}
+
+std::string format_finding(const Finding& finding) {
+  std::stringstream ss;
+  ss << finding.file << ':' << finding.line << ": [" << rule_name(finding.rule)
+     << "] " << finding.message;
+  return ss.str();
+}
+
+}  // namespace pqtls::ctlint

@@ -1,0 +1,62 @@
+// Secret-hygiene linter for the crypto/KEM/SIG sources.
+//
+// The engine scans C++ source text for violations of the constant-time
+// conventions documented in src/crypto/ct.hpp:
+//
+//   rand            banned variable-time PRNG (rand, srand, random, ...)
+//   memcmp          banned variable-time compare (memcmp, strcmp, ...)
+//   secret-compare  `==` / `!=` on a CT_SECRET-annotated identifier
+//   secret-branch   if/while/switch/for/ternary condition mentioning a secret
+//   secret-index    array subscript whose index expression mentions a secret
+//   missing-wipe    function-local CT_SECRET never ct::wipe'd, returned, or
+//                   std::move'd out before its scope closes
+//
+// Secrets are declared by a trailing `// CT_SECRET` comment (the declared
+// identifier is inferred from the line) or an explicit
+// `// CT_SECRET: name1, name2` list. A line-level suppression
+// `// ct-lint: allow(rule1,rule2) reason` silences specific rules.
+// Arguments of the sanctioned operations (ct::equal / ct::select / ct::wipe /
+// ct_equal / ct::Wiper) are exempt from the secret-* rules.
+//
+// This is a line-oriented heuristic scanner, not a compiler: it tracks brace
+// scopes and blanks comments/strings, but performs no type checking or
+// data-flow tainting. It is tuned to be quiet on this repo's style.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pqtls::ctlint {
+
+enum class Rule {
+  kRand,
+  kMemcmp,
+  kSecretCompare,
+  kSecretBranch,
+  kSecretIndex,
+  kMissingWipe,
+};
+
+const char* rule_name(Rule rule);
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  Rule rule = Rule::kRand;
+  std::string message;
+};
+
+/// Lint a single translation unit given as text. `file` is used only for
+/// reporting.
+std::vector<Finding> lint_source(const std::string& file,
+                                 std::string_view source);
+
+/// Lint a file from disk; returns false (with no findings appended) if the
+/// file cannot be read.
+bool lint_file(const std::string& path, std::vector<Finding>& findings);
+
+/// Render a finding as "file:line: [rule] message".
+std::string format_finding(const Finding& finding);
+
+}  // namespace pqtls::ctlint

@@ -1,0 +1,61 @@
+// ct_lint: scan C++ sources for secret-hygiene violations.
+//
+//   ct_lint <file-or-dir>...
+//
+// Directories are walked recursively for .cpp/.cc/.hpp/.h files. Exits 1 if
+// any violation is found, 2 on usage or I/O errors.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ct_lint.hpp"
+
+namespace fs = std::filesystem;
+using pqtls::ctlint::Finding;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    fs::path p(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p, ec))
+        if (entry.is_regular_file() && lintable(entry.path()))
+          files.push_back(entry.path().string());
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p.string());
+    } else {
+      std::fprintf(stderr, "ct_lint: cannot read %s\n", argv[i]);
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const auto& f : files) {
+    if (!pqtls::ctlint::lint_file(f, findings)) {
+      std::fprintf(stderr, "ct_lint: cannot read %s\n", f.c_str());
+      return 2;
+    }
+  }
+  for (const auto& f : findings)
+    std::fprintf(stderr, "%s\n", pqtls::ctlint::format_finding(f).c_str());
+  std::fprintf(stderr, "ct_lint: %zu file(s), %zu violation(s)\n",
+               files.size(), findings.size());
+  return findings.empty() ? 0 : 1;
+}

@@ -78,7 +78,7 @@ std::vector<Job> make_jobs(const std::string& name) {
     (void)dummy;
     for (const auto* ka : kem::all_kems()) {
       if (name == "all-kem") {
-        jobs.push_back(Job{.kem = ka->name(), .sig = "rsa:2048"});
+        jobs.push_back(Job{.kem = ka->name(), .sig = "rsa:2048", .netem = {}});
       } else {
         for (const auto& s : testbed::standard_scenarios())
           jobs.push_back({ka->name(), "rsa:2048", s.name, s.netem});
@@ -90,7 +90,7 @@ std::vector<Job> make_jobs(const std::string& name) {
           sa->name() == "sphincs128s")
         continue;  // all-sphincs covers the s-variants
       if (name == "all-sig") {
-        jobs.push_back(Job{.kem = "x25519", .sig = sa->name()});
+        jobs.push_back(Job{.kem = "x25519", .sig = sa->name(), .netem = {}});
       } else {
         for (const auto& s : testbed::standard_scenarios())
           jobs.push_back({"x25519", sa->name(), s.name, s.netem});
@@ -99,7 +99,7 @@ std::vector<Job> make_jobs(const std::string& name) {
   } else if (name == "all-sphincs") {
     for (const char* sa : {"sphincs128", "sphincs128s", "sphincs192",
                            "sphincs192s", "sphincs256", "sphincs256s"})
-      jobs.push_back(Job{.kem = "x25519", .sig = sa});
+      jobs.push_back(Job{.kem = "x25519", .sig = sa, .netem = {}});
   } else if (name.rfind("level", 0) == 0 && name.size() >= 6) {
     int level = name[5] - '0';
     if (level != 1 && level != 3 && level != 5) return {};
