@@ -1,20 +1,31 @@
-// Shared helpers for the table/figure reproduction binaries.
+// Shared helpers for the table/figure reproduction binaries. The algorithm
+// matrix itself lives in src/campaign/matrix.hpp (shared with the campaign
+// engine); the aliases below keep the bench binaries' spelling.
 #pragma once
 
 #include <cstdio>
-#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "campaign/matrix.hpp"
+#include "campaign/options.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/sinks.hpp"
 #include "testbed/testbed.hpp"
 
 namespace pqtls::bench {
 
 /// Sample count per configuration; override with argv[1] or PQTLS_SAMPLES.
+/// Malformed overrides warn on stderr and keep `fallback` (never the old
+/// silent atoi-zero).
 inline int sample_count(int argc, char** argv, int fallback) {
-  if (argc > 1) return std::atoi(argv[1]);
-  if (const char* env = std::getenv("PQTLS_SAMPLES")) return std::atoi(env);
-  return fallback;
+  if (argc > 1)
+    return campaign::positive_int_or(argv[1], fallback,
+                                     "sample count (argv[1])");
+  return campaign::env_samples(fallback);
 }
 
 /// Render a proportional ASCII bar (the paper's tables embed bar charts).
@@ -27,69 +38,51 @@ inline std::string bar(double value, double max_value, int width = 12) {
   return out;
 }
 
-/// The paper's KA list (Table 2a), grouped by NIST level.
-struct KaRow {
-  int level;
-  const char* name;
-};
+/// Run a named campaign the way the historical bench binaries did: the
+/// paper-fidelity measured clock, sample override from argv[1] or
+/// PQTLS_SAMPLES, worker count from PQTLS_WORKERS (default 1), ASCII table
+/// on stdout, and optional JSONL rows to the path in argv[2]. Returns the
+/// process exit code (0 = all cells ok, 2 = some cell failed).
+inline int run_declared_campaign(const char* campaign_name, int argc,
+                                 char** argv, int default_samples) {
+  const campaign::CampaignSpec* spec = campaign::find_campaign(campaign_name);
+  if (!spec) {
+    std::fprintf(stderr, "unknown campaign '%s'\n", campaign_name);
+    return 1;
+  }
+  campaign::RunnerOptions opts;
+  opts.samples = sample_count(argc, argv, default_samples);
+  opts.workers = campaign::env_workers(1);
+  opts.time_model = testbed::TimeModel::kMeasured;  // paper-fidelity clock
+
+  campaign::AsciiSink ascii(std::cout);
+  std::vector<campaign::Sink*> sinks{&ascii};
+  std::ofstream jsonl_file;
+  std::optional<campaign::JsonlSink> jsonl;
+  if (argc > 2) {
+    jsonl_file.open(argv[2]);
+    if (!jsonl_file) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n", argv[2]);
+      return 1;
+    }
+    jsonl.emplace(jsonl_file);
+    sinks.push_back(&*jsonl);
+  }
+  return campaign::run_campaign(*spec, opts, sinks) == 0 ? 0 : 2;
+}
+
+using KaRow = campaign::AlgRow;
+using SaRow = campaign::AlgRow;
+using LevelCombos = campaign::LevelCombos;
+
 inline const std::vector<KaRow>& table2a_kas() {
-  static const std::vector<KaRow> rows = {
-      {1, "x25519"},        {1, "bikel1"},        {1, "hqc128"},
-      {1, "kyber512"},      {1, "kyber90s512"},   {1, "p256"},
-      {1, "p256_bikel1"},   {1, "p256_hqc128"},   {1, "p256_kyber512"},
-      {3, "bikel3"},        {3, "hqc192"},        {3, "kyber768"},
-      {3, "kyber90s768"},   {3, "p384"},          {3, "p384_bikel3"},
-      {3, "p384_hqc192"},   {3, "p384_kyber768"}, {5, "hqc256"},
-      {5, "kyber1024"},     {5, "kyber90s1024"},  {5, "p521"},
-      {5, "p521_hqc256"},   {5, "p521_kyber1024"},
-  };
-  return rows;
+  return campaign::table2a_kas();
 }
-
-/// The paper's SA list (Table 2b), grouped by NIST level (0 = sub-level-1).
-struct SaRow {
-  int level;
-  const char* name;
-};
 inline const std::vector<SaRow>& table2b_sas() {
-  static const std::vector<SaRow> rows = {
-      {0, "rsa:1024"},        {0, "rsa:2048"},
-      {1, "falcon512"},       {1, "rsa:3072"},
-      {1, "rsa:4096"},        {1, "sphincs128"},
-      {1, "p256_falcon512"},  {1, "p256_sphincs128"},
-      {2, "dilithium2"},      {2, "dilithium2_aes"},
-      {2, "p256_dilithium2"},
-      {3, "dilithium3"},      {3, "dilithium3_aes"},
-      {3, "sphincs192"},      {3, "p384_dilithium3"},
-      {3, "p384_sphincs192"},
-      {5, "dilithium5"},      {5, "dilithium5_aes"},
-      {5, "falcon1024"},      {5, "sphincs256"},
-      {5, "p521_dilithium5"}, {5, "p521_falcon1024"},
-      {5, "p521_sphincs256"},
-  };
-  return rows;
+  return campaign::table2b_sas();
 }
-
-/// Non-hybrid KA x SA combinations per level group for Figure 3 (the paper
-/// groups NIST levels one and two, uses only rsa:3072 among the RSAs).
-struct LevelCombos {
-  const char* label;
-  std::vector<const char*> kas;
-  std::vector<const char*> sas;
-};
 inline const std::vector<LevelCombos>& fig3_levels() {
-  static const std::vector<LevelCombos> levels = {
-      {"level1+2",
-       {"x25519", "bikel1", "hqc128", "kyber512", "kyber90s512", "p256"},
-       {"rsa:3072", "falcon512", "sphincs128", "dilithium2", "dilithium2_aes"}},
-      {"level3",
-       {"bikel3", "hqc192", "kyber768", "kyber90s768", "p384"},
-       {"dilithium3", "dilithium3_aes", "sphincs192"}},
-      {"level5",
-       {"hqc256", "kyber1024", "kyber90s1024", "p521"},
-       {"dilithium5", "dilithium5_aes", "falcon1024", "sphincs256"}},
-  };
-  return levels;
+  return campaign::fig3_levels();
 }
 
 }  // namespace pqtls::bench

@@ -1,6 +1,10 @@
 // Reproduces Figure 4: KAs (top) and SAs (bottom) ranked by logarithmic
 // overall handshake latency, linearly scaled to [0, 10] and rounded; the
 // fastest algorithms get the lowest bucket (leftmost in the paper's figure).
+//
+// Runs the "fig4" campaign (KA sweep with rsa:2048 plus SA sweep with
+// x25519, deduplicated) through an in-memory sink and feeds the collected
+// medians to the ranking analysis.
 #include <cstdio>
 
 #include "analysis/ranking.hpp"
@@ -8,26 +12,26 @@
 
 int main(int argc, char** argv) {
   using namespace pqtls;
-  int samples = bench::sample_count(argc, argv, 9);
+  const campaign::CampaignSpec* spec = campaign::find_campaign("fig4");
+  campaign::RunnerOptions opts;
+  opts.samples = bench::sample_count(argc, argv, 9);
+  opts.workers = campaign::env_workers(1);
+  opts.time_model = testbed::TimeModel::kMeasured;  // paper-fidelity clock
 
-  std::vector<std::pair<std::string, double>> ka_latencies;
-  for (const auto& row : bench::table2a_kas()) {
-    testbed::ExperimentConfig config;
-    config.ka = row.name;
-    config.sa = "rsa:2048";
-    config.sample_handshakes = samples;
-    auto r = testbed::run_experiment(config);
-    if (r.ok) ka_latencies.emplace_back(row.name, r.median_total);
-  }
+  campaign::CollectSink collect;
+  campaign::run_campaign(*spec, opts, {&collect});
 
-  std::vector<std::pair<std::string, double>> sa_latencies;
-  for (const auto& row : bench::table2b_sas()) {
-    testbed::ExperimentConfig config;
-    config.ka = "x25519";
-    config.sa = row.name;
-    config.sample_handshakes = samples;
-    auto r = testbed::run_experiment(config);
-    if (r.ok) sa_latencies.emplace_back(row.name, r.median_total);
+  // The shared x25519/rsa:2048 cell contributes to both rankings, exactly
+  // as it appeared in both of the paper's sweeps.
+  std::vector<std::pair<std::string, double>> ka_latencies, sa_latencies;
+  for (const auto& outcome : collect.outcomes()) {
+    if (!outcome.ok()) continue;
+    if (outcome.cell.config.sa == "rsa:2048")
+      ka_latencies.emplace_back(outcome.cell.config.ka,
+                                outcome.result.median_total);
+    if (outcome.cell.config.ka == "x25519")
+      sa_latencies.emplace_back(outcome.cell.config.sa,
+                                outcome.result.median_total);
   }
 
   std::printf("Figure 4: algorithms ranked by log handshake latency "

@@ -2,35 +2,12 @@
 // [CH -> SH] and part B [SH -> Client Finished]), the number of handshakes
 // completed in a 60 s period, and per-handshake data volumes — for all 23
 // key agreements combined with rsa:2048 as the signature algorithm.
-#include <cstdio>
-
+//
+// A thin declaration over the campaign engine: the cell matrix lives in
+// src/campaign/campaign.cpp; argv[1] overrides the sample count, argv[2]
+// names an optional JSONL output file, PQTLS_WORKERS parallelizes.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  using namespace pqtls;
-  int samples = bench::sample_count(argc, argv, 25);
-
-  std::printf(
-      "Table 2a: KAs combined with rsa:2048 as SA (%d sampled handshakes "
-      "per row)\n",
-      samples);
-  std::printf("%-4s %-16s %10s %10s %8s %10s %10s\n", "Lvl", "KA",
-              "A med(ms)", "B med(ms)", "# Total", "Client(B)", "Server(B)");
-
-  for (const auto& row : bench::table2a_kas()) {
-    testbed::ExperimentConfig config;
-    config.ka = row.name;
-    config.sa = "rsa:2048";
-    config.sample_handshakes = samples;
-    testbed::ExperimentResult r = testbed::run_experiment(config);
-    if (!r.ok) {
-      std::printf("%-4d %-16s FAILED\n", row.level, row.name);
-      continue;
-    }
-    std::printf("%-4d %-16s %10.2f %10.2f %7.1fk %10zu %10zu\n", row.level,
-                row.name, r.median_part_a * 1e3, r.median_part_b * 1e3,
-                static_cast<double>(r.total_handshakes_60s) / 1000.0, r.client_bytes,
-                r.server_bytes);
-  }
-  return 0;
+  return pqtls::bench::run_declared_campaign("table2a", argc, argv, 25);
 }

@@ -1,35 +1,12 @@
 // Reproduces Table 2b: handshake latency parts, 60 s handshake count, and
-// data volumes for all 22 signature algorithms (plus the rsa3072_dilithium2
-// hybrid) combined with X25519 as the key agreement.
-#include <cstdio>
-
+// data volumes for all 23 signature algorithms combined with X25519 as the
+// key agreement.
+//
+// A thin declaration over the campaign engine: the cell matrix lives in
+// src/campaign/campaign.cpp; argv[1] overrides the sample count, argv[2]
+// names an optional JSONL output file, PQTLS_WORKERS parallelizes.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  using namespace pqtls;
-  int samples = bench::sample_count(argc, argv, 15);
-
-  std::printf(
-      "Table 2b: SAs combined with x25519 as KA (%d sampled handshakes per "
-      "row)\n",
-      samples);
-  std::printf("%-4s %-18s %10s %10s %8s %10s %10s\n", "Lvl", "SA",
-              "A med(ms)", "B med(ms)", "# Total", "Client(B)", "Server(B)");
-
-  for (const auto& row : bench::table2b_sas()) {
-    testbed::ExperimentConfig config;
-    config.ka = "x25519";
-    config.sa = row.name;
-    config.sample_handshakes = samples;
-    testbed::ExperimentResult r = testbed::run_experiment(config);
-    if (!r.ok) {
-      std::printf("%-4d %-18s FAILED\n", row.level, row.name);
-      continue;
-    }
-    std::printf("%-4d %-18s %10.2f %10.2f %7.1fk %10zu %10zu\n", row.level,
-                row.name, r.median_part_a * 1e3, r.median_part_b * 1e3,
-                static_cast<double>(r.total_handshakes_60s) / 1000.0, r.client_bytes,
-                r.server_bytes);
-  }
-  return 0;
+  return pqtls::bench::run_declared_campaign("table2b", argc, argv, 15);
 }

@@ -1,38 +1,12 @@
 // Reproduces Table 4a: median full-handshake latency for all 23 KAs
 // (with rsa:2048 as SA) under the paper's emulated network scenarios:
 // no emulation, 10% loss, 1 Mbit/s, 1 s RTT, LTE-M (15 km), and 5G.
-#include <cstdio>
-
+//
+// A thin declaration over the campaign engine (scenario-matrix ASCII
+// layout): argv[1] overrides the sample count, argv[2] names an optional
+// JSONL output file, PQTLS_WORKERS parallelizes.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  using namespace pqtls;
-  int samples = bench::sample_count(argc, argv, 9);
-  const auto& scenarios = testbed::standard_scenarios();
-
-  std::printf("Table 4a: KAs x network scenarios, median full-handshake "
-              "latency in ms (%d samples per cell)\n",
-              samples);
-  std::printf("%-4s %-16s", "Lvl", "KA");
-  for (const auto& s : scenarios) std::printf(" %12.12s", s.name.c_str());
-  std::printf("\n");
-
-  for (const auto& row : bench::table2a_kas()) {
-    std::printf("%-4d %-16s", row.level, row.name);
-    for (const auto& scenario : scenarios) {
-      testbed::ExperimentConfig config;
-      config.ka = row.name;
-      config.sa = "rsa:2048";
-      config.netem = scenario.netem;
-      config.sample_handshakes = samples;
-      testbed::ExperimentResult r = testbed::run_experiment(config);
-      if (r.ok)
-        std::printf(" %12.2f", r.median_total * 1e3);
-      else
-        std::printf(" %12s", "FAIL");
-      std::fflush(stdout);
-    }
-    std::printf("\n");
-  }
-  return 0;
+  return pqtls::bench::run_declared_campaign("table4a", argc, argv, 9);
 }

@@ -3,42 +3,12 @@
 // network scenarios. The High-Delay column exposes the paper's key TCP
 // finding: flights exceeding the initial congestion window cost extra RTTs
 // (SPHINCS+ at 3-4 RTTs, Dilithium5 at 2 RTTs).
-#include <cstdio>
-
+//
+// A thin declaration over the campaign engine (scenario-matrix ASCII
+// layout): argv[1] overrides the sample count, argv[2] names an optional
+// JSONL output file, PQTLS_WORKERS parallelizes.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  using namespace pqtls;
-  int samples = bench::sample_count(argc, argv, 7);
-  const auto& scenarios = testbed::standard_scenarios();
-
-  // Table 4b includes the rsa3072_dilithium2 hybrid on top of Table 2b's SAs.
-  std::vector<bench::SaRow> rows = bench::table2b_sas();
-  rows.insert(rows.begin() + 11, {2, "rsa3072_dilithium2"});
-
-  std::printf("Table 4b: SAs x network scenarios, median full-handshake "
-              "latency in ms (%d samples per cell)\n",
-              samples);
-  std::printf("%-4s %-19s", "Lvl", "SA");
-  for (const auto& s : scenarios) std::printf(" %12.12s", s.name.c_str());
-  std::printf("\n");
-
-  for (const auto& row : rows) {
-    std::printf("%-4d %-19s", row.level, row.name);
-    for (const auto& scenario : scenarios) {
-      testbed::ExperimentConfig config;
-      config.ka = "x25519";
-      config.sa = row.name;
-      config.netem = scenario.netem;
-      config.sample_handshakes = samples;
-      testbed::ExperimentResult r = testbed::run_experiment(config);
-      if (r.ok)
-        std::printf(" %12.2f", r.median_total * 1e3);
-      else
-        std::printf(" %12s", "FAIL");
-      std::fflush(stdout);
-    }
-    std::printf("\n");
-  }
-  return 0;
+  return pqtls::bench::run_declared_campaign("table4b", argc, argv, 7);
 }

@@ -1,0 +1,172 @@
+#include "campaign/campaign.hpp"
+
+#include <cctype>
+#include <set>
+
+#include "campaign/matrix.hpp"
+
+namespace pqtls::campaign {
+
+std::string scenario_slug(std::string_view label) {
+  std::string out;
+  bool pending_dash = false;
+  for (char ch : label) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      if (pending_dash && !out.empty()) out.push_back('-');
+      pending_dash = false;
+      out.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(ch))));
+    } else {
+      pending_dash = true;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Cell make_cell(const std::string& ka, const std::string& sa, int samples) {
+  Cell cell;
+  cell.id = ka + "/" + sa;
+  cell.config.ka = ka;
+  cell.config.sa = sa;
+  cell.config.sample_handshakes = samples;
+  return cell;
+}
+
+CampaignSpec build_table2a() {
+  CampaignSpec spec;
+  spec.name = "table2a";
+  spec.description = "Table 2a: 23 KAs with rsa:2048";
+  for (const auto& row : table2a_kas())
+    spec.cells.push_back(make_cell(row.name, "rsa:2048", 25));
+  return spec;
+}
+
+CampaignSpec build_table2b() {
+  CampaignSpec spec;
+  spec.name = "table2b";
+  spec.description = "Table 2b: 23 SAs with x25519";
+  for (const auto& row : table2b_sas())
+    spec.cells.push_back(make_cell("x25519", row.name, 15));
+  return spec;
+}
+
+CampaignSpec build_table3() {
+  CampaignSpec spec;
+  spec.name = "table3";
+  spec.description = "Table 3: white-box CPU attribution for selected pairs";
+  static constexpr const char* kPairs[][2] = {
+      {"x25519", "rsa:2048"},        {"kyber512", "dilithium2"},
+      {"bikel1", "dilithium2"},      {"kyber512", "sphincs128"},
+      {"hqc128", "falcon512"},       {"p256_kyber512", "p256_dilithium2"},
+      {"kyber768", "dilithium3"},    {"kyber1024", "dilithium5"},
+  };
+  for (const auto& pair : kPairs) {
+    Cell cell = make_cell(pair[0], pair[1], 12);
+    cell.id += "/whitebox";
+    cell.config.white_box = true;
+    spec.cells.push_back(std::move(cell));
+  }
+  return spec;
+}
+
+CampaignSpec build_table4(const char* name, const char* description,
+                          const std::vector<AlgRow>& rows, bool vary_ka,
+                          int samples) {
+  CampaignSpec spec;
+  spec.name = name;
+  spec.description = description;
+  spec.ascii_layout = AsciiLayout::kScenarioMatrix;
+  for (const auto& row : rows) {
+    for (const auto& scenario : testbed::standard_scenarios()) {
+      Cell cell = vary_ka ? make_cell(row.name, "rsa:2048", samples)
+                          : make_cell("x25519", row.name, samples);
+      cell.id += "/" + scenario_slug(scenario.name);
+      cell.scenario = scenario.name;
+      cell.config.netem = scenario.netem;
+      spec.cells.push_back(std::move(cell));
+    }
+  }
+  return spec;
+}
+
+CampaignSpec build_fig3() {
+  CampaignSpec spec;
+  spec.name = "fig3";
+  spec.description =
+      "Figure 3: per-level KA x SA grid under both server buffering modes";
+  for (const auto& level : fig3_levels()) {
+    for (const char* ka : level.kas) {
+      for (const char* sa : level.sas) {
+        for (tls::Buffering buffering :
+             {tls::Buffering::kDefault, tls::Buffering::kImmediate}) {
+          Cell cell = make_cell(ka, sa, 9);
+          cell.id += buffering == tls::Buffering::kDefault ? "/buffered"
+                                                           : "/immediate";
+          cell.config.buffering = buffering;
+          spec.cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+  return spec;
+}
+
+CampaignSpec build_fig4() {
+  CampaignSpec spec;
+  spec.name = "fig4";
+  spec.description =
+      "Figure 4: latency-ranking inputs (KAs with rsa:2048, SAs with x25519)";
+  std::set<std::string> seen;
+  for (const auto& row : table2a_kas()) {
+    Cell cell = make_cell(row.name, "rsa:2048", 9);
+    if (seen.insert(cell.id).second) spec.cells.push_back(std::move(cell));
+  }
+  for (const auto& row : table2b_sas()) {
+    Cell cell = make_cell("x25519", row.name, 9);
+    if (seen.insert(cell.id).second) spec.cells.push_back(std::move(cell));
+  }
+  return spec;
+}
+
+CampaignSpec build_all(const std::vector<CampaignSpec>& others) {
+  CampaignSpec spec;
+  spec.name = "all";
+  spec.description = "Union of every built-in campaign (deduplicated by id)";
+  std::set<std::string> seen;
+  for (const auto& other : others)
+    for (const auto& cell : other.cells)
+      if (seen.insert(cell.id).second) spec.cells.push_back(cell);
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<CampaignSpec>& campaigns() {
+  static const std::vector<CampaignSpec> all = [] {
+    std::vector<CampaignSpec> out;
+    out.push_back(build_table2a());
+    out.push_back(build_table2b());
+    out.push_back(build_table3());
+    out.push_back(build_table4("table4a",
+                               "Table 4a: KAs x network scenarios",
+                               table2a_kas(), /*vary_ka=*/true, 9));
+    out.push_back(build_table4("table4b",
+                               "Table 4b: SAs x network scenarios",
+                               table4b_sas(), /*vary_ka=*/false, 7));
+    out.push_back(build_fig3());
+    out.push_back(build_fig4());
+    out.push_back(build_all(out));
+    return out;
+  }();
+  return all;
+}
+
+const CampaignSpec* find_campaign(std::string_view name) {
+  for (const auto& spec : campaigns())
+    if (spec.name == name) return &spec;
+  return nullptr;
+}
+
+}  // namespace pqtls::campaign

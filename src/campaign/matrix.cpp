@@ -1,0 +1,62 @@
+#include "campaign/matrix.hpp"
+
+namespace pqtls::campaign {
+
+const std::vector<AlgRow>& table2a_kas() {
+  static const std::vector<AlgRow> rows = {
+      {1, "x25519"},        {1, "bikel1"},        {1, "hqc128"},
+      {1, "kyber512"},      {1, "kyber90s512"},   {1, "p256"},
+      {1, "p256_bikel1"},   {1, "p256_hqc128"},   {1, "p256_kyber512"},
+      {3, "bikel3"},        {3, "hqc192"},        {3, "kyber768"},
+      {3, "kyber90s768"},   {3, "p384"},          {3, "p384_bikel3"},
+      {3, "p384_hqc192"},   {3, "p384_kyber768"}, {5, "hqc256"},
+      {5, "kyber1024"},     {5, "kyber90s1024"},  {5, "p521"},
+      {5, "p521_hqc256"},   {5, "p521_kyber1024"},
+  };
+  return rows;
+}
+
+const std::vector<AlgRow>& table2b_sas() {
+  static const std::vector<AlgRow> rows = {
+      {0, "rsa:1024"},        {0, "rsa:2048"},
+      {1, "falcon512"},       {1, "rsa:3072"},
+      {1, "rsa:4096"},        {1, "sphincs128"},
+      {1, "p256_falcon512"},  {1, "p256_sphincs128"},
+      {2, "dilithium2"},      {2, "dilithium2_aes"},
+      {2, "p256_dilithium2"},
+      {3, "dilithium3"},      {3, "dilithium3_aes"},
+      {3, "sphincs192"},      {3, "p384_dilithium3"},
+      {3, "p384_sphincs192"},
+      {5, "dilithium5"},      {5, "dilithium5_aes"},
+      {5, "falcon1024"},      {5, "sphincs256"},
+      {5, "p521_dilithium5"}, {5, "p521_falcon1024"},
+      {5, "p521_sphincs256"},
+  };
+  return rows;
+}
+
+const std::vector<AlgRow>& table4b_sas() {
+  static const std::vector<AlgRow> rows = [] {
+    std::vector<AlgRow> out = table2b_sas();
+    out.insert(out.begin() + 11, {2, "rsa3072_dilithium2"});
+    return out;
+  }();
+  return rows;
+}
+
+const std::vector<LevelCombos>& fig3_levels() {
+  static const std::vector<LevelCombos> levels = {
+      {"level1+2",
+       {"x25519", "bikel1", "hqc128", "kyber512", "kyber90s512", "p256"},
+       {"rsa:3072", "falcon512", "sphincs128", "dilithium2", "dilithium2_aes"}},
+      {"level3",
+       {"bikel3", "hqc192", "kyber768", "kyber90s768", "p384"},
+       {"dilithium3", "dilithium3_aes", "sphincs192"}},
+      {"level5",
+       {"hqc256", "kyber1024", "kyber90s1024", "p521"},
+       {"dilithium5", "dilithium5_aes", "falcon1024", "sphincs256"}},
+  };
+  return levels;
+}
+
+}  // namespace pqtls::campaign

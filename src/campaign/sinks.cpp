@@ -1,0 +1,176 @@
+#include "campaign/sinks.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string_view>
+
+namespace pqtls::campaign {
+
+namespace {
+
+// snprintf with a C locale-independent fixed format: identical doubles
+// always serialize to identical bytes, which the determinism guarantee
+// (equal rows at any worker count) depends on.
+std::string fmt_ms(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", seconds * 1e3);
+  return buf;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+std::string csv_escape(std::string_view text) {
+  if (text.find_first_of(",\"\n") == std::string_view::npos)
+    return std::string(text);
+  std::string out = "\"";
+  for (char ch : text) {
+    if (ch == '"') out += "\"\"";
+    else out.push_back(ch);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+void JsonlSink::cell(const CellOutcome& o) {
+  const auto& c = o.cell.config;
+  const auto& r = o.result;
+  out_ << "{\"campaign\":\"" << json_escape(o.campaign) << "\""
+       << ",\"id\":\"" << json_escape(o.cell.id) << "\""
+       << ",\"ka\":\"" << json_escape(c.ka) << "\""
+       << ",\"sa\":\"" << json_escape(c.sa) << "\""
+       << ",\"scenario\":\"" << json_escape(o.cell.scenario) << "\""
+       << ",\"seed\":" << c.seed
+       << ",\"ok\":" << (o.ok() ? "true" : "false")
+       << ",\"timed_out\":" << (r.timed_out ? "true" : "false")
+       << ",\"error\":\"" << json_escape(o.error) << "\""
+       << ",\"samples\":" << r.samples.size()
+       << ",\"median_part_a_ms\":" << fmt_ms(r.median_part_a)
+       << ",\"median_part_b_ms\":" << fmt_ms(r.median_part_b)
+       << ",\"median_total_ms\":" << fmt_ms(r.median_total)
+       << ",\"client_bytes\":" << r.client_bytes
+       << ",\"server_bytes\":" << r.server_bytes
+       << ",\"handshakes_60s\":" << r.total_handshakes_60s << "}\n";
+}
+
+void CsvSink::begin(const CampaignSpec&, const RunnerOptions&) {
+  out_ << "campaign,id,ka,sa,scenario,seed,ok,timed_out,error,samples,"
+          "median_part_a_ms,median_part_b_ms,median_total_ms,"
+          "client_bytes,server_bytes,handshakes_60s\n";
+}
+
+void CsvSink::cell(const CellOutcome& o) {
+  const auto& c = o.cell.config;
+  const auto& r = o.result;
+  out_ << csv_escape(o.campaign) << ',' << csv_escape(o.cell.id) << ','
+       << csv_escape(c.ka) << ',' << csv_escape(c.sa) << ','
+       << csv_escape(o.cell.scenario) << ',' << c.seed << ','
+       << (o.ok() ? "true" : "false") << ','
+       << (r.timed_out ? "true" : "false") << ',' << csv_escape(o.error)
+       << ',' << r.samples.size() << ',' << fmt_ms(r.median_part_a) << ','
+       << fmt_ms(r.median_part_b) << ',' << fmt_ms(r.median_total) << ','
+       << r.client_bytes << ',' << r.server_bytes << ','
+       << r.total_handshakes_60s << '\n';
+}
+
+void AsciiSink::begin(const CampaignSpec& spec, const RunnerOptions& opts) {
+  layout_ = spec.ascii_layout;
+  char head[256];
+  std::snprintf(head, sizeof(head), "%s — %s (%d cells)\n",
+                spec.name.c_str(), spec.description.c_str(),
+                static_cast<int>(spec.cells.size()));
+  out_ << head;
+  (void)opts;
+  if (layout_ == AsciiLayout::kPerCell) {
+    std::snprintf(head, sizeof(head),
+                  "%-34s %10s %10s %10s %8s %10s %10s\n", "cell", "A med(ms)",
+                  "B med(ms)", "tot(ms)", "# Total", "Client(B)",
+                  "Server(B)");
+    out_ << head;
+  }
+}
+
+void AsciiSink::cell(const CellOutcome& o) {
+  if (layout_ == AsciiLayout::kScenarioMatrix) {
+    matrix_cells_.push_back(o);
+    return;
+  }
+  char line[256];
+  if (!o.ok()) {
+    std::snprintf(line, sizeof(line), "%-34s FAILED: %s\n",
+                  o.cell.id.c_str(), o.error.c_str());
+    out_ << line;
+    return;
+  }
+  const auto& r = o.result;
+  std::snprintf(line, sizeof(line),
+                "%-34s %10.2f %10.2f %10.2f %7.1fk %10zu %10zu\n",
+                o.cell.id.c_str(), r.median_part_a * 1e3,
+                r.median_part_b * 1e3, r.median_total * 1e3,
+                static_cast<double>(r.total_handshakes_60s) / 1000.0,
+                r.client_bytes, r.server_bytes);
+  out_ << line;
+}
+
+void AsciiSink::finish() {
+  if (layout_ != AsciiLayout::kScenarioMatrix) return;
+  // Rows: "ka/sa" in first-seen order; columns: scenarios in first-seen
+  // order; cell value: median total latency (ms).
+  std::vector<std::string> scenarios, rows;
+  std::map<std::pair<std::string, std::string>, const CellOutcome*> grid;
+  for (const auto& o : matrix_cells_) {
+    std::string row = o.cell.config.ka + "/" + o.cell.config.sa;
+    if (std::find(rows.begin(), rows.end(), row) == rows.end())
+      rows.push_back(row);
+    if (std::find(scenarios.begin(), scenarios.end(), o.cell.scenario) ==
+        scenarios.end())
+      scenarios.push_back(o.cell.scenario);
+    grid[{row, o.cell.scenario}] = &o;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%-34s", "cell");
+  out_ << buf;
+  for (const auto& s : scenarios) {
+    std::snprintf(buf, sizeof(buf), " %12.12s", s.c_str());
+    out_ << buf;
+  }
+  out_ << '\n';
+  for (const auto& row : rows) {
+    std::snprintf(buf, sizeof(buf), "%-34s", row.c_str());
+    out_ << buf;
+    for (const auto& s : scenarios) {
+      auto it = grid.find({row, s});
+      if (it != grid.end() && it->second->ok())
+        std::snprintf(buf, sizeof(buf), " %12.2f",
+                      it->second->result.median_total * 1e3);
+      else
+        std::snprintf(buf, sizeof(buf), " %12s", "FAIL");
+      out_ << buf;
+    }
+    out_ << '\n';
+  }
+}
+
+}  // namespace pqtls::campaign

@@ -1,0 +1,66 @@
+// Result sinks for the campaign runner: machine-readable JSONL and CSV
+// streams with a fixed schema (ka, sa, scenario, latency medians, data
+// volumes, 60 s handshake rate, seed, ok flag), a human-readable ASCII
+// renderer, and an in-memory collector for programmatic consumers (the
+// converted bench binaries). All numeric formatting is locale-independent
+// and fixed-precision so equal results serialize to equal bytes.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+
+namespace pqtls::campaign {
+
+/// One JSON object per cell, in campaign order.
+class JsonlSink : public Sink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(out) {}
+  void cell(const CellOutcome& outcome) override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// Header row plus one CSV row per cell, same fields as the JSONL sink.
+class CsvSink : public Sink {
+ public:
+  explicit CsvSink(std::ostream& out) : out_(out) {}
+  void begin(const CampaignSpec& spec, const RunnerOptions& opts) override;
+  void cell(const CellOutcome& outcome) override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// Human-readable rendering honouring the campaign's AsciiLayout: one row
+/// per cell (Table 2 style), or an algorithms-by-scenarios matrix of median
+/// totals rendered at finish() (Table 4 style).
+class AsciiSink : public Sink {
+ public:
+  explicit AsciiSink(std::ostream& out) : out_(out) {}
+  void begin(const CampaignSpec& spec, const RunnerOptions& opts) override;
+  void cell(const CellOutcome& outcome) override;
+  void finish() override;
+
+ private:
+  std::ostream& out_;
+  AsciiLayout layout_ = AsciiLayout::kPerCell;
+  std::vector<CellOutcome> matrix_cells_;  // buffered for kScenarioMatrix
+};
+
+/// Keeps every outcome in memory, in campaign order.
+class CollectSink : public Sink {
+ public:
+  void cell(const CellOutcome& outcome) override {
+    outcomes_.push_back(outcome);
+  }
+  const std::vector<CellOutcome>& outcomes() const { return outcomes_; }
+
+ private:
+  std::vector<CellOutcome> outcomes_;
+};
+
+}  // namespace pqtls::campaign

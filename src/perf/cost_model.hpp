@@ -1,0 +1,43 @@
+// Deterministic per-operation cost model for the testbed's *modeled* time
+// mode. In the paper-fidelity measured mode the virtual clock advances by
+// the wall time of the real cryptographic computation; that is faithful but
+// inherently noisy (two runs never produce bit-identical latencies, and
+// concurrent campaign workers contend for the CPU). Modeled mode instead
+// charges each cryptographic operation a fixed first-order cost from the
+// tables below, making every experiment bit-reproducible at any worker
+// count while preserving the orderings the paper cares about (SPHINCS+
+// signing is slow, RSA verification is fast, generic-curve ECDH is slow,
+// Kyber is fast, ...). Constants are rough per-operation costs for this
+// portable software stack; calibrate against bench/micro_algorithms when
+// absolute fidelity matters.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace pqtls::perf {
+
+class CostModel {
+ public:
+  /// The built-in table (process-wide, immutable, thread-safe).
+  static const CostModel& builtin();
+
+  // Per-operation costs in seconds. Unknown algorithms get a conservative
+  // default; hybrid names ("p256_kyber512", "rsa3072_dilithium2") resolve
+  // to the sum of their components.
+  double kem_keygen(std::string_view ka) const;
+  double kem_encaps(std::string_view ka) const;
+  double kem_decaps(std::string_view ka) const;
+  double sign(std::string_view sa) const;
+  double verify(std::string_view sa) const;
+
+  /// Record protection + transcript hashing, charged per processed byte.
+  double per_byte(std::size_t n) const { return 30e-9 * static_cast<double>(n); }
+  /// One key-schedule derivation (HKDF extract/expand family).
+  double kdf() const { return 3e-6; }
+  /// Fixed dispatch cost per TLS processing invocation (state machine,
+  /// message parsing); the harness adds this once per delivery.
+  double step() const { return 20e-6; }
+};
+
+}  // namespace pqtls::perf

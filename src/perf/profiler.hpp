@@ -7,6 +7,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string_view>
@@ -26,15 +27,26 @@ enum class Lib : int {
 std::string_view lib_name(Lib lib);
 
 /// Accumulates CPU seconds per library category. One profiler per host.
+/// Accumulation is lock-free and thread-safe: the campaign engine runs
+/// experiments concurrently, and although each experiment owns its own
+/// profilers, nothing breaks if a profiler is ever shared across threads
+/// (no lost updates, no cross-run bleed).
 class Profiler {
  public:
+  Profiler() = default;
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
   void add(Lib lib, double seconds) {
-    totals_[static_cast<int>(lib)] += seconds;
+    totals_[static_cast<int>(lib)].fetch_add(seconds,
+                                             std::memory_order_relaxed);
   }
-  double total(Lib lib) const { return totals_[static_cast<int>(lib)]; }
+  double total(Lib lib) const {
+    return totals_[static_cast<int>(lib)].load(std::memory_order_relaxed);
+  }
   double total() const {
     double sum = 0;
-    for (double v : totals_) sum += v;
+    for (const auto& v : totals_) sum += v.load(std::memory_order_relaxed);
     return sum;
   }
   /// Share of category in [0, 1]; 0 when nothing was recorded.
@@ -42,10 +54,12 @@ class Profiler {
     double sum = total();
     return sum > 0 ? total(lib) / sum : 0.0;
   }
-  void reset() { totals_.fill(0.0); }
+  void reset() {
+    for (auto& v : totals_) v.store(0.0, std::memory_order_relaxed);
+  }
 
  private:
-  std::array<double, static_cast<int>(Lib::kCount)> totals_{};
+  std::array<std::atomic<double>, static_cast<int>(Lib::kCount)> totals_{};
 };
 
 /// RAII scope that measures wall time of the enclosed work and attributes it

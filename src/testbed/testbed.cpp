@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "analysis/stats.hpp"
@@ -35,14 +36,19 @@ double elapsed_seconds(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-// A host couples a TLS endpoint with a TCP endpoint. Real compute time of
-// the TLS processing is measured and re-injected as virtual time: flights
-// are scheduled on the event loop at the offset at which they were produced.
+// A host couples a TLS endpoint with a TCP endpoint. Compute time of the
+// TLS processing is re-injected as virtual time: flights are scheduled on
+// the event loop at the offset at which they were produced. In measured
+// mode the charge is real wall time; with a cost model installed (modeled
+// mode) it is the deterministic accumulated operation cost instead.
 class Host {
  public:
   Host(EventLoop& loop, net::Link& out, perf::Profiler* profiler,
-       std::size_t initial_cwnd)
-      : loop_(loop), tcp_(loop, out, initial_cwnd), profiler_(profiler) {
+       std::size_t initial_cwnd, const perf::CostModel* costs = nullptr)
+      : loop_(loop),
+        tcp_(loop, out, initial_cwnd),
+        profiler_(profiler),
+        costs_(costs) {
     tcp_.set_on_receive([this](BytesView data) { on_app_data(data); });
   }
 
@@ -50,9 +56,11 @@ class Host {
 
   void set_client(std::unique_ptr<tls::ClientConnection> client) {
     client_ = std::move(client);
+    if (costs_) client_->set_cost_model(costs_);
   }
   void set_server(std::unique_ptr<tls::ServerConnection> server) {
     server_ = std::move(server);
+    if (costs_) server_->set_cost_model(costs_);
   }
 
   void start_client_handshake() {
@@ -106,10 +114,13 @@ class Host {
         profiler_ ? profiler_->total(Lib::kLibcrypto) : 0.0;
     std::vector<std::pair<double, Bytes>> flights;
     fn([&](BytesView flight) {
-      flights.emplace_back(elapsed_seconds(t0),
+      // Modeled mode: the flight leaves at the cost accrued so far in this
+      // processing step, mirroring the measured-offset behaviour.
+      flights.emplace_back(costs_ ? conn_modeled_cost() : elapsed_seconds(t0),
                            Bytes(flight.begin(), flight.end()));
     });
-    double wall = elapsed_seconds(t0);
+    double wall = costs_ ? take_conn_modeled_cost() + costs_->step()
+                         : elapsed_seconds(t0);
     app_wall_ += wall;
     busy_until_ = loop_.now() + wall;
     if (profiler_) {
@@ -130,9 +141,18 @@ class Host {
     }
   }
 
+  double conn_modeled_cost() const {
+    return client_ ? client_->modeled_cost() : server_->modeled_cost();
+  }
+  double take_conn_modeled_cost() {
+    return client_ ? client_->take_modeled_cost()
+                   : server_->take_modeled_cost();
+  }
+
   EventLoop& loop_;
   tcp::TcpEndpoint tcp_;
   perf::Profiler* profiler_;
+  const perf::CostModel* costs_;
   std::unique_ptr<tls::ClientConnection> client_;
   std::unique_ptr<tls::ServerConnection> server_;
   double busy_until_ = 0;
@@ -206,17 +226,29 @@ PkiMaterial setup_pki(const sig::Signer& sa, Drbg& rng) {
 // Certificate setup is expensive (RSA-4096 prime search, SPHINCS+ keygen)
 // and unrelated to the measured handshake, so the harness caches per
 // (SA, seed) — certificates were likewise pre-generated on the paper's
-// testbed. Single-threaded harness; no locking.
+// testbed. Campaign workers call this concurrently: the mutex only guards
+// map insertion (std::map nodes are stable), and each entry's once_flag
+// makes exactly one thread generate the material while any other thread
+// needing the same chain blocks until it is ready instead of duplicating
+// seconds of keygen work.
 const PkiMaterial& cached_pki(const sig::Signer& sa, std::uint64_t seed) {
-  static std::map<std::pair<std::string, std::uint64_t>, PkiMaterial> cache;
-  auto key = std::make_pair(sa.name(), seed);
-  auto it = cache.find(key);
-  if (it == cache.end()) {
+  struct Entry {
+    std::once_flag once;
+    PkiMaterial material;
+  };
+  static std::mutex mu;
+  static std::map<std::pair<std::string, std::uint64_t>, Entry> cache;
+  Entry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    entry = &cache[std::pair<std::string, std::uint64_t>(sa.name(), seed)];
+  }
+  std::call_once(entry->once, [&] {
     Drbg rng(seed);
     Drbg pki_rng = rng.fork("pki:" + sa.name());
-    it = cache.emplace(key, setup_pki(sa, pki_rng)).first;
-  }
-  return it->second;
+    entry->material = setup_pki(sa, pki_rng);
+  });
+  return entry->material;
 }
 
 }  // namespace
@@ -247,15 +279,25 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.sa = config.sa;
 
   Drbg master(config.seed);
-  const PkiMaterial& pki = cached_pki(*sa, config.seed);
+  std::uint64_t pki_seed = config.pki_seed ? config.pki_seed : config.seed;
+  const PkiMaterial& pki = cached_pki(*sa, pki_seed);
+  const perf::CostModel* costs = config.time_model == TimeModel::kModeled
+                                     ? &perf::CostModel::builtin()
+                                     : nullptr;
 
   perf::Profiler server_profiler, client_profiler;
   perf::Profiler* sp = config.white_box ? &server_profiler : nullptr;
   perf::Profiler* cp = config.white_box ? &client_profiler : nullptr;
 
   std::size_t total_client_packets = 0, total_server_packets = 0;
+  auto wall_start = std::chrono::steady_clock::now();
 
   for (int i = 0; i < config.sample_handshakes; ++i) {
+    if (config.max_wall_seconds > 0 &&
+        elapsed_seconds(wall_start) > config.max_wall_seconds) {
+      result.timed_out = true;
+      return result;  // partial samples, ok stays false
+    }
     Drbg hs_rng = master.fork("handshake" + std::to_string(i));
     EventLoop loop;
     Timestamper tap;
@@ -265,8 +307,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     c2s.set_tap([&](const net::Packet& p) { tap.on_client_packet(p, loop.now()); });
     s2c.set_tap([&](const net::Packet& p) { tap.on_server_packet(p, loop.now()); });
 
-    Host client_host(loop, c2s, cp, config.initial_cwnd_segments);
-    Host server_host(loop, s2c, sp, config.initial_cwnd_segments);
+    Host client_host(loop, c2s, cp, config.initial_cwnd_segments, costs);
+    Host server_host(loop, s2c, sp, config.initial_cwnd_segments, costs);
     // Kernel time = packet-processing wall time minus any nested TLS
     // application time (which attributes itself to libcrypto/libssl).
     c2s.set_deliver([&](const net::Packet& p) {

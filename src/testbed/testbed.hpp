@@ -19,6 +19,16 @@
 
 namespace pqtls::testbed {
 
+/// How cryptographic computation advances the simulated clock.
+enum class TimeModel {
+  /// Paper-fidelity: the measured wall time of the real computation is the
+  /// virtual time charge. Faithful but noisy — repeated runs differ.
+  kMeasured,
+  /// Deterministic: every operation is charged a fixed cost from
+  /// perf::CostModel. Bit-reproducible at any campaign worker count.
+  kModeled,
+};
+
 struct ExperimentConfig {
   std::string ka = "x25519";
   std::string sa = "rsa:2048";
@@ -29,7 +39,18 @@ struct ExperimentConfig {
   /// 60 s total analytically from the mean cycle time.
   int sample_handshakes = 25;
   std::uint64_t seed = 0x715b3d;
+  /// Seed for deterministic PKI generation (certificate chains). Campaigns
+  /// derive a distinct `seed` per cell but pin `pki_seed` to the campaign
+  /// base seed so concurrent cells share the cached chains (RSA/SPHINCS+
+  /// key generation is by far the most expensive setup step). 0 = use
+  /// `seed`, preserving the single-experiment behaviour.
+  std::uint64_t pki_seed = 0;
   bool white_box = false;
+  TimeModel time_model = TimeModel::kMeasured;
+  /// Abort the experiment once it has consumed this much real wall time
+  /// (checked between samples; 0 = no limit). The partial result is
+  /// returned with ok=false and timed_out=true.
+  double max_wall_seconds = 0;
   /// TCP initial congestion window in segments (Linux default: 10). The
   /// paper's conclusion flags this as the key tuning knob for keeping large
   /// PQ handshakes at 1 RTT; see bench/ablation_initial_cwnd.
@@ -58,6 +79,7 @@ struct LibraryShares {
 
 struct ExperimentResult {
   bool ok = false;
+  bool timed_out = false;  // hit ExperimentConfig::max_wall_seconds
   std::string ka, sa;
   std::vector<HandshakeSample> samples;
 

@@ -108,6 +108,7 @@ void ClientConnection::send_client_hello(const FlightSink& sink) {
     Scope scope(profiler_, Lib::kLibcrypto);
     kp = active_ka_->generate_keypair(rng_);
   }
+  if (costs_) charge(costs_->kem_keygen(active_ka_->name()));
   kem_secret_key_ = std::move(kp.secret_key);
 
   Writer body;
@@ -173,6 +174,7 @@ void ClientConnection::send_client_hello(const FlightSink& sink) {
   Bytes msg = handshake_message(kClientHello, body.buffer());
   key_schedule_.update_transcript(msg);
   Bytes record = records_.seal(ContentType::kHandshake, msg);
+  if (costs_) charge(costs_->per_byte(record.size()));
   state_ = State::kWaitServerHello;
   sink(record);
 }
@@ -191,6 +193,7 @@ void ClientConnection::on_data(BytesView data, const FlightSink& sink) {
       return;
     }
     if (!record) return;
+    if (costs_) charge(costs_->per_byte(record->payload.size()));
     if (record->type == ContentType::kChangeCipherSpec) continue;
     if (record->type == ContentType::kAlert) {
       fail();
@@ -298,6 +301,7 @@ void ClientConnection::handle_handshake_message(std::uint8_t type,
         Scope scope(profiler_, Lib::kLibcrypto);
         shared = active_ka_->decapsulate(kem_secret_key_, ciphertext);
       }
+      if (costs_) charge(costs_->kem_decaps(active_ka_->name()));
       // The decapsulation key share is one-shot; drop it immediately.
       ct::wipe(kem_secret_key_);
       kem_secret_key_.clear();
@@ -310,6 +314,7 @@ void ClientConnection::handle_handshake_message(std::uint8_t type,
         records_.set_write_keys(
             derive_traffic_keys(key_schedule_.client_handshake_traffic()));
       }
+      if (costs_) charge(3 * costs_->kdf());
       ct::wipe(*shared);  // traffic secrets are installed; drop the input
       state_ = State::kWaitEncryptedExtensions;
       return;
@@ -357,6 +362,8 @@ void ClientConnection::handle_handshake_message(std::uint8_t type,
                             content, signature) &&
              pki::verify_chain(peer_chain_, config_.root, config_.now);
       }
+      // CertificateVerify plus the chain signature: two verifications.
+      if (costs_) charge(2 * costs_->verify(signer->name()));
       if (!ok) return fail_alert(sink);
       key_schedule_.update_transcript(full);
       state_ = State::kWaitFinished;
@@ -391,6 +398,8 @@ void ClientConnection::handle_handshake_message(std::uint8_t type,
         append(out, records_.seal(ContentType::kHandshake, fin));
         key_schedule_.derive_application_secrets();
       }
+      // Two Finished MACs, the sealed flight, application-secret derivation.
+      if (costs_) charge(4 * costs_->kdf() + costs_->per_byte(out.size()));
       key_schedule_.wipe_handshake_secrets();
       state_ = State::kComplete;
       sink(out);
@@ -447,6 +456,7 @@ void ServerConnection::on_data(BytesView data, const FlightSink& sink) {
       return;
     }
     if (!record) return;
+    if (costs_) charge(costs_->per_byte(record->payload.size()));
     if (record->type == ContentType::kChangeCipherSpec) continue;
     if (record->type != ContentType::kHandshake) {
       fail();
@@ -487,6 +497,7 @@ void ServerConnection::handle_handshake_message(std::uint8_t type,
           key_schedule_.client_handshake_traffic(),
           key_schedule_.transcript_hash());
     }
+    if (costs_) charge(costs_->kdf());
     if (!ct::equal(expected, body)) return fail_alert(sink);
     key_schedule_.update_transcript(full);
     key_schedule_.wipe_handshake_secrets();
@@ -593,6 +604,7 @@ void ServerConnection::handle_client_hello(BytesView body, BytesView full,
     Scope scope(profiler_, Lib::kLibcrypto);
     enc = config_.ka->encapsulate(client_share, rng_);
   }
+  if (costs_) charge(costs_->kem_encaps(config_.ka->name()));
   if (!enc) return fail_alert(sink);
 
   Writer sh;
@@ -620,6 +632,7 @@ void ServerConnection::handle_client_hello(BytesView body, BytesView full,
   }
   Bytes sh_msg = handshake_message(kServerHello, sh.buffer());
   key_schedule_.update_transcript(sh_msg);
+  if (costs_) charge(costs_->per_byte(sh_msg.size() + kCcsPayload.size()));
   queue(records_.seal(ContentType::kHandshake, sh_msg), sink, false);
   queue(records_.seal(ContentType::kChangeCipherSpec, kCcsPayload), sink, true);
 
@@ -631,6 +644,7 @@ void ServerConnection::handle_client_hello(BytesView body, BytesView full,
     records_.set_read_keys(
         derive_traffic_keys(key_schedule_.client_handshake_traffic()));
   }
+  if (costs_) charge(3 * costs_->kdf());
   ct::wipe(enc->shared_secret);  // traffic secrets are installed; drop the input
 
   // --- EncryptedExtensions ---
@@ -643,6 +657,7 @@ void ServerConnection::handle_client_hello(BytesView body, BytesView full,
     Scope scope(profiler_, Lib::kLibcrypto);
     ee_sealed = records_.seal(ContentType::kHandshake, ee_msg);
   }
+  if (costs_) charge(costs_->per_byte(ee_sealed.size()));
   queue(std::move(ee_sealed), sink, false);
 
   // --- Certificate ---
@@ -663,6 +678,7 @@ void ServerConnection::handle_client_hello(BytesView body, BytesView full,
     Scope scope(profiler_, Lib::kLibcrypto);
     cert_sealed = records_.seal(ContentType::kHandshake, cert_msg);
   }
+  if (costs_) charge(costs_->per_byte(cert_sealed.size()));
   queue(std::move(cert_sealed), sink, true);
 
   // --- CertificateVerify (the handshake signature: expensive) ---
@@ -672,6 +688,7 @@ void ServerConnection::handle_client_hello(BytesView body, BytesView full,
     Scope scope(profiler_, Lib::kLibcrypto);
     signature = config_.sa->sign(config_.leaf_secret_key, content, rng_);
   }
+  if (costs_) charge(costs_->sign(config_.sa->name()));
   Writer cv;
   cv.u16(scheme_id(*config_.sa));
   cv.vec16(signature);
@@ -682,6 +699,7 @@ void ServerConnection::handle_client_hello(BytesView body, BytesView full,
     Scope scope(profiler_, Lib::kLibcrypto);
     cv_sealed = records_.seal(ContentType::kHandshake, cv_msg);
   }
+  if (costs_) charge(costs_->per_byte(cv_sealed.size()));
   queue(std::move(cv_sealed), sink, false);
 
   // --- Finished ---
@@ -699,6 +717,8 @@ void ServerConnection::handle_client_hello(BytesView body, BytesView full,
     Scope scope(profiler_, Lib::kLibcrypto);
     fin_sealed = records_.seal(ContentType::kHandshake, fin_msg);
   }
+  // Server Finished MAC, the sealed record, application-secret derivation.
+  if (costs_) charge(2 * costs_->kdf() + costs_->per_byte(fin_sealed.size()));
   queue(std::move(fin_sealed), sink, true);
   flush(sink);  // default mode: everything (still) pending goes out now
 

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "kem/kem.hpp"
+#include "perf/cost_model.hpp"
 #include "perf/profiler.hpp"
 #include "pki/certificate.hpp"
 #include "sig/sig.hpp"
@@ -65,6 +66,18 @@ class ClientConnection {
   bool failed() const { return state_ == State::kFailed; }
   const Bytes& exporter_secret() const { return key_schedule_.client_application_traffic(); }
 
+  /// Deterministic virtual-time accounting (the testbed's modeled time
+  /// mode): with a cost model installed, every cryptographic operation
+  /// accumulates its modeled cost; the harness drains the accumulator
+  /// after each processing step and advances the simulated clock by it.
+  void set_cost_model(const perf::CostModel* costs) { costs_ = costs; }
+  double modeled_cost() const { return modeled_cost_; }
+  double take_modeled_cost() {
+    double v = modeled_cost_;
+    modeled_cost_ = 0;
+    return v;
+  }
+
  private:
   enum class State {
     kStart,
@@ -84,10 +97,13 @@ class ClientConnection {
   void fail_alert(const FlightSink& sink);
 
   void send_client_hello(const FlightSink& sink);
+  void charge(double seconds) { modeled_cost_ += seconds; }
 
   ClientConfig config_;
   crypto::Drbg rng_;
   perf::Profiler* profiler_;
+  const perf::CostModel* costs_ = nullptr;
+  double modeled_cost_ = 0;
   State state_ = State::kStart;
   RecordLayer records_;
   KeySchedule key_schedule_;
@@ -110,6 +126,15 @@ class ServerConnection {
   bool handshake_complete() const { return state_ == State::kComplete; }
   bool failed() const { return state_ == State::kFailed; }
 
+  /// See ClientConnection::set_cost_model.
+  void set_cost_model(const perf::CostModel* costs) { costs_ = costs; }
+  double modeled_cost() const { return modeled_cost_; }
+  double take_modeled_cost() {
+    double v = modeled_cost_;
+    modeled_cost_ = 0;
+    return v;
+  }
+
  private:
   enum class State {
     kWaitClientHello,
@@ -128,10 +153,13 @@ class ServerConnection {
   void fail() { state_ = State::kFailed; }
   /// Abort with a fatal handshake_failure alert on the wire.
   void fail_alert(const FlightSink& sink);
+  void charge(double seconds) { modeled_cost_ += seconds; }
 
   ServerConfig config_;
   crypto::Drbg rng_;
   perf::Profiler* profiler_;
+  const perf::CostModel* costs_ = nullptr;
+  double modeled_cost_ = 0;
   State state_ = State::kWaitClientHello;
   RecordLayer records_;
   KeySchedule key_schedule_;

@@ -1,0 +1,75 @@
+// Golden-file lock on the machine-readable sink schema: downstream tooling
+// parses these rows, so field names, ordering, and numeric formatting are
+// part of the contract. If a schema change is intentional, regenerate the
+// files under tests/golden/ to match.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/sinks.hpp"
+
+namespace pqtls::campaign {
+namespace {
+
+std::string read_golden(const std::string& name) {
+  std::ifstream in(std::string(PQTLS_TEST_DATA_DIR) + "/" + name,
+                   std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file " << name;
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+CellOutcome ok_outcome() {
+  CellOutcome o;
+  o.campaign = "golden";
+  o.cell.id = "x25519/rsa:2048";
+  o.cell.config.ka = "x25519";
+  o.cell.config.sa = "rsa:2048";
+  o.cell.config.seed = 42;
+  o.result.ok = true;
+  o.result.samples.resize(3);
+  o.result.median_part_a = 1.2345e-3;
+  o.result.median_part_b = 2.3456e-3;
+  o.result.median_total = 3.5801e-3;
+  o.result.client_bytes = 1234;
+  o.result.server_bytes = 5678;
+  o.result.total_handshakes_60s = 22000;
+  return o;
+}
+
+CellOutcome failed_outcome() {
+  CellOutcome o;
+  o.campaign = "golden";
+  o.cell.id = "nosuchkem/rsa:2048/high-loss-10";
+  o.cell.scenario = "High Loss (10%)";
+  o.cell.config.ka = "nosuchkem";
+  o.cell.config.sa = "rsa:2048";
+  o.cell.config.seed = 43;
+  o.error = "bad, very bad";  // exercises CSV quoting
+  return o;
+}
+
+TEST(CampaignSinks, JsonlMatchesGolden) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  sink.cell(ok_outcome());
+  sink.cell(failed_outcome());
+  sink.finish();
+  EXPECT_EQ(out.str(), read_golden("campaign_rows.jsonl"));
+}
+
+TEST(CampaignSinks, CsvMatchesGolden) {
+  std::ostringstream out;
+  CsvSink sink(out);
+  sink.begin(CampaignSpec{}, RunnerOptions{});
+  sink.cell(ok_outcome());
+  sink.cell(failed_outcome());
+  sink.finish();
+  EXPECT_EQ(out.str(), read_golden("campaign_rows.csv"));
+}
+
+}  // namespace
+}  // namespace pqtls::campaign

@@ -1,0 +1,66 @@
+// Profiler thread-safety: the campaign engine runs experiments on a worker
+// pool, so Profiler accumulation must be lossless under concurrent adds,
+// and concurrent white-box experiments must not bleed CPU attribution into
+// each other's results.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "perf/profiler.hpp"
+#include "testbed/testbed.hpp"
+
+namespace pqtls {
+namespace {
+
+TEST(ProfilerThreads, ConcurrentAddsAreLossless) {
+  perf::Profiler profiler;
+  constexpr int kThreads = 4;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&profiler] {
+      for (int i = 0; i < kAddsPerThread; ++i)
+        profiler.add(perf::Lib::kLibcrypto, 1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Sums of 1.0 up to 40000 are exact in double; any lost update shows.
+  EXPECT_EQ(profiler.total(perf::Lib::kLibcrypto),
+            static_cast<double>(kThreads * kAddsPerThread));
+  EXPECT_EQ(profiler.total(), static_cast<double>(kThreads * kAddsPerThread));
+
+  profiler.reset();
+  EXPECT_EQ(profiler.total(), 0.0);
+  EXPECT_EQ(profiler.share(perf::Lib::kLibcrypto), 0.0);
+}
+
+TEST(ProfilerThreads, ConcurrentWhiteBoxRunsDoNotBleed) {
+  auto run = [](const char* ka, const char* sa) {
+    testbed::ExperimentConfig config;
+    config.ka = ka;
+    config.sa = sa;
+    config.white_box = true;
+    config.sample_handshakes = 2;
+    return testbed::run_experiment(config);
+  };
+
+  testbed::ExperimentResult a, b;
+  std::thread ta([&] { a = run("x25519", "rsa:1024"); });
+  std::thread tb([&] { b = run("kyber512", "dilithium2"); });
+  ta.join();
+  tb.join();
+
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  // Each run owns its profilers: attribution stays with the right result.
+  EXPECT_EQ(a.ka, "x25519");
+  EXPECT_EQ(b.ka, "kyber512");
+  EXPECT_GT(a.server_cpu_ms, 0.0);
+  EXPECT_GT(b.server_cpu_ms, 0.0);
+  EXPECT_GT(a.client_cpu_ms, 0.0);
+  EXPECT_GT(b.client_cpu_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace pqtls

@@ -1,0 +1,156 @@
+// Campaign CLI: run a named experiment campaign (the paper's tables and
+// figures as declarative cell matrices) on a worker pool with structured
+// result sinks.
+//
+//   pqtls_campaign list
+//   pqtls_campaign table2a --workers 4 --samples 3 --out results.jsonl
+//   pqtls_campaign all --seed 7 --csv results.csv --ascii
+//
+// Defaults to modeled time, which makes the emitted rows bit-identical for
+// a given (campaign, base seed, sample count) at any worker count; pass
+// --measured for the paper-fidelity wall-time clock. Exit code: 0 = all
+// cells ok, 1 = usage error, 2 = at least one cell failed or timed out.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/options.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/sinks.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <campaign> [options]\n"
+      "       %s list\n"
+      "\n"
+      "options:\n"
+      "  --workers N           worker threads (default 1; env PQTLS_WORKERS)\n"
+      "  --samples N           override per-cell sample count (env "
+      "PQTLS_SAMPLES)\n"
+      "  --seed S              campaign base seed (default 0x715b3d)\n"
+      "  --out PATH            write JSONL rows to PATH ('-' = stdout)\n"
+      "  --csv PATH            write CSV rows to PATH ('-' = stdout)\n"
+      "  --ascii               render the human-readable table on stdout\n"
+      "                        (default when neither --out nor --csv given)\n"
+      "  --measured            paper-fidelity measured time instead of the\n"
+      "                        deterministic modeled clock\n"
+      "  --max-cell-seconds X  per-cell wall budget; slow cells are recorded\n"
+      "                        as timed out and the campaign continues\n"
+      "  --quiet               suppress per-cell progress on stderr\n",
+      argv0, argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pqtls;
+
+  if (argc < 2) return usage(argv[0]);
+  std::string name = argv[1];
+  if (name == "list") {
+    for (const auto& spec : campaign::campaigns())
+      std::printf("%-10s %4zu cells  %s\n", spec.name.c_str(),
+                  spec.cells.size(), spec.description.c_str());
+    return 0;
+  }
+  const campaign::CampaignSpec* spec = campaign::find_campaign(name);
+  if (!spec) {
+    std::fprintf(stderr, "unknown campaign '%s' (try '%s list')\n",
+                 name.c_str(), argv[0]);
+    return 1;
+  }
+
+  campaign::RunnerOptions opts;
+  opts.workers = campaign::env_workers(1);
+  opts.samples = campaign::env_samples(0);
+  opts.progress = true;
+  std::string jsonl_path, csv_path;
+  bool ascii = false;
+
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--workers") {
+      opts.workers = campaign::positive_int_or(value(), opts.workers,
+                                               "--workers");
+    } else if (arg == "--samples") {
+      opts.samples = campaign::positive_int_or(value(), opts.samples,
+                                               "--samples");
+    } else if (arg == "--seed") {
+      opts.base_seed = campaign::u64_or(value(), opts.base_seed, "--seed");
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      jsonl_path = v;
+    } else if (arg == "--csv") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      csv_path = v;
+    } else if (arg == "--ascii") {
+      ascii = true;
+    } else if (arg == "--measured") {
+      opts.time_model = testbed::TimeModel::kMeasured;
+    } else if (arg == "--max-cell-seconds") {
+      const char* v = value();
+      opts.max_cell_seconds =
+          v ? std::atof(v) : opts.max_cell_seconds;
+    } else if (arg == "--quiet") {
+      opts.progress = false;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (jsonl_path.empty() && csv_path.empty()) ascii = true;
+
+  std::vector<std::unique_ptr<campaign::Sink>> owned;
+  std::vector<campaign::Sink*> sinks;
+  std::ofstream jsonl_file, csv_file;
+  if (!jsonl_path.empty()) {
+    std::ostream* out = &std::cout;
+    if (jsonl_path != "-") {
+      jsonl_file.open(jsonl_path);
+      if (!jsonl_file) {
+        std::fprintf(stderr, "cannot open '%s' for writing\n",
+                     jsonl_path.c_str());
+        return 1;
+      }
+      out = &jsonl_file;
+    }
+    owned.push_back(std::make_unique<campaign::JsonlSink>(*out));
+  }
+  if (!csv_path.empty()) {
+    std::ostream* out = &std::cout;
+    if (csv_path != "-") {
+      csv_file.open(csv_path);
+      if (!csv_file) {
+        std::fprintf(stderr, "cannot open '%s' for writing\n",
+                     csv_path.c_str());
+        return 1;
+      }
+      out = &csv_file;
+    }
+    owned.push_back(std::make_unique<campaign::CsvSink>(*out));
+  }
+  if (ascii) owned.push_back(std::make_unique<campaign::AsciiSink>(std::cout));
+  for (const auto& sink : owned) sinks.push_back(sink.get());
+
+  int failed = campaign::run_campaign(*spec, opts, sinks);
+  if (failed > 0) {
+    std::fprintf(stderr, "%d of %zu cells failed\n", failed,
+                 spec->cells.size());
+    return 2;
+  }
+  return 0;
+}
