@@ -1,0 +1,112 @@
+// Server capacity under concurrent handshake load (Sec. 5 extension): for
+// the headline KA x SA pairs, sweep an open-loop Poisson arrival rate from
+// idle past saturation on a modeled multi-core server and print the
+// saturation curve plus the capacity knee (highest offered load whose p99
+// handshake latency stays under the SLO). Virtual time: the whole table is
+// deterministic and takes seconds of wall clock.
+//
+//   loadgen_capacity [points] [out.jsonl]
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "loadgen/sweep.hpp"
+
+namespace {
+
+using namespace pqtls;
+
+struct Pair {
+  const char* ka;
+  const char* sa;
+};
+
+// Classical baseline, the PQ level-1/3 recommendations, a code-based KEM,
+// and the hash-based outlier whose CPU cost dominates its wire cost.
+constexpr Pair kPairs[] = {
+    {"x25519", "rsa:2048"},        {"kyber512", "dilithium2"},
+    {"kyber768", "dilithium3"},    {"hqc128", "falcon512"},
+    {"kyber512", "sphincs128"},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int points = argc > 1 ? campaign::positive_int_or(argv[1], 10,
+                                                    "points (argv[1])")
+                        : 10;
+  std::ofstream jsonl;
+  if (argc > 2) {
+    jsonl.open(argv[2]);
+    if (!jsonl) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n", argv[2]);
+      return 1;
+    }
+  }
+
+  loadgen::LoadConfig base;
+  base.arrival = loadgen::Arrival::kPoisson;
+  base.cores = 4;
+  base.backlog = 512;
+  base.timeout_s = 1.0;
+  base.duration_s = 5.0;
+  base.warmup_s = 0.5;
+
+  loadgen::SweepOptions opts;
+  opts.points = points;
+  opts.slo_s = 0.050;
+
+  std::optional<campaign::JsonlSink> sink;
+  if (jsonl.is_open()) sink.emplace(jsonl);
+
+  std::printf("Server capacity, %d-core modeled server, p99 SLO %.0f ms, "
+              "%d-point Poisson sweep\n\n",
+              base.cores, opts.slo_s * 1e3, opts.points);
+  std::printf("%-26s %12s %12s %12s %10s  %s\n", "cell", "capacity[1/s]",
+              "knee[1/s]", "knee ach.", "knee p99", "knee/cap");
+
+  bool all_ok = true;
+  for (const Pair& pair : kPairs) {
+    loadgen::LoadConfig config = base;
+    config.ka = pair.ka;
+    config.sa = pair.sa;
+    loadgen::SweepResult r = loadgen::run_sweep(config, opts);
+    char cell[64];
+    std::snprintf(cell, sizeof(cell), "%s/%s", pair.ka, pair.sa);
+    if (r.knee_offered > 0) {
+      double frac = r.knee_offered / r.analytic_capacity;
+      std::printf("%-26s %12.1f %12.1f %12.1f %8.2fms  %6.0f%% %s\n", cell,
+                  r.analytic_capacity, r.knee_offered, r.knee_achieved,
+                  r.knee_p99 * 1e3, frac * 100,
+                  bench::bar(frac, 1.0).c_str());
+    } else {
+      std::printf("%-26s %12.1f %12s\n", cell, r.analytic_capacity,
+                  "no point in SLO");
+      all_ok = false;
+    }
+    if (sink) {
+      int index = 0;
+      for (const auto& point : r.points) {
+        campaign::CellOutcome o;
+        o.campaign = "loadgen-capacity";
+        char id[96];
+        std::snprintf(id, sizeof(id), "%s/%s/sweep-%02d", pair.ka, pair.sa,
+                      index++);
+        o.cell.id = id;
+        o.cell.config.ka = pair.ka;
+        o.cell.config.sa = pair.sa;
+        o.cell.loadgen = point.config;
+        o.load = point.metrics;
+        if (!point.metrics.ok)
+          o.error = "no handshake completed in the window";
+        sink->cell(o);
+      }
+    }
+  }
+
+  std::printf("\nknee = highest offered load with p99 <= SLO and <1%% "
+              "loss; capacity = cores / per-handshake server CPU.\n");
+  return all_ok ? 0 : 2;
+}

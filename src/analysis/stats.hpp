@@ -22,8 +22,11 @@ inline double mean(const std::vector<double>& values) {
   return sum / static_cast<double>(values.size());
 }
 
+/// Linear-interpolated percentile; p is clamped to [0, 100] (tail-latency
+/// reporting asks for p99.9 on small samples and must stay in range).
 inline double percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
   std::sort(values.begin(), values.end());
   double idx = p / 100.0 * static_cast<double>(values.size() - 1);
   std::size_t lo = static_cast<std::size_t>(idx);

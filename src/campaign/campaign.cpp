@@ -1,6 +1,7 @@
 #include "campaign/campaign.hpp"
 
 #include <cctype>
+#include <cstdio>
 #include <set>
 
 #include "campaign/matrix.hpp"
@@ -130,14 +131,53 @@ CampaignSpec build_fig4() {
   return spec;
 }
 
+// Loadgen capacity cells: each (algorithm, load factor) pair is one
+// simulated Poisson run against a 4-core server at a fraction of its
+// analytic capacity — below the knee (0.5), near it (0.9), and past
+// saturation (1.3). Kept short (4 virtual seconds) so campaigns stay fast;
+// the CLI's --sweep mode draws the full curve.
+CampaignSpec build_loadgen(const char* name, const char* description,
+                           const std::vector<AlgRow>& rows, bool vary_ka) {
+  CampaignSpec spec;
+  spec.name = name;
+  spec.description = description;
+  static constexpr double kLoadFactors[] = {0.5, 0.9, 1.3};
+  for (const auto& row : rows) {
+    for (double factor : kLoadFactors) {
+      Cell cell;
+      loadgen::LoadConfig load;
+      load.ka = vary_ka ? row.name : "x25519";
+      load.sa = vary_ka ? "rsa:2048" : row.name;
+      load.arrival = loadgen::Arrival::kPoisson;
+      load.load_factor = factor;
+      load.cores = 4;
+      load.backlog = 256;
+      load.timeout_s = 1.0;
+      load.duration_s = 4.0;
+      load.warmup_s = 0.5;
+      char suffix[32];
+      std::snprintf(suffix, sizeof(suffix), "loadgen-%.1fx", factor);
+      cell.id = load.ka + "/" + load.sa + "/" + suffix;
+      cell.config.ka = load.ka;
+      cell.config.sa = load.sa;
+      cell.loadgen = std::move(load);
+      spec.cells.push_back(std::move(cell));
+    }
+  }
+  return spec;
+}
+
 CampaignSpec build_all(const std::vector<CampaignSpec>& others) {
   CampaignSpec spec;
   spec.name = "all";
-  spec.description = "Union of every built-in campaign (deduplicated by id)";
+  spec.description =
+      "Union of every built-in handshake campaign (deduplicated by id; "
+      "loadgen campaigns emit a different row schema and stay separate)";
   std::set<std::string> seen;
   for (const auto& other : others)
     for (const auto& cell : other.cells)
-      if (seen.insert(cell.id).second) spec.cells.push_back(cell);
+      if (!cell.loadgen && seen.insert(cell.id).second)
+        spec.cells.push_back(cell);
   return spec;
 }
 
@@ -157,6 +197,14 @@ const std::vector<CampaignSpec>& campaigns() {
                                table4b_sas(), /*vary_ka=*/false, 7));
     out.push_back(build_fig3());
     out.push_back(build_fig4());
+    out.push_back(build_loadgen(
+        "loadgen_kems",
+        "Loadgen capacity: representative KAs with rsa:2048, 4-core server",
+        loadgen_kas(), /*vary_ka=*/true));
+    out.push_back(build_loadgen(
+        "loadgen_sigs",
+        "Loadgen capacity: representative SAs with x25519, 4-core server",
+        loadgen_sas(), /*vary_ka=*/false));
     out.push_back(build_all(out));
     return out;
   }();

@@ -6,20 +6,26 @@
 // 4a/4b, Figures 3/4).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "loadgen/loadgen.hpp"
 #include "testbed/testbed.hpp"
 
 namespace pqtls::campaign {
 
 /// One experiment in a campaign. `config` carries everything except the
 /// seeds and time model, which the runner fills in from its options.
+/// When `loadgen` is set the cell is a load-generation simulation instead
+/// of a testbed experiment (config.ka/sa mirror the loadgen pair so sinks
+/// and ids stay uniform); loadgen cells always run in modeled virtual time.
 struct Cell {
   std::string id;        // stable unique id, e.g. "kyber512/rsa:2048/lte-m"
   std::string scenario;  // human-readable scenario label ("" = no emulation)
   testbed::ExperimentConfig config;
+  std::optional<loadgen::LoadConfig> loadgen;
 };
 
 /// How the ASCII sink renders this campaign.

@@ -44,6 +44,22 @@ const std::vector<AlgRow>& table4b_sas() {
   return rows;
 }
 
+const std::vector<AlgRow>& loadgen_kas() {
+  static const std::vector<AlgRow> rows = {
+      {1, "x25519"},   {1, "kyber512"}, {1, "bikel1"},
+      {1, "hqc128"},   {1, "p256_kyber512"}, {3, "kyber768"},
+  };
+  return rows;
+}
+
+const std::vector<AlgRow>& loadgen_sas() {
+  static const std::vector<AlgRow> rows = {
+      {0, "rsa:2048"},   {1, "falcon512"},  {1, "rsa:3072"},
+      {1, "sphincs128"}, {2, "dilithium2"}, {2, "p256_dilithium2"},
+  };
+  return rows;
+}
+
 const std::vector<LevelCombos>& fig3_levels() {
   static const std::vector<LevelCombos> levels = {
       {"level1+2",

@@ -24,6 +24,14 @@ const std::vector<AlgRow>& table2b_sas();
 /// Table 4b's SA list: Table 2b plus the rsa3072_dilithium2 hybrid.
 const std::vector<AlgRow>& table4b_sas();
 
+/// KA selection for the loadgen capacity campaigns (rsa:2048 as the fixed
+/// SA, mirroring Table 2a's convention): one representative per family.
+const std::vector<AlgRow>& loadgen_kas();
+
+/// SA selection for the loadgen capacity campaigns (x25519 as the fixed
+/// KA, mirroring Table 2b's convention).
+const std::vector<AlgRow>& loadgen_sas();
+
 /// Non-hybrid KA x SA combinations per level group for Figure 3 (the paper
 /// groups NIST levels one and two, uses only rsa:3072 among the RSAs).
 struct LevelCombos {

@@ -39,14 +39,26 @@ CellOutcome run_cell(const CampaignSpec& spec, const Cell& cell,
   config.time_model = opts.time_model;
   if (opts.samples > 0) config.sample_handshakes = opts.samples;
   if (opts.max_cell_seconds > 0) config.max_wall_seconds = opts.max_cell_seconds;
+  if (out.cell.loadgen) {
+    // Loadgen cells inherit the same scheduling-independent seed derivation
+    // and PKI pinning; they always run in virtual time (the sample count
+    // and wall budget knobs do not apply).
+    out.cell.loadgen->seed = config.seed;
+    out.cell.loadgen->pki_seed = opts.base_seed;
+  }
 
   auto t0 = std::chrono::steady_clock::now();
   try {
-    out.result = testbed::run_experiment(config);
-    if (!out.result.ok)
-      out.error = out.result.timed_out
-                      ? "cell exceeded its wall-clock budget"
-                      : "no handshake sample completed";
+    if (out.cell.loadgen) {
+      out.load = loadgen::run_load(*out.cell.loadgen);
+      if (!out.load.ok) out.error = "no handshake completed in the window";
+    } else {
+      out.result = testbed::run_experiment(config);
+      if (!out.result.ok)
+        out.error = out.result.timed_out
+                        ? "cell exceeded its wall-clock budget"
+                        : "no handshake sample completed";
+    }
   } catch (const std::exception& e) {
     out.error = e.what();
   } catch (...) {

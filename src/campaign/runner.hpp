@@ -38,10 +38,14 @@ struct CellOutcome {
   /// time model, and any sample-count override applied.
   Cell cell;
   testbed::ExperimentResult result;
+  /// Populated instead of `result` when the cell is a loadgen simulation.
+  loadgen::LoadMetrics load;
   std::string error;  // nonempty: what went wrong (exception or no samples)
   double wall_seconds = 0;
 
-  bool ok() const { return error.empty() && result.ok; }
+  bool ok() const {
+    return error.empty() && (cell.loadgen ? load.ok : result.ok);
+  }
 };
 
 /// Result consumer. Sinks run on the coordinating thread and receive cells

@@ -52,9 +52,57 @@ std::string csv_escape(std::string_view text) {
   return out;
 }
 
+// Loadgen rates and ratios, fixed-precision for byte-stable rows.
+std::string fmt_rate(double per_second) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", per_second);
+  return buf;
+}
+
+const char* arrival_name(loadgen::Arrival arrival) {
+  return arrival == loadgen::Arrival::kPoisson ? "poisson" : "closed";
+}
+
+const char* policy_name(loadgen::Policy policy) {
+  return policy == loadgen::Policy::kFifo ? "fifo" : "sjf";
+}
+
+bool is_loadgen_campaign(const CampaignSpec& spec) {
+  return !spec.cells.empty() && spec.cells.front().loadgen.has_value();
+}
+
 }  // namespace
 
 void JsonlSink::cell(const CellOutcome& o) {
+  if (o.cell.loadgen) {
+    const auto& lc = *o.cell.loadgen;
+    const auto& m = o.load;
+    out_ << "{\"campaign\":\"" << json_escape(o.campaign) << "\""
+         << ",\"id\":\"" << json_escape(o.cell.id) << "\""
+         << ",\"ka\":\"" << json_escape(lc.ka) << "\""
+         << ",\"sa\":\"" << json_escape(lc.sa) << "\""
+         << ",\"arrival\":\"" << arrival_name(lc.arrival) << "\""
+         << ",\"policy\":\"" << policy_name(lc.policy) << "\""
+         << ",\"seed\":" << lc.seed
+         << ",\"ok\":" << (o.ok() ? "true" : "false")
+         << ",\"error\":\"" << json_escape(o.error) << "\""
+         << ",\"cores\":" << lc.cores
+         << ",\"backlog\":" << lc.backlog
+         << ",\"offered_hs_s\":" << fmt_rate(m.offered_rate)
+         << ",\"achieved_hs_s\":" << fmt_rate(m.achieved_rate)
+         << ",\"capacity_hs_s\":" << fmt_rate(m.analytic_capacity)
+         << ",\"p50_ms\":" << fmt_ms(m.p50)
+         << ",\"p90_ms\":" << fmt_ms(m.p90)
+         << ",\"p99_ms\":" << fmt_ms(m.p99)
+         << ",\"p999_ms\":" << fmt_ms(m.p999)
+         << ",\"mean_queue_depth\":" << fmt_rate(m.mean_queue_depth)
+         << ",\"core_utilization\":" << fmt_rate(m.core_utilization)
+         << ",\"arrivals\":" << m.arrivals
+         << ",\"completed\":" << m.completed
+         << ",\"dropped\":" << m.dropped
+         << ",\"timed_out\":" << m.timed_out << "}\n";
+    return;
+  }
   const auto& c = o.cell.config;
   const auto& r = o.result;
   out_ << "{\"campaign\":\"" << json_escape(o.campaign) << "\""
@@ -75,13 +123,37 @@ void JsonlSink::cell(const CellOutcome& o) {
        << ",\"handshakes_60s\":" << r.total_handshakes_60s << "}\n";
 }
 
-void CsvSink::begin(const CampaignSpec&, const RunnerOptions&) {
+void CsvSink::begin(const CampaignSpec& spec, const RunnerOptions&) {
+  if (is_loadgen_campaign(spec)) {
+    out_ << "campaign,id,ka,sa,arrival,policy,seed,ok,error,cores,backlog,"
+            "offered_hs_s,achieved_hs_s,capacity_hs_s,p50_ms,p90_ms,p99_ms,"
+            "p999_ms,mean_queue_depth,core_utilization,arrivals,completed,"
+            "dropped,timed_out\n";
+    return;
+  }
   out_ << "campaign,id,ka,sa,scenario,seed,ok,timed_out,error,samples,"
           "median_part_a_ms,median_part_b_ms,median_total_ms,"
           "client_bytes,server_bytes,handshakes_60s\n";
 }
 
 void CsvSink::cell(const CellOutcome& o) {
+  if (o.cell.loadgen) {
+    const auto& lc = *o.cell.loadgen;
+    const auto& m = o.load;
+    out_ << csv_escape(o.campaign) << ',' << csv_escape(o.cell.id) << ','
+         << csv_escape(lc.ka) << ',' << csv_escape(lc.sa) << ','
+         << arrival_name(lc.arrival) << ',' << policy_name(lc.policy) << ','
+         << lc.seed << ',' << (o.ok() ? "true" : "false") << ','
+         << csv_escape(o.error) << ',' << lc.cores << ',' << lc.backlog
+         << ',' << fmt_rate(m.offered_rate) << ','
+         << fmt_rate(m.achieved_rate) << ','
+         << fmt_rate(m.analytic_capacity) << ',' << fmt_ms(m.p50) << ','
+         << fmt_ms(m.p90) << ',' << fmt_ms(m.p99) << ',' << fmt_ms(m.p999)
+         << ',' << fmt_rate(m.mean_queue_depth) << ','
+         << fmt_rate(m.core_utilization) << ',' << m.arrivals << ','
+         << m.completed << ',' << m.dropped << ',' << m.timed_out << '\n';
+    return;
+  }
   const auto& c = o.cell.config;
   const auto& r = o.result;
   out_ << csv_escape(o.campaign) << ',' << csv_escape(o.cell.id) << ','
@@ -97,12 +169,21 @@ void CsvSink::cell(const CellOutcome& o) {
 
 void AsciiSink::begin(const CampaignSpec& spec, const RunnerOptions& opts) {
   layout_ = spec.ascii_layout;
+  loadgen_ = is_loadgen_campaign(spec);
   char head[256];
   std::snprintf(head, sizeof(head), "%s — %s (%d cells)\n",
                 spec.name.c_str(), spec.description.c_str(),
                 static_cast<int>(spec.cells.size()));
   out_ << head;
   (void)opts;
+  if (loadgen_) {
+    std::snprintf(head, sizeof(head),
+                  "%-34s %9s %9s %9s %9s %9s %7s %6s %6s\n", "cell",
+                  "off[1/s]", "ach[1/s]", "cap[1/s]", "p50(ms)", "p99(ms)",
+                  "qdepth", "drop", "t/o");
+    out_ << head;
+    return;
+  }
   if (layout_ == AsciiLayout::kPerCell) {
     std::snprintf(head, sizeof(head),
                   "%-34s %10s %10s %10s %8s %10s %10s\n", "cell", "A med(ms)",
@@ -113,6 +194,23 @@ void AsciiSink::begin(const CampaignSpec& spec, const RunnerOptions& opts) {
 }
 
 void AsciiSink::cell(const CellOutcome& o) {
+  if (o.cell.loadgen) {
+    char line[256];
+    if (!o.ok()) {
+      std::snprintf(line, sizeof(line), "%-34s FAILED: %s\n",
+                    o.cell.id.c_str(), o.error.c_str());
+      out_ << line;
+      return;
+    }
+    const auto& m = o.load;
+    std::snprintf(line, sizeof(line),
+                  "%-34s %9.1f %9.1f %9.1f %9.2f %9.2f %7.2f %6lld %6lld\n",
+                  o.cell.id.c_str(), m.offered_rate, m.achieved_rate,
+                  m.analytic_capacity, m.p50 * 1e3, m.p99 * 1e3,
+                  m.mean_queue_depth, m.dropped, m.timed_out);
+    out_ << line;
+    return;
+  }
   if (layout_ == AsciiLayout::kScenarioMatrix) {
     matrix_cells_.push_back(o);
     return;

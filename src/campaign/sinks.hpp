@@ -2,8 +2,11 @@
 // streams with a fixed schema (ka, sa, scenario, latency medians, data
 // volumes, 60 s handshake rate, seed, ok flag), a human-readable ASCII
 // renderer, and an in-memory collector for programmatic consumers (the
-// converted bench binaries). All numeric formatting is locale-independent
-// and fixed-precision so equal results serialize to equal bytes.
+// converted bench binaries). Loadgen cells emit their own fixed row shape
+// (offered/achieved/capacity rates, latency percentiles, queue depth,
+// drop/timeout counts) — both schemas are golden-file locked. All numeric
+// formatting is locale-independent and fixed-precision so equal results
+// serialize to equal bytes.
 #pragma once
 
 #include <ostream>
@@ -48,6 +51,7 @@ class AsciiSink : public Sink {
  private:
   std::ostream& out_;
   AsciiLayout layout_ = AsciiLayout::kPerCell;
+  bool loadgen_ = false;  // campaign-wide: loadgen cells use their own row
   std::vector<CellOutcome> matrix_cells_;  // buffered for kScenarioMatrix
 };
 

@@ -1,0 +1,448 @@
+#include "loadgen/loadgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "crypto/drbg.hpp"
+#include "perf/cost_model.hpp"
+#include "sim/event_loop.hpp"
+
+namespace pqtls::loadgen {
+
+namespace {
+
+using crypto::Drbg;
+using sim::EventLoop;
+
+// Uplink wire budget attributed to the client Finished flight (sealed
+// Finished record plus its ACK frames); the rest of the calibrated client
+// volume travels with the SYN and the ClientHello flight.
+constexpr std::size_t kFinishedWire = 200;
+
+double exp_sample(Drbg& rng, double mean) {
+  if (mean <= 0) return 0;
+  // rng.real() is in [0, 1), so the argument of log1p stays in (-1, 0].
+  return -std::log1p(-rng.real()) * mean;
+}
+
+}  // namespace
+
+const HandshakeProfile& calibrated_profile(const std::string& ka,
+                                           const std::string& sa,
+                                           std::uint64_t pki_seed) {
+  struct Entry {
+    std::once_flag once;
+    HandshakeProfile profile;
+  };
+  static std::mutex mu;
+  static std::map<std::tuple<std::string, std::string, std::uint64_t>, Entry>
+      cache;
+  Entry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    entry = &cache[std::make_tuple(ka, sa, pki_seed)];
+  }
+  // call_once rethrows on failure and leaves the flag unset, so an unknown
+  // algorithm keeps throwing instead of caching a half-built profile.
+  std::call_once(entry->once, [&] {
+    // One real handshake (modeled clock) for the wire volumes: the flight
+    // sizes carry the certificate chain, KEM artifacts, and all TCP/frame
+    // overhead exactly as the testbed measures them.
+    testbed::ExperimentConfig cfg;
+    cfg.ka = ka;
+    cfg.sa = sa;
+    cfg.sample_handshakes = 2;
+    cfg.time_model = testbed::TimeModel::kModeled;
+    cfg.seed = pki_seed ^ 0x10adC0deull;
+    cfg.pki_seed = pki_seed;
+    testbed::ExperimentResult r = testbed::run_experiment(cfg);
+    if (!r.ok)
+      throw std::runtime_error("loadgen calibration failed for " + ka + "/" +
+                               sa);
+    HandshakeProfile& p = entry->profile;
+    p.client_bytes = r.client_bytes;
+    p.server_bytes = r.server_bytes;
+
+    // CPU steps mirror the perf::CostModel charge sites in
+    // tls::Connection (kem/sig operations, KDF derivations, per-byte
+    // record work, per-step dispatch) without re-running the crypto.
+    const perf::CostModel& cm = perf::CostModel::builtin();
+    std::size_t ch_wire =
+        p.client_bytes > kFinishedWire ? p.client_bytes - kFinishedWire : 64;
+    p.client_hello_cpu = cm.kem_keygen(ka) + cm.per_byte(ch_wire) + cm.step();
+    p.server_flight_cpu = cm.kem_encaps(ka) + cm.sign(sa) + 5 * cm.kdf() +
+                          cm.per_byte(p.server_bytes) + cm.step();
+    p.client_finish_cpu = cm.kem_decaps(ka) + 2 * cm.verify(sa) +
+                          7 * cm.kdf() + cm.per_byte(p.server_bytes) +
+                          2 * cm.step();
+    p.server_finish_cpu = cm.kdf() + cm.per_byte(kFinishedWire) + cm.step();
+  });
+  return entry->profile;
+}
+
+double analytic_capacity(const LoadConfig& config,
+                         const HandshakeProfile& profile) {
+  double per_conn = config.harness_overhead_s + profile.server_cpu();
+  if (per_conn <= 0 || config.cores < 1) return 0;
+  return static_cast<double>(config.cores) / per_conn;
+}
+
+namespace {
+
+// Handshake flights are plain packets on the shared links; the connection
+// index rides in tcp.seq and the flight kind in tcp.ack.
+enum class Stage : std::uint32_t {
+  kSyn = 0,
+  kSynAck = 1,
+  kClientHello = 2,
+  kServerFlight = 3,
+  kClientFinished = 4,
+};
+
+struct Conn {
+  double arrival = 0;  // SYN emission time at the client
+  int client = -1;     // closed-loop population index; -1 = open loop
+  bool accepted = false;
+  bool dropped = false;
+  bool abandoned = false;
+  bool done = false;
+};
+
+struct Job {
+  std::uint32_t conn = 0;
+  double cost = 0;
+  std::uint64_t seq = 0;  // admission order; FIFO key and SJF tie-break
+  bool final_stage = false;
+};
+
+struct JobOrder {
+  bool sjf;
+  bool operator()(const Job& a, const Job& b) const {
+    if (sjf && a.cost != b.cost) return a.cost < b.cost;
+    return a.seq < b.seq;
+  }
+};
+
+// Time-weighted average of a piecewise-constant quantity over the
+// measurement window [t0, t1): call advance(now, value_held_since_last)
+// immediately before every change of the quantity.
+struct TimeAvg {
+  double t0 = 0, t1 = 0;
+  double last = 0, integral = 0;
+
+  void advance(double now, double value) {
+    double a = std::clamp(last, t0, t1);
+    double b = std::clamp(now, t0, t1);
+    integral += value * (b - a);
+    last = now;
+  }
+  double mean() const { return t1 > t0 ? integral / (t1 - t0) : 0; }
+};
+
+class Engine {
+ public:
+  Engine(const LoadConfig& config, const HandshakeProfile& profile)
+      : config_(config),
+        profile_(profile),
+        capacity_(analytic_capacity(config, profile)),
+        t0_(config.warmup_s),
+        t1_(config.warmup_s + config.duration_s),
+        master_(config.seed),
+        arrival_rng_(master_.fork("arrivals")),
+        think_rng_(master_.fork("think")),
+        c2s_(loop_, config.netem, master_.fork("link-c2s")),
+        s2c_(loop_, config.netem, master_.fork("link-s2c")),
+        queue_(JobOrder{config.policy == Policy::kSjf}),
+        free_cores_(config.cores) {
+    queue_depth_.t0 = busy_cores_.t0 = t0_;
+    queue_depth_.t1 = busy_cores_.t1 = t1_;
+    // Flight payloads reproduce the calibrated per-direction wire volume
+    // across the handshake's packets (SYN/SYN-ACK and each flight's own
+    // frame carry net::kFrameOverhead).
+    std::size_t up = profile.client_bytes;
+    std::size_t overhead = 2 * net::kFrameOverhead + kFinishedWire;
+    ch_payload_ = up > overhead + 64 ? up - overhead : 64;
+    fin_payload_ = kFinishedWire - net::kFrameOverhead;
+    std::size_t down = profile.server_bytes;
+    flight_payload_ =
+        down > 2 * net::kFrameOverhead + 64 ? down - 2 * net::kFrameOverhead
+                                            : 64;
+    c2s_.set_deliver([this](const net::Packet& p) { on_server_packet(p); });
+    s2c_.set_deliver([this](const net::Packet& p) { on_client_packet(p); });
+  }
+
+  LoadMetrics run() {
+    if (config_.arrival == Arrival::kPoisson) {
+      offered_ = config_.load_factor > 0 ? config_.load_factor * capacity_
+                                         : config_.offered_rate;
+      if (offered_ <= 0)
+        throw std::invalid_argument("loadgen: offered rate must be > 0");
+      schedule_arrival(exp_sample(arrival_rng_, 1.0 / offered_));
+    } else {
+      if (config_.clients < 1)
+        throw std::invalid_argument("loadgen: clients must be >= 1");
+      for (int i = 0; i < config_.clients; ++i)
+        schedule_client_start(i, exp_sample(think_rng_, config_.think_s));
+    }
+    // Arrivals stop at t1_; drain in-flight handshakes up to the timeout.
+    loop_.run(t1_ + config_.timeout_s + 5.0);
+    return finish();
+  }
+
+ private:
+  bool in_window(double t) const { return t >= t0_ && t < t1_; }
+
+  void schedule_arrival(double at) {
+    if (at >= t1_) return;
+    loop_.schedule_at(at, [this] {
+      start_connection(-1);
+      schedule_arrival(loop_.now() +
+                       exp_sample(arrival_rng_, 1.0 / offered_));
+    });
+  }
+
+  void schedule_client_start(int client, double delay) {
+    if (loop_.now() + delay >= t1_) return;
+    loop_.schedule_in(delay, [this, client] { start_connection(client); });
+  }
+
+  void start_connection(int client) {
+    std::uint32_t id = static_cast<std::uint32_t>(conns_.size());
+    Conn conn;
+    conn.arrival = loop_.now();
+    conn.client = client;
+    conns_.push_back(conn);
+    loop_.schedule_in(config_.timeout_s, [this, id] { on_timeout(id); });
+    send(c2s_, id, Stage::kSyn, 0);
+  }
+
+  void send(net::Link& link, std::uint32_t id, Stage stage,
+            std::size_t payload) {
+    net::Packet p;
+    p.tcp.seq = id;
+    p.tcp.ack = static_cast<std::uint32_t>(stage);
+    p.payload.resize(payload);
+    link.send(std::move(p));
+  }
+
+  // ---- server side ----
+
+  void on_server_packet(const net::Packet& p) {
+    std::uint32_t id = p.tcp.seq;
+    Conn& conn = conns_[id];
+    switch (static_cast<Stage>(p.tcp.ack)) {
+      case Stage::kSyn: {
+        if (in_window(loop_.now())) ++arrivals_;
+        if (in_system_ >= config_.backlog) {
+          conn.dropped = true;
+          if (in_window(loop_.now())) ++dropped_;
+          // The refusal travels back one propagation delay; a closed-loop
+          // client then thinks and retries.
+          if (conn.client >= 0) {
+            int client = conn.client;
+            loop_.schedule_in(config_.netem.delay_s, [this, client] {
+              schedule_client_start(
+                  client, exp_sample(think_rng_, config_.think_s));
+            });
+          }
+          return;
+        }
+        conn.accepted = true;
+        ++in_system_;
+        send(s2c_, id, Stage::kSynAck, 0);
+        return;
+      }
+      case Stage::kClientHello:
+        if (conn.abandoned) return;
+        enqueue_job({id,
+                     config_.harness_overhead_s + profile_.server_flight_cpu,
+                     job_seq_++, /*final_stage=*/false});
+        return;
+      case Stage::kClientFinished:
+        if (conn.abandoned) return;
+        enqueue_job({id, profile_.server_finish_cpu, job_seq_++,
+                     /*final_stage=*/true});
+        return;
+      default:
+        return;
+    }
+  }
+
+  void enqueue_job(Job job) {
+    if (free_cores_ > 0) {
+      claim_core();
+      run_on_core(job);
+    } else {
+      queue_depth_.advance(loop_.now(), static_cast<double>(queue_.size()));
+      queue_.insert(job);
+    }
+  }
+
+  void claim_core() {
+    busy_cores_.advance(loop_.now(),
+                        static_cast<double>(config_.cores - free_cores_));
+    --free_cores_;
+  }
+  void release_core() {
+    busy_cores_.advance(loop_.now(),
+                        static_cast<double>(config_.cores - free_cores_));
+    ++free_cores_;
+  }
+
+  void run_on_core(Job job) {
+    loop_.schedule_in(job.cost, [this, job] { on_job_done(job); });
+  }
+
+  void on_job_done(const Job& job) {
+    Conn& conn = conns_[job.conn];
+    // An abandoned in-service job still burned its core time (wasted
+    // work); it just produces no flight.
+    if (!conn.abandoned) {
+      if (job.final_stage)
+        complete(job.conn);
+      else
+        send(s2c_, job.conn, Stage::kServerFlight, flight_payload_);
+    }
+    next_from_queue();
+  }
+
+  void next_from_queue() {
+    while (!queue_.empty()) {
+      queue_depth_.advance(loop_.now(), static_cast<double>(queue_.size()));
+      Job job = *queue_.begin();
+      queue_.erase(queue_.begin());
+      if (conns_[job.conn].abandoned) continue;  // discard queued work
+      run_on_core(job);
+      return;
+    }
+    release_core();
+  }
+
+  void complete(std::uint32_t id) {
+    Conn& conn = conns_[id];
+    conn.done = true;
+    --in_system_;
+    double now = loop_.now();
+    if (in_window(now)) latencies_.push_back(now - conn.arrival);
+    if (conn.client >= 0) {
+      int client = conn.client;
+      loop_.schedule_in(config_.netem.delay_s, [this, client] {
+        schedule_client_start(client,
+                              exp_sample(think_rng_, config_.think_s));
+      });
+    }
+  }
+
+  void on_timeout(std::uint32_t id) {
+    Conn& conn = conns_[id];
+    if (conn.done || conn.dropped) return;
+    conn.abandoned = true;
+    if (conn.accepted) --in_system_;
+    if (in_window(loop_.now())) ++timed_out_;
+    if (conn.client >= 0)
+      schedule_client_start(conn.client,
+                            exp_sample(think_rng_, config_.think_s));
+  }
+
+  // ---- client side ----
+
+  void on_client_packet(const net::Packet& p) {
+    std::uint32_t id = p.tcp.seq;
+    if (conns_[id].abandoned) return;
+    switch (static_cast<Stage>(p.tcp.ack)) {
+      case Stage::kSynAck:
+        // Client compute is latency-only: the client population is not the
+        // contended resource in this model.
+        loop_.schedule_in(profile_.client_hello_cpu, [this, id] {
+          if (!conns_[id].abandoned)
+            send(c2s_, id, Stage::kClientHello, ch_payload_);
+        });
+        return;
+      case Stage::kServerFlight:
+        loop_.schedule_in(profile_.client_finish_cpu, [this, id] {
+          if (!conns_[id].abandoned)
+            send(c2s_, id, Stage::kClientFinished, fin_payload_);
+        });
+        return;
+      default:
+        return;
+    }
+  }
+
+  LoadMetrics finish() {
+    // The held value persists to the end of the window even if the event
+    // queue drained earlier.
+    double end = std::max(loop_.now(), t1_);
+    queue_depth_.advance(end, static_cast<double>(queue_.size()));
+    busy_cores_.advance(end,
+                        static_cast<double>(config_.cores - free_cores_));
+
+    LoadMetrics m;
+    m.analytic_capacity = capacity_;
+    m.server_cpu_s = config_.harness_overhead_s + profile_.server_cpu();
+    m.client_bytes = profile_.client_bytes;
+    m.server_bytes = profile_.server_bytes;
+    m.arrivals = arrivals_;
+    m.completed = static_cast<long long>(latencies_.size());
+    m.dropped = dropped_;
+    m.timed_out = timed_out_;
+    m.offered_rate = static_cast<double>(arrivals_) / config_.duration_s;
+    m.achieved_rate =
+        static_cast<double>(latencies_.size()) / config_.duration_s;
+    m.mean_queue_depth = queue_depth_.mean();
+    m.core_utilization =
+        config_.cores > 0 ? busy_cores_.mean() / config_.cores : 0;
+    if (!latencies_.empty()) {
+      m.ok = true;
+      m.mean_latency = analysis::mean(latencies_);
+      m.p50 = analysis::percentile(latencies_, 50);
+      m.p90 = analysis::percentile(latencies_, 90);
+      m.p99 = analysis::percentile(latencies_, 99);
+      m.p999 = analysis::percentile(latencies_, 99.9);
+    }
+    return m;
+  }
+
+  const LoadConfig& config_;
+  const HandshakeProfile& profile_;
+  double capacity_ = 0;
+  double offered_ = 0;
+  double t0_ = 0, t1_ = 0;
+
+  EventLoop loop_;
+  Drbg master_;
+  Drbg arrival_rng_;
+  Drbg think_rng_;
+  net::Link c2s_;
+  net::Link s2c_;
+
+  std::vector<Conn> conns_;
+  std::set<Job, JobOrder> queue_;
+  std::uint64_t job_seq_ = 0;
+  int free_cores_ = 0;
+  int in_system_ = 0;
+
+  std::size_t ch_payload_ = 0, fin_payload_ = 0, flight_payload_ = 0;
+  TimeAvg queue_depth_, busy_cores_;
+  std::vector<double> latencies_;
+  long long arrivals_ = 0, dropped_ = 0, timed_out_ = 0;
+};
+
+}  // namespace
+
+LoadMetrics run_load(const LoadConfig& config) {
+  std::uint64_t pki_seed = config.pki_seed ? config.pki_seed : config.seed;
+  const HandshakeProfile& profile =
+      calibrated_profile(config.ka, config.sa, pki_seed);
+  Engine engine(config, profile);
+  return engine.run();
+}
+
+}  // namespace pqtls::loadgen

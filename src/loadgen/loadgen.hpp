@@ -1,0 +1,141 @@
+// Load-generation subsystem: a discrete-event, multi-connection capacity
+// model for a PQ-TLS server under concurrent handshake load. The paper's
+// white-box throughput (Table 3) extrapolates a single-connection rate
+// (1/mean_cycle); this module instead models what a K-core server does when
+// many handshakes arrive at once: crypto steps are charged from
+// perf::CostModel onto a contended run queue, so queueing delay, tail
+// latency, accept-queue overflow, and client abandonment emerge naturally.
+// Everything runs in virtual time on sim::EventLoop with explicit seeds —
+// results are bit-reproducible at any campaign worker count (DESIGN.md
+// section 6c).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "net/link.hpp"
+#include "testbed/testbed.hpp"
+
+namespace pqtls::loadgen {
+
+/// How client connections are generated.
+enum class Arrival {
+  kPoisson,  // open-loop: exponential interarrivals at `offered_rate`
+  kClosed,   // closed-loop: `clients` concurrent clients with think time
+};
+
+/// Run-queue discipline for handshake CPU jobs on the server cores.
+enum class Policy {
+  kFifo,  // first-come first-served (arrival order)
+  kSjf,   // shortest job first (by modeled cost, FIFO tie-break)
+};
+
+struct LoadConfig {
+  std::string ka = "x25519";
+  std::string sa = "rsa:2048";
+
+  Arrival arrival = Arrival::kPoisson;
+  /// Open-loop offered load in handshakes/second. Ignored when
+  /// `load_factor` is set.
+  double offered_rate = 500;
+  /// When > 0, the offered rate is this fraction of the analytic capacity
+  /// bound (cores / server CPU per handshake) — the natural way to express
+  /// "90% load" independent of the algorithm pair. Poisson only.
+  double load_factor = 0;
+  /// Closed-loop population and mean think time (exponential).
+  int clients = 64;
+  double think_s = 0.01;
+
+  /// Server model: cores contended by handshake crypto jobs.
+  int cores = 1;
+  Policy policy = Policy::kFifo;
+  /// Accept-queue bound: maximum connections concurrently in progress at
+  /// the server (queued, on-core, or awaiting a client flight). A SYN
+  /// arriving beyond this is dropped and counted.
+  int backlog = 256;
+  /// Client abandonment: a handshake not complete this long after its SYN
+  /// is abandoned (counted as timed out; queued work for it is discarded).
+  double timeout_s = 2.0;
+
+  /// Measurement window: arrivals stop at warmup_s + duration_s; metrics
+  /// cover events inside [warmup_s, warmup_s + duration_s).
+  double duration_s = 10.0;
+  double warmup_s = 1.0;
+
+  /// Network between the client population and the server: one-way delay
+  /// and a shared serialization rate per direction (certificate-chain bytes
+  /// queue behind each other on the server egress). Loss drops a flight
+  /// with no retransmission — the connection surfaces as a timeout.
+  net::NetemConfig netem{.loss = 0, .delay_s = 0.005, .rate_bps = 0};
+
+  /// Per-connection server-side harness/accept overhead, charged to a core
+  /// before the first crypto step. Shares the testbed's calibration knob
+  /// (testbed::ExperimentConfig::harness_overhead_s).
+  double harness_overhead_s = testbed::ExperimentConfig{}.harness_overhead_s;
+
+  std::uint64_t seed = 0x715b3d;
+  /// Seed for the calibration handshake's PKI material (0 = use `seed`);
+  /// campaigns pin it to the base seed so cells share cached chains.
+  std::uint64_t pki_seed = 0;
+};
+
+/// Per-handshake work profile: wire volumes calibrated from one modeled
+/// testbed handshake (real tls::Connection over simulated TCP), CPU step
+/// costs mirrored from the perf::CostModel charges at the same sites.
+struct HandshakeProfile {
+  // Client-side costs are latency-only (clients are not the contended
+  // resource); server-side costs occupy a core.
+  double client_hello_cpu = 0;   // key-share generation + CH assembly
+  double server_flight_cpu = 0;  // CH -> SH..Fin flight: encaps + sign + KDFs
+  double client_finish_cpu = 0;  // decaps + chain verify + client Finished
+  double server_finish_cpu = 0;  // client Finished verification
+  std::size_t client_bytes = 0;  // uplink wire volume per handshake
+  std::size_t server_bytes = 0;  // downlink wire volume per handshake
+
+  double server_cpu() const { return server_flight_cpu + server_finish_cpu; }
+};
+
+/// Calibrated profile for (ka, sa): runs one 2-sample modeled-time testbed
+/// experiment (cached per (ka, sa, pki_seed), thread-safe) for the wire
+/// volumes and derives CPU steps from perf::CostModel::builtin(). Throws
+/// std::invalid_argument for unknown algorithms.
+const HandshakeProfile& calibrated_profile(const std::string& ka,
+                                           const std::string& sa,
+                                           std::uint64_t pki_seed);
+
+/// Analytic capacity bound in handshakes/second: cores / (per-connection
+/// harness overhead + server CPU per handshake). Achieved rates saturate
+/// below this line.
+double analytic_capacity(const LoadConfig& config,
+                         const HandshakeProfile& profile);
+
+struct LoadMetrics {
+  bool ok = false;  // at least one handshake completed in the window
+
+  double offered_rate = 0;       // realized arrivals/s in the window
+  double achieved_rate = 0;      // completions/s in the window
+  double analytic_capacity = 0;  // cores / server CPU (see above)
+
+  // Handshake latency (SYN to handshake completion), seconds.
+  double p50 = 0, p90 = 0, p99 = 0, p999 = 0;
+  double mean_latency = 0;
+
+  double mean_queue_depth = 0;   // time-averaged waiting jobs (not on-core)
+  double core_utilization = 0;   // busy core-seconds / (cores * window)
+
+  long long arrivals = 0;   // SYNs reaching the server in the window
+  long long completed = 0;
+  long long dropped = 0;    // backlog overflow
+  long long timed_out = 0;  // client abandonment
+
+  double server_cpu_s = 0;         // per handshake, from the profile
+  std::size_t client_bytes = 0;    // per handshake, from the profile
+  std::size_t server_bytes = 0;
+};
+
+/// Simulate one load configuration to completion and report metrics.
+/// Deterministic: depends only on the config (including seeds).
+LoadMetrics run_load(const LoadConfig& config);
+
+}  // namespace pqtls::loadgen

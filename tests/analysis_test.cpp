@@ -36,6 +36,35 @@ TEST(Stats, Percentiles) {
   EXPECT_NEAR(percentile(v, 90), 90.1, 0.2);
 }
 
+TEST(Stats, PercentileEdgeCases) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  // A single sample is every percentile.
+  EXPECT_DOUBLE_EQ(percentile({7}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7}, 50), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7}, 99.9), 7.0);
+  // p = 0 / 100 hit the extremes exactly, unsorted input.
+  EXPECT_DOUBLE_EQ(percentile({9, 1, 5}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({9, 1, 5}, 100), 9.0);
+  // Two-element linear interpolation: index = p/100 * (n-1).
+  EXPECT_DOUBLE_EQ(percentile({10, 20}, 50), 15.0);
+  EXPECT_DOUBLE_EQ(percentile({10, 20}, 25), 12.5);
+  EXPECT_NEAR(percentile({10, 20}, 99.9), 19.99, 1e-9);
+}
+
+TEST(Stats, PercentileClampsOutOfRangeP) {
+  std::vector<double> v = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, -10), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 150), 3.0);
+}
+
+TEST(Stats, StddevDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({42}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({3, 3, 3, 3}), 0.0);
+  // Sample (n-1) stddev of two points is their distance / sqrt(2).
+  EXPECT_NEAR(stddev({0, 2}), std::sqrt(2.0), 1e-12);
+}
+
 TEST(Deviation, ZeroWhenPerfectlyIndependent) {
   // Construct a table where M(k,s) = base + cost(k) + cost(s): independence
   // holds exactly, so every deviation must be zero.

@@ -52,6 +52,67 @@ CellOutcome failed_outcome() {
   return o;
 }
 
+// Synthetic loadgen outcomes with hand-picked metrics: locks the loadgen
+// row schema (field names, order, fixed-precision formatting) without
+// running a simulation.
+CellOutcome loadgen_ok_outcome() {
+  CellOutcome o;
+  o.campaign = "loadgen-golden";
+  o.cell.id = "kyber512/dilithium2/loadgen-0.9x";
+  o.cell.config.ka = "kyber512";
+  o.cell.config.sa = "dilithium2";
+  loadgen::LoadConfig config;
+  config.ka = "kyber512";
+  config.sa = "dilithium2";
+  config.arrival = loadgen::Arrival::kPoisson;
+  config.policy = loadgen::Policy::kFifo;
+  config.cores = 4;
+  config.backlog = 256;
+  config.seed = 42;
+  o.cell.loadgen = config;
+  o.load.ok = true;
+  o.load.offered_rate = 601.25;
+  o.load.achieved_rate = 600.5;
+  o.load.analytic_capacity = 667.125;
+  o.load.p50 = 28.1234e-3;
+  o.load.p90 = 35.5e-3;
+  o.load.p99 = 41.0625e-3;
+  o.load.p999 = 44.9e-3;
+  o.load.mean_queue_depth = 1.875;
+  o.load.core_utilization = 0.900625;
+  o.load.arrivals = 2405;
+  o.load.completed = 2402;
+  o.load.dropped = 2;
+  o.load.timed_out = 1;
+  return o;
+}
+
+CellOutcome loadgen_failed_outcome() {
+  CellOutcome o;
+  o.campaign = "loadgen-golden";
+  o.cell.id = "kyber512/sphincs128/loadgen-1.3x";
+  o.cell.config.ka = "kyber512";
+  o.cell.config.sa = "sphincs128";
+  loadgen::LoadConfig config;
+  config.ka = "kyber512";
+  config.sa = "sphincs128";
+  config.arrival = loadgen::Arrival::kClosed;
+  config.policy = loadgen::Policy::kSjf;
+  config.seed = 43;
+  o.cell.loadgen = config;
+  o.error = "no handshake completed in the window";
+  return o;
+}
+
+CampaignSpec loadgen_spec() {
+  CampaignSpec spec;
+  spec.name = "loadgen-golden";
+  Cell cell;
+  cell.loadgen = loadgen::LoadConfig{};
+  spec.cells.push_back(cell);
+  return spec;
+}
+
 TEST(CampaignSinks, JsonlMatchesGolden) {
   std::ostringstream out;
   JsonlSink sink(out);
@@ -69,6 +130,25 @@ TEST(CampaignSinks, CsvMatchesGolden) {
   sink.cell(failed_outcome());
   sink.finish();
   EXPECT_EQ(out.str(), read_golden("campaign_rows.csv"));
+}
+
+TEST(CampaignSinks, LoadgenJsonlMatchesGolden) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  sink.cell(loadgen_ok_outcome());
+  sink.cell(loadgen_failed_outcome());
+  sink.finish();
+  EXPECT_EQ(out.str(), read_golden("loadgen_rows.jsonl"));
+}
+
+TEST(CampaignSinks, LoadgenCsvMatchesGolden) {
+  std::ostringstream out;
+  CsvSink sink(out);
+  sink.begin(loadgen_spec(), RunnerOptions{});
+  sink.cell(loadgen_ok_outcome());
+  sink.cell(loadgen_failed_outcome());
+  sink.finish();
+  EXPECT_EQ(out.str(), read_golden("loadgen_rows.csv"));
 }
 
 }  // namespace
