@@ -14,6 +14,7 @@
 #include "campaign/options.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/sinks.hpp"
+#include "crypto/catalog.hpp"
 #include "testbed/testbed.hpp"
 
 namespace pqtls::bench {
@@ -48,6 +49,18 @@ inline int run_declared_campaign(const char* campaign_name, int argc,
   const campaign::CampaignSpec* spec = campaign::find_campaign(campaign_name);
   if (!spec) {
     std::fprintf(stderr, "unknown campaign '%s'\n", campaign_name);
+    return 1;
+  }
+  // Resolve every cell's algorithm pair up front through the catalog so a
+  // bad name fails before any work, with the canonical valid-names error.
+  try {
+    const auto& catalog = crypto::AlgorithmCatalog::instance();
+    for (const auto& cell : spec->cells) {
+      catalog.require_kem(cell.config.ka);
+      catalog.require_signer(cell.config.sa);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign '%s': %s\n", campaign_name, e.what());
     return 1;
   }
   campaign::RunnerOptions opts;

@@ -4,6 +4,7 @@
 // directly support its white-box attribution (methodology supplement).
 #include <benchmark/benchmark.h>
 
+#include "crypto/catalog.hpp"
 #include "crypto/drbg.hpp"
 #include "kem/kem.hpp"
 #include "sig/sig.hpp"
@@ -63,32 +64,33 @@ void bm_sig_verify(benchmark::State& state, const pqtls::sig::Signer* sa) {
 
 struct Registrar {
   Registrar() {
-    for (const auto* kem : pqtls::kem::all_kems()) {
-      if (kem->is_hybrid()) continue;  // hybrids = sum of their parts
-      benchmark::RegisterBenchmark(("kem_keygen/" + kem->name()).c_str(),
-                                   bm_kem_keygen, kem)
+    const auto& catalog = pqtls::crypto::AlgorithmCatalog::instance();
+    for (const auto& info : catalog.kems()) {
+      if (info.hybrid) continue;  // hybrids = sum of their parts
+      benchmark::RegisterBenchmark(("kem_keygen/" + info.name).c_str(),
+                                   bm_kem_keygen, info.kem)
           ->Unit(benchmark::kMicrosecond)
           ->MinTime(0.05);
-      benchmark::RegisterBenchmark(("kem_encaps/" + kem->name()).c_str(),
-                                   bm_kem_encaps, kem)
+      benchmark::RegisterBenchmark(("kem_encaps/" + info.name).c_str(),
+                                   bm_kem_encaps, info.kem)
           ->Unit(benchmark::kMicrosecond)
           ->MinTime(0.05);
-      benchmark::RegisterBenchmark(("kem_decaps/" + kem->name()).c_str(),
-                                   bm_kem_decaps, kem)
+      benchmark::RegisterBenchmark(("kem_decaps/" + info.name).c_str(),
+                                   bm_kem_decaps, info.kem)
           ->Unit(benchmark::kMicrosecond)
           ->MinTime(0.05);
     }
-    for (const auto* sa : pqtls::sig::all_signers()) {
-      if (sa->is_hybrid()) continue;
-      if (sa->name() == "rsa:4096") continue;  // keygen too slow for a micro
-      if (sa->name().ends_with("s") && sa->name().starts_with("sphincs"))
-        continue;  // s-variants sign in seconds; covered by bench/all_sphincs
-      benchmark::RegisterBenchmark(("sig_sign/" + sa->name()).c_str(),
-                                   bm_sig_sign, sa)
+    for (const auto& info : catalog.signers()) {
+      if (info.hybrid) continue;
+      if (info.name == "rsa:4096") continue;  // keygen too slow for a micro
+      if (!info.headline)
+        continue;  // SPHINCS+ s-variants sign in seconds; bench/all_sphincs
+      benchmark::RegisterBenchmark(("sig_sign/" + info.name).c_str(),
+                                   bm_sig_sign, info.signer)
           ->Unit(benchmark::kMicrosecond)
           ->MinTime(0.05);
-      benchmark::RegisterBenchmark(("sig_verify/" + sa->name()).c_str(),
-                                   bm_sig_verify, sa)
+      benchmark::RegisterBenchmark(("sig_verify/" + info.name).c_str(),
+                                   bm_sig_verify, info.signer)
           ->Unit(benchmark::kMicrosecond)
           ->MinTime(0.05);
     }

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "crypto/catalog.hpp"
 #include "crypto/drbg.hpp"
 #include "kem/kem.hpp"
 #include "sig/sig.hpp"
@@ -23,12 +24,14 @@ int main() {
   using namespace pqtls;
   crypto::Drbg rng(0xE510 + 7);
 
+  const crypto::AlgorithmCatalog& catalog = crypto::AlgorithmCatalog::instance();
   std::printf("== Key agreements (%zu registered) ==\n",
-              kem::all_kems().size());
-  std::printf("%-16s %-4s %-8s %8s %8s %8s | %10s %10s %10s\n", "name", "lvl",
-              "kind", "pk(B)", "ct(B)", "ss(B)", "keygen ms", "encaps ms",
-              "decaps ms");
-  for (const auto* kem : kem::all_kems()) {
+              catalog.kems().size());
+  std::printf("%-16s %-4s %-9s %-8s %8s %8s %8s | %10s %10s %10s\n", "name",
+              "lvl", "family", "kind", "pk(B)", "ct(B)", "ss(B)", "keygen ms",
+              "encaps ms", "decaps ms");
+  for (const auto& info : catalog.kems()) {
+    const kem::Kem* kem = info.kem;
     auto t0 = std::chrono::steady_clock::now();
     auto kp = kem->generate_keypair(rng);
     double t_keygen = ms_since(t0);
@@ -39,21 +42,24 @@ int main() {
     auto ss = kem->decapsulate(kp.secret_key, enc->ciphertext);
     double t_decaps = ms_since(t0);
     bool ok = ss.has_value() && *ss == enc->shared_secret;
-    std::printf("%-16s %-4d %-8s %8zu %8zu %8zu | %10.2f %10.2f %10.2f %s\n",
-                kem->name().c_str(), kem->security_level(),
-                kem->is_hybrid()        ? "hybrid"
-                : kem->is_post_quantum() ? "pq"
-                                         : "classic",
-                kem->public_key_size(), kem->ciphertext_size(),
-                kem->shared_secret_size(), t_keygen, t_encaps, t_decaps,
-                ok ? "" : "(MISMATCH!)");
+    std::printf(
+        "%-16s %-4d %-9s %-8s %8zu %8zu %8zu | %10.2f %10.2f %10.2f %s\n",
+        info.name.c_str(), info.nist_level, info.family.c_str(),
+        info.hybrid         ? "hybrid"
+        : info.post_quantum ? "pq"
+                            : "classic",
+        info.public_key_bytes, info.ciphertext_bytes,
+        kem->shared_secret_size(), t_keygen, t_encaps, t_decaps,
+        ok ? "" : "(MISMATCH!)");
   }
 
   std::printf("\n== Signature algorithms (%zu registered) ==\n",
-              sig::all_signers().size());
-  std::printf("%-19s %-4s %-8s %8s %8s | %10s %10s %10s\n", "name", "lvl",
-              "kind", "pk(B)", "sig(B)", "keygen ms", "sign ms", "verify ms");
-  for (const auto* sa : sig::all_signers()) {
+              catalog.signers().size());
+  std::printf("%-19s %-4s %-9s %-8s %8s %8s %8s | %10s %10s %10s\n", "name",
+              "lvl", "family", "kind", "pk(B)", "sig(B)", "chain(B)",
+              "keygen ms", "sign ms", "verify ms");
+  for (const auto& info : catalog.signers()) {
+    const sig::Signer* sa = info.signer;
     auto t0 = std::chrono::steady_clock::now();
     auto kp = sa->generate_keypair(rng);
     double t_keygen = ms_since(t0);
@@ -64,13 +70,14 @@ int main() {
     t0 = std::chrono::steady_clock::now();
     bool ok = sa->verify(kp.public_key, msg, signature);
     double t_verify = ms_since(t0);
-    std::printf("%-19s %-4d %-8s %8zu %8zu | %10.1f %10.2f %10.2f %s\n",
-                sa->name().c_str(), sa->security_level(),
-                sa->is_hybrid()        ? "hybrid"
-                : sa->is_post_quantum() ? "pq"
-                                        : "classic",
-                sa->public_key_size(), sa->signature_size(), t_keygen, t_sign,
-                t_verify, ok ? "" : "(VERIFY FAILED!)");
+    std::printf(
+        "%-19s %-4d %-9s %-8s %8zu %8zu %8zu | %10.1f %10.2f %10.2f %s\n",
+        info.name.c_str(), info.nist_level, info.family.c_str(),
+        info.hybrid         ? "hybrid"
+        : info.post_quantum ? "pq"
+                            : "classic",
+        info.public_key_bytes, info.signature_bytes, info.cert_chain_bytes,
+        t_keygen, t_sign, t_verify, ok ? "" : "(VERIFY FAILED!)");
   }
   return 0;
 }

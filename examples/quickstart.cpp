@@ -6,8 +6,10 @@
 //
 // e.g. ./build/examples/quickstart p256_kyber512 p256_dilithium2
 #include <cstdio>
+#include <exception>
 #include <string>
 
+#include "crypto/catalog.hpp"
 #include "testbed/testbed.hpp"
 
 int main(int argc, char** argv) {
@@ -16,15 +18,14 @@ int main(int argc, char** argv) {
   std::string ka = argc > 1 ? argv[1] : "p256_kyber512";
   std::string sa = argc > 2 ? argv[2] : "p256_dilithium2";
 
-  const kem::Kem* kem = kem::find_kem(ka);
-  const sig::Signer* signer = sig::find_signer(sa);
-  if (!kem || !signer) {
-    std::printf("unknown algorithm; available KAs:\n ");
-    for (const auto* k : kem::all_kems()) std::printf(" %s", k->name().c_str());
-    std::printf("\navailable SAs:\n ");
-    for (const auto* s : sig::all_signers())
-      std::printf(" %s", s->name().c_str());
-    std::printf("\n");
+  const crypto::AlgorithmCatalog& catalog = crypto::AlgorithmCatalog::instance();
+  const crypto::AlgorithmInfo* kem_info = nullptr;
+  const crypto::AlgorithmInfo* sig_info = nullptr;
+  try {
+    kem_info = &catalog.require_kem(ka);
+    sig_info = &catalog.require_signer(sa);
+  } catch (const std::exception& e) {
+    std::printf("error: %s\n", e.what());
     return 1;
   }
 
@@ -32,15 +33,17 @@ int main(int argc, char** argv) {
               "authentication\n\n",
               ka.c_str(), sa.c_str());
   std::printf("key agreement   : %s (NIST level %d%s%s)\n", ka.c_str(),
-              kem->security_level(), kem->is_hybrid() ? ", hybrid" : "",
-              kem->is_post_quantum() ? ", post-quantum" : ", classical");
+              kem_info->nist_level, kem_info->hybrid ? ", hybrid" : "",
+              kem_info->post_quantum ? ", post-quantum" : ", classical");
   std::printf("  public key    : %zu B   ciphertext: %zu B\n",
-              kem->public_key_size(), kem->ciphertext_size());
+              kem_info->public_key_bytes, kem_info->ciphertext_bytes);
   std::printf("authentication  : %s (NIST level %d%s)\n", sa.c_str(),
-              signer->security_level(),
-              signer->is_post_quantum() ? ", post-quantum" : ", classical");
-  std::printf("  public key    : %zu B   signature: %zu B\n\n",
-              signer->public_key_size(), signer->signature_size());
+              sig_info->nist_level,
+              sig_info->post_quantum ? ", post-quantum" : ", classical");
+  std::printf("  public key    : %zu B   signature: %zu B   "
+              "certificate chain: %zu B\n\n",
+              sig_info->public_key_bytes, sig_info->signature_bytes,
+              sig_info->cert_chain_bytes);
 
   testbed::ExperimentConfig config;
   config.ka = ka;

@@ -1,66 +1,85 @@
 #include "campaign/matrix.hpp"
 
+#include "crypto/catalog.hpp"
+
 namespace pqtls::campaign {
 
+namespace {
+
+using crypto::AlgorithmCatalog;
+using crypto::AlgorithmInfo;
+
+// Rows point at the catalog's names: the catalog is a process-lifetime
+// singleton, so the const char* handles stay valid.
+AlgRow row_of(const AlgorithmInfo& info) {
+  return {info.table_level, info.name.c_str()};
+}
+
+}  // namespace
+
 const std::vector<AlgRow>& table2a_kas() {
-  static const std::vector<AlgRow> rows = {
-      {1, "x25519"},        {1, "bikel1"},        {1, "hqc128"},
-      {1, "kyber512"},      {1, "kyber90s512"},   {1, "p256"},
-      {1, "p256_bikel1"},   {1, "p256_hqc128"},   {1, "p256_kyber512"},
-      {3, "bikel3"},        {3, "hqc192"},        {3, "kyber768"},
-      {3, "kyber90s768"},   {3, "p384"},          {3, "p384_bikel3"},
-      {3, "p384_hqc192"},   {3, "p384_kyber768"}, {5, "hqc256"},
-      {5, "kyber1024"},     {5, "kyber90s1024"},  {5, "p521"},
-      {5, "p521_hqc256"},   {5, "p521_kyber1024"},
-  };
+  // The KEM registry is Table 2a's 23 key agreements in table order.
+  static const std::vector<AlgRow> rows = [] {
+    std::vector<AlgRow> out;
+    for (const AlgorithmInfo& info : AlgorithmCatalog::instance().kems())
+      out.push_back(row_of(info));
+    return out;
+  }();
   return rows;
 }
 
 const std::vector<AlgRow>& table2b_sas() {
-  static const std::vector<AlgRow> rows = {
-      {0, "rsa:1024"},        {0, "rsa:2048"},
-      {1, "falcon512"},       {1, "rsa:3072"},
-      {1, "rsa:4096"},        {1, "sphincs128"},
-      {1, "p256_falcon512"},  {1, "p256_sphincs128"},
-      {2, "dilithium2"},      {2, "dilithium2_aes"},
-      {2, "p256_dilithium2"},
-      {3, "dilithium3"},      {3, "dilithium3_aes"},
-      {3, "sphincs192"},      {3, "p384_dilithium3"},
-      {3, "p384_sphincs192"},
-      {5, "dilithium5"},      {5, "dilithium5_aes"},
-      {5, "falcon1024"},      {5, "sphincs256"},
-      {5, "p521_dilithium5"}, {5, "p521_falcon1024"},
-      {5, "p521_sphincs256"},
-  };
+  // Table 2b's 23 SAs are the catalog's headline signers (the registry
+  // minus the SPHINCS+ "s" size-variants and the rsa3072_dilithium2
+  // hybrid, which only Table 4b adds back).
+  static const std::vector<AlgRow> rows = [] {
+    std::vector<AlgRow> out;
+    for (const AlgorithmInfo& info : AlgorithmCatalog::instance().signers())
+      if (info.headline) out.push_back(row_of(info));
+    return out;
+  }();
   return rows;
 }
 
 const std::vector<AlgRow>& table4b_sas() {
+  // Table 2b plus rsa3072_dilithium2, i.e. every signer except the
+  // SPHINCS+ size-variants — again in registry (= table) order.
   static const std::vector<AlgRow> rows = [] {
-    std::vector<AlgRow> out = table2b_sas();
-    out.insert(out.begin() + 11, {2, "rsa3072_dilithium2"});
+    std::vector<AlgRow> out;
+    for (const AlgorithmInfo& info : AlgorithmCatalog::instance().signers())
+      if (info.headline || info.hybrid) out.push_back(row_of(info));
     return out;
   }();
   return rows;
 }
 
 const std::vector<AlgRow>& loadgen_kas() {
-  static const std::vector<AlgRow> rows = {
-      {1, "x25519"},   {1, "kyber512"}, {1, "bikel1"},
-      {1, "hqc128"},   {1, "p256_kyber512"}, {3, "kyber768"},
-  };
+  // Hand-picked representatives (one per family); levels resolved through
+  // the catalog so an unknown name fails loudly at first use.
+  static const std::vector<AlgRow> rows = [] {
+    std::vector<AlgRow> out;
+    for (const char* name : {"x25519", "kyber512", "bikel1", "hqc128",
+                             "p256_kyber512", "kyber768"})
+      out.push_back(row_of(AlgorithmCatalog::instance().require_kem(name)));
+    return out;
+  }();
   return rows;
 }
 
 const std::vector<AlgRow>& loadgen_sas() {
-  static const std::vector<AlgRow> rows = {
-      {0, "rsa:2048"},   {1, "falcon512"},  {1, "rsa:3072"},
-      {1, "sphincs128"}, {2, "dilithium2"}, {2, "p256_dilithium2"},
-  };
+  static const std::vector<AlgRow> rows = [] {
+    std::vector<AlgRow> out;
+    for (const char* name : {"rsa:2048", "falcon512", "rsa:3072", "sphincs128",
+                             "dilithium2", "p256_dilithium2"})
+      out.push_back(row_of(AlgorithmCatalog::instance().require_signer(name)));
+    return out;
+  }();
   return rows;
 }
 
 const std::vector<LevelCombos>& fig3_levels() {
+  // Explicit, not derived: the paper groups levels one and two together and
+  // keeps only rsa:3072 among the RSAs, choices the catalog cannot infer.
   static const std::vector<LevelCombos> levels = {
       {"level1+2",
        {"x25519", "bikel1", "hqc128", "kyber512", "kyber90s512", "p256"},

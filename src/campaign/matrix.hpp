@@ -2,7 +2,9 @@
 // key agreements and signature algorithms appear in which artifact, grouped
 // by NIST security level. Lifted out of bench/bench_common.hpp so the
 // campaign engine and the per-table bench binaries declare their cells from
-// one registry instead of each keeping a private copy.
+// one registry instead of each keeping a private copy. Rows are derived
+// from crypto::AlgorithmCatalog (names, table levels, registry order), so
+// the matrices cannot drift from the registries.
 #pragma once
 
 #include <vector>

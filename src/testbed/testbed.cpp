@@ -2,13 +2,12 @@
 
 #include <chrono>
 #include <cmath>
-#include <map>
-#include <mutex>
-#include <stdexcept>
 
 #include "analysis/stats.hpp"
+#include "crypto/catalog.hpp"
 #include "sim/event_loop.hpp"
 #include "tcp/tcp.hpp"
+#include "tls/server_context.hpp"
 
 namespace pqtls::testbed {
 
@@ -200,55 +199,6 @@ class Timestamper {
   std::size_t client_bytes_ = 0, server_bytes_ = 0;
 };
 
-struct PkiMaterial {
-  pki::CertificateChain chain;
-  Bytes leaf_secret;
-  pki::Certificate root;
-};
-
-PkiMaterial setup_pki(const sig::Signer& sa, Drbg& rng) {
-  PkiMaterial out;
-  auto ca = pki::make_root_ca(sa, "pqtls-bench root CA", rng);
-  sig::SigKeyPair leaf = sa.generate_keypair(rng);
-  pki::Certificate leaf_cert = pki::issue_certificate(
-      ca, "pqtls-bench.example.net", sa.name(), leaf.public_key, rng);
-  // Only the leaf goes on the wire (the root is the client's pre-installed
-  // trust anchor); this matches the paper's measured server volumes, e.g.
-  // ~36 kB for sphincs128 = one certificate signature + the CV signature.
-  out.chain.certificates = {leaf_cert};
-  out.leaf_secret = leaf.secret_key;
-  out.root = ca.certificate;
-  return out;
-}
-
-// Certificate setup is expensive (RSA-4096 prime search, SPHINCS+ keygen)
-// and unrelated to the measured handshake, so the harness caches per
-// (SA, seed) — certificates were likewise pre-generated on the paper's
-// testbed. Campaign workers call this concurrently: the mutex only guards
-// map insertion (std::map nodes are stable), and each entry's once_flag
-// makes exactly one thread generate the material while any other thread
-// needing the same chain blocks until it is ready instead of duplicating
-// seconds of keygen work.
-const PkiMaterial& cached_pki(const sig::Signer& sa, std::uint64_t seed) {
-  struct Entry {
-    std::once_flag once;
-    PkiMaterial material;
-  };
-  static std::mutex mu;
-  static std::map<std::pair<std::string, std::uint64_t>, Entry> cache;
-  Entry* entry;
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    entry = &cache[std::pair<std::string, std::uint64_t>(sa.name(), seed)];
-  }
-  std::call_once(entry->once, [&] {
-    Drbg rng(seed);
-    Drbg pki_rng = rng.fork("pki:" + sa.name());
-    entry->material = setup_pki(sa, pki_rng);
-  });
-  return entry->material;
-}
-
 }  // namespace
 
 const std::vector<Scenario>& standard_scenarios() {
@@ -266,11 +216,11 @@ const std::vector<Scenario>& standard_scenarios() {
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
-  const kem::Kem* ka = kem::find_kem(config.ka);
-  const sig::Signer* sa = sig::find_signer(config.sa);
-  if (!ka || !sa)
-    throw std::invalid_argument("unknown algorithm: " + config.ka + " / " +
-                                config.sa);
+  // All algorithm resolution goes through the catalog: unknown names throw
+  // std::invalid_argument listing the valid ones.
+  const crypto::AlgorithmCatalog& catalog = crypto::AlgorithmCatalog::instance();
+  const kem::Kem* ka = catalog.require_kem(config.ka).kem;
+  const sig::Signer* sa = catalog.require_signer(config.sa).signer;
 
   ExperimentResult result;
   result.ka = config.ka;
@@ -278,10 +228,21 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   Drbg master(config.seed);
   std::uint64_t pki_seed = config.pki_seed ? config.pki_seed : config.seed;
-  const PkiMaterial& pki = cached_pki(*sa, pki_seed);
+  const tls::ServerContext& context = tls::server_context(*ka, *sa, pki_seed);
   const perf::CostModel* costs = config.time_model == TimeModel::kModeled
                                      ? &perf::CostModel::builtin()
                                      : nullptr;
+
+  // Endpoint configs are handshake-invariant; assemble them once from the
+  // cached context so the per-sample loop pays no keygen or chain copies.
+  tls::ClientConfig ccfg = context.client_config();
+  if (!config.client_wrong_guess.empty()) {
+    // Precomputed share for the wrong group; advertising the server's
+    // group as a fallback forces a HelloRetryRequest.
+    ccfg.ka = catalog.require_kem(config.client_wrong_guess).kem;
+    ccfg.also_supported = {ka};
+  }
+  tls::ServerConfig scfg = context.server_config(config.buffering);
 
   perf::Profiler server_profiler, client_profiler;
   perf::Profiler* sp = config.white_box ? &server_profiler : nullptr;
@@ -335,24 +296,6 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         client_host.tcp().on_packet(p);
       }
     });
-
-    tls::ClientConfig ccfg;
-    ccfg.ka = ka;
-    if (!config.client_wrong_guess.empty()) {
-      const kem::Kem* guess = kem::find_kem(config.client_wrong_guess);
-      if (!guess)
-        throw std::invalid_argument("unknown guess " + config.client_wrong_guess);
-      ccfg.ka = guess;             // precomputed share for the wrong group
-      ccfg.also_supported = {ka};  // forces a HelloRetryRequest
-    }
-    ccfg.sa = sa;
-    ccfg.root = pki.root;
-    tls::ServerConfig scfg;
-    scfg.ka = ka;
-    scfg.sa = sa;
-    scfg.chain = pki.chain;
-    scfg.leaf_secret_key = pki.leaf_secret;
-    scfg.buffering = config.buffering;
 
     client_host.set_client(std::make_unique<tls::ClientConnection>(
         ccfg, hs_rng.fork("client"), cp));

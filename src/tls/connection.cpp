@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "crypto/ct.hpp"
-#include "tls/wire.hpp"
 
 namespace pqtls::tls {
 
@@ -12,86 +11,32 @@ namespace {
 using perf::Lib;
 using perf::Scope;
 
-enum HandshakeType : std::uint8_t {
-  kClientHello = 1,
-  kServerHello = 2,
-  kEncryptedExtensions = 8,
-  kCertificate = 11,
-  kCertificateVerify = 15,
-  kFinished = 20,
-};
-
-enum Extension : std::uint16_t {
-  kServerName = 0,
-  kSupportedGroups = 10,
-  kSignatureAlgorithms = 13,
-  kSupportedVersions = 43,
-  kKeyShare = 51,
-};
-
-constexpr std::uint16_t kTls13 = 0x0304;
-constexpr std::uint16_t kAes128GcmSha256 = 0x1301;
-
-// Stable synthetic codepoints for the negotiated algorithms (the OQS fork
-// likewise assigns private-range codepoints per algorithm).
-std::uint16_t group_id(const kem::Kem& ka) {
-  const auto& kems = kem::all_kems();
-  for (std::size_t i = 0; i < kems.size(); ++i)
-    if (kems[i] == &ka) return static_cast<std::uint16_t>(0x0100 + i);
-  return 0x01ff;
-}
-
-const kem::Kem* group_by_id(std::uint16_t id) {
-  const auto& kems = kem::all_kems();
-  std::size_t idx = id - 0x0100;
-  return idx < kems.size() ? kems[idx] : nullptr;
-}
-
-std::uint16_t scheme_id(const sig::Signer& sa) {
-  const auto& sigs = sig::all_signers();
-  for (std::size_t i = 0; i < sigs.size(); ++i)
-    if (sigs[i] == &sa) return static_cast<std::uint16_t>(0x0200 + i);
-  return 0x02ff;
-}
-
-const sig::Signer* scheme_by_id(std::uint16_t id) {
-  const auto& sigs = sig::all_signers();
-  std::size_t idx = id - 0x0200;
-  return idx < sigs.size() ? sigs[idx] : nullptr;
-}
-
-Bytes handshake_message(std::uint8_t type, BytesView body) {
-  Writer w;
-  w.u8(type);
-  w.vec24(body);
-  return w.buffer();
-}
-
-// CertificateVerify signing context (RFC 8446 section 4.4.3).
-Bytes certificate_verify_content(BytesView transcript_hash) {
-  Bytes out(64, 0x20);
-  static constexpr char kContext[] = "TLS 1.3, server CertificateVerify";
-  append(out, BytesView{reinterpret_cast<const std::uint8_t*>(kContext),
-                        sizeof(kContext) - 1});
-  out.push_back(0);
-  append(out, transcript_hash);
-  return out;
-}
-
-const Bytes kCcsPayload = {0x01};
-
-// AlertDescription handshake_failure(40), AlertLevel fatal(2).
-const Bytes kFatalHandshakeFailure = {2, 40};
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // Client
 // ---------------------------------------------------------------------------
 
+std::span<const ClientConnection::Rule> ClientConnection::rules() {
+  static constexpr Rule kRules[] = {
+      {State::kWaitServerHello, HandshakeType::kServerHello,
+       &ClientConnection::on_server_hello},
+      {State::kWaitEncryptedExtensions, HandshakeType::kEncryptedExtensions,
+       &ClientConnection::on_encrypted_extensions},
+      {State::kWaitCertificate, HandshakeType::kCertificate,
+       &ClientConnection::on_certificate},
+      {State::kWaitCertificateVerify, HandshakeType::kCertificateVerify,
+       &ClientConnection::on_certificate_verify},
+      {State::kWaitFinished, HandshakeType::kFinished,
+       &ClientConnection::on_server_finished},
+  };
+  return kRules;
+}
+
 ClientConnection::ClientConnection(const ClientConfig& config, crypto::Drbg rng,
                                    perf::Profiler* profiler)
-    : config_(config), rng_(std::move(rng)), profiler_(profiler) {}
+    : HandshakeCore<ClientConnection>(std::move(rng), profiler),
+      config_(config) {}
 
 void ClientConnection::start(const FlightSink& sink) {
   active_ka_ = config_.ka;
@@ -111,67 +56,20 @@ void ClientConnection::send_client_hello(const FlightSink& sink) {
   if (costs_) charge(costs_->kem_keygen(active_ka_->name()));
   kem_secret_key_ = std::move(kp.secret_key);
 
-  Writer body;
-  body.u16(0x0303);                  // legacy_version
-  body.raw(rng_.bytes(32));          // random
-  body.vec8(rng_.bytes(32));         // legacy_session_id (compat mode)
-  {
-    Writer suites;
-    suites.u16(kAes128GcmSha256);
-    body.vec16(suites.buffer());
-  }
-  body.vec8(Bytes{0});  // legacy_compression_methods
+  ClientHello hello;
+  hello.random = rng_.bytes(32);
+  hello.session_id = rng_.bytes(32);  // legacy_session_id (compat mode)
+  hello.cipher_suites = {kAes128GcmSha256};
+  hello.server_name = "pqtls-bench.example.net";
+  // supported_groups: the share's group first, then further offers.
+  hello.supported_groups.push_back(group_id(*active_ka_));
+  for (const kem::Kem* extra : config_.also_supported)
+    if (extra != active_ka_) hello.supported_groups.push_back(group_id(*extra));
+  hello.signature_schemes = {scheme_id(*config_.sa)};
+  hello.key_share_group = group_id(*active_ka_);
+  hello.key_share = std::move(kp.public_key);
 
-  Writer exts;
-  {  // server_name
-    Writer sni;
-    static constexpr char kHost[] = "pqtls-bench.example.net";
-    Writer list;
-    list.u8(0);  // host_name
-    list.vec16(BytesView{reinterpret_cast<const std::uint8_t*>(kHost),
-                         sizeof(kHost) - 1});
-    sni.vec16(list.buffer());
-    exts.u16(kServerName);
-    exts.vec16(sni.buffer());
-  }
-  {  // supported_versions
-    Writer sv;
-    Writer versions;
-    versions.u16(kTls13);
-    sv.vec8(versions.buffer());
-    exts.u16(kSupportedVersions);
-    exts.vec16(sv.buffer());
-  }
-  {  // supported_groups: the share's group first, then further offers
-    Writer sg;
-    Writer groups;
-    groups.u16(group_id(*active_ka_));
-    for (const kem::Kem* extra : config_.also_supported)
-      if (extra != active_ka_) groups.u16(group_id(*extra));
-    sg.vec16(groups.buffer());
-    exts.u16(kSupportedGroups);
-    exts.vec16(sg.buffer());
-  }
-  {  // signature_algorithms
-    Writer sa;
-    Writer schemes;
-    schemes.u16(scheme_id(*config_.sa));
-    sa.vec16(schemes.buffer());
-    exts.u16(kSignatureAlgorithms);
-    exts.vec16(sa.buffer());
-  }
-  {  // key_share
-    Writer ks;
-    Writer entries;
-    entries.u16(group_id(*active_ka_));
-    entries.vec16(kp.public_key);
-    ks.vec16(entries.buffer());
-    exts.u16(kKeyShare);
-    exts.vec16(ks.buffer());
-  }
-  body.vec16(exts.buffer());
-
-  Bytes msg = handshake_message(kClientHello, body.buffer());
+  Bytes msg = encode_client_hello(hello);
   key_schedule_.update_transcript(msg);
   Bytes record = records_.seal(ContentType::kHandshake, msg);
   if (costs_) charge(costs_->per_byte(record.size()));
@@ -180,243 +78,151 @@ void ClientConnection::send_client_hello(const FlightSink& sink) {
 }
 
 void ClientConnection::on_data(BytesView data, const FlightSink& sink) {
-  if (state_ == State::kFailed || state_ == State::kComplete) return;
-  records_.feed(data);
-  for (;;) {
-    std::optional<Record> record;
-    {
-      Scope scope(profiler_, Lib::kLibcrypto);  // record decryption
-      record = records_.pop();
-    }
-    if (records_.failed()) {
-      fail();
-      return;
-    }
-    if (!record) return;
-    if (costs_) charge(costs_->per_byte(record->payload.size()));
-    if (record->type == ContentType::kChangeCipherSpec) continue;
-    if (record->type == ContentType::kAlert) {
-      fail();
-      return;
-    }
-    if (record->type != ContentType::kHandshake) {
-      fail();
-      return;
-    }
-    append(handshake_buffer_, record->payload);
-    // Extract complete handshake messages.
-    while (handshake_buffer_.size() >= 4) {
-      std::size_t len = (std::size_t{handshake_buffer_[1]} << 16) |
-                        (std::size_t{handshake_buffer_[2]} << 8) |
-                        handshake_buffer_[3];
-      if (handshake_buffer_.size() < 4 + len) break;
-      Bytes full(handshake_buffer_.begin(), handshake_buffer_.begin() + 4 + len);
-      Bytes body(handshake_buffer_.begin() + 4,
-                 handshake_buffer_.begin() + 4 + len);
-      std::uint8_t type = full[0];
-      handshake_buffer_.erase(handshake_buffer_.begin(),
-                              handshake_buffer_.begin() + 4 + len);
-      handle_handshake_message(type, body, full, sink);
-      if (state_ == State::kFailed || state_ == State::kComplete) return;
-    }
-  }
+  if (terminal()) return;
+  pump(data, sink);
 }
 
-void ClientConnection::fail_alert(const FlightSink& sink) {
-  // RFC 8446 6.2: failures abort the handshake with a fatal alert.
-  Bytes alert = records_.seal(ContentType::kAlert, kFatalHandshakeFailure);
-  state_ = State::kFailed;
-  sink(alert);
+void ClientConnection::on_server_hello(BytesView body, BytesView full,
+                                       const FlightSink& sink) {
+  std::optional<ServerHello> sh = parse_server_hello(body);
+  if (!sh) return fail_alert(sink);
+  if (sh->retry_request) return on_retry_request(*sh, full, sink);
+  if (sh->cipher_suite != kAes128GcmSha256) return fail_alert(sink);
+  if (sh->key_share_group != group_id(*active_ka_)) return fail_alert(sink);
+
+  key_schedule_.update_transcript(full);
+  std::optional<Bytes> shared;  // CT_SECRET: shared
+  {
+    Scope scope(profiler_, Lib::kLibcrypto);
+    shared = active_ka_->decapsulate(kem_secret_key_, sh->key_share);
+  }
+  if (costs_) charge(costs_->kem_decaps(active_ka_->name()));
+  // The decapsulation key share is one-shot; drop it immediately.
+  ct::wipe(kem_secret_key_);
+  kem_secret_key_.clear();
+  if (!shared) return fail_alert(sink);  // ct-lint: allow(secret-branch) presence of the decaps result is public
+  {
+    Scope scope(profiler_, Lib::kLibcrypto);
+    key_schedule_.derive_handshake_secrets(*shared);
+    records_.set_read_keys(
+        derive_traffic_keys(key_schedule_.server_handshake_traffic()));
+    records_.set_write_keys(
+        derive_traffic_keys(key_schedule_.client_handshake_traffic()));
+  }
+  if (costs_) charge(3 * costs_->kdf());
+  ct::wipe(*shared);  // traffic secrets are installed; drop the input
+  state_ = State::kWaitEncryptedExtensions;
 }
 
-void ClientConnection::handle_handshake_message(std::uint8_t type,
-                                                BytesView body, BytesView full,
-                                                const FlightSink& sink) {
-  switch (state_) {
-    case State::kWaitServerHello: {
-      if (type != kServerHello) return fail_alert(sink);
-      Reader r(body);
-      r.u16();      // legacy_version
-      Bytes random = r.raw(32);
-      // HelloRetryRequest is a ServerHello with a well-known random value
-      // (RFC 8446 4.1.3): the server rejected our key share's group.
-      static const Bytes kHrrRandom = crypto::sha256(
-          BytesView{reinterpret_cast<const std::uint8_t*>("HelloRetryRequest"),
-                    17});
-      if (random == kHrrRandom) {
-        if (hrr_seen_) return fail_alert(sink);  // at most one retry
-        hrr_seen_ = true;
-        Reader hr(body);
-        hr.u16();
-        hr.raw(32);
-        hr.vec8();
-        hr.u16();
-        hr.u8();
-        Bytes hrr_exts = hr.vec16();
-        if (hr.failed()) return fail_alert(sink);
-        std::uint16_t requested = 0;
-        Reader er(hrr_exts);
-        while (!er.done() && !er.failed()) {
-          std::uint16_t ext_type = er.u16();
-          Bytes ext_data = er.vec16();
-          if (ext_type == kKeyShare && ext_data.size() == 2)
-            requested = static_cast<std::uint16_t>((ext_data[0] << 8) |
-                                                   ext_data[1]);
-        }
-        const kem::Kem* requested_ka = group_by_id(requested);
-        bool offered = requested_ka == config_.ka;
-        for (const kem::Kem* extra : config_.also_supported)
-          offered = offered || requested_ka == extra;
-        if (!requested_ka || !offered) return fail_alert(sink);
-        active_ka_ = requested_ka;
-        key_schedule_.convert_to_hrr_transcript();
-        key_schedule_.update_transcript(full);
-        send_client_hello(sink);
-        state_ = State::kWaitServerHello;
-        return;
-      }
-      r.vec8();     // session id echo
-      std::uint16_t suite = r.u16();
-      r.u8();       // compression
-      Bytes exts = r.vec16();
-      if (r.failed() || suite != kAes128GcmSha256) return fail_alert(sink);
-      Bytes ciphertext;
-      std::uint16_t selected_group = 0;
-      Reader er(exts);
-      while (!er.done() && !er.failed()) {
-        std::uint16_t ext_type = er.u16();
-        Bytes ext_data = er.vec16();
-        if (ext_type == kKeyShare) {
-          Reader kr(ext_data);
-          selected_group = kr.u16();
-          ciphertext = kr.vec16();
-        }
-      }
-      if (er.failed() || selected_group != group_id(*active_ka_))
-        return fail_alert(sink);
+void ClientConnection::on_retry_request(const ServerHello& hrr, BytesView full,
+                                        const FlightSink& sink) {
+  // HelloRetryRequest (RFC 8446 4.1.3): the server rejected our key
+  // share's group and demands another one we advertised.
+  if (hrr_seen_) return fail_alert(sink);  // at most one retry
+  hrr_seen_ = true;
+  const kem::Kem* requested_ka = group_by_id(hrr.key_share_group);
+  bool offered = requested_ka == config_.ka;
+  for (const kem::Kem* extra : config_.also_supported)
+    offered = offered || requested_ka == extra;
+  if (!requested_ka || !offered) return fail_alert(sink);
+  active_ka_ = requested_ka;
+  key_schedule_.convert_to_hrr_transcript();
+  key_schedule_.update_transcript(full);
+  send_client_hello(sink);
+}
 
-      key_schedule_.update_transcript(full);
-      std::optional<Bytes> shared;  // CT_SECRET: shared
-      {
-        Scope scope(profiler_, Lib::kLibcrypto);
-        shared = active_ka_->decapsulate(kem_secret_key_, ciphertext);
-      }
-      if (costs_) charge(costs_->kem_decaps(active_ka_->name()));
-      // The decapsulation key share is one-shot; drop it immediately.
-      ct::wipe(kem_secret_key_);
-      kem_secret_key_.clear();
-      if (!shared) return fail_alert(sink);  // ct-lint: allow(secret-branch) presence of the decaps result is public
-      {
-        Scope scope(profiler_, Lib::kLibcrypto);
-        key_schedule_.derive_handshake_secrets(*shared);
-        records_.set_read_keys(
-            derive_traffic_keys(key_schedule_.server_handshake_traffic()));
-        records_.set_write_keys(
-            derive_traffic_keys(key_schedule_.client_handshake_traffic()));
-      }
-      if (costs_) charge(3 * costs_->kdf());
-      ct::wipe(*shared);  // traffic secrets are installed; drop the input
-      state_ = State::kWaitEncryptedExtensions;
-      return;
-    }
-    case State::kWaitEncryptedExtensions: {
-      if (type != kEncryptedExtensions) return fail_alert(sink);
-      key_schedule_.update_transcript(full);
-      state_ = State::kWaitCertificate;
-      return;
-    }
-    case State::kWaitCertificate: {
-      if (type != kCertificate) return fail_alert(sink);
-      Reader r(body);
-      r.vec8();  // certificate_request_context
-      Bytes list = r.vec24();
-      if (r.failed()) return fail_alert(sink);
-      Reader lr(list);
-      peer_chain_.certificates.clear();
-      while (!lr.done() && !lr.failed()) {
-        Bytes cert_data = lr.vec24();
-        lr.vec16();  // extensions
-        auto cert = pki::Certificate::decode(cert_data);
-        if (!cert) return fail_alert(sink);
-        peer_chain_.certificates.push_back(std::move(*cert));
-      }
-      if (lr.failed() || peer_chain_.certificates.empty()) return fail_alert(sink);
-      key_schedule_.update_transcript(full);
-      state_ = State::kWaitCertificateVerify;
-      return;
-    }
-    case State::kWaitCertificateVerify: {
-      if (type != kCertificateVerify) return fail_alert(sink);
-      Reader r(body);
-      std::uint16_t scheme = r.u16();
-      Bytes signature = r.vec16();
-      if (r.failed()) return fail_alert(sink);
-      const sig::Signer* signer = scheme_by_id(scheme);
-      if (!signer || signer != config_.sa) return fail_alert(sink);
-      Bytes content =
-          certificate_verify_content(key_schedule_.transcript_hash());
-      bool ok;
-      {
-        Scope scope(profiler_, Lib::kLibcrypto);
-        ok = signer->verify(peer_chain_.certificates[0].subject_public_key,
-                            content, signature) &&
-             pki::verify_chain(peer_chain_, config_.root, config_.now);
-      }
-      // CertificateVerify plus the chain signature: two verifications.
-      if (costs_) charge(2 * costs_->verify(signer->name()));
-      if (!ok) return fail_alert(sink);
-      key_schedule_.update_transcript(full);
-      state_ = State::kWaitFinished;
-      return;
-    }
-    case State::kWaitFinished: {
-      if (type != kFinished) return fail_alert(sink);
-      Bytes expected;
-      {
-        Scope scope(profiler_, Lib::kLibcrypto);
-        expected = key_schedule_.finished_verify_data(
-            key_schedule_.server_handshake_traffic(),
-            key_schedule_.transcript_hash());
-      }
-      if (!ct::equal(expected, body)) return fail_alert(sink);
-      key_schedule_.update_transcript(full);
+void ClientConnection::on_encrypted_extensions(BytesView body, BytesView full,
+                                               const FlightSink& sink) {
+  if (!parse_encrypted_extensions(body)) return fail_alert(sink);
+  key_schedule_.update_transcript(full);
+  state_ = State::kWaitCertificate;
+}
 
-      // Client flight: dummy CCS + Finished, one TCP write (the paper
-      // observed both always in the same IP packet).
-      Bytes verify;
-      {
-        Scope scope(profiler_, Lib::kLibcrypto);
-        verify = key_schedule_.finished_verify_data(
-            key_schedule_.client_handshake_traffic(),
-            key_schedule_.transcript_hash());
-      }
-      Bytes fin = handshake_message(kFinished, verify);
-      key_schedule_.update_transcript(fin);
-      Bytes out = records_.seal(ContentType::kChangeCipherSpec, kCcsPayload);
-      {
-        Scope scope(profiler_, Lib::kLibcrypto);
-        append(out, records_.seal(ContentType::kHandshake, fin));
-        key_schedule_.derive_application_secrets();
-      }
-      // Two Finished MACs, the sealed flight, application-secret derivation.
-      if (costs_) charge(4 * costs_->kdf() + costs_->per_byte(out.size()));
-      key_schedule_.wipe_handshake_secrets();
-      state_ = State::kComplete;
-      sink(out);
-      return;
-    }
-    default:
-      return fail_alert(sink);
+void ClientConnection::on_certificate(BytesView body, BytesView full,
+                                      const FlightSink& sink) {
+  std::optional<pki::CertificateChain> chain = parse_certificate(body);
+  if (!chain || chain->certificates.empty()) return fail_alert(sink);
+  peer_chain_ = std::move(*chain);
+  key_schedule_.update_transcript(full);
+  state_ = State::kWaitCertificateVerify;
+}
+
+void ClientConnection::on_certificate_verify(BytesView body, BytesView full,
+                                             const FlightSink& sink) {
+  std::optional<CertificateVerify> cv = parse_certificate_verify(body);
+  if (!cv) return fail_alert(sink);
+  const sig::Signer* signer = scheme_by_id(cv->scheme);
+  if (!signer || signer != config_.sa) return fail_alert(sink);
+  bool ok;
+  {
+    Scope scope(profiler_, Lib::kLibcrypto);
+    ok = verify_certificate_verify(*signer,
+                                   peer_chain_.certificates[0].subject_public_key,
+                                   key_schedule_.transcript_hash(),
+                                   cv->signature) &&
+         pki::verify_chain(peer_chain_, config_.root, config_.now);
   }
+  // CertificateVerify plus the chain signature: two verifications.
+  if (costs_) charge(2 * costs_->verify(signer->name()));
+  if (!ok) return fail_alert(sink);
+  key_schedule_.update_transcript(full);
+  state_ = State::kWaitFinished;
+}
+
+void ClientConnection::on_server_finished(BytesView body, BytesView full,
+                                          const FlightSink& sink) {
+  Bytes expected;
+  {
+    Scope scope(profiler_, Lib::kLibcrypto);
+    expected = key_schedule_.finished_verify_data(
+        key_schedule_.server_handshake_traffic(),
+        key_schedule_.transcript_hash());
+  }
+  if (!ct::equal(expected, body)) return fail_alert(sink);
+  key_schedule_.update_transcript(full);
+
+  // Client flight: dummy CCS + Finished, one TCP write (the paper
+  // observed both always in the same IP packet).
+  Bytes verify;
+  {
+    Scope scope(profiler_, Lib::kLibcrypto);
+    verify = key_schedule_.finished_verify_data(
+        key_schedule_.client_handshake_traffic(),
+        key_schedule_.transcript_hash());
+  }
+  Bytes fin = encode_finished(verify);
+  key_schedule_.update_transcript(fin);
+  Bytes out = records_.seal(ContentType::kChangeCipherSpec, ccs_payload());
+  {
+    Scope scope(profiler_, Lib::kLibcrypto);
+    append(out, records_.seal(ContentType::kHandshake, fin));
+    key_schedule_.derive_application_secrets();
+  }
+  // Two Finished MACs, the sealed flight, application-secret derivation.
+  if (costs_) charge(4 * costs_->kdf() + costs_->per_byte(out.size()));
+  key_schedule_.wipe_handshake_secrets();
+  state_ = State::kComplete;
+  sink(out);
 }
 
 // ---------------------------------------------------------------------------
 // Server
 // ---------------------------------------------------------------------------
 
+std::span<const ServerConnection::Rule> ServerConnection::rules() {
+  static constexpr Rule kRules[] = {
+      {State::kWaitClientHello, HandshakeType::kClientHello,
+       &ServerConnection::on_client_hello},
+      {State::kWaitClientFinished, HandshakeType::kFinished,
+       &ServerConnection::on_client_finished},
+  };
+  return kRules;
+}
+
 ServerConnection::ServerConnection(const ServerConfig& config, crypto::Drbg rng,
                                    perf::Profiler* profiler)
-    : config_(config), rng_(std::move(rng)), profiler_(profiler) {}
+    : HandshakeCore<ServerConnection>(std::move(rng), profiler),
+      config_(config) {}
 
 void ServerConnection::queue(Bytes record_bytes, const FlightSink& sink,
                              bool message_done) {
@@ -443,157 +249,20 @@ void ServerConnection::flush(const FlightSink& sink) {
 }
 
 void ServerConnection::on_data(BytesView data, const FlightSink& sink) {
-  if (state_ == State::kFailed || state_ == State::kComplete) return;
-  records_.feed(data);
-  for (;;) {
-    std::optional<Record> record;
-    {
-      Scope scope(profiler_, Lib::kLibcrypto);
-      record = records_.pop();
-    }
-    if (records_.failed()) {
-      fail();
-      return;
-    }
-    if (!record) return;
-    if (costs_) charge(costs_->per_byte(record->payload.size()));
-    if (record->type == ContentType::kChangeCipherSpec) continue;
-    if (record->type != ContentType::kHandshake) {
-      fail();
-      return;
-    }
-    append(handshake_buffer_, record->payload);
-    while (handshake_buffer_.size() >= 4) {
-      std::size_t len = (std::size_t{handshake_buffer_[1]} << 16) |
-                        (std::size_t{handshake_buffer_[2]} << 8) |
-                        handshake_buffer_[3];
-      if (handshake_buffer_.size() < 4 + len) break;
-      Bytes full(handshake_buffer_.begin(), handshake_buffer_.begin() + 4 + len);
-      Bytes body(handshake_buffer_.begin() + 4,
-                 handshake_buffer_.begin() + 4 + len);
-      std::uint8_t type = full[0];
-      handshake_buffer_.erase(handshake_buffer_.begin(),
-                              handshake_buffer_.begin() + 4 + len);
-      handle_handshake_message(type, body, full, sink);
-      if (state_ == State::kFailed || state_ == State::kComplete) return;
-    }
-  }
+  if (terminal()) return;
+  pump(data, sink);
 }
 
-void ServerConnection::handle_handshake_message(std::uint8_t type,
-                                                BytesView body, BytesView full,
-                                                const FlightSink& sink) {
-  if (state_ == State::kWaitClientHello) {
-    if (type != kClientHello) return fail();
-    handle_client_hello(body, full, sink);
-    return;
-  }
-  if (state_ == State::kWaitClientFinished) {
-    if (type != kFinished) return fail();
-    Bytes expected;
-    {
-      Scope scope(profiler_, Lib::kLibcrypto);
-      expected = key_schedule_.finished_verify_data(
-          key_schedule_.client_handshake_traffic(),
-          key_schedule_.transcript_hash());
-    }
-    if (costs_) charge(costs_->kdf());
-    if (!ct::equal(expected, body)) return fail_alert(sink);
-    key_schedule_.update_transcript(full);
-    key_schedule_.wipe_handshake_secrets();
-    state_ = State::kComplete;
-    return;
-  }
-  fail_alert(sink);
-}
-
-void ServerConnection::fail_alert(const FlightSink& sink) {
-  Bytes alert = records_.seal(ContentType::kAlert, kFatalHandshakeFailure);
-  state_ = State::kFailed;
-  sink(alert);
-}
-
-void ServerConnection::handle_client_hello(BytesView body, BytesView full,
-                                           const FlightSink& sink) {
-  Reader r(body);
-  r.u16();
-  r.raw(32);
-  Bytes session_id = r.vec8();
-  Bytes suites = r.vec16();
-  r.vec8();
-  Bytes exts = r.vec16();
-  if (r.failed()) return fail_alert(sink);
-
-  Bytes client_share;
-  std::uint16_t client_group = 0;
-  std::uint16_t client_scheme = 0;
-  std::vector<std::uint16_t> supported_groups;
-  Reader er(exts);
-  while (!er.done() && !er.failed()) {
-    std::uint16_t ext_type = er.u16();
-    Bytes ext_data = er.vec16();
-    if (ext_type == kKeyShare) {
-      Reader kr(ext_data);
-      Bytes entries = kr.vec16();
-      Reader entry(entries);
-      client_group = entry.u16();
-      client_share = entry.vec16();
-    } else if (ext_type == kSupportedGroups) {
-      Reader sr(ext_data);
-      Bytes groups = sr.vec16();
-      for (std::size_t i = 0; i + 1 < groups.size(); i += 2)
-        supported_groups.push_back(
-            static_cast<std::uint16_t>((groups[i] << 8) | groups[i + 1]));
-    } else if (ext_type == kSignatureAlgorithms) {
-      Reader sr(ext_data);
-      Bytes schemes = sr.vec16();
-      if (schemes.size() >= 2)
-        client_scheme = static_cast<std::uint16_t>((schemes[0] << 8) | schemes[1]);
-    }
-  }
-  if (er.failed()) return fail_alert(sink);
+void ServerConnection::on_client_hello(BytesView body, BytesView full,
+                                       const FlightSink& sink) {
+  std::optional<ClientHello> hello = parse_client_hello(body);
+  if (!hello) return fail_alert(sink);
+  std::uint16_t client_scheme =
+      hello->signature_schemes.empty() ? 0 : hello->signature_schemes.front();
   if (client_scheme != scheme_id(*config_.sa)) return fail_alert(sink);
-  if (client_group != group_id(*config_.ka)) {
-    // No usable key share. If the client at least supports our group, ask
-    // for a retry (HelloRetryRequest): the 2-RTT fallback.
-    bool supports_ours = false;
-    for (std::uint16_t g : supported_groups)
-      supports_ours = supports_ours || g == group_id(*config_.ka);
-    if (!supports_ours || hrr_sent_) return fail_alert(sink);
-    hrr_sent_ = true;
-    key_schedule_.update_transcript(full);
-    key_schedule_.convert_to_hrr_transcript();
-
-    static const Bytes kHrrRandom = crypto::sha256(
-        BytesView{reinterpret_cast<const std::uint8_t*>("HelloRetryRequest"),
-                  17});
-    Writer hrr;
-    hrr.u16(0x0303);
-    hrr.raw(kHrrRandom);
-    hrr.vec8(session_id);
-    hrr.u16(kAes128GcmSha256);
-    hrr.u8(0);
-    {
-      Writer hrr_exts;
-      {
-        Writer sv;
-        sv.u16(kTls13);
-        hrr_exts.u16(kSupportedVersions);
-        hrr_exts.vec16(sv.buffer());
-      }
-      {
-        Writer ks;
-        ks.u16(group_id(*config_.ka));  // group only, no key
-        hrr_exts.u16(kKeyShare);
-        hrr_exts.vec16(ks.buffer());
-      }
-      hrr.vec16(hrr_exts.buffer());
-    }
-    Bytes hrr_msg = handshake_message(kServerHello, hrr.buffer());
-    key_schedule_.update_transcript(hrr_msg);
-    queue(records_.seal(ContentType::kHandshake, hrr_msg), sink, true);
-    flush(sink);
-    return;  // stay in kWaitClientHello for the retried ClientHello
+  if (!hello->has_key_share ||
+      hello->key_share_group != group_id(*config_.ka)) {
+    return send_retry_request(*hello, full, sink);
   }
 
   key_schedule_.update_transcript(full);
@@ -602,39 +271,23 @@ void ServerConnection::handle_client_hello(BytesView body, BytesView full,
   std::optional<kem::Encapsulation> enc;
   {
     Scope scope(profiler_, Lib::kLibcrypto);
-    enc = config_.ka->encapsulate(client_share, rng_);
+    enc = config_.ka->encapsulate(hello->key_share, rng_);
   }
   if (costs_) charge(costs_->kem_encaps(config_.ka->name()));
   if (!enc) return fail_alert(sink);
 
-  Writer sh;
-  sh.u16(0x0303);
-  sh.raw(rng_.bytes(32));
-  sh.vec8(session_id);
-  sh.u16(kAes128GcmSha256);
-  sh.u8(0);
-  {
-    Writer shexts;
-    {
-      Writer sv;
-      sv.u16(kTls13);
-      shexts.u16(kSupportedVersions);
-      shexts.vec16(sv.buffer());
-    }
-    {
-      Writer ks;
-      ks.u16(group_id(*config_.ka));
-      ks.vec16(enc->ciphertext);
-      shexts.u16(kKeyShare);
-      shexts.vec16(ks.buffer());
-    }
-    sh.vec16(shexts.buffer());
-  }
-  Bytes sh_msg = handshake_message(kServerHello, sh.buffer());
+  ServerHello sh;
+  sh.random = rng_.bytes(32);
+  sh.session_id = hello->session_id;  // echo
+  sh.cipher_suite = kAes128GcmSha256;
+  sh.key_share_group = group_id(*config_.ka);
+  sh.key_share = enc->ciphertext;
+  Bytes sh_msg = encode_server_hello(sh);
   key_schedule_.update_transcript(sh_msg);
-  if (costs_) charge(costs_->per_byte(sh_msg.size() + kCcsPayload.size()));
+  if (costs_) charge(costs_->per_byte(sh_msg.size() + ccs_payload().size()));
   queue(records_.seal(ContentType::kHandshake, sh_msg), sink, false);
-  queue(records_.seal(ContentType::kChangeCipherSpec, kCcsPayload), sink, true);
+  queue(records_.seal(ContentType::kChangeCipherSpec, ccs_payload()), sink,
+        true);
 
   {
     Scope scope(profiler_, Lib::kLibcrypto);
@@ -648,9 +301,7 @@ void ServerConnection::handle_client_hello(BytesView body, BytesView full,
   ct::wipe(enc->shared_secret);  // traffic secrets are installed; drop the input
 
   // --- EncryptedExtensions ---
-  Writer ee;
-  ee.vec16({});
-  Bytes ee_msg = handshake_message(kEncryptedExtensions, ee.buffer());
+  Bytes ee_msg = encode_encrypted_extensions();
   key_schedule_.update_transcript(ee_msg);
   Bytes ee_sealed;
   {
@@ -661,17 +312,7 @@ void ServerConnection::handle_client_hello(BytesView body, BytesView full,
   queue(std::move(ee_sealed), sink, false);
 
   // --- Certificate ---
-  Writer cert;
-  cert.vec8({});
-  {
-    Writer list;
-    for (const auto& c : config_.chain.certificates) {
-      list.vec24(c.encode());
-      list.vec16({});
-    }
-    cert.vec24(list.buffer());
-  }
-  Bytes cert_msg = handshake_message(kCertificate, cert.buffer());
+  Bytes cert_msg = encode_certificate(config_.chain);
   key_schedule_.update_transcript(cert_msg);
   Bytes cert_sealed;
   {
@@ -682,17 +323,16 @@ void ServerConnection::handle_client_hello(BytesView body, BytesView full,
   queue(std::move(cert_sealed), sink, true);
 
   // --- CertificateVerify (the handshake signature: expensive) ---
-  Bytes content = certificate_verify_content(key_schedule_.transcript_hash());
-  Bytes signature;
+  CertificateVerify cv;
+  cv.scheme = scheme_id(*config_.sa);
   {
     Scope scope(profiler_, Lib::kLibcrypto);
-    signature = config_.sa->sign(config_.leaf_secret_key, content, rng_);
+    cv.signature =
+        sign_certificate_verify(*config_.sa, config_.leaf_secret_key,
+                                key_schedule_.transcript_hash(), rng_);
   }
   if (costs_) charge(costs_->sign(config_.sa->name()));
-  Writer cv;
-  cv.u16(scheme_id(*config_.sa));
-  cv.vec16(signature);
-  Bytes cv_msg = handshake_message(kCertificateVerify, cv.buffer());
+  Bytes cv_msg = encode_certificate_verify(cv);
   key_schedule_.update_transcript(cv_msg);
   Bytes cv_sealed;
   {
@@ -710,7 +350,7 @@ void ServerConnection::handle_client_hello(BytesView body, BytesView full,
         key_schedule_.server_handshake_traffic(),
         key_schedule_.transcript_hash());
   }
-  Bytes fin_msg = handshake_message(kFinished, verify);
+  Bytes fin_msg = encode_finished(verify);
   key_schedule_.update_transcript(fin_msg);
   Bytes fin_sealed;
   {
@@ -727,6 +367,47 @@ void ServerConnection::handle_client_hello(BytesView body, BytesView full,
     key_schedule_.derive_application_secrets();
   }
   state_ = State::kWaitClientFinished;
+}
+
+void ServerConnection::send_retry_request(const ClientHello& hello,
+                                          BytesView full,
+                                          const FlightSink& sink) {
+  // No usable key share. If the client at least supports our group, ask
+  // for a retry (HelloRetryRequest): the 2-RTT fallback.
+  bool supports_ours = false;
+  for (std::uint16_t g : hello.supported_groups)
+    supports_ours = supports_ours || g == group_id(*config_.ka);
+  if (!supports_ours || hrr_sent_) return fail_alert(sink);
+  hrr_sent_ = true;
+  key_schedule_.update_transcript(full);
+  key_schedule_.convert_to_hrr_transcript();
+
+  ServerHello hrr;
+  hrr.retry_request = true;
+  hrr.session_id = hello.session_id;
+  hrr.cipher_suite = kAes128GcmSha256;
+  hrr.key_share_group = group_id(*config_.ka);  // group only, no key
+  Bytes hrr_msg = encode_server_hello(hrr);
+  key_schedule_.update_transcript(hrr_msg);
+  queue(records_.seal(ContentType::kHandshake, hrr_msg), sink, true);
+  flush(sink);
+  // Stay in kWaitClientHello for the retried ClientHello.
+}
+
+void ServerConnection::on_client_finished(BytesView body, BytesView full,
+                                          const FlightSink& sink) {
+  Bytes expected;
+  {
+    Scope scope(profiler_, Lib::kLibcrypto);
+    expected = key_schedule_.finished_verify_data(
+        key_schedule_.client_handshake_traffic(),
+        key_schedule_.transcript_hash());
+  }
+  if (costs_) charge(costs_->kdf());
+  if (!ct::equal(expected, body)) return fail_alert(sink);
+  key_schedule_.update_transcript(full);
+  key_schedule_.wipe_handshake_secrets();
+  state_ = State::kComplete;
 }
 
 }  // namespace pqtls::tls

@@ -1,13 +1,21 @@
 // TLS 1.3 handshake state machines (1-RTT, server-authenticated), generic
 // over the KEM (key agreement) and signature algorithm — the system under
-// measurement in the paper. The server implements both OpenSSL message-
-// buffering behaviours analysed in the paper's section 4: the default
-// 4096-byte internal buffer (flushed when exceeded or when the
-// CertificateVerify flight completes) and the optimized immediate mode that
-// pushes ServerHello and Certificate as soon as they are computed.
+// measurement in the paper. Both roles are thin drivers over a shared
+// HandshakeCore: the core owns the record pump, handshake-message
+// reassembly, transcript/key-schedule state, deterministic cost accounting
+// and failure policy, and dispatches complete messages through a per-role
+// state table; the drivers implement per-message handlers in terms of the
+// tls/messages codec and never touch wire bytes directly. The server
+// implements both OpenSSL message-buffering behaviours analysed in the
+// paper's section 4: the default 4096-byte internal buffer (flushed when
+// exceeded or when the CertificateVerify flight completes) and the
+// optimized immediate mode that pushes ServerHello and Certificate as soon
+// as they are computed.
 #pragma once
 
 #include <functional>
+#include <optional>
+#include <span>
 #include <string>
 
 #include "kem/kem.hpp"
@@ -16,6 +24,7 @@
 #include "pki/certificate.hpp"
 #include "sig/sig.hpp"
 #include "tls/key_schedule.hpp"
+#include "tls/messages.hpp"
 #include "tls/record_layer.hpp"
 
 namespace pqtls::tls {
@@ -52,7 +61,104 @@ struct ClientConfig {
 /// harness timestamps calls to attribute compute time between flights).
 using FlightSink = std::function<void(BytesView)>;
 
-class ClientConnection {
+/// Shared handshake engine beneath both connection roles. Derived classes
+/// declare a table of (state, expected message, handler) rules; the core
+/// pumps records, reassembles handshake messages and dispatches each one
+/// through the table. A message arriving in a state with no matching rule
+/// fails the handshake — with a fatal alert on the wire when the role sets
+/// kAlertOnUnexpected, silently otherwise (the server's behaviour for
+/// garbage instead of a ClientHello).
+template <typename Derived>
+class HandshakeCore {
+ public:
+  /// Deterministic virtual-time accounting (the testbed's modeled time
+  /// mode): with a cost model installed, every cryptographic operation
+  /// accumulates its modeled cost; the harness drains the accumulator
+  /// after each processing step and advances the simulated clock by it.
+  void set_cost_model(const perf::CostModel* costs) { costs_ = costs; }
+  double modeled_cost() const { return modeled_cost_; }
+  double take_modeled_cost() {
+    double v = modeled_cost_;
+    modeled_cost_ = 0;
+    return v;
+  }
+
+ protected:
+  HandshakeCore(crypto::Drbg rng, perf::Profiler* profiler)
+      : rng_(std::move(rng)), profiler_(profiler) {}
+
+  Derived& self() { return static_cast<Derived&>(*this); }
+
+  /// Feed transport bytes: decrypt records (tolerating dummy CCS), charge
+  /// modeled per-byte cost, reassemble handshake messages across record
+  /// boundaries and dispatch each complete one through the rule table.
+  void pump(BytesView data, const FlightSink& sink) {
+    records_.feed(data);
+    for (;;) {
+      std::optional<Record> record;
+      {
+        perf::Scope scope(profiler_, perf::Lib::kLibcrypto);  // record decryption
+        record = records_.pop();
+      }
+      if (records_.failed()) return self().fail();
+      if (!record) return;
+      if (costs_) charge(costs_->per_byte(record->payload.size()));
+      if (record->type == ContentType::kChangeCipherSpec) continue;
+      if (record->type != ContentType::kHandshake) return self().fail();
+      append(handshake_buffer_, record->payload);
+      // Extract complete handshake messages.
+      while (handshake_buffer_.size() >= 4) {
+        std::size_t len = (std::size_t{handshake_buffer_[1]} << 16) |
+                          (std::size_t{handshake_buffer_[2]} << 8) |
+                          handshake_buffer_[3];
+        if (handshake_buffer_.size() < 4 + len) break;
+        Bytes full(handshake_buffer_.begin(),
+                   handshake_buffer_.begin() + 4 + len);
+        Bytes body(handshake_buffer_.begin() + 4,
+                   handshake_buffer_.begin() + 4 + len);
+        std::uint8_t type = full[0];
+        handshake_buffer_.erase(handshake_buffer_.begin(),
+                                handshake_buffer_.begin() + 4 + len);
+        dispatch(type, body, full, sink);
+        if (self().terminal()) return;
+      }
+    }
+  }
+
+  /// Route one complete handshake message through Derived's rule table.
+  void dispatch(std::uint8_t type, BytesView body, BytesView full,
+                const FlightSink& sink) {
+    for (const auto& rule : Derived::rules()) {
+      if (rule.state != self().state_) continue;
+      if (type == static_cast<std::uint8_t>(rule.expect))
+        return (self().*(rule.handler))(body, full, sink);
+      break;  // expected state, unexpected message (one rule per state)
+    }
+    if (Derived::kAlertOnUnexpected)
+      fail_alert(sink);
+    else
+      self().fail();
+  }
+
+  /// Abort with a fatal handshake_failure alert on the wire (RFC 8446 6.2).
+  void fail_alert(const FlightSink& sink) {
+    Bytes alert = records_.seal(ContentType::kAlert, fatal_handshake_failure());
+    self().fail();
+    sink(alert);
+  }
+
+  void charge(double seconds) { modeled_cost_ += seconds; }
+
+  crypto::Drbg rng_;
+  perf::Profiler* profiler_;
+  const perf::CostModel* costs_ = nullptr;
+  double modeled_cost_ = 0;
+  RecordLayer records_;
+  KeySchedule key_schedule_;
+  Bytes handshake_buffer_;  // handshake-message reassembly
+};
+
+class ClientConnection : public HandshakeCore<ClientConnection> {
  public:
   ClientConnection(const ClientConfig& config, crypto::Drbg rng,
                    perf::Profiler* profiler = nullptr);
@@ -66,19 +172,9 @@ class ClientConnection {
   bool failed() const { return state_ == State::kFailed; }
   const Bytes& exporter_secret() const { return key_schedule_.client_application_traffic(); }
 
-  /// Deterministic virtual-time accounting (the testbed's modeled time
-  /// mode): with a cost model installed, every cryptographic operation
-  /// accumulates its modeled cost; the harness drains the accumulator
-  /// after each processing step and advances the simulated clock by it.
-  void set_cost_model(const perf::CostModel* costs) { costs_ = costs; }
-  double modeled_cost() const { return modeled_cost_; }
-  double take_modeled_cost() {
-    double v = modeled_cost_;
-    modeled_cost_ = 0;
-    return v;
-  }
-
  private:
+  friend class HandshakeCore<ClientConnection>;
+
   enum class State {
     kStart,
     kWaitServerHello,
@@ -90,31 +186,41 @@ class ClientConnection {
     kFailed,
   };
 
-  void handle_handshake_message(std::uint8_t type, BytesView body,
-                                BytesView full, const FlightSink& sink);
+  struct Rule {
+    State state;
+    HandshakeType expect;
+    void (ClientConnection::*handler)(BytesView body, BytesView full,
+                                      const FlightSink& sink);
+  };
+  static constexpr bool kAlertOnUnexpected = true;
+  static std::span<const Rule> rules();
+
+  bool terminal() const {
+    return state_ == State::kComplete || state_ == State::kFailed;
+  }
   void fail() { state_ = State::kFailed; }
-  /// Abort with a fatal handshake_failure alert on the wire.
-  void fail_alert(const FlightSink& sink);
 
   void send_client_hello(const FlightSink& sink);
-  void charge(double seconds) { modeled_cost_ += seconds; }
+  void on_server_hello(BytesView body, BytesView full, const FlightSink& sink);
+  void on_retry_request(const ServerHello& hrr, BytesView full,
+                        const FlightSink& sink);
+  void on_encrypted_extensions(BytesView body, BytesView full,
+                               const FlightSink& sink);
+  void on_certificate(BytesView body, BytesView full, const FlightSink& sink);
+  void on_certificate_verify(BytesView body, BytesView full,
+                             const FlightSink& sink);
+  void on_server_finished(BytesView body, BytesView full,
+                          const FlightSink& sink);
 
   ClientConfig config_;
-  crypto::Drbg rng_;
-  perf::Profiler* profiler_;
-  const perf::CostModel* costs_ = nullptr;
-  double modeled_cost_ = 0;
   State state_ = State::kStart;
-  RecordLayer records_;
-  KeySchedule key_schedule_;
   const kem::Kem* active_ka_ = nullptr;  // after HRR may differ from config
   Bytes kem_secret_key_;
-  Bytes handshake_buffer_;  // handshake-message reassembly
   pki::CertificateChain peer_chain_;
   bool hrr_seen_ = false;
 };
 
-class ServerConnection {
+class ServerConnection : public HandshakeCore<ServerConnection> {
  public:
   ServerConnection(const ServerConfig& config, crypto::Drbg rng,
                    perf::Profiler* profiler = nullptr);
@@ -126,16 +232,9 @@ class ServerConnection {
   bool handshake_complete() const { return state_ == State::kComplete; }
   bool failed() const { return state_ == State::kFailed; }
 
-  /// See ClientConnection::set_cost_model.
-  void set_cost_model(const perf::CostModel* costs) { costs_ = costs; }
-  double modeled_cost() const { return modeled_cost_; }
-  double take_modeled_cost() {
-    double v = modeled_cost_;
-    modeled_cost_ = 0;
-    return v;
-  }
-
  private:
+  friend class HandshakeCore<ServerConnection>;
+
   enum class State {
     kWaitClientHello,
     kWaitClientFinished,
@@ -143,27 +242,31 @@ class ServerConnection {
     kFailed,
   };
 
-  void handle_client_hello(BytesView body, BytesView full,
-                           const FlightSink& sink);
-  void handle_handshake_message(std::uint8_t type, BytesView body,
-                                BytesView full, const FlightSink& sink);
+  struct Rule {
+    State state;
+    HandshakeType expect;
+    void (ServerConnection::*handler)(BytesView body, BytesView full,
+                                      const FlightSink& sink);
+  };
+  static constexpr bool kAlertOnUnexpected = false;
+  static std::span<const Rule> rules();
+
+  bool terminal() const {
+    return state_ == State::kComplete || state_ == State::kFailed;
+  }
+  void fail() { state_ = State::kFailed; }
+
+  void on_client_hello(BytesView body, BytesView full, const FlightSink& sink);
+  void send_retry_request(const ClientHello& hello, BytesView full,
+                          const FlightSink& sink);
+  void on_client_finished(BytesView body, BytesView full,
+                          const FlightSink& sink);
   // Buffered-send helpers implementing the two OpenSSL behaviours.
   void queue(Bytes record_bytes, const FlightSink& sink, bool message_done);
   void flush(const FlightSink& sink);
-  void fail() { state_ = State::kFailed; }
-  /// Abort with a fatal handshake_failure alert on the wire.
-  void fail_alert(const FlightSink& sink);
-  void charge(double seconds) { modeled_cost_ += seconds; }
 
   ServerConfig config_;
-  crypto::Drbg rng_;
-  perf::Profiler* profiler_;
-  const perf::CostModel* costs_ = nullptr;
-  double modeled_cost_ = 0;
   State state_ = State::kWaitClientHello;
-  RecordLayer records_;
-  KeySchedule key_schedule_;
-  Bytes handshake_buffer_;
   Bytes pending_;  // output buffer (default mode)
   bool hrr_sent_ = false;
 };

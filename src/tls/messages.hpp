@@ -1,0 +1,120 @@
+// Typed TLS 1.3 handshake-message codec, shared by both connection ends:
+// encoders produce the exact byte layout the paper's measurements depend
+// on (extension order included), and parsers are strict and bounds-checked
+// — truncated length prefixes, overlong vectors and malformed key shares
+// return nullopt instead of reading out of bounds. ClientConnection and
+// ServerConnection contain no wire-format knowledge of their own; they
+// drive these structs and the shared state-machine core.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kem/kem.hpp"
+#include "pki/certificate.hpp"
+#include "sig/sig.hpp"
+
+namespace pqtls::tls {
+
+enum class HandshakeType : std::uint8_t {
+  kClientHello = 1,
+  kServerHello = 2,
+  kEncryptedExtensions = 8,
+  kCertificate = 11,
+  kCertificateVerify = 15,
+  kFinished = 20,
+};
+
+enum class Extension : std::uint16_t {
+  kServerName = 0,
+  kSupportedGroups = 10,
+  kSignatureAlgorithms = 13,
+  kSupportedVersions = 43,
+  kKeyShare = 51,
+};
+
+constexpr std::uint16_t kLegacyVersion = 0x0303;
+constexpr std::uint16_t kTls13 = 0x0304;
+constexpr std::uint16_t kAes128GcmSha256 = 0x1301;
+
+// Stable synthetic codepoints for the negotiated algorithms (the OQS fork
+// likewise assigns private-range codepoints per algorithm): groups are
+// 0x0100 + KEM registry index, signature schemes 0x0200 + signer index.
+std::uint16_t group_id(const kem::Kem& ka);
+const kem::Kem* group_by_id(std::uint16_t id);
+std::uint16_t scheme_id(const sig::Signer& sa);
+const sig::Signer* scheme_by_id(std::uint16_t id);
+
+/// Wrap a message body in the 4-byte handshake header (type + u24 length).
+Bytes handshake_message(HandshakeType type, BytesView body);
+
+/// The well-known HelloRetryRequest random value (RFC 8446 4.1.3).
+const Bytes& hrr_random();
+/// The dummy change_cipher_spec payload (middlebox compatibility mode).
+const Bytes& ccs_payload();
+/// Fatal handshake_failure alert body (level 2, description 40).
+const Bytes& fatal_handshake_failure();
+
+struct ClientHello {
+  Bytes random;
+  Bytes session_id;
+  std::vector<std::uint16_t> cipher_suites;
+  std::string server_name;
+  std::vector<std::uint16_t> supported_groups;  // key-share group first
+  std::vector<std::uint16_t> signature_schemes;
+  std::uint16_t key_share_group = 0;
+  Bytes key_share;
+  bool has_key_share = false;
+};
+
+/// Full handshake message, extensions in the fixed order server_name,
+/// supported_versions, supported_groups, signature_algorithms, key_share.
+Bytes encode_client_hello(const ClientHello& hello);
+std::optional<ClientHello> parse_client_hello(BytesView body);
+
+struct ServerHello {
+  Bytes random;  // hrr_random() when retry_request
+  Bytes session_id;
+  std::uint16_t cipher_suite = 0;
+  std::uint16_t key_share_group = 0;
+  Bytes key_share;  // KEM ciphertext; empty in a retry request
+  bool retry_request = false;
+};
+
+/// Extensions: supported_versions then key_share (group only for HRR).
+Bytes encode_server_hello(const ServerHello& hello);
+std::optional<ServerHello> parse_server_hello(BytesView body);
+
+Bytes encode_encrypted_extensions();
+bool parse_encrypted_extensions(BytesView body);
+
+/// Certificate message carrying a leaf-first chain (empty request context,
+/// no per-certificate extensions). Empty-chain policy is the caller's.
+Bytes encode_certificate(const pki::CertificateChain& chain);
+std::optional<pki::CertificateChain> parse_certificate(BytesView body);
+
+struct CertificateVerify {
+  std::uint16_t scheme = 0;
+  Bytes signature;
+};
+
+Bytes encode_certificate_verify(const CertificateVerify& cv);
+std::optional<CertificateVerify> parse_certificate_verify(BytesView body);
+
+Bytes encode_finished(BytesView verify_data);
+
+/// CertificateVerify signing context (RFC 8446 4.4.3): 64 spaces, the
+/// server context string, a zero byte, then the transcript hash.
+Bytes certificate_verify_content(BytesView transcript_hash);
+
+/// Sign/verify the CertificateVerify content for `transcript_hash` — the
+/// one construction both the server's sign path and the client's verify
+/// path must agree on, so it lives here rather than in either driver.
+Bytes sign_certificate_verify(const sig::Signer& sa, BytesView secret_key,
+                              BytesView transcript_hash, sig::Drbg& rng);
+bool verify_certificate_verify(const sig::Signer& sa, BytesView public_key,
+                               BytesView transcript_hash, BytesView signature);
+
+}  // namespace pqtls::tls

@@ -1,0 +1,110 @@
+#include "tls/server_context.hpp"
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "crypto/drbg.hpp"
+
+namespace pqtls::tls {
+
+namespace {
+
+using crypto::Drbg;
+
+struct PkiMaterial {
+  pki::CertificateChain chain;
+  Bytes leaf_secret;
+  pki::Certificate root;
+};
+
+PkiMaterial setup_pki(const sig::Signer& sa, Drbg& rng) {
+  PkiMaterial out;
+  auto ca = pki::make_root_ca(sa, "pqtls-bench root CA", rng);
+  sig::SigKeyPair leaf = sa.generate_keypair(rng);
+  pki::Certificate leaf_cert = pki::issue_certificate(
+      ca, "pqtls-bench.example.net", sa.name(), leaf.public_key, rng);
+  // Only the leaf goes on the wire (the root is the client's pre-installed
+  // trust anchor); this matches the paper's measured server volumes, e.g.
+  // ~36 kB for sphincs128 = one certificate signature + the CV signature.
+  out.chain.certificates = {leaf_cert};
+  out.leaf_secret = leaf.secret_key;
+  out.root = ca.certificate;
+  return out;
+}
+
+// Campaign workers call this concurrently: the mutex only guards map
+// insertion (std::map nodes are stable), and each entry's once_flag makes
+// exactly one thread generate the material while any other thread needing
+// the same chain blocks until it is ready instead of duplicating seconds of
+// keygen work.
+const PkiMaterial& cached_pki(const sig::Signer& sa, std::uint64_t seed) {
+  struct Entry {
+    std::once_flag once;
+    PkiMaterial material;
+  };
+  static std::mutex mu;
+  static std::map<std::pair<std::string, std::uint64_t>, Entry> cache;
+  Entry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    entry = &cache[std::pair<std::string, std::uint64_t>(sa.name(), seed)];
+  }
+  std::call_once(entry->once, [&] {
+    Drbg rng(seed);
+    Drbg pki_rng = rng.fork("pki:" + sa.name());
+    entry->material = setup_pki(sa, pki_rng);
+  });
+  return entry->material;
+}
+
+}  // namespace
+
+ServerConfig ServerContext::server_config(Buffering buffering) const {
+  ServerConfig config;
+  config.ka = ka;
+  config.sa = sa;
+  config.chain = chain;
+  config.leaf_secret_key = leaf_secret_key;
+  config.buffering = buffering;
+  return config;
+}
+
+ClientConfig ServerContext::client_config() const {
+  ClientConfig config;
+  config.ka = ka;
+  config.sa = sa;
+  config.root = root;
+  return config;
+}
+
+const ServerContext& server_context(const kem::Kem& ka, const sig::Signer& sa,
+                                    std::uint64_t seed) {
+  struct Entry {
+    std::once_flag once;
+    ServerContext context;
+  };
+  static std::mutex mu;
+  static std::map<std::tuple<std::string, std::string, std::uint64_t>, Entry>
+      cache;
+  Entry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    entry = &cache[std::make_tuple(ka.name(), sa.name(), seed)];
+  }
+  std::call_once(entry->once, [&] {
+    // Layered over the per-(SA, seed) PKI cache: a new KA with an
+    // already-built SA reuses the certificates and pays nothing.
+    const PkiMaterial& material = cached_pki(sa, seed);
+    entry->context.ka = &ka;
+    entry->context.sa = &sa;
+    entry->context.chain = material.chain;
+    entry->context.leaf_secret_key = material.leaf_secret;
+    entry->context.root = material.root;
+  });
+  return entry->context;
+}
+
+}  // namespace pqtls::tls

@@ -3,8 +3,11 @@
 // costs the extra round trip it is supposed to cost.
 #include <gtest/gtest.h>
 
+#include "crypto/sha2.hpp"
 #include "testbed/testbed.hpp"
 #include "tls/connection.hpp"
+#include "tls/key_schedule.hpp"
+#include "tls/messages.hpp"
 
 namespace pqtls::tls {
 namespace {
@@ -103,6 +106,65 @@ TEST(HelloRetryRequest, WorksAcrossAlgorithsmAndBufferingModes) {
       EXPECT_TRUE(r.ok) << server_ka << " mode " << static_cast<int>(mode);
     }
   }
+}
+
+// Regression lock on the HRR transcript surgery (RFC 8446 4.4.1): after
+// convert_to_hrr_transcript, ClientHello1 must be replaced by a synthetic
+// message_hash message — {254, 0, 0, Hash.length} || Hash(CH1) — and the
+// transcript continues from there. Both the RFC construction and a pinned
+// known-good hash are checked, so a refactor that reorders the conversion
+// sequence (convert vs. update) fails loudly.
+TEST(HelloRetryRequest, TranscriptConversionMatchesRfcConstruction) {
+  Bytes ch1 = handshake_message(HandshakeType::kClientHello, Bytes(40, 0xAA));
+  Bytes hrr = handshake_message(HandshakeType::kServerHello, Bytes(52, 0xBB));
+  Bytes ch2 = handshake_message(HandshakeType::kClientHello, Bytes(44, 0xCC));
+
+  // Client-side order: CH1, convert, then HRR and CH2.
+  KeySchedule ks;
+  ks.update_transcript(ch1);
+  ks.convert_to_hrr_transcript();
+  ks.update_transcript(hrr);
+  ks.update_transcript(ch2);
+
+  Bytes synthetic = {254 /* message_hash */, 0, 0, 32};
+  append(synthetic, crypto::sha256(ch1));
+  EXPECT_EQ(ks.transcript_hash(),
+            crypto::sha256(concat(synthetic, hrr, ch2)));
+  EXPECT_EQ(to_hex(ks.transcript_hash()),
+            "ee57c670f2a7d87613f9fe2f662e8b0f010b82d12678260324adab8bf66b6a1a");
+}
+
+// End-to-end determinism lock: the full wrong-guess HRR handshake (fixed
+// DRBG seeds) must emit byte-identical flights forever. A change anywhere
+// in the codec or the HRR sequencing shows up as a different digest.
+TEST(HelloRetryRequest, DeterministicFlightBytes) {
+  HrrSetup s = make("kyber768", "x25519", {"kyber768"});
+  ClientConnection client(s.client, Drbg(1));
+  ServerConnection server(s.server, Drbg(2));
+  Bytes client_bytes, server_bytes;
+  std::vector<Bytes> to_server, to_client;
+  client.start([&](BytesView d) {
+    append(client_bytes, d);
+    to_server.emplace_back(d.begin(), d.end());
+  });
+  for (int round = 0; round < 30; ++round) {
+    if (to_server.empty() && to_client.empty()) break;
+    for (auto& f : to_server)
+      server.on_data(f, [&](BytesView d) {
+        append(server_bytes, d);
+        to_client.emplace_back(d.begin(), d.end());
+      });
+    to_server.clear();
+    for (auto& f : to_client)
+      client.on_data(f, [&](BytesView d) {
+        append(client_bytes, d);
+        to_server.emplace_back(d.begin(), d.end());
+      });
+    to_client.clear();
+  }
+  ASSERT_TRUE(client.handshake_complete() && server.handshake_complete());
+  EXPECT_EQ(to_hex(crypto::sha256(concat(client_bytes, server_bytes))),
+            "eb9527a0bf3c149c50d0b4eb869f672b48d317310deda000948267a3386e5fa7");
 }
 
 TEST(HelloRetryRequest, SecondRetryIsRejected) {

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "crypto/catalog.hpp"
 #include "testbed/testbed.hpp"
 
 namespace {
@@ -73,27 +74,25 @@ std::vector<Job> make_jobs(const std::string& name) {
       jobs.push_back({"x25519", sa, "No Emulation", {}, buffering, perf});
   };
 
+  const crypto::AlgorithmCatalog& catalog = crypto::AlgorithmCatalog::instance();
   if (name == "all-kem" || name == "all-kem-scenarios") {
-    const kem::Kem* dummy = nullptr;
-    (void)dummy;
-    for (const auto* ka : kem::all_kems()) {
+    for (const auto& info : catalog.kems()) {
       if (name == "all-kem") {
-        jobs.push_back(Job{.kem = ka->name(), .sig = "rsa:2048", .netem = {}});
+        jobs.push_back(Job{.kem = info.name, .sig = "rsa:2048", .netem = {}});
       } else {
         for (const auto& s : testbed::standard_scenarios())
-          jobs.push_back({ka->name(), "rsa:2048", s.name, s.netem});
+          jobs.push_back({info.name, "rsa:2048", s.name, s.netem});
       }
     }
   } else if (name == "all-sig" || name == "all-sig-scenarios") {
-    for (const auto* sa : sig::all_signers()) {
-      if (sa->name() == "sphincs192s" || sa->name() == "sphincs256s" ||
-          sa->name() == "sphincs128s")
-        continue;  // all-sphincs covers the s-variants
+    for (const auto& info : catalog.signers()) {
+      if (!info.headline && !info.hybrid)
+        continue;  // all-sphincs covers the SPHINCS+ s-variants
       if (name == "all-sig") {
-        jobs.push_back(Job{.kem = "x25519", .sig = sa->name(), .netem = {}});
+        jobs.push_back(Job{.kem = "x25519", .sig = info.name, .netem = {}});
       } else {
         for (const auto& s : testbed::standard_scenarios())
-          jobs.push_back({"x25519", sa->name(), s.name, s.netem});
+          jobs.push_back({"x25519", info.name, s.name, s.netem});
       }
     }
   } else if (name == "all-sphincs") {

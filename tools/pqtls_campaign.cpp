@@ -22,14 +22,96 @@
 #include "campaign/options.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/sinks.hpp"
+#include "crypto/catalog.hpp"
 
 namespace {
+
+// `catalog` subcommand: print the unified algorithm catalog and verify the
+// campaign matrices stay in lockstep with it — every cell's (ka, sa) must
+// resolve, table2a must enumerate exactly the catalog's key agreements in
+// order, and table2b exactly its headline signers. CI runs this as the
+// catalog-consistency smoke step; exit 0 = consistent, 2 = drift.
+int catalog_report() {
+  using pqtls::crypto::AlgorithmCatalog;
+  const AlgorithmCatalog& catalog = AlgorithmCatalog::instance();
+
+  for (const auto& info : catalog.kems())
+    std::printf("kem  %-15s L%d %-9s %-8s pk=%-5zu ct=%zu\n",
+                info.name.c_str(), info.table_level, info.family.c_str(),
+                info.hybrid ? "hybrid" : (info.post_quantum ? "pq" : "classic"),
+                info.public_key_bytes, info.ciphertext_bytes);
+  for (const auto& info : catalog.signers())
+    std::printf("sig  %-18s L%d %-9s %-8s pk=%-5zu sig=%-5zu chain=%zu%s\n",
+                info.name.c_str(), info.table_level, info.family.c_str(),
+                info.hybrid ? "hybrid" : (info.post_quantum ? "pq" : "classic"),
+                info.public_key_bytes, info.signature_bytes,
+                info.cert_chain_bytes, info.headline ? "" : "  (non-headline)");
+
+  int errors = 0;
+  for (const auto& spec : pqtls::campaign::campaigns()) {
+    for (const auto& cell : spec.cells) {
+      if (!catalog.kem(cell.config.ka)) {
+        std::fprintf(stderr, "drift: %s cell %s: ka '%s' not in catalog\n",
+                     spec.name.c_str(), cell.id.c_str(),
+                     cell.config.ka.c_str());
+        ++errors;
+      }
+      if (!catalog.signer(cell.config.sa)) {
+        std::fprintf(stderr, "drift: %s cell %s: sa '%s' not in catalog\n",
+                     spec.name.c_str(), cell.id.c_str(),
+                     cell.config.sa.c_str());
+        ++errors;
+      }
+    }
+  }
+
+  const pqtls::campaign::CampaignSpec* t2a =
+      pqtls::campaign::find_campaign("table2a");
+  if (!t2a || t2a->cells.size() != catalog.kems().size()) {
+    std::fprintf(stderr, "drift: table2a cell count != catalog KEM count\n");
+    ++errors;
+  } else {
+    for (std::size_t i = 0; i < t2a->cells.size(); ++i) {
+      if (t2a->cells[i].config.ka != catalog.kems()[i].name) {
+        std::fprintf(stderr, "drift: table2a[%zu] = '%s', catalog = '%s'\n", i,
+                     t2a->cells[i].config.ka.c_str(),
+                     catalog.kems()[i].name.c_str());
+        ++errors;
+      }
+    }
+  }
+
+  std::vector<std::string> headline;
+  for (const auto& info : catalog.signers())
+    if (info.headline) headline.push_back(info.name);
+  const pqtls::campaign::CampaignSpec* t2b =
+      pqtls::campaign::find_campaign("table2b");
+  if (!t2b || t2b->cells.size() != headline.size()) {
+    std::fprintf(stderr,
+                 "drift: table2b cell count != catalog headline signers\n");
+    ++errors;
+  } else {
+    for (std::size_t i = 0; i < t2b->cells.size(); ++i) {
+      if (t2b->cells[i].config.sa != headline[i]) {
+        std::fprintf(stderr, "drift: table2b[%zu] = '%s', catalog = '%s'\n", i,
+                     t2b->cells[i].config.sa.c_str(), headline[i].c_str());
+        ++errors;
+      }
+    }
+  }
+
+  std::printf("%zu key agreements, %zu signature algorithms, %s\n",
+              catalog.kems().size(), catalog.signers().size(),
+              errors ? "INCONSISTENT with campaign matrices"
+                     : "consistent with campaign matrices");
+  return errors ? 2 : 0;
+}
 
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s <campaign> [options]\n"
-      "       %s list\n"
+      "       %s list | catalog\n"
       "\n"
       "options:\n"
       "  --workers N           worker threads (default 1; env PQTLS_WORKERS)\n"
@@ -62,6 +144,7 @@ int main(int argc, char** argv) {
                   spec.cells.size(), spec.description.c_str());
     return 0;
   }
+  if (name == "catalog") return catalog_report();
   const campaign::CampaignSpec* spec = campaign::find_campaign(name);
   if (!spec) {
     std::fprintf(stderr, "unknown campaign '%s' (try '%s list')\n",

@@ -22,6 +22,7 @@
 #include "campaign/options.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/sinks.hpp"
+#include "crypto/catalog.hpp"
 #include "loadgen/sweep.hpp"
 
 namespace {
@@ -193,6 +194,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return usage(argv[0]);
     }
+  }
+
+  // Validate the algorithm pair up front, before any sink files are
+  // opened: the catalog's message lists the valid names.
+  try {
+    crypto::AlgorithmCatalog::instance().require_kem(config.ka);
+    crypto::AlgorithmCatalog::instance().require_signer(config.sa);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
 
   // Machine-readable sinks (shared with the campaign engine).
