@@ -6,9 +6,13 @@
 #include <condition_variable>
 #include <cstdio>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <optional>
 #include <thread>
+
+#include "trace/trace.hpp"
 
 namespace pqtls::campaign {
 
@@ -27,6 +31,25 @@ std::uint64_t derive_cell_seed(std::uint64_t base_seed,
 }
 
 namespace {
+
+// Cell ids are paths like "table4a/kyber512-sphincs128-high-loss"; flatten
+// them into single filenames.
+std::string trace_file_stem(std::string_view cell_id) {
+  std::string stem;
+  stem.reserve(cell_id.size());
+  for (char ch : cell_id) stem.push_back(ch == '/' ? '-' : ch);
+  return stem;
+}
+
+void write_trace_files(const std::filesystem::path& dir,
+                       std::string_view cell_id,
+                       const trace::Recorder& recorder) {
+  std::string stem = trace_file_stem(cell_id);
+  std::ofstream jsonl(dir / (stem + ".jsonl"));
+  recorder.write_jsonl(jsonl);
+  std::ofstream chrome(dir / (stem + ".trace.json"));
+  recorder.write_chrome_trace(chrome);
+}
 
 CellOutcome run_cell(const CampaignSpec& spec, const Cell& cell,
                      const RunnerOptions& opts) {
@@ -47,6 +70,12 @@ CellOutcome run_cell(const CampaignSpec& spec, const Cell& cell,
     out.cell.loadgen->pki_seed = opts.base_seed;
   }
 
+  // Traced campaigns record the first sample of every testbed cell; each
+  // worker-local recorder is written out right after its cell finishes.
+  trace::Recorder recorder;
+  bool traced = !opts.trace_dir.empty() && !out.cell.loadgen;
+  if (traced) config.trace = &recorder;
+
   auto t0 = std::chrono::steady_clock::now();
   try {
     if (out.cell.loadgen) {
@@ -58,6 +87,8 @@ CellOutcome run_cell(const CampaignSpec& spec, const Cell& cell,
         out.error = out.result.timed_out
                         ? "cell exceeded its wall-clock budget"
                         : "no handshake sample completed";
+      if (traced && !recorder.empty())
+        write_trace_files(opts.trace_dir, cell.id, recorder);
     }
   } catch (const std::exception& e) {
     out.error = e.what();
@@ -74,6 +105,10 @@ CellOutcome run_cell(const CampaignSpec& spec, const Cell& cell,
 
 int run_campaign(const CampaignSpec& spec, const RunnerOptions& opts,
                  const std::vector<Sink*>& sinks) {
+  // Created once, before the pool starts, so workers only ever write
+  // distinct per-cell files into an existing directory.
+  if (!opts.trace_dir.empty())
+    std::filesystem::create_directories(opts.trace_dir);
   for (Sink* sink : sinks) sink->begin(spec, opts);
 
   const std::size_t n = spec.cells.size();

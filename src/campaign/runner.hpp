@@ -30,6 +30,13 @@ struct RunnerOptions {
   double max_cell_seconds = 0;
   /// Live one-line-per-cell progress on stderr.
   bool progress = false;
+  /// When non-empty, record a flight trace of the FIRST sample of every
+  /// testbed cell and write `<id>.jsonl` (golden-schema JSONL) plus
+  /// `<id>.trace.json` (Chrome trace-event JSON, loadable in Perfetto)
+  /// into this directory; `/` in cell ids becomes `-`. Empty (the
+  /// default) installs no recorder, keeping campaign rows byte-identical
+  /// to an untraced run.
+  std::string trace_dir;
 };
 
 struct CellOutcome {

@@ -1,15 +1,40 @@
 #include "net/link.hpp"
 
+#include <algorithm>
+
+#include "trace/trace.hpp"
+
 namespace pqtls::net {
 
 namespace {
 constexpr double kLineRateBps = 10e9;  // the paper's 10 Gbit/s fiber
+
+std::string flags_string(const TcpHeader& h) {
+  char buf[4];
+  int n = 0;
+  if (h.syn) buf[n++] = 'S';
+  if (h.fin) buf[n++] = 'F';
+  if (h.ack_flag) buf[n++] = 'A';
+  if (n == 0) buf[n++] = '.';
+  return std::string(buf, static_cast<std::size_t>(n));
 }
+
+void record_packet_event(trace::Recorder* trace, const std::string& who,
+                         const char* name, const Packet& packet) {
+  trace->record("net", name, who)
+      .arg("size", static_cast<double>(packet.wire_size()))
+      .arg("seq", static_cast<double>(packet.tcp.seq))
+      .arg("ack", static_cast<double>(packet.tcp.ack))
+      .arg("flags", flags_string(packet.tcp));
+}
+
+}  // namespace
 
 void Link::send(Packet packet) {
   ++packets_sent_;
   bytes_sent_ += packet.wire_size();
   if (tap_) tap_(packet);
+  if (trace_) record_packet_event(trace_, trace_who_, "tx", packet);
 
   // Serialization: packets queue behind each other at the shaped rate.
   double rate = config_.rate_bps > 0 ? config_.rate_bps : kLineRateBps;
@@ -18,13 +43,22 @@ void Link::send(Packet packet) {
   double tx_end = start + tx_time;
   tx_free_at_ = tx_end;
 
-  if (config_.loss > 0 && rng_.real() < config_.loss) {
+  // The i.i.d. draw happens first and unconditionally (when loss is
+  // configured) so a scripted schedule never perturbs the DRBG stream.
+  bool iid_drop = config_.loss > 0 && rng_.real() < config_.loss;
+  bool scripted_drop =
+      !config_.drop_packets.empty() &&
+      std::find(config_.drop_packets.begin(), config_.drop_packets.end(),
+                packets_sent_) != config_.drop_packets.end();
+  if (iid_drop || scripted_drop) {
     ++packets_dropped_;
+    if (trace_) record_packet_event(trace_, trace_who_, "drop", packet);
     return;
   }
 
   double arrival = tx_end + config_.delay_s;
   loop_.schedule_at(arrival, [this, p = std::move(packet)]() {
+    if (trace_) record_packet_event(trace_, trace_who_, "deliver", p);
     if (deliver_) deliver_(p);
   });
 }

@@ -4,11 +4,18 @@
 // its `tc netem` constrained-environment emulation.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "crypto/drbg.hpp"
 #include "net/packet.hpp"
 #include "sim/event_loop.hpp"
+
+namespace pqtls::trace {
+class Recorder;
+}
 
 namespace pqtls::net {
 
@@ -16,6 +23,11 @@ struct NetemConfig {
   double loss = 0.0;       // i.i.d. drop probability per packet
   double delay_s = 0.0;    // one-way propagation delay (RTT / 2)
   double rate_bps = 0.0;   // serialization rate; 0 = line-rate 10 Gbit/s
+  /// Scripted deterministic loss for tests: 1-based ordinals, in
+  /// transmission order, of packets to drop ("drop exactly packet N").
+  /// Evaluated alongside the i.i.d. draw; an empty schedule leaves the
+  /// DRBG stream — and therefore every seeded experiment — untouched.
+  std::vector<std::uint64_t> drop_packets = {};
 };
 
 /// Unidirectional link. Delivery callback runs at arrival time; the tap
@@ -31,6 +43,13 @@ class Link {
 
   void set_deliver(Deliver deliver) { deliver_ = std::move(deliver); }
   void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+  /// Install a flight recorder; `name` labels this direction (e.g. "c2s").
+  /// Null detaches. Free when detached: send() takes one pointer check.
+  void set_trace(trace::Recorder* recorder, std::string name) {
+    trace_ = recorder;
+    trace_who_ = "link:" + std::move(name);
+  }
 
   void send(Packet packet);
 
@@ -50,6 +69,8 @@ class Link {
   crypto::Drbg rng_;
   Deliver deliver_;
   Tap tap_;
+  trace::Recorder* trace_ = nullptr;
+  std::string trace_who_;
   double tx_free_at_ = 0.0;  // serialization queue
   std::size_t packets_sent_ = 0;
   std::size_t bytes_sent_ = 0;

@@ -16,6 +16,10 @@ class EventLoop {
  public:
   using Callback = std::function<void()>;
 
+  /// Sentinel horizon for run(): drain the queue without advancing the
+  /// clock past the last event (there is no "end time" to advance to).
+  static constexpr double kRunForever = 1e18;
+
   double now() const { return now_; }
 
   /// Schedule at an absolute simulation time (clamped to now).
@@ -28,8 +32,11 @@ class EventLoop {
   }
 
   /// Run events until the queue is empty or the horizon is reached.
-  /// Returns the number of events processed.
-  std::size_t run(double horizon = 1e18) {
+  /// Returns the number of events processed. With an explicit horizon the
+  /// clock finishes AT the horizon even when the queue drains early —
+  /// otherwise a back-to-back `run(h); schedule_in(d)` pair would schedule
+  /// "future" work in the past (before h).
+  std::size_t run(double horizon = kRunForever) {
     std::size_t processed = 0;
     while (!queue_.empty() && !stopped_) {
       if (queue_.top().time > horizon) break;
@@ -39,6 +46,7 @@ class EventLoop {
       event.callback();
       ++processed;
     }
+    if (horizon != kRunForever && !stopped_ && now_ < horizon) now_ = horizon;
     return processed;
   }
 

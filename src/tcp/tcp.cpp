@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
+
 namespace pqtls::tcp {
 
 using net::kMss;
@@ -10,6 +12,16 @@ using net::Packet;
 namespace {
 constexpr double kMinRto = 0.2;  // Linux TCP_RTO_MIN
 constexpr double kInitialRto = 1.0;
+
+const char* state_name(int state) {
+  switch (state) {
+    case 0: return "closed";
+    case 1: return "listen";
+    case 2: return "syn_sent";
+    case 3: return "syn_received";
+    default: return "established";
+  }
+}
 }  // namespace
 
 TcpEndpoint::TcpEndpoint(sim::EventLoop& loop, net::Link& out,
@@ -19,14 +31,30 @@ TcpEndpoint::TcpEndpoint(sim::EventLoop& loop, net::Link& out,
   rto_ = kInitialRto;
 }
 
+void TcpEndpoint::set_state(State next) {
+  if (next == state_) return;
+  if (trace_)
+    trace_->record("tcp", "state", trace_who_)
+        .arg("from", state_name(static_cast<int>(state_)))
+        .arg("to", state_name(static_cast<int>(next)));
+  state_ = next;
+}
+
+void TcpEndpoint::trace_cwnd() {
+  if (trace_)
+    trace_->record("tcp", "cwnd", trace_who_)
+        .arg("cwnd", cwnd_)
+        .arg("ssthresh", ssthresh_);
+}
+
 void TcpEndpoint::connect() {
-  state_ = State::kSynSent;
+  set_state(State::kSynSent);
   transmit(0, 0, /*syn=*/true, /*fin=*/false, /*retransmit=*/false);
   snd_nxt_ = 1;  // SYN consumes one sequence number
   arm_rto();
 }
 
-void TcpEndpoint::listen() { state_ = State::kListen; }
+void TcpEndpoint::listen() { set_state(State::kListen); }
 
 void TcpEndpoint::send(BytesView data) {
   append(send_buffer_, data);
@@ -64,6 +92,10 @@ void TcpEndpoint::transmit(std::uint32_t seq, std::size_t len, bool syn,
   }
   if (retransmit) {
     ++retransmissions_;
+    if (trace_)
+      trace_->record("tcp", "retransmit", trace_who_)
+          .arg("seq", static_cast<double>(seq))
+          .arg("len", static_cast<double>(len));
   } else if (!rtt_sample_pending_ && (len > 0 || syn)) {
     rtt_sample_pending_ = true;
     rtt_sample_seq_ = seq + static_cast<std::uint32_t>(len) + (syn ? 1 : 0);
@@ -92,12 +124,17 @@ void TcpEndpoint::try_send() {
 void TcpEndpoint::arm_rto() {
   rto_armed_ = true;
   std::uint64_t generation = ++rto_generation_;
+  if (trace_) trace_->record("tcp", "rto_arm", trace_who_).arg("rto", rto_);
   loop_.schedule_in(rto_, [this, generation]() { on_rto(generation); });
 }
 
 void TcpEndpoint::on_rto(std::uint64_t generation) {
   if (generation != rto_generation_ || !rto_armed_) return;
   if (snd_una_ >= snd_nxt_ && state_ == State::kEstablished) return;
+  if (trace_)
+    trace_->record("tcp", "rto_fire", trace_who_)
+        .arg("rto", rto_)
+        .arg("snd_una", static_cast<double>(snd_una_));
   // Timeout: retransmit the earliest outstanding segment.
   if (state_ == State::kSynSent) {
     transmit(0, 0, true, false, true);
@@ -113,6 +150,12 @@ void TcpEndpoint::on_rto(std::uint64_t generation) {
     ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * kMss);
     cwnd_ = kMss;
     in_recovery_ = false;
+    // RFC 6582: after a timeout, remember the highest sequence transmitted
+    // so far. Duplicate ACKs for anything at or below this point may stem
+    // from stale retransmitted segments and must not re-trigger fast
+    // retransmit (see handle_ack).
+    recovery_point_ = snd_nxt_;
+    trace_cwnd();
     transmit(snd_una_, len, false, false, true);
   }
   rto_ = std::min(rto_ * 2.0, 60.0);  // exponential backoff
@@ -122,7 +165,7 @@ void TcpEndpoint::on_rto(std::uint64_t generation) {
 
 void TcpEndpoint::enter_established() {
   bool was_established = state_ == State::kEstablished;
-  state_ = State::kEstablished;
+  set_state(State::kEstablished);
   if (!was_established && on_connected_) on_connected_();
 }
 
@@ -133,7 +176,7 @@ void TcpEndpoint::on_packet(const Packet& packet) {
     peer_syn_seen_ = true;
     rcv_nxt_ = std::max(rcv_nxt_, 1u);
     if (state_ == State::kListen) {
-      state_ = State::kSynReceived;
+      set_state(State::kSynReceived);
       transmit(0, 0, /*syn=*/true, false, false);
       snd_nxt_ = 1;
       arm_rto();
@@ -173,12 +216,37 @@ void TcpEndpoint::handle_ack(const Packet& packet) {
     snd_una_ = ack;
     dup_acks_ = 0;
     if (in_recovery_ && ack >= recovery_point_) {
+      // Full ACK: the whole window outstanding at recovery entry is acked.
       in_recovery_ = false;
       cwnd_ = ssthresh_;
+      if (trace_)
+        trace_->record("tcp", "fast_retx_exit", trace_who_)
+            .arg("ack", static_cast<double>(ack));
+      trace_cwnd();
+    } else if (in_recovery_) {
+      // Partial ACK (RFC 6582 NewReno): the first lost segment was
+      // repaired but another hole remains below the recovery point.
+      // Retransmit the next hole immediately — without this, a window
+      // with two or more losses stalls until the retransmission timer
+      // fires — and deflate the window by the amount acked (plus one MSS
+      // for the segment that just left the network).
+      cwnd_ = std::max(cwnd_ - newly_acked + kMss,
+                       static_cast<double>(kMss));
+      trace_cwnd();
+      std::size_t len = std::min<std::size_t>(
+          kMss, send_buffer_.size() + 1 - snd_una_);
+      if (trace_)
+        trace_->record("tcp", "partial_ack", trace_who_)
+            .arg("ack", static_cast<double>(ack))
+            .arg("recovery_point", static_cast<double>(recovery_point_));
+      if (len > 0 && snd_una_ >= 1)
+        transmit(snd_una_, len, false, false, true);
     } else if (cwnd_ < ssthresh_) {
       cwnd_ += newly_acked;  // slow start
+      trace_cwnd();
     } else {
       cwnd_ += static_cast<double>(kMss) * kMss / cwnd_;  // cong. avoidance
+      trace_cwnd();
     }
     // RTT sample (Karn: only for never-retransmitted sequences).
     if (rtt_sample_pending_ && ack >= rtt_sample_seq_) {
@@ -204,11 +272,26 @@ void TcpEndpoint::handle_ack(const Packet& packet) {
   } else if (ack == snd_una_ && snd_nxt_ > snd_una_ &&
              packet.payload.empty() && !packet.tcp.syn) {
     // Duplicate ACK.
-    if (++dup_acks_ == 3 && !in_recovery_) {
+    ++dup_acks_;
+    if (trace_)
+      trace_->record("tcp", "dup_ack", trace_who_)
+          .arg("ack", static_cast<double>(ack))
+          .arg("count", static_cast<double>(dup_acks_));
+    // RFC 6582: enter fast retransmit only when the cumulative ACK covers
+    // more than the previous recovery point. The receiver ACKs fully-
+    // duplicate segments too, so after a recovery a single retransmitted
+    // stale segment produces duplicate ACKs at snd_una_ == recovery_point_
+    // — without this guard they would halve cwnd a second time for a loss
+    // that was already repaired.
+    if (dup_acks_ == 3 && !in_recovery_ && snd_una_ > recovery_point_) {
       in_recovery_ = true;
       recovery_point_ = snd_nxt_;
       ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * kMss);
       cwnd_ = ssthresh_ + 3.0 * kMss;
+      if (trace_)
+        trace_->record("tcp", "fast_retx_enter", trace_who_)
+            .arg("recovery_point", static_cast<double>(recovery_point_));
+      trace_cwnd();
       std::size_t len = std::min<std::size_t>(
           kMss, send_buffer_.size() + 1 - snd_una_);
       if (len > 0 && snd_una_ >= 1)

@@ -8,9 +8,14 @@
 
 #include <functional>
 #include <map>
+#include <string>
 
 #include "net/link.hpp"
 #include "net/packet.hpp"
+
+namespace pqtls::trace {
+class Recorder;
+}
 
 namespace pqtls::tcp {
 
@@ -26,6 +31,15 @@ class TcpEndpoint {
 
   void set_on_receive(ReceiveCallback cb) { on_receive_ = std::move(cb); }
   void set_on_connected(ConnectedCallback cb) { on_connected_ = std::move(cb); }
+
+  /// Install a flight recorder; `name` labels this endpoint (e.g.
+  /// "client"). Records state transitions, cwnd/ssthresh changes, RTO
+  /// arm/fire, fast-retransmit entry/exit, dup-ACK counts and every
+  /// retransmission. Null detaches; detached costs one pointer check.
+  void set_trace(trace::Recorder* recorder, std::string name) {
+    trace_ = recorder;
+    trace_who_ = "tcp:" + std::move(name);
+  }
 
   /// Active open (client).
   void connect();
@@ -49,6 +63,9 @@ class TcpEndpoint {
   enum class State { kClosed, kListen, kSynSent, kSynReceived, kEstablished };
 
   void maybe_send_fin();
+
+  void set_state(State next);
+  void trace_cwnd();
 
   void try_send();
   void transmit(std::uint32_t seq, std::size_t len, bool syn, bool fin,
@@ -92,6 +109,8 @@ class TcpEndpoint {
   ReceiveCallback on_receive_;
   ConnectedCallback on_connected_;
   std::size_t retransmissions_ = 0;
+  trace::Recorder* trace_ = nullptr;
+  std::string trace_who_;
 
   // Teardown state.
   bool close_requested_ = false;

@@ -8,6 +8,7 @@
 #include "sim/event_loop.hpp"
 #include "tcp/tcp.hpp"
 #include "tls/server_context.hpp"
+#include "trace/trace.hpp"
 
 namespace pqtls::testbed {
 
@@ -51,13 +52,22 @@ class Host {
 
   tcp::TcpEndpoint& tcp() { return tcp_; }
 
+  /// Trace flight emissions (size + the compute cost that produced them)
+  /// under `who` (e.g. "tls:client").
+  void set_trace(trace::Recorder* recorder, std::string who) {
+    trace_ = recorder;
+    trace_who_ = std::move(who);
+  }
+
   void set_client(std::unique_ptr<tls::ClientConnection> client) {
     client_ = std::move(client);
     if (costs_) client_->set_cost_model(costs_);
+    if (trace_) client_->set_trace(trace_, trace_who_);
   }
   void set_server(std::unique_ptr<tls::ServerConnection> server) {
     server_ = std::move(server);
     if (costs_) server_->set_cost_model(costs_);
+    if (trace_) server_->set_trace(trace_, trace_who_);
   }
 
   void start_client_handshake() {
@@ -126,7 +136,15 @@ class Host {
       profiler_->add(Lib::kLibssl, std::max(0.0, wall - crypto_delta));
     }
     for (auto& [offset, bytes] : flights) {
-      loop_.schedule_in(offset, [this, data = std::move(bytes)]() {
+      loop_.schedule_in(offset, [this, cost = offset,
+                                 data = std::move(bytes)]() {
+        // Recorded at the scheduled departure (not at emission) so the
+        // trace stays time-ordered; `cost` is the compute charge accrued
+        // when the flight was produced.
+        if (trace_)
+          trace_->record("tls", "flight", trace_who_)
+              .arg("size", static_cast<double>(data.size()))
+              .arg("cost", cost);
         if (profiler_) {
           // Socket write / segmentation happens in the kernel.
           perf::Scope scope(profiler_, Lib::kKernel);
@@ -154,6 +172,8 @@ class Host {
   std::unique_ptr<tls::ServerConnection> server_;
   double busy_until_ = 0;
   double app_wall_ = 0;
+  trace::Recorder* trace_ = nullptr;
+  std::string trace_who_;
 };
 
 // Passive tap: reconstructs the paper's measurable events from packet
@@ -162,25 +182,32 @@ class Host {
 // packet after the SH.
 class Timestamper {
  public:
+  void set_trace(trace::Recorder* recorder) { trace_ = recorder; }
+
   void on_client_packet(const net::Packet& p, double now) {
     ++client_packets_;
     client_bytes_ += p.wire_size();
     if (p.payload.empty()) return;
     if (t_ch_ < 0) {
       t_ch_ = now;
+      mark("ch");
     } else if (t_sh_ >= 0) {
       // Latest client payload before completion: the Client Finished (under
       // HelloRetryRequest the retried ClientHello precedes it; the
       // experiment loop stops at completion, so later traffic never lands
       // here).
       t_fin_ = now;
+      mark("fin");
     }
   }
   void on_server_packet(const net::Packet& p, double now) {
     ++server_packets_;
     server_bytes_ += p.wire_size();
     if (p.payload.empty()) return;
-    if (t_ch_ >= 0 && t_sh_ < 0) t_sh_ = now;
+    if (t_ch_ >= 0 && t_sh_ < 0) {
+      t_sh_ = now;
+      mark("sh");
+    }
   }
 
   double part_a() const { return t_sh_ - t_ch_; }
@@ -194,9 +221,18 @@ class Timestamper {
   std::size_t server_bytes() const { return server_bytes_; }
 
  private:
+  // CH/SH/FIN marks, recorded as the passive tap classifies them. The FIN
+  // mark follows t_fin_: the LAST recorded fin event is the one the sample
+  // reports (earlier ones are client payloads that were later superseded,
+  // e.g. a retried ClientHello under HelloRetryRequest).
+  void mark(const char* name) {
+    if (trace_) trace_->record("testbed", name, "tap");
+  }
+
   double t_ch_ = -1, t_sh_ = -1, t_fin_ = -1;
   std::size_t client_packets_ = 0, server_packets_ = 0;
   std::size_t client_bytes_ = 0, server_bytes_ = 0;
+  trace::Recorder* trace_ = nullptr;
 };
 
 }  // namespace
@@ -268,6 +304,28 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
     Host client_host(loop, c2s, cp, config.initial_cwnd_segments, costs);
     Host server_host(loop, s2c, sp, config.initial_cwnd_segments, costs);
+
+    // Trace the first sample only: one representative connection per cell.
+    // The recorder's clock is bound to this sample's loop and unbound
+    // before the loop dies (the guard below), so a recorder outliving the
+    // experiment never dereferences a dead clock.
+    trace::Recorder* rec = (i == 0) ? config.trace : nullptr;
+    struct ClockGuard {
+      trace::Recorder* rec;
+      ~ClockGuard() {
+        if (rec) rec->set_clock(nullptr);
+      }
+    } clock_guard{rec};
+    if (rec) {
+      rec->set_clock(&loop);
+      c2s.set_trace(rec, "c2s");
+      s2c.set_trace(rec, "s2c");
+      client_host.tcp().set_trace(rec, "client");
+      server_host.tcp().set_trace(rec, "server");
+      client_host.set_trace(rec, "tls:client");
+      server_host.set_trace(rec, "tls:server");
+      tap.set_trace(rec);
+    }
     // Kernel time = packet-processing wall time minus any nested TLS
     // application time (which attributes itself to libcrypto/libssl).
     c2s.set_deliver([&](const net::Packet& p) {
@@ -328,6 +386,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     loop.run(completed_at + 2.0);
 
     HandshakeSample sample;
+    sample.client_retransmissions = client_host.tcp().retransmissions();
+    sample.server_retransmissions = server_host.tcp().retransmissions();
     sample.part_a = tap.part_a();
     sample.part_b = tap.part_b();
     sample.total = tap.total();

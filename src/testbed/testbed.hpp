@@ -17,6 +17,10 @@
 #include "sig/sig.hpp"
 #include "tls/connection.hpp"
 
+namespace pqtls::trace {
+class Recorder;
+}
+
 namespace pqtls::testbed {
 
 /// How cryptographic computation advances the simulated clock.
@@ -68,6 +72,11 @@ struct ExperimentConfig {
   /// HelloRetryRequest and the handshake costs 2 RTTs. Empty = 1-RTT, the
   /// paper's configuration.
   std::string client_wrong_guess;
+  /// Optional flight recorder. The FIRST sample records packet, TCP, TLS
+  /// and timestamper events (one representative connection per cell);
+  /// later samples run untraced. Null (the default) leaves every hook a
+  /// single pointer check, so results are identical with tracing off.
+  trace::Recorder* trace = nullptr;
 };
 
 struct HandshakeSample {
@@ -79,6 +88,11 @@ struct HandshakeSample {
   std::size_t server_bytes = 0;
   std::size_t client_packets = 0;
   std::size_t server_packets = 0;
+  /// TCP retransmission counts at sample end (teardown included). A trace
+  /// of this sample must reconcile exactly: its tcp/retransmit event count
+  /// per endpoint equals these.
+  std::size_t client_retransmissions = 0;
+  std::size_t server_retransmissions = 0;
 };
 
 struct LibraryShares {

@@ -38,9 +38,25 @@ ClientConnection::ClientConnection(const ClientConfig& config, crypto::Drbg rng,
     : HandshakeCore<ClientConnection>(std::move(rng), profiler),
       config_(config) {}
 
+const char* ClientConnection::state_name(State state) {
+  switch (state) {
+    case State::kStart: return "start";
+    case State::kWaitServerHello: return "wait_server_hello";
+    case State::kWaitEncryptedExtensions: return "wait_encrypted_extensions";
+    case State::kWaitCertificate: return "wait_certificate";
+    case State::kWaitCertificateVerify: return "wait_certificate_verify";
+    case State::kWaitFinished: return "wait_finished";
+    case State::kComplete: return "complete";
+    case State::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
 void ClientConnection::start(const FlightSink& sink) {
   active_ka_ = config_.ka;
+  const char* before = state_name(state_);
   send_client_hello(sink);
+  trace_state(before);  // kStart -> kWaitServerHello is not dispatch-driven
 }
 
 void ClientConnection::send_client_hello(const FlightSink& sink) {
@@ -208,6 +224,16 @@ void ClientConnection::on_server_finished(BytesView body, BytesView full,
 // ---------------------------------------------------------------------------
 // Server
 // ---------------------------------------------------------------------------
+
+const char* ServerConnection::state_name(State state) {
+  switch (state) {
+    case State::kWaitClientHello: return "wait_client_hello";
+    case State::kWaitClientFinished: return "wait_client_finished";
+    case State::kComplete: return "complete";
+    case State::kFailed: return "failed";
+  }
+  return "unknown";
+}
 
 std::span<const ServerConnection::Rule> ServerConnection::rules() {
   static constexpr Rule kRules[] = {

@@ -26,6 +26,7 @@
 #include "tls/key_schedule.hpp"
 #include "tls/messages.hpp"
 #include "tls/record_layer.hpp"
+#include "trace/trace.hpp"
 
 namespace pqtls::tls {
 
@@ -83,6 +84,15 @@ class HandshakeCore {
     return v;
   }
 
+  /// Install a flight recorder; `who` labels this connection (e.g.
+  /// "tls:client"). State transitions driven by dispatched handshake
+  /// messages are recorded as tls/state events. Null detaches; the hooks
+  /// cost one pointer check when detached.
+  void set_trace(trace::Recorder* recorder, std::string who) {
+    trace_ = recorder;
+    trace_who_ = std::move(who);
+  }
+
  protected:
   HandshakeCore(crypto::Drbg rng, perf::Profiler* profiler)
       : rng_(std::move(rng)), profiler_(profiler) {}
@@ -130,14 +140,30 @@ class HandshakeCore {
                 const FlightSink& sink) {
     for (const auto& rule : Derived::rules()) {
       if (rule.state != self().state_) continue;
-      if (type == static_cast<std::uint8_t>(rule.expect))
-        return (self().*(rule.handler))(body, full, sink);
+      if (type == static_cast<std::uint8_t>(rule.expect)) {
+        const char* before = Derived::state_name(self().state_);
+        (self().*(rule.handler))(body, full, sink);
+        trace_state(before);
+        return;
+      }
       break;  // expected state, unexpected message (one rule per state)
     }
+    const char* before = Derived::state_name(self().state_);
     if (Derived::kAlertOnUnexpected)
       fail_alert(sink);
     else
       self().fail();
+    trace_state(before);
+  }
+
+  /// Record a tls/state event if the state moved away from `before`.
+  void trace_state(const char* before) {
+    if (!trace_) return;
+    const char* after = Derived::state_name(self().state_);
+    if (before == after) return;
+    trace_->record("tls", "state", trace_who_)
+        .arg("from", before)
+        .arg("to", after);
   }
 
   /// Abort with a fatal handshake_failure alert on the wire (RFC 8446 6.2).
@@ -156,6 +182,8 @@ class HandshakeCore {
   RecordLayer records_;
   KeySchedule key_schedule_;
   Bytes handshake_buffer_;  // handshake-message reassembly
+  trace::Recorder* trace_ = nullptr;
+  std::string trace_who_;
 };
 
 class ClientConnection : public HandshakeCore<ClientConnection> {
@@ -194,6 +222,7 @@ class ClientConnection : public HandshakeCore<ClientConnection> {
   };
   static constexpr bool kAlertOnUnexpected = true;
   static std::span<const Rule> rules();
+  static const char* state_name(State state);
 
   bool terminal() const {
     return state_ == State::kComplete || state_ == State::kFailed;
@@ -250,6 +279,7 @@ class ServerConnection : public HandshakeCore<ServerConnection> {
   };
   static constexpr bool kAlertOnUnexpected = false;
   static std::span<const Rule> rules();
+  static const char* state_name(State state);
 
   bool terminal() const {
     return state_ == State::kComplete || state_ == State::kFailed;

@@ -1,0 +1,159 @@
+#include "trace/trace.hpp"
+
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+#include "sim/event_loop.hpp"
+
+namespace pqtls::trace {
+
+namespace {
+
+// Locale-independent fixed formats (the same byte-stability contract as the
+// campaign sinks): timestamps as seconds with nanosecond resolution,
+// argument values as integers when integral, %.9g otherwise.
+std::string fmt_time(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9f", seconds);
+  return buf;
+}
+
+std::string fmt_value(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) && v < 1e15 &&
+      v > -1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+void write_args(std::ostream& os, const Event& e) {
+  os << "{";
+  bool first = true;
+  for (const auto& [key, value] : e.num) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(key) << "\":" << fmt_value(value);
+  }
+  for (const auto& [key, value] : e.str) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(key) << "\":\"" << json_escape(value) << "\"";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+Event& Recorder::record(std::string cat, std::string name, std::string who) {
+  Event e;
+  e.t = clock_ ? clock_->now() : 0.0;
+  e.cat = std::move(cat);
+  e.name = std::move(name);
+  e.who = std::move(who);
+  events_.push_back(std::move(e));
+  return events_.back();
+}
+
+std::size_t Recorder::count(std::string_view cat, std::string_view name,
+                            std::string_view who) const {
+  std::size_t n = 0;
+  for (const Event& e : events_)
+    if (e.cat == cat && e.name == name && (who.empty() || e.who == who)) ++n;
+  return n;
+}
+
+void Recorder::write_jsonl(std::ostream& os) const {
+  for (const Event& e : events_) {
+    os << "{\"t\":" << fmt_time(e.t) << ",\"cat\":\"" << json_escape(e.cat)
+       << "\",\"name\":\"" << json_escape(e.name) << "\",\"who\":\""
+       << json_escape(e.who) << "\",\"args\":";
+    write_args(os, e);
+    os << "}\n";
+  }
+}
+
+void Recorder::write_chrome_trace(std::ostream& os) const {
+  // Stable thread ids: one per distinct `who`, in first-appearance order,
+  // named via thread_name metadata so Perfetto labels the tracks.
+  std::map<std::string, int> tids;
+  std::vector<std::string> order;
+  for (const Event& e : events_) {
+    if (tids.emplace(e.who, static_cast<int>(order.size()) + 1).second)
+      order.push_back(e.who);
+  }
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  for (const std::string& who : order) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tids[who]
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << json_escape(who) << "\"}}";
+  }
+  for (const Event& e : events_) {
+    // Virtual seconds -> trace microseconds.
+    std::string ts = fmt_value(e.t * 1e6);
+    sep();
+    if (e.cat == "tcp" && e.name == "cwnd") {
+      // Counter track: cwnd/ssthresh render as a stacked area chart.
+      os << "{\"ph\":\"C\",\"pid\":1,\"tid\":" << tids[e.who]
+         << ",\"ts\":" << ts << ",\"name\":\"" << json_escape(e.who)
+         << " cwnd\",\"args\":";
+      write_args(os, e);
+      os << "}";
+    } else if (e.cat == "tls" && e.name == "flight") {
+      // Complete event: the slice duration is the compute cost that
+      // produced the flight (modeled or measured, whichever the testbed
+      // charged).
+      double cost = 0;
+      for (const auto& [key, value] : e.num)
+        if (key == "cost") cost = value;
+      os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tids[e.who]
+         << ",\"ts\":" << fmt_value((e.t - cost) * 1e6)
+         << ",\"dur\":" << fmt_value(cost * 1e6) << ",\"cat\":\"" << e.cat
+         << "\",\"name\":\"flight\",\"args\":";
+      write_args(os, e);
+      os << "}";
+    } else {
+      os << "{\"ph\":\"I\",\"s\":\"t\",\"pid\":1,\"tid\":" << tids[e.who]
+         << ",\"ts\":" << ts << ",\"cat\":\"" << json_escape(e.cat)
+         << "\",\"name\":\"" << json_escape(e.name) << "\",\"args\":";
+      write_args(os, e);
+      os << "}";
+    }
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace pqtls::trace

@@ -1,0 +1,84 @@
+// Handshake flight recorder: an optional, per-connection event trace
+// threaded through the whole stack (link, TCP, TLS state machines, the
+// testbed timestamper) via a nullable `trace::Recorder*`. Call sites guard
+// every record with a pointer check, so tracing is strictly zero-overhead
+// when no recorder is installed — the campaign determinism guarantee
+// (byte-identical rows with tracing off) depends on this.
+//
+// Two export formats:
+//   - JSONL: one event per line with a fixed key order, golden-schema-
+//     locked like the campaign sinks (tests/golden/trace_events.jsonl).
+//   - Chrome trace-event JSON ("traceEvents" array), loadable in Perfetto:
+//     cwnd/ssthresh become counter tracks, TLS flights become duration
+//     slices sized by their modeled/measured compute cost, everything else
+//     renders as instant events on a per-component track.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pqtls::sim {
+class EventLoop;
+}
+
+namespace pqtls::trace {
+
+/// One recorded event. `cat` is the subsystem (net | tcp | tls | testbed),
+/// `name` the event kind, `who` the component instance that emitted it
+/// (e.g. "link:c2s", "tcp:client", "tls:server", "tap"). Arguments keep
+/// insertion order so serialization is deterministic.
+struct Event {
+  double t = 0;  // virtual seconds on the recorder's clock
+  std::string cat;
+  std::string name;
+  std::string who;
+  std::vector<std::pair<std::string, double>> num;
+  std::vector<std::pair<std::string, std::string>> str;
+
+  Event& arg(std::string key, double value) {
+    num.emplace_back(std::move(key), value);
+    return *this;
+  }
+  Event& arg(std::string key, std::string value) {
+    str.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+};
+
+class Recorder {
+ public:
+  /// Bind the recorder to a simulation clock; subsequent events are stamped
+  /// with `loop->now()`. The testbed rebinds per traced sample (each sample
+  /// owns a fresh EventLoop). Null unbinds (events stamp t = 0).
+  void set_clock(const sim::EventLoop* loop) { clock_ = loop; }
+
+  /// Append an event stamped at the current clock; returns a reference for
+  /// chained `.arg(...)` calls. The reference is invalidated by the next
+  /// record() call.
+  Event& record(std::string cat, std::string name, std::string who);
+
+  const std::vector<Event>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// Number of events matching (cat, name) and — when non-empty — `who`.
+  std::size_t count(std::string_view cat, std::string_view name,
+                    std::string_view who = {}) const;
+
+  /// One JSON object per line, fixed key order:
+  ///   {"t":…,"cat":"…","name":"…","who":"…","args":{…}}
+  void write_jsonl(std::ostream& os) const;
+
+  /// Chrome trace-event JSON (the `{"traceEvents":[…]}` object form).
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  const sim::EventLoop* clock_ = nullptr;
+  std::vector<Event> events_;
+};
+
+}  // namespace pqtls::trace

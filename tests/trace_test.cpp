@@ -1,0 +1,429 @@
+// Flight-recorder (src/trace) tests plus the TCP loss-recovery regression
+// locks that the recorder makes provable:
+//   - EventLoop::run(horizon) finishes AT the horizon (back-to-back runs
+//     must not schedule "future" work in the past).
+//   - NetemConfig::drop_packets drops exactly the scheduled packets.
+//   - Stale duplicate ACKs (the receiver ACKs fully-duplicate segments)
+//     must not re-trigger fast retransmit at the recovery point (RFC 6582
+//     re-entry guard).
+//   - A window with two losses recovers via NewReno partial-ACK
+//     retransmission, without stalling into an RTO.
+//   - JSONL export is golden-schema-locked; Chrome trace export carries
+//     the Perfetto-relevant structures.
+//   - A traced high-loss experiment reconciles exactly with the TCP
+//     endpoint retransmission counters, and tracing never changes results.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "crypto/drbg.hpp"
+#include "net/link.hpp"
+#include "sim/event_loop.hpp"
+#include "tcp/tcp.hpp"
+#include "testbed/testbed.hpp"
+#include "trace/trace.hpp"
+
+namespace pqtls {
+namespace {
+
+using crypto::Drbg;
+using net::kMss;
+using net::Link;
+using net::NetemConfig;
+using net::Packet;
+using sim::EventLoop;
+using tcp::TcpEndpoint;
+
+// ---- EventLoop horizon semantics (bugfix) ----
+
+TEST(EventLoopHorizon, AdvancesToHorizonWhenQueueDrainsEarly) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(1.0, [&] { ++fired; });
+  loop.run(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(loop.now(), 5.0);
+
+  // Back-to-back runs: a delay scheduled after the first run() must land
+  // after the horizon, not at last-event time + delay.
+  double fired_at = -1;
+  loop.schedule_in(1.0, [&] { fired_at = loop.now(); });
+  loop.run(10.0);
+  EXPECT_DOUBLE_EQ(fired_at, 6.0);
+  EXPECT_DOUBLE_EQ(loop.now(), 10.0);
+}
+
+TEST(EventLoopHorizon, LeavesEventsBeyondHorizonQueued) {
+  EventLoop loop;
+  std::vector<double> fired;
+  loop.schedule_at(1.0, [&] { fired.push_back(loop.now()); });
+  loop.schedule_at(7.0, [&] { fired.push_back(loop.now()); });
+  EXPECT_EQ(loop.run(5.0), 1u);
+  EXPECT_DOUBLE_EQ(loop.now(), 5.0);
+  EXPECT_FALSE(loop.idle());
+  loop.run();
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 7.0}));
+  // The no-horizon form still finishes at the last event, not at 1e18
+  // (EventLoop.OrdersEventsByTime depends on that too).
+  EXPECT_DOUBLE_EQ(loop.now(), 7.0);
+}
+
+// ---- Scripted drop schedule (deterministic loss for tests) ----
+
+TEST(ScriptedDrop, DropsExactlyTheScheduledPackets) {
+  EventLoop loop;
+  NetemConfig config;
+  config.drop_packets = {2, 5};
+  Link link(loop, config, Drbg(7));
+  std::vector<std::uint32_t> delivered;
+  link.set_deliver([&](const Packet& p) { delivered.push_back(p.tcp.seq); });
+  for (std::uint32_t i = 1; i <= 6; ++i) {
+    Packet p;
+    p.tcp.seq = i;
+    p.payload = Bytes(10, 0);
+    link.send(p);
+  }
+  loop.run();
+  EXPECT_EQ(delivered, (std::vector<std::uint32_t>{1, 3, 4, 6}));
+  EXPECT_EQ(link.packets_sent(), 6u);
+  EXPECT_EQ(link.packets_dropped(), 2u);
+}
+
+// ---- TCP recovery regressions ----
+
+// A TcpPair with a flight recorder attached and per-direction netem, so the
+// regressions below can drop exactly packet N and then assert on the
+// recorded rto_fire / fast_retx_enter / retransmit event counts.
+struct TracedPair {
+  EventLoop loop;
+  trace::Recorder rec;
+  Link c2s, s2c;
+  TcpEndpoint client, server;
+
+  TracedPair(NetemConfig c2s_cfg, NetemConfig s2c_cfg)
+      : c2s(loop, c2s_cfg, Drbg(10)),
+        s2c(loop, s2c_cfg, Drbg(11)),
+        client(loop, c2s),
+        server(loop, s2c) {
+    rec.set_clock(&loop);
+    c2s.set_trace(&rec, "c2s");
+    s2c.set_trace(&rec, "s2c");
+    client.set_trace(&rec, "client");
+    server.set_trace(&rec, "server");
+    c2s.set_deliver([this](const Packet& p) { server.on_packet(p); });
+    s2c.set_deliver([this](const Packet& p) { client.on_packet(p); });
+  }
+};
+
+// Client-to-server transmission ordinals: 1 = SYN, and the first data
+// segment is ordinal 2 — on_connected (and therefore send() / try_send())
+// runs from enter_established BEFORE the handshake-completing send_ack(),
+// so data segments precede the bare third-handshake ACK on the wire.
+constexpr std::uint64_t kFirstDataOrdinal = 2;
+
+// Regression (spurious fast retransmit): the receiver ACKs fully-duplicate
+// segments, so stale copies of an already-delivered segment produce pure
+// duplicate ACKs at the sender with ack == snd_una_ == recovery_point_.
+// Without the RFC 6582 re-entry guard, three of them re-enter fast
+// retransmit and halve cwnd a second time for a loss that was already
+// repaired.
+TEST(TcpRecoveryRegression, StaleDupAcksDoNotTriggerSecondRecovery) {
+  NetemConfig forward;
+  forward.delay_s = 0.05;
+  forward.drop_packets = {kFirstDataOrdinal};  // first data segment lost
+  NetemConfig backward;
+  backward.delay_s = 0.05;
+  TracedPair pair(forward, backward);
+
+  Bytes received;
+  pair.server.set_on_receive([&](BytesView d) { append(received, d); });
+  pair.server.listen();
+  Bytes first(10 * kMss, 0x11);
+  pair.client.set_on_connected([&] { pair.client.send(first); });
+  pair.client.connect();
+  pair.loop.run();
+
+  // Phase 1: the scripted loss recovers through exactly one fast
+  // retransmit, no timeout.
+  ASSERT_EQ(received.size(), first.size());
+  ASSERT_EQ(pair.client.retransmissions(), 1u);
+  ASSERT_EQ(pair.rec.count("tcp", "fast_retx_enter", "tcp:client"), 1u);
+  ASSERT_EQ(pair.rec.count("tcp", "rto_fire", "tcp:client"), 0u);
+
+  // Phase 2: send a second window and, while it is in flight, deliver
+  // three stale copies of the long-since-received first segment to the
+  // server. The server ACKs each one (pure duplicate ACKs at the client's
+  // snd_una_). The guard must keep the client out of fast retransmit:
+  // nothing below snd_una_ is lost.
+  double t0 = pair.loop.now();
+  Bytes second(5 * kMss, 0x22);
+  pair.client.send(second);
+  pair.loop.schedule_at(t0 + 0.04, [&] {
+    for (int i = 0; i < 3; ++i) {
+      Packet stale;
+      stale.tcp.seq = 1;
+      stale.tcp.ack = 1;
+      stale.tcp.ack_flag = true;
+      stale.payload = Bytes(kMss, 0x11);
+      pair.server.on_packet(stale);
+    }
+  });
+  pair.loop.run();
+
+  EXPECT_EQ(received.size(), first.size() + second.size());
+  // Pre-fix behaviour: a second fast_retx_enter, one spurious
+  // retransmission, and a second cwnd halving.
+  EXPECT_EQ(pair.client.retransmissions(), 1u);
+  EXPECT_EQ(pair.rec.count("tcp", "fast_retx_enter", "tcp:client"), 1u);
+  EXPECT_EQ(pair.rec.count("tcp", "rto_fire", "tcp:client"), 0u);
+  EXPECT_GE(pair.rec.count("tcp", "dup_ack", "tcp:client"), 3u);
+}
+
+// Regression (multi-loss window stalls to RTO): with two segments lost
+// from one window, repairing the first produces a partial ACK. NewReno
+// must retransmit the next hole from that partial ACK; before the fix the
+// window stalled until the retransmission timer fired (a 200 ms+ tail for
+// every multi-loss SPHINCS+-sized flight in the 10%-loss scenario).
+TEST(TcpRecoveryRegression, PartialAckRetransmitsSecondHoleWithoutRto) {
+  NetemConfig forward;
+  forward.delay_s = 0.05;
+  forward.drop_packets = {kFirstDataOrdinal, kFirstDataOrdinal + 1};
+  NetemConfig backward;
+  backward.delay_s = 0.05;
+  TracedPair pair(forward, backward);
+
+  Bytes received;
+  pair.server.set_on_receive([&](BytesView d) { append(received, d); });
+  pair.server.listen();
+  Bytes data(10 * kMss, 0x33);
+  pair.client.set_on_connected([&] { pair.client.send(data); });
+  pair.client.connect();
+  pair.loop.run();
+
+  EXPECT_EQ(received.size(), data.size());
+  // One fast retransmit for the first hole, one partial-ACK retransmit for
+  // the second — and crucially zero RTO firings (pre-fix: the second hole
+  // waited out the full retransmission timeout).
+  EXPECT_EQ(pair.client.retransmissions(), 2u);
+  EXPECT_EQ(pair.rec.count("tcp", "fast_retx_enter", "tcp:client"), 1u);
+  EXPECT_EQ(pair.rec.count("tcp", "partial_ack", "tcp:client"), 1u);
+  EXPECT_EQ(pair.rec.count("tcp", "fast_retx_exit", "tcp:client"), 1u);
+  EXPECT_EQ(pair.rec.count("tcp", "rto_fire", "tcp:client"), 0u);
+  EXPECT_EQ(pair.rec.count("net", "drop", "link:c2s"), 2u);
+  // Every drop of a payload-bearing packet pairs with a later retransmit
+  // of the same sequence (the invariant CI checks on traced smoke runs).
+  for (const trace::Event& drop : pair.rec.events()) {
+    if (drop.cat != "net" || drop.name != "drop") continue;
+    double size = 0, seq = -1;
+    for (const auto& [k, v] : drop.num) {
+      if (k == "size") size = v;
+      if (k == "seq") seq = v;
+    }
+    if (size <= net::kFrameOverhead) continue;
+    bool paired = false;
+    for (const trace::Event& rtx : pair.rec.events()) {
+      if (rtx.cat != "tcp" || rtx.name != "retransmit" ||
+          rtx.who != "tcp:client" || rtx.t < drop.t)
+        continue;
+      for (const auto& [k, v] : rtx.num)
+        if (k == "seq" && v == seq) paired = true;
+    }
+    EXPECT_TRUE(paired) << "unpaired drop of seq " << seq;
+  }
+}
+
+// ---- Export formats ----
+
+std::string read_golden(const std::string& name) {
+  std::ifstream in(std::string(PQTLS_TEST_DATA_DIR) + "/" + name,
+                   std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file " << name;
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+trace::Recorder synthetic_recorder(EventLoop& loop) {
+  trace::Recorder rec;
+  rec.set_clock(&loop);
+  loop.schedule_at(0.25, [&] {
+    rec.record("net", "tx", "link:c2s")
+        .arg("size", 584.0)
+        .arg("seq", 1.0)
+        .arg("ack", 0.0)
+        .arg("flags", "A");
+  });
+  loop.schedule_at(0.5, [&] {
+    rec.record("tcp", "cwnd", "tcp:client")
+        .arg("cwnd", 14480.0)
+        .arg("ssthresh", 1e9);
+  });
+  loop.schedule_at(0.75, [&] {
+    rec.record("tls", "state", "tls:client")
+        .arg("from", "start")
+        .arg("to", "wait_server_hello");
+  });
+  loop.schedule_at(1.0, [&] {
+    rec.record("tls", "flight", "tls:server")
+        .arg("size", 4321.0)
+        .arg("cost", 0.25);  // exactly representable: stable dur/ts below
+  });
+  loop.schedule_at(1.25, [&] { rec.record("testbed", "ch", "tap"); });
+  loop.run();
+  return rec;
+}
+
+TEST(TraceSchema, JsonlMatchesGolden) {
+  EventLoop loop;
+  trace::Recorder rec = synthetic_recorder(loop);
+  std::ostringstream out;
+  rec.write_jsonl(out);
+  EXPECT_EQ(out.str(), read_golden("trace_events.jsonl"));
+}
+
+TEST(TraceSchema, ChromeTraceCarriesCountersSlicesAndTrackNames) {
+  EventLoop loop;
+  trace::Recorder rec = synthetic_recorder(loop);
+  std::ostringstream out;
+  rec.write_chrome_trace(out);
+  std::string json = out.str();
+  // Object form with named tracks, a counter for cwnd, a duration slice
+  // for the flight, and instant events for the rest.
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"I\""), std::string::npos);
+  // 0.25 s flight cost -> a 250000 us slice starting at 750000 us.
+  EXPECT_NE(json.find("\"dur\":250000"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":750000"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(TraceSchema, CountFiltersByCategoryNameAndWho) {
+  EventLoop loop;
+  trace::Recorder rec = synthetic_recorder(loop);
+  EXPECT_EQ(rec.count("net", "tx"), 1u);
+  EXPECT_EQ(rec.count("net", "tx", "link:c2s"), 1u);
+  EXPECT_EQ(rec.count("net", "tx", "link:s2c"), 0u);
+  EXPECT_EQ(rec.count("tls", "flight"), 1u);
+  rec.clear();
+  EXPECT_TRUE(rec.empty());
+}
+
+// ---- Traced experiment: reconciliation and zero-overhead-when-off ----
+
+testbed::ExperimentConfig high_loss_config() {
+  testbed::ExperimentConfig config;
+  config.ka = "kyber512";
+  config.sa = "sphincs128";
+  config.netem = {.loss = 0.10, .delay_s = 0, .rate_bps = 0};
+  config.sample_handshakes = 2;
+  config.time_model = testbed::TimeModel::kModeled;
+  return config;
+}
+
+TEST(TraceExperiment, HighLossTraceReconcilesWithTcpCounters) {
+  testbed::ExperimentConfig config = high_loss_config();
+  trace::Recorder rec;
+  config.trace = &rec;
+  testbed::ExperimentResult result = testbed::run_experiment(config);
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.samples.size(), 2u);
+
+  // Only the FIRST sample is traced, so the trace's retransmit events must
+  // reconcile exactly with that sample's endpoint counters — this also
+  // proves later samples record nothing.
+  const testbed::HandshakeSample& s = result.samples[0];
+  EXPECT_EQ(rec.count("tcp", "retransmit", "tcp:client"),
+            s.client_retransmissions);
+  EXPECT_EQ(rec.count("tcp", "retransmit", "tcp:server"),
+            s.server_retransmissions);
+
+  // The timestamper marks are present exactly once (fin: at least once —
+  // later client payloads supersede earlier marks).
+  EXPECT_EQ(rec.count("testbed", "ch", "tap"), 1u);
+  EXPECT_EQ(rec.count("testbed", "sh", "tap"), 1u);
+  EXPECT_GE(rec.count("testbed", "fin", "tap"), 1u);
+
+  // TLS progress on both sides, and flights with cost annotations.
+  EXPECT_GE(rec.count("tls", "state", "tls:client"), 2u);
+  EXPECT_GE(rec.count("tls", "state", "tls:server"), 1u);
+  EXPECT_GE(rec.count("tls", "flight", "tls:client"), 1u);
+  EXPECT_GE(rec.count("tls", "flight", "tls:server"), 1u);
+
+  // Conservation per direction: transmitted = dropped + delivered (+ any
+  // packet still in flight when the teardown horizon cut off).
+  for (const char* dir : {"c2s", "s2c"}) {
+    std::string who = std::string("link:") + dir;
+    EXPECT_GE(rec.count("net", "tx", who),
+              rec.count("net", "drop", who) +
+                  rec.count("net", "deliver", who));
+  }
+
+  // Every payload-bearing drop pairs with a later retransmission covering
+  // the dropped sequence from the endpoint feeding that link. Coverage is
+  // by range overlap: retransmissions start exactly at the hole, but
+  // cwnd-truncated segments mean original boundaries are not always
+  // MSS-aligned, so one retransmitted MSS can repair two dropped frames.
+  for (const trace::Event& drop : rec.events()) {
+    if (drop.cat != "net" || drop.name != "drop") continue;
+    double size = 0, seq = -1;
+    for (const auto& [k, v] : drop.num) {
+      if (k == "size") size = v;
+      if (k == "seq") seq = v;
+    }
+    if (size <= net::kFrameOverhead) continue;
+    double payload = size - net::kFrameOverhead;
+    std::string rtx_who =
+        drop.who == "link:c2s" ? "tcp:client" : "tcp:server";
+    bool paired = false;
+    for (const trace::Event& rtx : rec.events()) {
+      if (rtx.cat != "tcp" || rtx.name != "retransmit" ||
+          rtx.who != rtx_who || rtx.t < drop.t)
+        continue;
+      double rtx_seq = -1, rtx_len = 0;
+      for (const auto& [k, v] : rtx.num) {
+        if (k == "seq") rtx_seq = v;
+        if (k == "len") rtx_len = v;
+      }
+      if (rtx_seq < seq + payload && rtx_seq + rtx_len > seq) paired = true;
+    }
+    EXPECT_TRUE(paired) << "unpaired drop of seq " << seq << " on "
+                        << drop.who;
+  }
+}
+
+TEST(TraceExperiment, TracingDoesNotChangeResults) {
+  // Modeled time + fixed seed: a traced run and an untraced run of the
+  // same cell must produce bit-identical samples (the hooks are free when
+  // recording and literally absent when not).
+  testbed::ExperimentConfig config = high_loss_config();
+  testbed::ExperimentResult untraced = testbed::run_experiment(config);
+
+  trace::Recorder rec;
+  config.trace = &rec;
+  testbed::ExperimentResult traced = testbed::run_experiment(config);
+
+  ASSERT_TRUE(untraced.ok);
+  ASSERT_TRUE(traced.ok);
+  ASSERT_EQ(untraced.samples.size(), traced.samples.size());
+  EXPECT_FALSE(rec.empty());
+  for (std::size_t i = 0; i < untraced.samples.size(); ++i) {
+    EXPECT_EQ(untraced.samples[i].total, traced.samples[i].total);
+    EXPECT_EQ(untraced.samples[i].cycle, traced.samples[i].cycle);
+    EXPECT_EQ(untraced.samples[i].client_bytes,
+              traced.samples[i].client_bytes);
+    EXPECT_EQ(untraced.samples[i].server_bytes,
+              traced.samples[i].server_bytes);
+    EXPECT_EQ(untraced.samples[i].client_retransmissions,
+              traced.samples[i].client_retransmissions);
+    EXPECT_EQ(untraced.samples[i].server_retransmissions,
+              traced.samples[i].server_retransmissions);
+  }
+}
+
+}  // namespace
+}  // namespace pqtls

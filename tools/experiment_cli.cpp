@@ -18,11 +18,14 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "crypto/catalog.hpp"
 #include "testbed/testbed.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -99,6 +102,20 @@ std::vector<Job> make_jobs(const std::string& name) {
     for (const char* sa : {"sphincs128", "sphincs128s", "sphincs192",
                            "sphincs192s", "sphincs256", "sphincs256s"})
       jobs.push_back(Job{.kem = "x25519", .sig = sa, .netem = {}});
+  } else if (name == "trace-smoke") {
+    // One traced handshake per headline KA/SA pairing under the loss
+    // scenario where the trace subsystem earns its keep: CI validates the
+    // emitted JSONL against the golden schema and checks every payload
+    // drop pairs with a later retransmission.
+    net::NetemConfig high_loss{.loss = 0.10, .delay_s = 0, .rate_bps = 0};
+    for (auto [ka, sa] : std::initializer_list<std::pair<const char*,
+                                                         const char*>>{
+             {"x25519", "rsa:2048"},
+             {"kyber512", "dilithium2"},
+             {"kyber512", "falcon512"},
+             {"kyber512", "sphincs128"},
+             {"kyber768", "dilithium3"}})
+      jobs.push_back({ka, sa, "High Loss (10%)", high_loss});
   } else if (name.rfind("level", 0) == 0 && name.size() >= 6) {
     int level = name[5] - '0';
     if (level != 1 && level != 3 && level != 5) return {};
@@ -114,8 +131,15 @@ std::vector<Job> make_jobs(const std::string& name) {
   return jobs;
 }
 
+std::string trace_stem(const Job& job) {
+  std::string stem = "trace-" + job.kem + "-" + job.sig;
+  for (char& ch : stem)
+    if (ch == ':' || ch == '/') ch = '-';
+  return stem;
+}
+
 void write_csv(const std::filesystem::path& dir, const std::vector<Job>& jobs,
-               int samples) {
+               int samples, bool with_trace) {
   std::filesystem::create_directories(dir);
   std::ofstream csv(dir / "latencies.csv");
   csv << "kem,sig,scenario,partAMedian,partBMedian,partAllMedian,"
@@ -129,7 +153,16 @@ void write_csv(const std::filesystem::path& dir, const std::vector<Job>& jobs,
     config.buffering = job.buffering;
     config.white_box = job.white_box;
     config.sample_handshakes = samples;
+    pqtls::trace::Recorder recorder;
+    if (with_trace) config.trace = &recorder;
     auto r = testbed::run_experiment(config);
+    if (with_trace && !recorder.empty()) {
+      std::string stem = trace_stem(job);
+      std::ofstream jsonl(dir / (stem + ".jsonl"));
+      recorder.write_jsonl(jsonl);
+      std::ofstream chrome(dir / (stem + ".trace.json"));
+      recorder.write_chrome_trace(chrome);
+    }
     if (!r.ok) {
       std::fprintf(stderr, "  %s/%s (%s): FAILED\n", job.kem.c_str(),
                    job.sig.c_str(), job.scenario.c_str());
@@ -151,22 +184,28 @@ void write_csv(const std::filesystem::path& dir, const std::vector<Job>& jobs,
 int main(int argc, char** argv) {
   std::filesystem::path out = "experiments-out";
   int samples = 9;
+  bool with_trace = false;
   std::vector<std::string> names;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
       out = argv[++i];
     } else if (std::strcmp(argv[i], "-s") == 0 && i + 1 < argc) {
       samples = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      with_trace = true;
     } else {
       names.emplace_back(argv[i]);
     }
   }
   if (names.empty()) {
     std::printf(
-        "usage: pqtls_experiment [-o outdir] [-s samples] <experiment>...\n"
+        "usage: pqtls_experiment [-o outdir] [-s samples] [--trace] "
+        "<experiment>...\n"
         "experiments: all-kem all-sig all-kem-scenarios all-sig-scenarios\n"
         "             level[1,3,5] level[1,3,5]-nopush level[1,3,5]-perf\n"
-        "             all-sphincs\n");
+        "             all-sphincs trace-smoke\n"
+        "--trace: record the first sample of each configuration and write\n"
+        "         trace-<kem>-<sig>.jsonl + .trace.json next to the CSV\n");
     return 1;
   }
   for (const auto& name : names) {
@@ -177,7 +216,7 @@ int main(int argc, char** argv) {
     }
     std::printf("experiment %s (%zu configurations)\n", name.c_str(),
                 jobs.size());
-    write_csv(out / name, jobs, samples);
+    write_csv(out / name, jobs, samples, with_trace);
   }
   return 0;
 }

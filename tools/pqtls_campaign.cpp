@@ -126,6 +126,9 @@ int usage(const char* argv0) {
       "                        deterministic modeled clock\n"
       "  --max-cell-seconds X  per-cell wall budget; slow cells are recorded\n"
       "                        as timed out and the campaign continues\n"
+      "  --trace-dir PATH      record a flight trace of the first sample of\n"
+      "                        every cell: PATH/<id>.jsonl (schema-locked\n"
+      "                        JSONL) and PATH/<id>.trace.json (Perfetto)\n"
       "  --quiet               suppress per-cell progress on stderr\n",
       argv0, argv0);
   return 1;
@@ -188,6 +191,10 @@ int main(int argc, char** argv) {
       const char* v = value();
       opts.max_cell_seconds =
           v ? std::atof(v) : opts.max_cell_seconds;
+    } else if (arg == "--trace-dir") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      opts.trace_dir = v;
     } else if (arg == "--quiet") {
       opts.progress = false;
     } else {
