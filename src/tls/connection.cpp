@@ -1,6 +1,7 @@
 #include "tls/connection.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "crypto/ct.hpp"
 
@@ -10,6 +11,21 @@ namespace {
 
 using perf::Lib;
 using perf::Scope;
+
+/// Every handshake type either connection's codec knows — the alphabet the
+/// verifier's completeness check sweeps each state against.
+std::vector<std::uint8_t> handshake_alphabet() {
+  return {static_cast<std::uint8_t>(HandshakeType::kClientHello),
+          static_cast<std::uint8_t>(HandshakeType::kServerHello),
+          static_cast<std::uint8_t>(HandshakeType::kEncryptedExtensions),
+          static_cast<std::uint8_t>(HandshakeType::kCertificate),
+          static_cast<std::uint8_t>(HandshakeType::kCertificateVerify),
+          static_cast<std::uint8_t>(HandshakeType::kFinished)};
+}
+
+std::uint8_t code(HandshakeType type) {
+  return static_cast<std::uint8_t>(type);
+}
 
 }  // namespace
 
@@ -31,6 +47,88 @@ std::span<const ClientConnection::Rule> ClientConnection::rules() {
        &ClientConnection::on_server_finished},
   };
   return kRules;
+}
+
+std::size_t ClientConnection::rule_count() { return rules().size(); }
+
+StateMachineSpec ClientConnection::spec() {
+  StateMachineSpec spec;
+  spec.role = "client";
+  spec.initial = state_name(State::kStart);
+  spec.done = state_name(State::kComplete);
+  spec.error = state_name(State::kFailed);
+  for (State s : {State::kStart, State::kWaitServerHello,
+                  State::kWaitEncryptedExtensions, State::kWaitCertificate,
+                  State::kWaitCertificateVerify, State::kWaitFinished,
+                  State::kComplete, State::kFailed}) {
+    spec.states.push_back(state_name(s));
+    if (!spec.is_terminal(state_name(s)) && alert_on_unexpected(s))
+      spec.alert_states.push_back(state_name(s));
+  }
+  spec.alphabet = handshake_alphabet();
+  // start(): emit ClientHello, arm for the ServerHello.
+  spec.start = SpecStart{state_name(State::kStart),
+                         state_name(State::kWaitServerHello),
+                         {{code(HandshakeType::kClientHello), "plain"}}};
+  // Declared outcomes per rule. Keyed by the rule's state (one rule per
+  // state); a rule with no declared outcomes is a verifier error, so a new
+  // table entry cannot land without teaching the spec its behaviour.
+  auto outcomes_for = [](const Rule& rule) -> std::vector<SpecOutcome> {
+    const auto fail_name = std::string(state_name(State::kFailed));
+    SpecOutcome reject{.label = "reject",
+                       .next = fail_name,
+                       .emits = {},
+                       .once = false,
+                       .alert = true,
+                       .on_flavors = {}};
+    auto ok = [](std::string next) {
+      return SpecOutcome{.label = "ok",
+                         .next = std::move(next),
+                         .emits = {},
+                         .once = false,
+                         .alert = false,
+                         .on_flavors = {}};
+    };
+    switch (rule.state) {
+      case State::kWaitServerHello: {
+        // A plain ServerHello advances; the HRR flavor re-key-shares and
+        // re-enters the wait (at most once, hrr_seen_).
+        SpecOutcome accept = ok(state_name(State::kWaitEncryptedExtensions));
+        accept.on_flavors = {"plain"};
+        SpecOutcome hrr{.label = "hrr",
+                        .next = state_name(State::kWaitServerHello),
+                        .emits = {{code(HandshakeType::kClientHello), "plain"}},
+                        .once = true,
+                        .alert = false,
+                        .on_flavors = {"hrr"}};
+        return {accept, hrr, reject};
+      }
+      case State::kWaitEncryptedExtensions:
+        return {ok(state_name(State::kWaitCertificate)), reject};
+      case State::kWaitCertificate:
+        return {ok(state_name(State::kWaitCertificateVerify)), reject};
+      case State::kWaitCertificateVerify:
+        return {ok(state_name(State::kWaitFinished)), reject};
+      case State::kWaitFinished: {
+        SpecOutcome accept = ok(state_name(State::kComplete));
+        accept.emits = {{code(HandshakeType::kFinished), "plain"}};
+        return {accept, reject};
+      }
+      default:
+        throw std::logic_error(
+            "client rule without declared spec outcomes for state " +
+            std::string(state_name(rule.state)));
+    }
+  };
+  for (const Rule& rule : rules()) {
+    SpecTransition t;
+    t.from = state_name(rule.state);
+    t.message = code(rule.expect);
+    t.message_name = handshake_type_name(t.message);
+    t.outcomes = outcomes_for(rule);
+    spec.transitions.push_back(std::move(t));
+  }
+  return spec;
 }
 
 ClientConnection::ClientConnection(const ClientConfig& config, crypto::Drbg rng,
@@ -243,6 +341,80 @@ std::span<const ServerConnection::Rule> ServerConnection::rules() {
        &ServerConnection::on_client_finished},
   };
   return kRules;
+}
+
+std::size_t ServerConnection::rule_count() { return rules().size(); }
+
+StateMachineSpec ServerConnection::spec() {
+  StateMachineSpec spec;
+  spec.role = "server";
+  spec.initial = state_name(State::kWaitClientHello);
+  spec.done = state_name(State::kComplete);
+  spec.error = state_name(State::kFailed);
+  for (State s : {State::kWaitClientHello, State::kWaitClientFinished,
+                  State::kComplete, State::kFailed}) {
+    spec.states.push_back(state_name(s));
+    if (!spec.is_terminal(state_name(s)) && alert_on_unexpected(s))
+      spec.alert_states.push_back(state_name(s));
+  }
+  spec.alphabet = handshake_alphabet();
+  auto outcomes_for = [](const Rule& rule) -> std::vector<SpecOutcome> {
+    const auto fail_name = std::string(state_name(State::kFailed));
+    SpecOutcome reject{.label = "reject",
+                       .next = fail_name,
+                       .emits = {},
+                       .once = false,
+                       .alert = true,
+                       .on_flavors = {}};
+    switch (rule.state) {
+      case State::kWaitClientHello:
+        // ok: the full server flight in one dispatch (SH, EE, Cert, CV,
+        // Fin — the dummy CCS is not a handshake message). hrr: wrong key
+        // share but negotiable group, at most once (hrr_sent_).
+        return {SpecOutcome{
+                    .label = "ok",
+                    .next = state_name(State::kWaitClientFinished),
+                    .emits = {{code(HandshakeType::kServerHello), "plain"},
+                              {code(HandshakeType::kEncryptedExtensions),
+                               "plain"},
+                              {code(HandshakeType::kCertificate), "plain"},
+                              {code(HandshakeType::kCertificateVerify),
+                               "plain"},
+                              {code(HandshakeType::kFinished), "plain"}},
+                    .once = false,
+                    .alert = false,
+                    .on_flavors = {}},
+                SpecOutcome{
+                    .label = "hrr",
+                    .next = state_name(State::kWaitClientHello),
+                    .emits = {{code(HandshakeType::kServerHello), "hrr"}},
+                    .once = true,
+                    .alert = false,
+                    .on_flavors = {}},
+                reject};
+      case State::kWaitClientFinished:
+        return {SpecOutcome{.label = "ok",
+                            .next = state_name(State::kComplete),
+                            .emits = {},
+                            .once = false,
+                            .alert = false,
+                            .on_flavors = {}},
+                reject};
+      default:
+        throw std::logic_error(
+            "server rule without declared spec outcomes for state " +
+            std::string(state_name(rule.state)));
+    }
+  };
+  for (const Rule& rule : rules()) {
+    SpecTransition t;
+    t.from = state_name(rule.state);
+    t.message = code(rule.expect);
+    t.message_name = handshake_type_name(t.message);
+    t.outcomes = outcomes_for(rule);
+    spec.transitions.push_back(std::move(t));
+  }
+  return spec;
 }
 
 ServerConnection::ServerConnection(const ServerConfig& config, crypto::Drbg rng,

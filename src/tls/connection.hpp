@@ -26,6 +26,7 @@
 #include "tls/key_schedule.hpp"
 #include "tls/messages.hpp"
 #include "tls/record_layer.hpp"
+#include "tls/spec.hpp"
 #include "trace/trace.hpp"
 
 namespace pqtls::tls {
@@ -66,9 +67,10 @@ using FlightSink = std::function<void(BytesView)>;
 /// declare a table of (state, expected message, handler) rules; the core
 /// pumps records, reassembles handshake messages and dispatches each one
 /// through the table. A message arriving in a state with no matching rule
-/// fails the handshake — with a fatal alert on the wire when the role sets
-/// kAlertOnUnexpected, silently otherwise (the server's behaviour for
-/// garbage instead of a ClientHello).
+/// fails the handshake — with a fatal unexpected_message alert on the wire
+/// when the role's per-state policy (Derived::alert_on_unexpected) says so,
+/// silently otherwise (the server's behaviour for garbage instead of a
+/// ClientHello, before any keys exist).
 template <typename Derived>
 class HandshakeCore {
  public:
@@ -149,8 +151,8 @@ class HandshakeCore {
       break;  // expected state, unexpected message (one rule per state)
     }
     const char* before = Derived::state_name(self().state_);
-    if (Derived::kAlertOnUnexpected)
-      fail_alert(sink);
+    if (Derived::alert_on_unexpected(self().state_))
+      fail_alert(sink, fatal_unexpected_message());
     else
       self().fail();
     trace_state(before);
@@ -166,9 +168,11 @@ class HandshakeCore {
         .arg("to", after);
   }
 
-  /// Abort with a fatal handshake_failure alert on the wire (RFC 8446 6.2).
-  void fail_alert(const FlightSink& sink) {
-    Bytes alert = records_.seal(ContentType::kAlert, fatal_handshake_failure());
+  /// Abort with a fatal alert on the wire (RFC 8446 6.2): handshake_failure
+  /// for handler-level rejects, unexpected_message for rule-table misses.
+  void fail_alert(const FlightSink& sink,
+                  const Bytes& body = fatal_handshake_failure()) {
+    Bytes alert = records_.seal(ContentType::kAlert, body);
     self().fail();
     sink(alert);
   }
@@ -200,6 +204,14 @@ class ClientConnection : public HandshakeCore<ClientConnection> {
   bool failed() const { return state_ == State::kFailed; }
   const Bytes& exporter_secret() const { return key_schedule_.client_application_traffic(); }
 
+  /// Introspection seam for the static verifier: the rule table plus its
+  /// declared outcomes, as data (see tls/spec.hpp). Built from rules(), so
+  /// the spec cannot drift from the dispatch table.
+  static StateMachineSpec spec();
+  /// Number of entries in rules(), exported so tests can assert the spec
+  /// stays in lockstep with the executable table.
+  static std::size_t rule_count();
+
  private:
   friend class HandshakeCore<ClientConnection>;
 
@@ -220,7 +232,9 @@ class ClientConnection : public HandshakeCore<ClientConnection> {
     void (ClientConnection::*handler)(BytesView body, BytesView full,
                                       const FlightSink& sink);
   };
-  static constexpr bool kAlertOnUnexpected = true;
+  /// The client always answers an unexpected handshake message with a
+  /// fatal unexpected_message alert (it initiated; keys exist from SH on).
+  static bool alert_on_unexpected(State) { return true; }
   static std::span<const Rule> rules();
   static const char* state_name(State state);
 
@@ -261,6 +275,10 @@ class ServerConnection : public HandshakeCore<ServerConnection> {
   bool handshake_complete() const { return state_ == State::kComplete; }
   bool failed() const { return state_ == State::kFailed; }
 
+  /// Introspection seam for the static verifier (see ClientConnection).
+  static StateMachineSpec spec();
+  static std::size_t rule_count();
+
  private:
   friend class HandshakeCore<ServerConnection>;
 
@@ -277,7 +295,13 @@ class ServerConnection : public HandshakeCore<ServerConnection> {
     void (ServerConnection::*handler)(BytesView body, BytesView full,
                                       const FlightSink& sink);
   };
-  static constexpr bool kAlertOnUnexpected = false;
+  /// Garbage instead of a ClientHello is dropped silently (no keys exist
+  /// yet, and answering pre-handshake noise would aid port scanners); once
+  /// the server has committed to a connection, an out-of-place message is
+  /// answered with a fatal unexpected_message alert like the client's.
+  static bool alert_on_unexpected(State state) {
+    return state == State::kWaitClientFinished;
+  }
   static std::span<const Rule> rules();
   static const char* state_name(State state);
 

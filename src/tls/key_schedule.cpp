@@ -5,6 +5,14 @@
 
 namespace pqtls::tls {
 
+// The member secrets are annotated at their declarations in
+// key_schedule.hpp; re-registering them here (namespace scope: tainted but
+// not wipe-checked — wipe() / wipe_handshake_secrets() own that duty) lets
+// the linter's taint pass follow them through this translation unit as
+// well. The KEM shared secret arrives as a caller-owned view.
+// CT_SECRET: handshake_secret_, master_secret_, client_hs_, server_hs_
+// CT_SECRET: client_app_, server_app_, shared_secret -- inputs stay tainted
+
 using crypto::hkdf_expand_sha256;
 using crypto::hkdf_extract_sha256;
 

@@ -75,6 +75,13 @@ const Bytes& fatal_handshake_failure() {
   return kFatalHandshakeFailure;
 }
 
+const Bytes& fatal_unexpected_message() {
+  // AlertDescription unexpected_message(10), AlertLevel fatal(2) — the
+  // RFC 8446 6.2 answer to a handshake message the rule table rejects.
+  static const Bytes kFatalUnexpectedMessage = {2, 10};
+  return kFatalUnexpectedMessage;
+}
+
 Bytes encode_client_hello(const ClientHello& hello) {
   Writer body;
   body.u16(kLegacyVersion);
@@ -334,6 +341,7 @@ Bytes certificate_verify_content(BytesView transcript_hash) {
   return out;
 }
 
+// CT_SECRET: secret_key -- caller-owned signing-key view, wiped by its owner
 Bytes sign_certificate_verify(const sig::Signer& sa, BytesView secret_key,
                               BytesView transcript_hash, sig::Drbg& rng) {
   return sa.sign(secret_key, certificate_verify_content(transcript_hash), rng);

@@ -56,6 +56,10 @@ const Bytes& hrr_random();
 const Bytes& ccs_payload();
 /// Fatal handshake_failure alert body (level 2, description 40).
 const Bytes& fatal_handshake_failure();
+/// Fatal unexpected_message alert body (level 2, description 10) — sent
+/// when a handshake message arrives in a state whose rule table has no
+/// entry for it.
+const Bytes& fatal_unexpected_message();
 
 struct ClientHello {
   Bytes random;

@@ -1,0 +1,22 @@
+#include "tls/spec.hpp"
+
+#include "tls/connection.hpp"
+
+namespace pqtls::tls {
+
+std::string handshake_type_name(std::uint8_t type) {
+  switch (static_cast<HandshakeType>(type)) {
+    case HandshakeType::kClientHello: return "client_hello";
+    case HandshakeType::kServerHello: return "server_hello";
+    case HandshakeType::kEncryptedExtensions: return "encrypted_extensions";
+    case HandshakeType::kCertificate: return "certificate";
+    case HandshakeType::kCertificateVerify: return "certificate_verify";
+    case HandshakeType::kFinished: return "finished";
+  }
+  return "unknown(" + std::to_string(type) + ")";
+}
+
+StateMachineSpec client_spec() { return ClientConnection::spec(); }
+StateMachineSpec server_spec() { return ServerConnection::spec(); }
+
+}  // namespace pqtls::tls

@@ -1,0 +1,104 @@
+// Introspectable description of the handshake state machines — the seam the
+// static protocol verifier (src/verify, tools/pqtls_verify) checks. Each
+// connection role exports a StateMachineSpec built *from the same Rule table
+// the dispatcher executes* (ClientConnection::rules() / ServerConnection::
+// rules()), augmented with declared outcomes: for every (state, message)
+// rule, which states the handler can move to, which handshake messages each
+// outcome pushes toward the peer, and whether the outcome is guarded to
+// fire at most once (the HelloRetryRequest retry). Because the spec is
+// derived from rules() rather than hand-maintained, it cannot drift from
+// the executable tables; a ctest (spec_lockstep) locks the construction and
+// replays real handshakes against the declared edges.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pqtls::tls {
+
+/// A handshake message an outcome pushes toward the peer. `flavor`
+/// distinguishes content variants that select different receiver outcomes
+/// under the same handshake type — concretely the HelloRetryRequest, which
+/// shares ServerHello's type code but drives the client's retry path.
+struct SpecEmit {
+  std::uint8_t message = 0;
+  std::string flavor = "plain";  // "plain" | "hrr"
+};
+
+/// One way a rule's handler can leave its state. Every transition also has
+/// an implicit "unexpected/reject" edge to the error state, controlled by
+/// the per-state alert policy (StateMachineSpec::alert_states).
+struct SpecOutcome {
+  std::string label;             // "ok" | "hrr" | "reject"
+  std::string next;              // target state name
+  std::vector<SpecEmit> emits;   // handshake messages sent to the peer
+  bool once = false;   // guarded: may fire at most once per connection (HRR)
+  bool alert = false;  // puts a fatal alert on the wire and fails
+  /// Content guard: the outcome is only possible for incoming messages of
+  /// these flavors (empty = any). The client's "ok" on a ServerHello
+  /// requires a plain SH; its "hrr" outcome requires the HRR flavor.
+  std::vector<std::string> on_flavors;
+
+  bool enabled_for(const std::string& flavor) const {
+    if (on_flavors.empty()) return true;
+    for (const auto& f : on_flavors)
+      if (f == flavor) return true;
+    return false;
+  }
+};
+
+/// One rule-table entry: in `from`, on handshake message `message`, the
+/// handler resolves to exactly one of `outcomes`.
+struct SpecTransition {
+  std::string from;
+  std::uint8_t message = 0;  // handshake type code
+  std::string message_name;
+  std::vector<SpecOutcome> outcomes;
+};
+
+/// Spontaneous output before any input (the client's start(): emit
+/// ClientHello and move to wait_server_hello).
+struct SpecStart {
+  std::string from;
+  std::string next;
+  std::vector<SpecEmit> emits;
+};
+
+struct StateMachineSpec {
+  std::string role;     // "client" | "server"
+  std::string initial;  // state before any input
+  std::string done;     // successful terminal state
+  std::string error;    // failure terminal state
+  std::vector<std::string> states;        // every state, by name
+  std::vector<std::uint8_t> alphabet;     // handshake types the role knows
+  std::vector<SpecTransition> transitions;
+  std::optional<SpecStart> start;
+  /// States in which an unexpected handshake message is answered with a
+  /// fatal unexpected_message alert before failing; in any other
+  /// non-terminal state the connection fails silently (the server's
+  /// behaviour for garbage instead of a ClientHello).
+  std::vector<std::string> alert_states;
+
+  bool is_terminal(const std::string& state) const {
+    return state == done || state == error;
+  }
+  bool alerts_in(const std::string& state) const {
+    for (const auto& s : alert_states)
+      if (s == state) return true;
+    return false;
+  }
+};
+
+/// Printable name for a handshake type code ("client_hello", ...), or
+/// "unknown(N)" for codes outside the codec's enum.
+std::string handshake_type_name(std::uint8_t type);
+
+/// The shipped rule tables, exported for the verifier. Built from
+/// ClientConnection::rules() / ServerConnection::rules() plus the declared
+/// outcome metadata in connection.cpp.
+StateMachineSpec client_spec();
+StateMachineSpec server_spec();
+
+}  // namespace pqtls::tls

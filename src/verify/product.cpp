@@ -1,0 +1,264 @@
+// Client × server product automaton: exhaustive exploration of the joint
+// handshake over the in-flight message queues, branching every dispatch
+// across its declared outcomes. See verify.hpp for the property catalog.
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "verify/verify.hpp"
+
+namespace pqtls::verify {
+
+namespace {
+
+using tls::SpecOutcome;
+using tls::SpecTransition;
+using tls::StateMachineSpec;
+
+/// Canonical ordering key so the BFS discovers states deterministically
+/// and revisits are detected. By value: the key outlives the state vector's
+/// reallocations.
+auto key(const JointState& s) {
+  return std::make_tuple(s.client, s.server, s.c2s, s.s2c, s.client_started,
+                         s.client_hrr_used, s.server_hrr_used);
+}
+
+struct Explorer {
+  const StateMachineSpec& client;
+  const StateMachineSpec& server;
+  JointGraph graph;
+  std::map<decltype(key(JointState{})), int> index;
+
+  int intern(const JointState& s) {
+    auto it = index.find(key(s));
+    if (it != index.end()) return it->second;
+    int id = static_cast<int>(graph.states.size());
+    graph.states.push_back(s);
+    index.emplace(key(s), id);
+    return id;
+  }
+
+  const SpecTransition* find_rule(const StateMachineSpec& spec,
+                                  const std::string& state,
+                                  std::uint8_t message) {
+    for (const SpecTransition& t : spec.transitions)
+      if (t.from == state && t.message == message) return &t;
+    return nullptr;
+  }
+
+  /// Successors of delivering the head of one queue to one endpoint.
+  /// `to_server` selects the consuming side.
+  void deliver(const JointState& from, int from_id, bool to_server) {
+    const StateMachineSpec& spec = to_server ? server : client;
+    const std::string& endpoint = to_server ? from.server : from.client;
+    const std::vector<FlightMsg>& queue = to_server ? from.c2s : from.s2c;
+    const FlightMsg message = queue.front();
+    const std::string side = to_server ? "s" : "c";
+
+    auto base = [&]() {
+      JointState next = from;
+      (to_server ? next.c2s : next.s2c)
+          .erase((to_server ? next.c2s : next.s2c).begin());
+      return next;
+    };
+    auto set_state = [&](JointState& js, const std::string& state) {
+      (to_server ? js.server : js.client) = state;
+    };
+    auto emit = [&](JointState& js, const FlightMsg& m) {
+      (to_server ? js.s2c : js.c2s).push_back(m);
+    };
+    auto add_edge = [&](const JointState& next, const std::string& label) {
+      graph.edges.push_back({from_id, intern(next), side + ":" + label});
+    };
+
+    const std::string msg_name = flight_name(message);
+
+    // A terminal endpoint ignores everything (the completed server's
+    // replayed-Finished behaviour; a failed endpoint reads no more).
+    if (spec.is_terminal(endpoint)) {
+      add_edge(base(), msg_name + "/ignored");
+      return;
+    }
+    // A fatal alert fails the receiver outright (the record layer rejects
+    // the alert content type mid-handshake).
+    if (message.first == kAlertMarker) {
+      JointState next = base();
+      set_state(next, spec.error);
+      add_edge(next, "alert");
+      return;
+    }
+    const SpecTransition* rule = find_rule(spec, endpoint, message.first);
+    if (!rule) {
+      // Unexpected message: per-state policy — alert or silent drop.
+      JointState next = base();
+      set_state(next, spec.error);
+      if (spec.alerts_in(endpoint)) emit(next, {kAlertMarker, "plain"});
+      add_edge(next, msg_name + "/unexpected");
+      return;
+    }
+    bool any_outcome = false;
+    for (const SpecOutcome& outcome : rule->outcomes) {
+      bool used = to_server ? from.server_hrr_used : from.client_hrr_used;
+      if (outcome.once && used) continue;       // HRR guard spent
+      if (!outcome.enabled_for(message.second)) continue;  // wrong flavor
+      any_outcome = true;
+      JointState next = base();
+      set_state(next, outcome.next);
+      if (outcome.once)
+        (to_server ? next.server_hrr_used : next.client_hrr_used) = true;
+      for (const tls::SpecEmit& m : outcome.emits)
+        emit(next, {m.message, m.flavor});
+      if (outcome.alert) emit(next, {kAlertMarker, "plain"});
+      add_edge(next, msg_name + "/" + outcome.label);
+    }
+    if (!any_outcome) {
+      // Every declared outcome is guarded off (e.g. a second HRR with the
+      // retry budget spent): the implementation fail_alerts.
+      JointState next = base();
+      set_state(next, spec.error);
+      emit(next, {kAlertMarker, "plain"});
+      add_edge(next, msg_name + "/exhausted");
+    }
+  }
+
+  void explore() {
+    JointState initial;
+    initial.client = client.initial;
+    initial.server = server.initial;
+    intern(initial);
+    // BFS over ids; edges out of each state are generated in a fixed order
+    // (client start, deliver-to-server, deliver-to-client; outcomes in
+    // declared order), so the graph — and the DOT/JSON artifacts — are
+    // byte-deterministic.
+    std::size_t next_unprocessed = 0;
+    while (next_unprocessed < graph.states.size()) {
+      int id = static_cast<int>(next_unprocessed++);
+      JointState from = graph.states[id];  // copy: states may reallocate
+      bool quiescent = true;
+      if (!from.client_started && client.start &&
+          from.client == client.start->from) {
+        JointState next = from;
+        next.client = client.start->next;
+        next.client_started = true;
+        for (const tls::SpecEmit& m : client.start->emits)
+          next.c2s.push_back({m.message, m.flavor});
+        graph.edges.push_back({id, intern(next), "c:start"});
+        quiescent = false;
+      }
+      if (!from.c2s.empty()) {
+        deliver(from, id, /*to_server=*/true);
+        quiescent = false;
+      }
+      if (!from.s2c.empty()) {
+        deliver(from, id, /*to_server=*/false);
+        quiescent = false;
+      }
+      if (quiescent) {
+        bool done = from.client == client.done && from.server == server.done;
+        bool error =
+            from.client == client.error || from.server == server.error;
+        if (done)
+          graph.done_states.push_back(id);
+        else if (error)
+          graph.error_states.push_back(id);
+        else
+          graph.stuck_states.push_back(id);
+      }
+    }
+  }
+};
+
+/// True if the edge relation restricted to reachable states has a cycle.
+bool has_cycle(const JointGraph& graph) {
+  std::vector<std::vector<int>> out(graph.states.size());
+  for (const JointEdge& e : graph.edges) out[e.from].push_back(e.to);
+  enum Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(graph.states.size(), kWhite);
+  // Iterative DFS with an explicit stack of (node, next-child-index).
+  for (std::size_t root = 0; root < graph.states.size(); ++root) {
+    if (color[root] != kWhite) continue;
+    std::vector<std::pair<int, std::size_t>> stack{{static_cast<int>(root), 0}};
+    color[root] = kGray;
+    while (!stack.empty()) {
+      auto& [node, child] = stack.back();
+      if (child < out[node].size()) {
+        int next = out[node][child++];
+        if (color[next] == kGray) return true;
+        if (color[next] == kWhite) {
+          color[next] = kGray;
+          stack.push_back({next, 0});
+        }
+      } else {
+        color[node] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+std::string describe(const JointState& s) {
+  std::ostringstream os;
+  os << "client=" << s.client << " server=" << s.server << " c2s=[";
+  for (std::size_t i = 0; i < s.c2s.size(); ++i)
+    os << (i ? "," : "") << flight_name(s.c2s[i]);
+  os << "] s2c=[";
+  for (std::size_t i = 0; i < s.s2c.size(); ++i)
+    os << (i ? "," : "") << flight_name(s.s2c[i]);
+  os << "]";
+  return os.str();
+}
+
+}  // namespace
+
+std::string flight_name(const FlightMsg& msg) {
+  if (msg.first == kAlertMarker) return "alert";
+  std::string name = tls::handshake_type_name(msg.first);
+  if (msg.second != "plain") name += "(" + msg.second + ")";
+  return name;
+}
+
+ProductResult check_product(const StateMachineSpec& client,
+                            const StateMachineSpec& server) {
+  ProductResult result;
+  Explorer explorer{client, server, {}, {}};
+  explorer.explore();
+  result.graph = std::move(explorer.graph);
+  const JointGraph& graph = result.graph;
+
+  PropertyResult termination;
+  termination.name = "joint.termination";
+  if (has_cycle(graph))
+    termination.violations.push_back(
+        "reachable joint graph has a cycle: a handshake schedule that "
+        "never terminates");
+  termination.notes.push_back("joint states: " +
+                              std::to_string(graph.states.size()));
+  termination.notes.push_back("joint edges: " +
+                              std::to_string(graph.edges.size()));
+  termination.passed = termination.violations.empty();
+
+  PropertyResult deadlock;
+  deadlock.name = "joint.deadlock_freedom";
+  for (int id : graph.stuck_states)
+    deadlock.violations.push_back("deadlocked joint state: " +
+                                  describe(graph.states[id]));
+  deadlock.notes.push_back("quiescent success states: " +
+                           std::to_string(graph.done_states.size()));
+  deadlock.notes.push_back("quiescent explicit-error states: " +
+                           std::to_string(graph.error_states.size()));
+  deadlock.passed = deadlock.violations.empty();
+
+  PropertyResult reaches_done;
+  reaches_done.name = "joint.reaches_done";
+  if (graph.done_states.empty())
+    reaches_done.violations.push_back(
+        "no reachable joint state completes the handshake on both sides");
+  reaches_done.passed = reaches_done.violations.empty();
+
+  result.properties = {std::move(termination), std::move(deadlock),
+                       std::move(reaches_done)};
+  return result;
+}
+
+}  // namespace pqtls::verify

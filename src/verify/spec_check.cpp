@@ -1,0 +1,148 @@
+// Per-role structural checks over a StateMachineSpec: determinism,
+// completeness, reachability. See verify.hpp for the property definitions.
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <string>
+
+#include "verify/verify.hpp"
+
+namespace pqtls::verify {
+
+namespace {
+
+using tls::SpecOutcome;
+using tls::SpecTransition;
+using tls::StateMachineSpec;
+
+bool known_state(const StateMachineSpec& spec, const std::string& name) {
+  return std::find(spec.states.begin(), spec.states.end(), name) !=
+         spec.states.end();
+}
+
+PropertyResult check_determinism(const StateMachineSpec& spec) {
+  PropertyResult result;
+  result.name = spec.role + ".determinism";
+  std::set<std::pair<std::string, std::uint8_t>> seen;
+  for (const SpecTransition& t : spec.transitions) {
+    if (!seen.insert({t.from, t.message}).second)
+      result.violations.push_back("duplicate/shadowed rule: state '" + t.from +
+                                  "' has more than one rule for " +
+                                  t.message_name);
+    if (!known_state(spec, t.from))
+      result.violations.push_back("rule out of unknown state '" + t.from +
+                                  "'");
+    if (spec.is_terminal(t.from))
+      result.violations.push_back("rule out of terminal state '" + t.from +
+                                  "' can never fire");
+    std::set<std::string> labels;
+    for (const SpecOutcome& o : t.outcomes) {
+      if (!labels.insert(o.label).second)
+        result.violations.push_back("rule (" + t.from + ", " +
+                                    t.message_name +
+                                    ") declares duplicate outcome '" +
+                                    o.label + "'");
+      if (!known_state(spec, o.next))
+        result.violations.push_back("rule (" + t.from + ", " +
+                                    t.message_name + ") outcome '" + o.label +
+                                    "' targets unknown state '" + o.next +
+                                    "'");
+    }
+    if (t.outcomes.empty())
+      result.violations.push_back("rule (" + t.from + ", " + t.message_name +
+                                  ") declares no outcomes");
+  }
+  result.passed = result.violations.empty();
+  return result;
+}
+
+PropertyResult check_completeness(const StateMachineSpec& spec) {
+  PropertyResult result;
+  result.name = spec.role + ".completeness";
+  std::size_t matched = 0, alert_rejected = 0, silent_documented = 0;
+  for (const std::string& state : spec.states) {
+    if (spec.is_terminal(state)) continue;  // terminal: input is ignored
+    bool has_rule = false;
+    for (std::uint8_t m : spec.alphabet) {
+      std::size_t rules = 0;
+      for (const SpecTransition& t : spec.transitions)
+        if (t.from == state && t.message == m) ++rules;
+      if (rules == 1) {
+        ++matched;
+        has_rule = true;
+        continue;
+      }
+      if (rules > 1) continue;  // determinism reports the duplicate
+      // Unmatched pair: must be *provably* rejected. Alert states answer
+      // with unexpected_message; the initial state's silent drop is the
+      // documented pre-handshake-garbage policy. Anything else fell
+      // through the table silently — the gap class this checker exists
+      // to catch.
+      if (spec.alerts_in(state)) {
+        ++alert_rejected;
+      } else if (state == spec.initial) {
+        ++silent_documented;
+      } else {
+        result.violations.push_back(
+            "silent fall-through: state '" + state + "' receiving " +
+            tls::handshake_type_name(m) +
+            " matches no rule and carries no alert-or-documented-drop "
+            "policy");
+      }
+    }
+    if (!has_rule && !(spec.start && spec.start->from == state))
+      result.violations.push_back("dead-end state '" + state +
+                                  "': non-terminal but has neither rules "
+                                  "nor a start action");
+  }
+  result.notes.push_back("pairs matched by a rule: " +
+                         std::to_string(matched));
+  result.notes.push_back("pairs rejected with unexpected_message alert: " +
+                         std::to_string(alert_rejected));
+  result.notes.push_back("pairs dropped silently by documented policy: " +
+                         std::to_string(silent_documented));
+  result.passed = result.violations.empty();
+  return result;
+}
+
+PropertyResult check_reachability(const StateMachineSpec& spec) {
+  PropertyResult result;
+  result.name = spec.role + ".reachability";
+  std::set<std::string> reachable{spec.initial};
+  std::deque<std::string> frontier{spec.initial};
+  auto visit = [&](const std::string& state) {
+    if (reachable.insert(state).second) frontier.push_back(state);
+  };
+  while (!frontier.empty()) {
+    std::string state = frontier.front();
+    frontier.pop_front();
+    if (spec.start && spec.start->from == state) visit(spec.start->next);
+    for (const SpecTransition& t : spec.transitions) {
+      if (t.from != state) continue;
+      for (const SpecOutcome& o : t.outcomes) visit(o.next);
+    }
+  }
+  for (const std::string& state : spec.states)
+    if (!reachable.count(state))
+      result.violations.push_back("dead state '" + state +
+                                  "': unreachable from '" + spec.initial +
+                                  "'");
+  for (const SpecTransition& t : spec.transitions)
+    if (!reachable.count(t.from))
+      result.violations.push_back("unreachable rule (" + t.from + ", " +
+                                  t.message_name + ")");
+  result.notes.push_back("reachable states: " +
+                         std::to_string(reachable.size()) + "/" +
+                         std::to_string(spec.states.size()));
+  result.passed = result.violations.empty();
+  return result;
+}
+
+}  // namespace
+
+std::vector<PropertyResult> check_machine(const StateMachineSpec& spec) {
+  return {check_determinism(spec), check_completeness(spec),
+          check_reachability(spec)};
+}
+
+}  // namespace pqtls::verify

@@ -1,0 +1,126 @@
+// Static protocol verifier over the exported handshake state-machine specs
+// (tls/spec.hpp). Two layers:
+//
+//   Per-role checks (check_machine): the rule table itself, as data —
+//     determinism    no duplicate or shadowed (state, message) rules, no
+//                    rules out of terminal states, no edges into unknown
+//                    states, unique outcome labels per rule;
+//     completeness   every (non-terminal state, alphabet message) pair is
+//                    either matched by exactly one rule or *provably
+//                    rejected*: an unexpected_message alert in states the
+//                    role's alert policy covers, or the documented silent
+//                    drop in the role's initial state. Any other silent
+//                    fall-through, and any non-terminal dead-end state with
+//                    neither rules nor a start action, is a violation;
+//     reachability   breadth-first over the declared success edges: every
+//                    state and every rule must be reachable from the
+//                    initial state.
+//
+//   Product automaton (check_product): exhaustive exploration of the joint
+//   client × server machine over the in-flight message queues, branching
+//   every dispatch across its declared outcomes (ok / HRR — guarded to
+//   fire once per side, like hrr_seen_/hrr_sent_ — / codec reject) plus
+//   fatal-alert delivery and the ignore-when-terminal rule. Proves
+//     termination        the reachable joint graph is acyclic;
+//     deadlock-freedom   every quiescent joint state is either joint
+//                        success (both complete, queues drained) or an
+//                        explicit error (at least one side failed);
+//     reaches-done       the joint success state is actually reachable.
+//   Together: every reachable joint state either advances toward Done or
+//   terminates in an explicit error. The graph is exported as DOT and
+//   JSON artifacts (render_dot / render_graph_json).
+//
+// run_all bundles both layers into a machine-readable report
+// (render_report_json, golden-locked in tests/golden/verify_report.json).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tls/spec.hpp"
+
+namespace pqtls::verify {
+
+struct PropertyResult {
+  std::string name;  // e.g. "client.completeness"
+  bool passed = true;
+  std::vector<std::string> violations;  // empty iff passed
+  std::vector<std::string> notes;       // facts worth reporting either way
+};
+
+/// Per-role structural checks: determinism, completeness, reachability.
+std::vector<PropertyResult> check_machine(const tls::StateMachineSpec& spec);
+
+/// In the joint graph, message queues carry handshake type codes plus this
+/// marker for a fatal alert record in flight.
+constexpr std::uint8_t kAlertMarker = 0xFF;
+
+/// One in-flight message: handshake type code (or kAlertMarker) plus the
+/// content flavor its emitting outcome declared ("plain" | "hrr").
+using FlightMsg = std::pair<std::uint8_t, std::string>;
+
+/// Printable name of an in-flight message ("server_hello(hrr)", "alert").
+std::string flight_name(const FlightMsg& msg);
+
+struct JointState {
+  std::string client;
+  std::string server;
+  std::vector<FlightMsg> c2s;  // client-to-server in-flight messages
+  std::vector<FlightMsg> s2c;
+  bool client_started = false;
+  bool client_hrr_used = false;
+  bool server_hrr_used = false;
+};
+
+struct JointEdge {
+  int from = 0;
+  int to = 0;
+  std::string label;  // e.g. "s:client_hello/ok", "c:alert"
+};
+
+struct JointGraph {
+  std::vector<JointState> states;  // discovery (BFS) order; 0 is initial
+  std::vector<JointEdge> edges;
+  std::vector<int> done_states;   // both complete, queues drained
+  std::vector<int> error_states;  // quiescent with at least one side failed
+  std::vector<int> stuck_states;  // quiescent but neither done nor error
+};
+
+struct ProductResult {
+  JointGraph graph;
+  std::vector<PropertyResult> properties;
+};
+
+ProductResult check_product(const tls::StateMachineSpec& client,
+                            const tls::StateMachineSpec& server);
+
+/// Graphviz DOT of the joint graph (deterministic node order and labels).
+std::string render_dot(const JointGraph& graph);
+/// JSON {"states": [...], "edges": [...]} of the joint graph.
+std::string render_graph_json(const JointGraph& graph);
+
+struct Report {
+  std::vector<PropertyResult> properties;
+  std::size_t client_states = 0;
+  std::size_t client_rules = 0;
+  std::size_t server_states = 0;
+  std::size_t server_rules = 0;
+  std::size_t joint_states = 0;
+  std::size_t joint_edges = 0;
+  std::size_t joint_done = 0;
+  std::size_t joint_error = 0;
+};
+
+/// Run every check on the pair of specs; optionally hand back the joint
+/// graph for artifact export.
+Report run_all(const tls::StateMachineSpec& client,
+               const tls::StateMachineSpec& server,
+               JointGraph* graph_out = nullptr);
+
+bool all_passed(const Report& report);
+
+/// Machine-readable report, stable key order and formatting (golden-locked).
+std::string render_report_json(const Report& report);
+
+}  // namespace pqtls::verify

@@ -194,6 +194,153 @@ TEST(CtLint, ClassMembersAreTaintedButNotWipeChecked) {
   EXPECT_TRUE(has_rule(lint_source("bad.hpp", bad_use), Rule::kSecretCompare));
 }
 
+// ---- v2: taint propagation, secret-length, stale-allow ----
+//
+// Each taint fixture is also run with propagate_taint disabled — the v1
+// line scanner's view — to prove the finding is one only the taint pass
+// can produce.
+
+ctlint::LintOptions v1_view() {
+  ctlint::LintOptions options;
+  options.propagate_taint = false;
+  options.flag_stale_allows = false;
+  return options;
+}
+
+TEST(CtLintTaint, FlowsThroughAssignment) {
+  const char* bad =
+      "int f() {\n"
+      "  int s = secret_byte();  // CT_SECRET: s\n"
+      "  int masked = s ^ 0x5a;\n"
+      "  if (masked) leak();\n"
+      "  return 0;\n}\n";
+  EXPECT_TRUE(has_rule(lint_source("bad.cpp", bad), Rule::kSecretBranch));
+  // The branch is on `masked`, never annotated: v1 provably misses it.
+  EXPECT_FALSE(
+      has_rule(lint_source("bad.cpp", bad, v1_view()), Rule::kSecretBranch));
+}
+
+TEST(CtLintTaint, FlowsThroughFunctionReturn) {
+  // The tainted function is defined *after* its caller: the two-pass
+  // analysis still taints the call site.
+  const char* bad =
+      "int g() {\n"
+      "  int t = low_bits();\n"
+      "  if (t) leak();\n"
+      "  return 0;\n}\n"
+      "int low_bits() {\n"
+      "  int s = secret_byte();  // CT_SECRET: s\n"
+      "  return s;\n}\n";
+  EXPECT_TRUE(has_rule(lint_source("bad.cpp", bad), Rule::kSecretBranch));
+  EXPECT_FALSE(
+      has_rule(lint_source("bad.cpp", bad, v1_view()), Rule::kSecretBranch));
+}
+
+TEST(CtLintTaint, SelectResultStaysSecretButEqualResultIsPublic) {
+  // ct::select of secrets yields a secret (no annotation on `out`)...
+  const char* select_bad =
+      "void f(Bytes key, Bytes tag) {\n"
+      "  Bytes k2 = key;  // CT_SECRET: key, k2\n"
+      "  Bytes out = ct::select(ok, key, tag);\n"
+      "  if (out[0]) leak();\n"
+      "  ct::wipe(key); ct::wipe(k2);\n}\n";
+  EXPECT_TRUE(
+      has_rule(lint_source("bad.cpp", select_bad), Rule::kSecretBranch));
+  // ...but ct::equal's bool is public by design: branching on it is fine.
+  const char* equal_good =
+      "bool f(Bytes key, Bytes tag) {\n"
+      "  Bytes k2 = key;  // CT_SECRET: key, k2\n"
+      "  bool match = ct::equal(key, tag);\n"
+      "  if (match) accept();\n"
+      "  ct::wipe(key); ct::wipe(k2);\n"
+      "  return match;\n}\n";
+  EXPECT_FALSE(
+      has_rule(lint_source("good.cpp", equal_good), Rule::kSecretBranch));
+}
+
+TEST(CtLintTaint, DerivedSecretsOweNoWipe) {
+  // Propagated taint participates in the usage rules but the wipe duty
+  // stays with the annotated owner.
+  const char* good =
+      "void f() {\n"
+      "  Bytes key = derive();  // CT_SECRET\n"
+      "  Bytes prk = expand(key);\n"
+      "  use(prk);\n"
+      "  ct::wipe(key);\n}\n";
+  EXPECT_FALSE(has_rule(lint_source("good.cpp", good), Rule::kMissingWipe));
+}
+
+TEST(CtLintLength, FlagsSecretSizedResize) {
+  // No v1 rule could express this: the value never reaches a branch,
+  // comparison, or index — it becomes an allocation size.
+  const char* bad =
+      "void f(Bytes& buf) {\n"
+      "  int n = secret_len();  // CT_SECRET: n -- padding-sensitive length\n"
+      "  buf.resize(n);\n"
+      "  ct::wipe(n);\n}\n";
+  auto findings = lint_source("bad.cpp", bad);
+  ASSERT_TRUE(has_rule(findings, Rule::kSecretLength));
+  for (const auto& f : findings) {
+    if (f.rule == Rule::kSecretLength) {
+      EXPECT_EQ(f.line, 3);
+    }
+  }
+}
+
+TEST(CtLintLength, FlagsSecretLoopBound) {
+  const char* bad =
+      "void f() {\n"
+      "  int w = secret_weight();  // CT_SECRET: w\n"
+      "  for (int i = 0; i < w; ++i) step();\n"
+      "  ct::wipe(w);\n}\n";
+  EXPECT_TRUE(has_rule(lint_source("bad.cpp", bad), Rule::kSecretLength));
+}
+
+TEST(CtLintLength, FlagsSecretNewExtent) {
+  const char* bad =
+      "void f() {\n"
+      "  int n = secret_len();  // CT_SECRET: n\n"
+      "  auto* p = new int[n];\n"
+      "  ct::wipe(n);\n"
+      "  delete[] p;\n}\n";
+  EXPECT_TRUE(has_rule(lint_source("bad.cpp", bad), Rule::kSecretLength));
+}
+
+TEST(CtLintStale, UnusedAllowIsReported) {
+  const char* stale =
+      "void f() {\n"
+      "  int x = 3;\n"
+      "  if (x) go();  // ct-lint: allow(secret-branch) leftover excuse\n"
+      "}\n";
+  auto f = lint_source("bad.cpp", stale);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, Rule::kStaleAllow);
+  EXPECT_EQ(f[0].line, 3);
+}
+
+TEST(CtLintStale, UnknownRuleNameIsReported) {
+  const char* bad = "int x = 3;  // ct-lint: allow(secret-comprae) typo\n";
+  auto f = lint_source("bad.cpp", bad);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, Rule::kStaleAllow);
+  EXPECT_NE(f[0].message.find("unknown rule"), std::string::npos);
+}
+
+TEST(CtLintStale, UsedAllowStaysQuiet) {
+  const char* used =
+      "void f() {\n"
+      "  Bytes m = decode();  // CT_SECRET\n"
+      "  if (m.empty()) return;  // ct-lint: allow(secret-branch) len public\n"
+      "  ct::wipe(m);\n}\n";
+  EXPECT_TRUE(lint_source("good.cpp", used).empty());
+  // missing-wipe suppressions on the declaration line count as used too.
+  const char* wipe_allowed =
+      "void f() {\n"
+      "  Bytes m = decode();  // CT_SECRET: m -- ct-lint: allow(missing-wipe) caller wipes\n"
+      "  use(m);\n}\n";
+  EXPECT_TRUE(lint_source("good.cpp", wipe_allowed).empty());
+}
+
 // ---- ct:: primitive semantics ----
 
 TEST(CtPrimitives, EqualMatchesNaiveComparison) {

@@ -315,11 +315,12 @@ TEST(TlsMessages, UnknownHandshakeTypeDrawsClientAlert) {
   client.on_data(plaintext.seal(ContentType::kHandshake, bogus),
                  [&](BytesView d) { flights.emplace_back(d.begin(), d.end()); });
   EXPECT_TRUE(client.failed());
-  // Client failure policy: one fatal handshake_failure alert record.
+  // Client failure policy: a rule-table miss draws one fatal
+  // unexpected_message alert record (RFC 8446 6.2).
   ASSERT_EQ(flights.size(), 1u);
   EXPECT_EQ(flights[0][0], static_cast<std::uint8_t>(ContentType::kAlert));
   Bytes alert_body(flights[0].end() - 2, flights[0].end());
-  EXPECT_EQ(alert_body, fatal_handshake_failure());
+  EXPECT_EQ(alert_body, fatal_unexpected_message());
 }
 
 TEST(TlsMessages, UnknownExtensionsAreSkipped) {

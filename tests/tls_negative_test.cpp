@@ -126,6 +126,66 @@ TEST(TlsNegative, ServerRejectsGarbageInsteadOfClientHello) {
   }
 }
 
+// --- Per-state alert policy (the model checker's completeness gap) -------
+//
+// The static verifier proved every (state, message) pair is handled; these
+// three tests lock the *policy* for the rule-table-miss half: who answers
+// with a fatal unexpected_message(10) alert and who stays silent.
+
+TEST(TlsNegative, ClientAnswersUnexpectedMessageWithAlert10) {
+  // A Certificate arriving while the client waits for ServerHello is a
+  // known type with no rule in that state. Before the ServerHello no keys
+  // exist, so the mandated alert is visible in plaintext on the wire.
+  Pair p = make_pair();
+  ClientConnection client(p.client, Drbg(20));
+  client.start([](BytesView) {});
+  Bytes certificate = {22, 3, 3, 0, 4, 11, 0, 0, 0};
+  Bytes out;
+  client.on_data(certificate, [&](BytesView d) { append(out, d); });
+  EXPECT_TRUE(client.failed());
+  ASSERT_GE(out.size(), 7u);
+  EXPECT_EQ(out[0], 21);  // alert record
+  EXPECT_EQ(out[5], 2);   // fatal
+  EXPECT_EQ(out[6], 10);  // unexpected_message
+}
+
+TEST(TlsNegative, ServerDropsPreHandshakeNoiseSilently) {
+  // Documented policy: before the server has committed to a connection
+  // (initial state, no keys), an out-of-place handshake message is dropped
+  // without a single byte in response — answering pre-handshake noise
+  // would hand port scanners a protocol oracle.
+  Pair p = make_pair();
+  ServerConnection server(p.server, Drbg(21));
+  Bytes finished = {22, 3, 3, 0, 4, 20, 0, 0, 0};
+  Bytes out;
+  server.on_data(finished, [&](BytesView d) { append(out, d); });
+  EXPECT_TRUE(server.failed());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TlsNegative, ServerAlertsOnUnexpectedMessageMidHandshake) {
+  // Once the server has sent its flight (wait_client_finished), the same
+  // rule-table miss must be answered with an alert — this state silently
+  // dead-ended before the completeness check flagged it. Replaying the
+  // ClientHello puts a known-but-unexpected message in that state.
+  Pair p = make_pair();
+  ClientConnection client(p.client, Drbg(22));
+  ServerConnection server(p.server, Drbg(23));
+  Bytes ch;
+  client.start([&](BytesView d) { ch.assign(d.begin(), d.end()); });
+  Bytes server_flight;
+  server.on_data(ch, [&](BytesView d) { append(server_flight, d); });
+  ASSERT_FALSE(server.failed());
+  ASSERT_FALSE(server.handshake_complete());  // waiting for Finished
+  Bytes out;
+  server.on_data(ch, [&](BytesView d) { append(out, d); });
+  EXPECT_TRUE(server.failed());
+  // Keys are installed, so the alert rides an encrypted (outer type 23)
+  // record — not silence, and not a plaintext leak.
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0], 23);
+}
+
 TEST(TlsNegative, AlertRecordFailsClient) {
   Pair p = make_pair();
   ClientConnection client(p.client, Drbg(5));

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <tuple>
 
@@ -13,6 +15,13 @@ namespace {
 bool is_ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
+
+// ---------------------------------------------------------------------------
+// Lexing. Comments and string/char literals are stripped first (v1's
+// splitter, kept verbatim: it preserves column alignment and collects the
+// comment text that carries CT_SECRET / ct-lint directives); the remaining
+// code is then tokenized per line.
+// ---------------------------------------------------------------------------
 
 /// One physical line, split into executable code and comment text.
 struct Line {
@@ -93,43 +102,59 @@ std::vector<Line> split_lines(std::string_view src) {
   return lines;
 }
 
-/// Whole-token occurrences of `name` in `text`, returned as positions.
-std::vector<std::size_t> token_positions(std::string_view text,
-                                         std::string_view name) {
-  std::vector<std::size_t> out;
-  std::size_t pos = 0;
-  while ((pos = text.find(name, pos)) != std::string_view::npos) {
-    bool left_ok = pos == 0 || !is_ident_char(text[pos - 1]);
-    std::size_t end = pos + name.size();
-    bool right_ok = end >= text.size() || !is_ident_char(text[end]);
-    if (left_ok && right_ok) out.push_back(pos);
-    pos = end;
-  }
-  return out;
-}
+struct Tok {
+  enum Kind { kIdent, kNumber, kPunct } kind = kPunct;
+  std::string text;
+  int line = 0;
+};
 
-bool has_token(std::string_view text, std::string_view name) {
-  return !token_positions(text, name).empty();
-}
+/// Multi-character operators, longest first (maximal munch).
+const char* const kMultiPunct[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "==", "!=", "<=", ">=",
+    "&&",  "||",  "<<",  ">>", "++", "--", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^="};
 
-/// Blank the parenthesized argument list of every call to `callee` so that
-/// sanctioned constant-time operations don't trip the secret-* rules.
-void blank_call_args(std::string& code, std::string_view callee) {
-  for (std::size_t pos : token_positions(code, callee)) {
-    std::size_t open = code.find('(', pos + callee.size());
-    if (open == std::string::npos) continue;
-    // Only whitespace may sit between callee and '('.
-    bool adjacent = true;
-    for (std::size_t i = pos + callee.size(); i < open; ++i)
-      if (!std::isspace(static_cast<unsigned char>(code[i]))) adjacent = false;
-    if (!adjacent) continue;
-    int depth = 0;
-    for (std::size_t i = open; i < code.size(); ++i) {
-      if (code[i] == '(') ++depth;
-      if (code[i] == ')' && --depth == 0) break;
-      if (i > open && depth >= 1) code[i] = ' ';
+std::vector<Tok> tokenize_line(const std::string& code, int line_no) {
+  std::vector<Tok> out;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    char c = code[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (is_ident_char(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < code.size() && is_ident_char(code[j])) ++j;
+      out.push_back({Tok::kIdent, code.substr(i, j - i), line_no});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < code.size() &&
+             (is_ident_char(code[j]) || code[j] == '.' || code[j] == '\''))
+        ++j;
+      out.push_back({Tok::kNumber, code.substr(i, j - i), line_no});
+      i = j;
+      continue;
+    }
+    bool munched = false;
+    for (const char* op : kMultiPunct) {
+      std::size_t len = std::string_view(op).size();
+      if (code.compare(i, len, op) == 0) {
+        out.push_back({Tok::kPunct, op, line_no});
+        i += len;
+        munched = true;
+        break;
+      }
+    }
+    if (!munched) {
+      out.push_back({Tok::kPunct, std::string(1, c), line_no});
+      ++i;
     }
   }
+  return out;
 }
 
 /// Parse `ct-lint: allow(a,b)` directives out of comment text.
@@ -147,7 +172,8 @@ std::vector<std::string> parse_allows(std::string_view comment) {
   while (std::getline(ss, item, ',')) {
     item.erase(std::remove_if(item.begin(), item.end(),
                               [](char c) {
-                                return std::isspace(static_cast<unsigned char>(c)) != 0;
+                                return std::isspace(
+                                           static_cast<unsigned char>(c)) != 0;
                               }),
                item.end());
     if (!item.empty()) out.push_back(item);
@@ -155,30 +181,47 @@ std::vector<std::string> parse_allows(std::string_view comment) {
   return out;
 }
 
-/// Infer the declared identifier from a declaration line: the last
-/// identifier token before the first top-level `=`, `{`, `(`, or `;`.
-std::string infer_declared_name(std::string_view code) {
-  std::size_t stop = code.size();
-  int depth = 0;
-  for (std::size_t i = 0; i < code.size(); ++i) {
-    char c = code[i];
-    if (c == '(' || c == '[' || c == '<') ++depth;
-    if (c == ')' || c == ']' || c == '>') --depth;
-    if (depth <= 0 && (c == '=' || c == '{' || c == '(' || c == ';')) {
-      stop = i;
-      break;
-    }
-  }
-  std::size_t end = stop;
-  while (end > 0 && std::isspace(static_cast<unsigned char>(code[end - 1])))
-    --end;
-  std::size_t begin = end;
-  while (begin > 0 && is_ident_char(code[begin - 1])) --begin;
-  if (begin == end) return {};
-  std::string name(code.substr(begin, end - begin));
-  if (std::isdigit(static_cast<unsigned char>(name[0]))) return {};
-  return name;
+// ---------------------------------------------------------------------------
+// Vocabulary.
+// ---------------------------------------------------------------------------
+
+// `random` is deliberately absent: TLS hello fields and Drbg-seeded helpers
+// legitimately use that name; libc random() never appears bare in this repo.
+const std::set<std::string> kRandTokens = {"rand",    "srand",   "rand_r",
+                                           "drand48", "lrand48", "mrand48"};
+const std::set<std::string> kMemcmpTokens = {"memcmp", "strcmp", "strncmp",
+                                             "bcmp", "strcasecmp"};
+/// Constant-time primitives whose argument lists are exempt from the
+/// secret-* rules (their whole point is to consume secrets safely).
+const std::set<std::string> kSanctioned = {"equal", "ct_equal", "select",
+                                           "wipe", "Wiper"};
+/// Sanctioned calls whose *result* is public: ct::equal's bool is branched
+/// on by the protocol itself, so it must not re-taint. ct::select of a
+/// secret stays secret, hence its absence here.
+const std::set<std::string> kPublicResult = {"equal", "ct_equal", "wipe",
+                                             "Wiper"};
+/// Calls whose argument being secret means a secret-dependent *size*.
+const std::set<std::string> kSizingCalls = {"resize", "reserve", "malloc",
+                                            "calloc", "realloc", "alloca"};
+const std::set<std::string> kTypeScopeKeywords = {
+    "class", "struct", "union", "enum", "namespace", "extern"};
+/// Identifiers before '(' that open control blocks, not functions.
+const std::set<std::string> kControlKeywords = {
+    "if", "for", "while", "switch", "catch", "else", "do", "return"};
+
+const char* const kAllRuleNames[] = {
+    "rand",          "memcmp",       "secret-compare", "secret-branch",
+    "secret-index",  "secret-length", "missing-wipe",  "stale-allow"};
+
+bool is_known_rule_name(const std::string& name) {
+  for (const char* r : kAllRuleNames)
+    if (name == r) return true;
+  return false;
 }
+
+// ---------------------------------------------------------------------------
+// Analysis state.
+// ---------------------------------------------------------------------------
 
 struct Secret {
   std::string name;
@@ -186,31 +229,548 @@ struct Secret {
   int depth = 0;        // brace depth at declaration
   bool needs_wipe = false;
   bool wiped = false;
-  bool wipe_allowed = false;  // decl line carried allow(missing-wipe)
+  bool derived = false;  // propagated taint, not an annotated declaration
 };
 
 struct Scope {
-  bool is_type = false;  // class/struct/union/enum/namespace/extern block
+  bool is_type = false;   // class/struct/union/enum/namespace/extern block
+  std::string fn_name;    // enclosing function, if this scope is its body
 };
 
-bool header_opens_type_scope(std::string_view header) {
-  static const char* kTypeKeywords[] = {"class",  "struct",    "union",
-                                        "enum",   "namespace", "extern"};
-  for (const char* kw : kTypeKeywords)
-    if (has_token(header, kw)) return true;
-  return false;
-}
+struct AllowSite {
+  int line = 0;
+  std::string rule;
+  bool used = false;
+};
 
-// `random` is deliberately absent: TLS hello fields and Drbg-seeded helpers
-// legitimately use that name; libc random() never appears bare in this repo.
-const char* const kRandTokens[] = {"rand", "srand", "rand_r", "drand48",
-                                   "lrand48", "mrand48"};
-const char* const kMemcmpTokens[] = {"memcmp", "strcmp", "strncmp", "bcmp",
-                                      "strcasecmp"};
-const char* const kSanctionedCalls[] = {"ct::equal", "ct::select", "ct::wipe",
-                                         "ct_equal", "equal", "select",
-                                         "wipe", "Wiper"};
-const char* const kBranchKeywords[] = {"if", "while", "switch", "for"};
+struct Analysis {
+  Analysis(const std::string& file_in,
+           const std::vector<std::vector<Tok>>& line_toks_in,
+           const std::vector<Line>& lines_in, const LintOptions& opts_in)
+      : file(file_in), line_toks(line_toks_in), lines(lines_in),
+        opts(opts_in) {}
+
+  const std::string& file;
+  const std::vector<std::vector<Tok>>& line_toks;
+  const std::vector<Line>& lines;
+  const LintOptions& opts;
+  /// Functions in this file whose return value is tainted. Input on the
+  /// second pass, output of the first.
+  std::set<std::string> secret_fns;
+  bool collect_only = false;  // first pass: harvest secret_fns, no findings
+
+  std::vector<Finding> findings;
+  std::vector<AllowSite> allow_sites;
+  std::vector<Scope> scopes;
+  std::vector<Secret> secrets;
+  std::vector<Tok> stmt;  // tokens since the last ';', '{', or '}'
+
+  Secret* find_secret(const std::string& name) {
+    for (auto& s : secrets)
+      if (s.name == name) return &s;
+    return nullptr;
+  }
+
+  /// Consume a matching allow directive (marking it used) or record the
+  /// finding. Allow sites are matched on the reported line.
+  void report(int line_no, Rule rule, std::string message) {
+    bool suppressed = false;
+    for (auto& site : allow_sites)
+      if (site.line == line_no && site.rule == rule_name(rule)) {
+        site.used = true;
+        suppressed = true;
+      }
+    if (suppressed || collect_only) return;
+    findings.push_back({file, line_no, rule, std::move(message)});
+  }
+
+  /// Index of the ')' matching the '(' at `open`, or npos.
+  static std::size_t match_paren(const std::vector<Tok>& toks,
+                                 std::size_t open) {
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+      if (toks[i].kind == Tok::kPunct) {
+        if (toks[i].text == "(") ++depth;
+        if (toks[i].text == ")" && --depth == 0) return i;
+      }
+    }
+    return std::string::npos;
+  }
+
+  /// Mark argument tokens of calls to any callee in `callees` within
+  /// [begin, end) of `toks`.
+  static std::vector<bool> exempt_args(const std::vector<Tok>& toks,
+                                       const std::set<std::string>& callees,
+                                       std::size_t begin, std::size_t end) {
+    std::vector<bool> exempt(toks.size(), false);
+    for (std::size_t i = begin; i + 1 < end; ++i) {
+      if (toks[i].kind != Tok::kIdent || !callees.count(toks[i].text))
+        continue;
+      if (toks[i + 1].kind != Tok::kPunct || toks[i + 1].text != "(") continue;
+      std::size_t close = match_paren(toks, i + 1);
+      if (close == std::string::npos) close = end - 1;
+      for (std::size_t j = i + 1; j <= close && j < end; ++j) exempt[j] = true;
+    }
+    return exempt;
+  }
+
+  /// True if [begin, end) of `toks` mentions a tainted value: an active
+  /// secret identifier, or a call to a known secret-returning function —
+  /// excluding arguments of public-result sanctioned calls (ct::equal's
+  /// bool is public and must not re-taint what it is assigned to).
+  bool range_tainted(const std::vector<Tok>& toks, std::size_t begin,
+                     std::size_t end) {
+    std::vector<bool> exempt = exempt_args(toks, kPublicResult, begin, end);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (exempt[i] || toks[i].kind != Tok::kIdent) continue;
+      if (find_secret(toks[i].text)) return true;
+      if (secret_fns.count(toks[i].text) && i + 1 < end &&
+          toks[i + 1].kind == Tok::kPunct && toks[i + 1].text == "(")
+        return true;
+    }
+    return false;
+  }
+
+  void add_derived(const std::string& name, int line_no) {
+    if (find_secret(name)) return;
+    Secret s;
+    s.name = name;
+    s.decl_line = line_no;
+    s.depth = static_cast<int>(scopes.size());
+    s.needs_wipe = false;  // wipe duty stays with the annotated owner
+    s.derived = true;
+    secrets.push_back(std::move(s));
+  }
+
+  /// Name of the innermost enclosing function, if any.
+  std::string enclosing_fn() const {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it)
+      if (!it->is_type && !it->fn_name.empty()) return it->fn_name;
+    return {};
+  }
+
+  // -------------------------------------------------------------------------
+  // Statement-level processing (runs at each ';' boundary): wipe detection,
+  // return handling, and taint propagation. Statement-wise, so multi-line
+  // expressions are seen whole.
+  // -------------------------------------------------------------------------
+
+  void process_statement() {
+    if (stmt.empty()) return;
+
+    // ---- wipe / ownership-transfer detection ----
+    for (auto& s : secrets) {
+      if (s.wiped) continue;
+      for (std::size_t i = 0; i < stmt.size(); ++i) {
+        if (stmt[i].kind != Tok::kIdent) continue;
+        const std::string& t = stmt[i].text;
+        if (t != "wipe" && t != "Wiper" && t != "move") continue;
+        // Method form: `secret.wipe()` / `secret->wipe()`.
+        if (i >= 2 && stmt[i - 1].kind == Tok::kPunct &&
+            (stmt[i - 1].text == "." || stmt[i - 1].text == "->") &&
+            stmt[i - 2].kind == Tok::kIdent && stmt[i - 2].text == s.name) {
+          s.wiped = true;
+          continue;
+        }
+        // Call form: the secret appears among the arguments. The '(' may
+        // not be adjacent (`ct::Wiper guard(key)` declares a guard object).
+        std::size_t open = std::string::npos;
+        for (std::size_t j = i + 1; j < stmt.size(); ++j)
+          if (stmt[j].kind == Tok::kPunct && stmt[j].text == "(") {
+            open = j;
+            break;
+          }
+        if (open == std::string::npos) continue;
+        std::size_t close = match_paren(stmt, open);
+        if (close == std::string::npos) close = stmt.size();
+        for (std::size_t j = open + 1; j < close; ++j)
+          if (stmt[j].kind == Tok::kIdent && stmt[j].text == s.name)
+            s.wiped = true;
+      }
+    }
+
+    // ---- `return expr;` hands ownership to the caller, and (taint mode)
+    // marks the enclosing function as secret-returning ----
+    for (std::size_t i = 0; i < stmt.size(); ++i) {
+      if (stmt[i].kind != Tok::kIdent || stmt[i].text != "return") continue;
+      for (std::size_t j = i + 1; j < stmt.size(); ++j)
+        if (stmt[j].kind == Tok::kIdent)
+          if (Secret* s = find_secret(stmt[j].text)) s->wiped = true;
+      if (opts.propagate_taint && range_tainted(stmt, i + 1, stmt.size())) {
+        std::string fn = enclosing_fn();
+        if (!fn.empty()) secret_fns.insert(fn);
+      }
+      break;
+    }
+
+    if (!opts.propagate_taint) return;
+
+    // ---- assignment: `lhs =|op= <tainted expr>` taints lhs ----
+    std::size_t assign = std::string::npos;
+    int depth = 0;
+    for (std::size_t i = 0; i < stmt.size(); ++i) {
+      if (stmt[i].kind != Tok::kPunct) continue;
+      const std::string& t = stmt[i].text;
+      if (t == "(" || t == "[") ++depth;
+      if (t == ")" || t == "]") --depth;
+      if (depth != 0) continue;
+      bool is_assign = t == "=" || (t.size() >= 2 && t.back() == '=' &&
+                                    t != "==" && t != "!=" && t != "<=" &&
+                                    t != ">=");
+      if (is_assign) {
+        assign = i;
+        break;
+      }
+    }
+    if (assign != std::string::npos) {
+      // Target of the assignment: the last top-level identifier before the
+      // operator (`bits[i] = x` taints bits, not the index i).
+      std::string lhs;
+      int lhs_line = 0;
+      int lhs_depth = 0;
+      for (std::size_t i = 0; i < assign; ++i) {
+        if (stmt[i].kind == Tok::kPunct) {
+          if (stmt[i].text == "(" || stmt[i].text == "[") ++lhs_depth;
+          if (stmt[i].text == ")" || stmt[i].text == "]") --lhs_depth;
+        }
+        if (stmt[i].kind == Tok::kIdent && lhs_depth == 0) {
+          lhs = stmt[i].text;
+          lhs_line = stmt[i].line;
+        }
+      }
+      if (!lhs.empty() && range_tainted(stmt, assign + 1, stmt.size()))
+        add_derived(lhs, lhs_line);
+      return;
+    }
+
+    // ---- direct-initialization: `Type name(<tainted expr>)` ----
+    for (std::size_t i = 0; i + 2 < stmt.size(); ++i) {
+      if (stmt[i].kind != Tok::kIdent || stmt[i + 1].kind != Tok::kIdent)
+        continue;
+      if (kControlKeywords.count(stmt[i].text) || stmt[i].text == "new" ||
+          stmt[i].text == "throw" || stmt[i].text == "delete")
+        continue;
+      if (stmt[i + 2].kind != Tok::kPunct || stmt[i + 2].text != "(") continue;
+      std::size_t close = match_paren(stmt, i + 2);
+      if (close == std::string::npos) close = stmt.size();
+      if (range_tainted(stmt, i + 3, close))
+        add_derived(stmt[i + 1].text, stmt[i + 1].line);
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // Line-level rule checks (findings attach to single lines, and allow
+  // directives are line-scoped).
+  // -------------------------------------------------------------------------
+
+  void check_line(int line_no) {
+    const std::vector<Tok>& toks = line_toks[line_no - 1];
+    if (toks.empty()) return;
+
+    std::vector<bool> exempt = exempt_args(toks, kSanctioned, 0, toks.size());
+
+    for (const auto& s : secrets) {
+      std::vector<std::size_t> uses;
+      for (std::size_t i = 0; i < toks.size(); ++i)
+        if (!exempt[i] && toks[i].kind == Tok::kIdent && toks[i].text == s.name)
+          uses.push_back(i);
+      if (uses.empty()) continue;
+      bool is_decl_line = s.decl_line == line_no;
+
+      // secret-compare: `==` / `!=` on a line that uses the secret.
+      bool compare_hit = false;
+      if (!is_decl_line || uses.size() > 1) {
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+          if (exempt[i] || toks[i].kind != Tok::kPunct) continue;
+          if (toks[i].text != "==" && toks[i].text != "!=") continue;
+          report(line_no, Rule::kSecretCompare,
+                 "variable-time comparison involving secret '" + s.name +
+                     "' — use ct::equal");
+          compare_hit = true;
+          break;
+        }
+      }
+
+      if (!compare_hit) {
+        // secret-branch: if/switch condition, or ternary selection.
+        for (const char* kw : {"if", "switch"}) {
+          bool hit = false;
+          for (std::size_t i = 0; i < toks.size() && !hit; ++i) {
+            if (toks[i].kind != Tok::kIdent || toks[i].text != kw) continue;
+            for (std::size_t u : uses)
+              if (u > i) {
+                report(line_no, Rule::kSecretBranch,
+                       std::string("'") + kw +
+                           "' condition depends on secret '" + s.name +
+                           "' — restructure with ct::select");
+                hit = true;
+                break;
+              }
+          }
+        }
+        // secret-length: for/while loop bound driven by the secret.
+        for (const char* kw : {"for", "while"}) {
+          bool hit = false;
+          for (std::size_t i = 0; i < toks.size() && !hit; ++i) {
+            if (toks[i].kind != Tok::kIdent || toks[i].text != kw) continue;
+            for (std::size_t u : uses)
+              if (u > i) {
+                report(line_no, Rule::kSecretLength,
+                       std::string("'") + kw +
+                           "' loop bound depends on secret '" + s.name +
+                           "' — iterate a public bound and mask");
+                hit = true;
+                break;
+              }
+          }
+        }
+        // Ternary: secret mentioned before `?` on the same line.
+        for (std::size_t q = 0; q < toks.size(); ++q) {
+          if (toks[q].kind != Tok::kPunct || toks[q].text != "?") continue;
+          bool colon_after = false;
+          for (std::size_t j = q + 1; j < toks.size(); ++j)
+            if (toks[j].kind == Tok::kPunct && toks[j].text == ":")
+              colon_after = true;
+          if (!colon_after) continue;
+          if (std::any_of(uses.begin(), uses.end(),
+                          [&](std::size_t u) { return u < q; })) {
+            report(line_no, Rule::kSecretBranch,
+                   "ternary selection depends on secret '" + s.name +
+                       "' — use ct::select");
+            break;
+          }
+        }
+      }
+
+      // secret-index / secret-length(new[]): subscript containing the secret.
+      for (std::size_t u : uses) {
+        std::size_t i = u;
+        int depth = 0;
+        bool inside = false;
+        std::size_t opener = 0;
+        while (i > 0) {
+          --i;
+          if (toks[i].kind != Tok::kPunct) continue;
+          if (toks[i].text == "]") ++depth;
+          if (toks[i].text == "[") {
+            if (depth == 0) {
+              inside = i > 0 && (toks[i - 1].kind == Tok::kIdent ||
+                                 toks[i - 1].text == "]" ||
+                                 toks[i - 1].text == ")");
+              opener = i;
+              break;
+            }
+            --depth;
+          }
+        }
+        if (!inside) continue;
+        bool new_extent = false;
+        for (std::size_t j = 0; j < opener; ++j)
+          if (toks[j].kind == Tok::kIdent && toks[j].text == "new")
+            new_extent = true;
+        if (new_extent)
+          report(line_no, Rule::kSecretLength,
+                 "allocation extent depends on secret '" + s.name +
+                     "' — allocate a public size");
+        else
+          report(line_no, Rule::kSecretIndex,
+                 "array index depends on secret '" + s.name +
+                     "' — use a constant-time scan");
+        break;
+      }
+
+      // secret-length: sizing call with the secret among its arguments.
+      for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind != Tok::kIdent || !kSizingCalls.count(toks[i].text))
+          continue;
+        if (toks[i + 1].kind != Tok::kPunct || toks[i + 1].text != "(")
+          continue;
+        std::size_t close = match_paren(toks, i + 1);
+        if (close == std::string::npos) close = toks.size();
+        bool hit = false;
+        for (std::size_t u : uses)
+          if (u > i + 1 && u < close) hit = true;
+        if (hit) {
+          report(line_no, Rule::kSecretLength,
+                 "'" + toks[i].text + "' size depends on secret '" + s.name +
+                     "' — size from public data only");
+          break;
+        }
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // Declarations, scope tracking, and the driver.
+  // -------------------------------------------------------------------------
+
+  /// Infer the declared identifier on this line: the last identifier before
+  /// the first top-level `=`, `{`, `(`, or `;`.
+  static std::string infer_declared_name(const std::vector<Tok>& toks) {
+    int depth = 0;
+    std::string last;
+    for (const Tok& t : toks) {
+      if (t.kind == Tok::kPunct) {
+        if (t.text == "(" || t.text == "[" || t.text == "<") ++depth;
+        if (t.text == ")" || t.text == "]" || t.text == ">") --depth;
+        if (depth <= 0 && (t.text == "=" || t.text == "{" || t.text == "(" ||
+                           t.text == ";"))
+          return last;
+      }
+      if (t.kind == Tok::kIdent) last = t.text;
+    }
+    return last;
+  }
+
+  void register_declarations(int line_no) {
+    const std::string& comment = lines[line_no - 1].comment;
+    std::size_t marker = comment.find("CT_SECRET");
+    if (marker == std::string::npos) return;
+    std::vector<std::string> names;
+    std::size_t colon = comment.find(':', marker);
+    if (colon != std::string::npos) {
+      // The name list runs until the first character that is neither part
+      // of an identifier, a comma, nor whitespace — so the annotation can
+      // carry trailing prose: `// CT_SECRET: key -- why it is secret`.
+      std::string current;
+      for (std::size_t i = colon + 1; i <= comment.size(); ++i) {
+        char c = i < comment.size() ? comment[i] : ',';
+        if (is_ident_char(c)) {
+          current.push_back(c);
+          continue;
+        }
+        if (!current.empty()) names.push_back(std::move(current));
+        current.clear();
+        if (c != ',' && !std::isspace(static_cast<unsigned char>(c))) break;
+      }
+    } else {
+      std::string inferred = infer_declared_name(line_toks[line_no - 1]);
+      if (!inferred.empty()) names.push_back(inferred);
+    }
+    bool in_code_scope = !scopes.empty() && !scopes.back().is_type;
+    for (auto& name : names) {
+      if (Secret* existing = find_secret(name)) {
+        // An annotation upgrades a propagated taint to an owned secret.
+        existing->decl_line = line_no;
+        existing->needs_wipe = in_code_scope;
+        existing->derived = false;
+        continue;
+      }
+      Secret s;
+      s.name = std::move(name);
+      s.decl_line = line_no;
+      s.depth = static_cast<int>(scopes.size());
+      s.needs_wipe = in_code_scope;
+      secrets.push_back(std::move(s));
+    }
+  }
+
+  void push_scope() {
+    Scope scope;
+    for (const Tok& t : stmt)
+      if (t.kind == Tok::kIdent && kTypeScopeKeywords.count(t.text))
+        scope.is_type = true;
+    if (!scope.is_type) {
+      for (std::size_t i = 1; i < stmt.size(); ++i)
+        if (stmt[i].kind == Tok::kPunct && stmt[i].text == "(") {
+          if (stmt[i - 1].kind == Tok::kIdent &&
+              !kControlKeywords.count(stmt[i - 1].text))
+            scope.fn_name = stmt[i - 1].text;
+          break;
+        }
+    }
+    scopes.push_back(std::move(scope));
+  }
+
+  void pop_scope() {
+    if (!scopes.empty()) scopes.pop_back();
+    int depth = static_cast<int>(scopes.size());
+    for (auto it = secrets.begin(); it != secrets.end();) {
+      if (it->depth > depth) {
+        if (it->needs_wipe && !it->wiped)
+          report(it->decl_line, Rule::kMissingWipe,
+                 "secret '" + it->name + "' leaves scope without ct::wipe");
+        it = secrets.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void run() {
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+      allow_sites.reserve(allow_sites.size() + 2);
+      for (const std::string& rule :
+           parse_allows(lines[li].comment))
+        allow_sites.push_back({static_cast<int>(li) + 1, rule, false});
+    }
+
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+      int line_no = static_cast<int>(li) + 1;
+      const std::vector<Tok>& toks = line_toks[li];
+
+      // Banned variable-time calls, independent of annotations.
+      std::set<std::string> seen;
+      for (const Tok& t : toks) {
+        if (t.kind != Tok::kIdent || !seen.insert(t.text).second) continue;
+        if (kRandTokens.count(t.text))
+          report(line_no, Rule::kRand,
+                 "variable-time PRNG '" + t.text +
+                     "' — use the seeded Drbg instead");
+        if (kMemcmpTokens.count(t.text))
+          report(line_no, Rule::kMemcmp,
+                 "variable-time compare '" + t.text +
+                     "' — use ct::equal instead");
+      }
+
+      register_declarations(line_no);
+      check_line(line_no);
+
+      // Scope and statement tracking: boundaries after the line's rules, so
+      // propagated taint takes effect on the *following* lines.
+      for (const Tok& t : toks) {
+        if (t.kind == Tok::kPunct && t.text == ";") {
+          process_statement();
+          stmt.clear();
+        } else if (t.kind == Tok::kPunct && t.text == "{") {
+          push_scope();
+          stmt.clear();
+        } else if (t.kind == Tok::kPunct && t.text == "}") {
+          process_statement();
+          stmt.clear();
+          pop_scope();
+        } else {
+          stmt.push_back(t);
+        }
+      }
+    }
+    process_statement();
+    stmt.clear();
+
+    // File ends: unclosed-scope secrets still owe a wipe.
+    for (const auto& s : secrets)
+      if (s.needs_wipe && !s.wiped)
+        report(s.decl_line, Rule::kMissingWipe,
+               "secret '" + s.name + "' leaves scope without ct::wipe");
+
+    // A directive that suppressed nothing is itself a finding: stale
+    // suppressions hide future regressions.
+    if (opts.flag_stale_allows && !collect_only) {
+      for (const auto& site : allow_sites) {
+        if (site.used) continue;
+        if (is_known_rule_name(site.rule))
+          findings.push_back(
+              {file, site.line, Rule::kStaleAllow,
+               "suppression 'allow(" + site.rule +
+                   ")' no longer suppresses anything — remove it"});
+        else
+          findings.push_back({file, site.line, Rule::kStaleAllow,
+                              "unknown rule '" + site.rule +
+                                  "' in ct-lint allow directive"});
+      }
+    }
+  }
+};
 
 }  // namespace
 
@@ -221,235 +781,37 @@ const char* rule_name(Rule rule) {
     case Rule::kSecretCompare: return "secret-compare";
     case Rule::kSecretBranch: return "secret-branch";
     case Rule::kSecretIndex: return "secret-index";
+    case Rule::kSecretLength: return "secret-length";
     case Rule::kMissingWipe: return "missing-wipe";
+    case Rule::kStaleAllow: return "stale-allow";
   }
   return "?";
 }
 
 std::vector<Finding> lint_source(const std::string& file,
-                                 std::string_view source) {
-  std::vector<Finding> findings;
+                                 std::string_view source,
+                                 const LintOptions& options) {
   std::vector<Line> lines = split_lines(source);
-  std::vector<Scope> scopes;
-  std::vector<Secret> secrets;
-  std::string pending_header;  // text since the last '{', '}', or ';'
+  std::vector<std::vector<Tok>> line_toks;
+  line_toks.reserve(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    line_toks.push_back(tokenize_line(lines[i].code, static_cast<int>(i) + 1));
 
-  auto allowed = [](const std::vector<std::string>& allows, Rule rule) {
-    for (const auto& a : allows)
-      if (a == rule_name(rule)) return true;
-    return false;
-  };
-
-  auto report = [&](int line_no, Rule rule, std::string message,
-                    const std::vector<std::string>& allows) {
-    if (allowed(allows, rule)) return;
-    findings.push_back({file, line_no, rule, std::move(message)});
-  };
-
-  for (std::size_t li = 0; li < lines.size(); ++li) {
-    int line_no = static_cast<int>(li) + 1;
-    const std::string& raw_code = lines[li].code;
-    const std::string& comment = lines[li].comment;
-    std::vector<std::string> allows = parse_allows(comment);
-
-    // ---- banned-function rules (independent of annotations) ----
-    for (const char* tok : kRandTokens)
-      if (has_token(raw_code, tok))
-        report(line_no, Rule::kRand,
-               std::string("variable-time PRNG '") + tok +
-                   "' — use the seeded Drbg instead",
-               allows);
-    for (const char* tok : kMemcmpTokens)
-      if (has_token(raw_code, tok))
-        report(line_no, Rule::kMemcmp,
-               std::string("variable-time compare '") + tok +
-                   "' — use ct::equal instead",
-               allows);
-
-    // ---- CT_SECRET declarations ----
-    std::size_t marker = comment.find("CT_SECRET");
-    if (marker != std::string::npos) {
-      std::vector<std::string> names;
-      std::size_t colon = comment.find(':', marker);
-      if (colon != std::string::npos) {
-        std::stringstream ss(comment.substr(colon + 1));
-        std::string item;
-        while (std::getline(ss, item, ',')) {
-          item.erase(std::remove_if(item.begin(), item.end(),
-                                    [](char c) {
-                                      return !is_ident_char(c);
-                                    }),
-                     item.end());
-          if (!item.empty()) names.push_back(item);
-        }
-      } else {
-        std::string inferred = infer_declared_name(raw_code);
-        if (!inferred.empty()) names.push_back(inferred);
-      }
-      bool in_code_scope = !scopes.empty() && !scopes.back().is_type;
-      for (auto& name : names) {
-        Secret s;
-        s.name = std::move(name);
-        s.decl_line = line_no;
-        s.depth = static_cast<int>(scopes.size());
-        s.needs_wipe = in_code_scope;
-        s.wipe_allowed = allowed(allows, Rule::kMissingWipe);
-        secrets.push_back(std::move(s));
-      }
-    }
-
-    // ---- wipe / ownership-transfer detection ----
-    for (auto& s : secrets) {
-      if (s.wiped) continue;
-      if (!has_token(raw_code, s.name)) continue;
-      for (const char* op : {"ct::wipe", "wipe", "Wiper", "std::move"}) {
-        for (std::size_t pos : token_positions(raw_code, op)) {
-          // Method form: `secret.wipe()` / `secret->wipe()`.
-          std::size_t r = pos;
-          if (r >= 1 && raw_code[r - 1] == '.') r -= 1;
-          else if (r >= 2 && raw_code[r - 2] == '-' && raw_code[r - 1] == '>')
-            r -= 2;
-          if (r != pos) {
-            std::size_t end = r;
-            while (r > 0 && is_ident_char(raw_code[r - 1])) --r;
-            if (raw_code.substr(r, end - r) == s.name) s.wiped = true;
-            continue;
-          }
-          std::size_t open = raw_code.find('(', pos);
-          if (open == std::string::npos) continue;
-          int depth = 0;
-          std::size_t close = open;
-          for (std::size_t i = open; i < raw_code.size(); ++i) {
-            if (raw_code[i] == '(') ++depth;
-            if (raw_code[i] == ')' && --depth == 0) {
-              close = i;
-              break;
-            }
-          }
-          if (close > open &&
-              has_token(std::string_view(raw_code).substr(open, close - open),
-                        s.name))
-            s.wiped = true;
-        }
-      }
-      // `return secret...;` hands ownership to the caller.
-      for (std::size_t pos : token_positions(raw_code, "return")) {
-        std::string_view rest = std::string_view(raw_code).substr(pos + 6);
-        if (has_token(rest, s.name)) s.wiped = true;
-      }
-    }
-
-    // ---- secret-usage rules on a neutralized copy of the line ----
-    std::string code = raw_code;
-    for (const char* callee : kSanctionedCalls) blank_call_args(code, callee);
-
-    for (const auto& s : secrets) {
-      std::vector<std::size_t> uses = token_positions(code, s.name);
-      if (uses.empty()) continue;
-      bool is_decl_line = s.decl_line == line_no;
-
-      bool compare_hit = false;
-      if (!is_decl_line || uses.size() > 1) {
-        for (std::size_t i = 0; i + 1 < code.size(); ++i) {
-          bool eq = (code[i] == '=' && code[i + 1] == '=') ||
-                    (code[i] == '!' && code[i + 1] == '=');
-          if (!eq) continue;
-          report(line_no, Rule::kSecretCompare,
-                 "variable-time comparison involving secret '" + s.name +
-                     "' — use ct::equal",
-                 allows);
-          compare_hit = true;
-          break;
-        }
-      }
-
-      if (!compare_hit) {
-        for (const char* kw : kBranchKeywords) {
-          if (kw == std::string_view("return")) continue;
-          for (std::size_t kpos : token_positions(code, kw)) {
-            bool secret_after =
-                std::any_of(uses.begin(), uses.end(),
-                            [&](std::size_t u) { return u > kpos; });
-            if (secret_after) {
-              report(line_no, Rule::kSecretBranch,
-                     std::string("'") + kw + "' condition depends on secret '" +
-                         s.name + "' — restructure with ct::select",
-                     allows);
-              break;
-            }
-          }
-        }
-        // Ternary: secret mentioned before `?` on the same line.
-        std::size_t q = code.find('?');
-        if (q != std::string::npos && code.find(':', q) != std::string::npos &&
-            std::any_of(uses.begin(), uses.end(),
-                        [&](std::size_t u) { return u < q; }))
-          report(line_no, Rule::kSecretBranch,
-                 "ternary selection depends on secret '" + s.name +
-                     "' — use ct::select",
-                 allows);
-      }
-
-      // Array subscript with the secret inside the brackets.
-      for (std::size_t u : uses) {
-        std::size_t i = u;
-        int depth = 0;
-        bool inside = false;
-        while (i > 0) {
-          --i;
-          if (code[i] == ']') ++depth;
-          if (code[i] == '[') {
-            if (depth == 0) {
-              inside = i > 0 && (is_ident_char(code[i - 1]) ||
-                                 code[i - 1] == ']' || code[i - 1] == ')');
-              break;
-            }
-            --depth;
-          }
-        }
-        if (inside) {
-          report(line_no, Rule::kSecretIndex,
-                 "array index depends on secret '" + s.name +
-                     "' — use a constant-time scan",
-                 allows);
-          break;
-        }
-      }
-    }
-
-    // ---- scope tracking ----
-    for (std::size_t i = 0; i < raw_code.size(); ++i) {
-      char c = raw_code[i];
-      if (c == ';' || c == '}') pending_header.clear();
-      if (c == '{') {
-        scopes.push_back({header_opens_type_scope(pending_header)});
-        pending_header.clear();
-      } else if (c == '}') {
-        if (!scopes.empty()) scopes.pop_back();
-        int depth = static_cast<int>(scopes.size());
-        for (auto it = secrets.begin(); it != secrets.end();) {
-          if (it->depth > depth) {
-            if (it->needs_wipe && !it->wiped && !it->wipe_allowed)
-              findings.push_back({file, it->decl_line, Rule::kMissingWipe,
-                                  "secret '" + it->name +
-                                      "' leaves scope without ct::wipe"});
-            it = secrets.erase(it);
-          } else {
-            ++it;
-          }
-        }
-      } else {
-        pending_header.push_back(c);
-      }
-    }
+  std::set<std::string> secret_fns;
+  if (options.propagate_taint) {
+    // Pass 1: harvest secret-returning functions so call sites earlier in
+    // the file than the definition still taint on the real pass.
+    Analysis collector{file, line_toks, lines, options};
+    collector.collect_only = true;
+    collector.run();
+    secret_fns = std::move(collector.secret_fns);
   }
 
-  for (const auto& s : secrets)
-    if (s.needs_wipe && !s.wiped && !s.wipe_allowed)
-      findings.push_back({file, s.decl_line, Rule::kMissingWipe,
-                          "secret '" + s.name +
-                              "' leaves scope without ct::wipe"});
+  Analysis analysis{file, line_toks, lines, options};
+  analysis.secret_fns = std::move(secret_fns);
+  analysis.run();
 
+  std::vector<Finding> findings = std::move(analysis.findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line) < std::tie(b.file, b.line);
@@ -457,13 +819,14 @@ std::vector<Finding> lint_source(const std::string& file,
   return findings;
 }
 
-bool lint_file(const std::string& path, std::vector<Finding>& findings) {
+bool lint_file(const std::string& path, std::vector<Finding>& findings,
+               const LintOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
   std::stringstream ss;
   ss << in.rdbuf();
   std::string src = ss.str();
-  std::vector<Finding> f = lint_source(path, src);
+  std::vector<Finding> f = lint_source(path, src, options);
   findings.insert(findings.end(), f.begin(), f.end());
   return true;
 }

@@ -1,26 +1,43 @@
-// Secret-hygiene linter for the crypto/KEM/SIG sources.
+// Secret-hygiene analyzer for the crypto/KEM/SIG/TLS sources (v2).
 //
-// The engine scans C++ source text for violations of the constant-time
+// The engine tokenizes C++ source text and enforces the constant-time
 // conventions documented in src/crypto/ct.hpp:
 //
-//   rand            banned variable-time PRNG (rand, srand, random, ...)
+//   rand            banned variable-time PRNG (rand, srand, ...)
 //   memcmp          banned variable-time compare (memcmp, strcmp, ...)
-//   secret-compare  `==` / `!=` on a CT_SECRET-annotated identifier
-//   secret-branch   if/while/switch/for/ternary condition mentioning a secret
-//   secret-index    array subscript whose index expression mentions a secret
-//   missing-wipe    function-local CT_SECRET never ct::wipe'd, returned, or
-//                   std::move'd out before its scope closes
+//   secret-compare  `==` / `!=` on a line using a tainted identifier
+//   secret-branch   if/switch/ternary condition mentioning a tainted value
+//   secret-index    array subscript whose index expression is tainted
+//   secret-length   secret-dependent sizes: for/while loop bounds,
+//                   resize/reserve/malloc/calloc/realloc/alloca arguments,
+//                   new[] extents
+//   missing-wipe    function-local annotated secret never ct::wipe'd,
+//                   returned, or std::move'd out before its scope closes
+//   stale-allow     a `// ct-lint: allow(...)` directive that no longer
+//                   suppresses any finding (or names an unknown rule)
 //
 // Secrets are declared by a trailing `// CT_SECRET` comment (the declared
-// identifier is inferred from the line) or an explicit
-// `// CT_SECRET: name1, name2` list. A line-level suppression
-// `// ct-lint: allow(rule1,rule2) reason` silences specific rules.
-// Arguments of the sanctioned operations (ct::equal / ct::select / ct::wipe /
-// ct_equal / ct::Wiper) are exempt from the secret-* rules.
+// identifier is inferred) or an explicit `// CT_SECRET: name1, name2`
+// list. Unlike the v1 line scanner, taint then *propagates* within the
+// translation unit: an identifier assigned from a tainted expression is
+// itself tainted, ct::select of a secret yields a secret, and a function
+// whose body returns a tainted value taints the result of every call to
+// it in the same file (two-pass, intra-procedural, forward flow).
+// Derived (propagated) secrets participate in every secret-* rule but are
+// not held to the missing-wipe duty — that stays with the annotated
+// declaration that owns the buffer.
 //
-// This is a line-oriented heuristic scanner, not a compiler: it tracks brace
-// scopes and blanks comments/strings, but performs no type checking or
-// data-flow tainting. It is tuned to be quiet on this repo's style.
+// `// ct-lint: allow(rule1,rule2) reason` silences specific rules on the
+// line carrying the directive; a directive that suppresses nothing is
+// itself reported (stale-allow), so suppressions cannot outlive the code
+// they excuse. Arguments of the sanctioned constant-time operations
+// (ct::equal / ct::select / ct::wipe / ct_equal / ct::Wiper) are exempt
+// from the secret-* rules; ct::equal's boolean result is public (the
+// protocol branches on MAC checks by design) and does not taint.
+//
+// Still a heuristic scanner, not a compiler: no type checking, no
+// cross-file flow; multi-line expressions are analyzed statement-wise for
+// taint but rule findings attach to single lines.
 #pragma once
 
 #include <string>
@@ -35,7 +52,9 @@ enum class Rule {
   kSecretCompare,
   kSecretBranch,
   kSecretIndex,
+  kSecretLength,
   kMissingWipe,
+  kStaleAllow,
 };
 
 const char* rule_name(Rule rule);
@@ -47,14 +66,26 @@ struct Finding {
   std::string message;
 };
 
+struct LintOptions {
+  /// Propagate taint through assignments, ct::select, and same-file
+  /// secret-returning functions. Off reproduces the v1 scanner's
+  /// annotated-identifiers-only view (used by fixtures to prove what the
+  /// taint pass catches that line scanning misses).
+  bool propagate_taint = true;
+  /// Report allow() directives that suppress nothing.
+  bool flag_stale_allows = true;
+};
+
 /// Lint a single translation unit given as text. `file` is used only for
 /// reporting.
 std::vector<Finding> lint_source(const std::string& file,
-                                 std::string_view source);
+                                 std::string_view source,
+                                 const LintOptions& options = {});
 
 /// Lint a file from disk; returns false (with no findings appended) if the
 /// file cannot be read.
-bool lint_file(const std::string& path, std::vector<Finding>& findings);
+bool lint_file(const std::string& path, std::vector<Finding>& findings,
+               const LintOptions& options = {});
 
 /// Render a finding as "file:line: [rule] message".
 std::string format_finding(const Finding& finding);

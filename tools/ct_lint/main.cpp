@@ -1,12 +1,15 @@
 // ct_lint: scan C++ sources for secret-hygiene violations.
 //
-//   ct_lint <file-or-dir>...
+//   ct_lint [--json FILE] [--no-taint] <file-or-dir>...
 //
-// Directories are walked recursively for .cpp/.cc/.hpp/.h files. Exits 1 if
-// any violation is found, 2 on usage or I/O errors.
+// Directories are walked recursively for .cpp/.cc/.hpp/.h files.
+// --json FILE writes the findings as a JSON array (CI artifact);
+// --no-taint disables the v2 taint-propagation pass (v1-compatible view).
+// Exits 1 if any violation is found, 2 on usage or I/O errors.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -22,16 +25,42 @@ bool lintable(const fs::path& p) {
   return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <file-or-dir>...\n", argv[0]);
+  std::string json_path;
+  pqtls::ctlint::LintOptions options;
+  std::vector<std::string> files;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    if (arg == "--no-taint") {
+      options.propagate_taint = false;
+      continue;
+    }
+    roots.push_back(std::move(arg));
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--json FILE] [--no-taint] <file-or-dir>...\n",
+                 argv[0]);
     return 2;
   }
-  std::vector<std::string> files;
-  for (int i = 1; i < argc; ++i) {
-    fs::path p(argv[i]);
+  for (const std::string& root : roots) {
+    fs::path p(root);
     std::error_code ec;
     if (fs::is_directory(p, ec)) {
       for (const auto& entry : fs::recursive_directory_iterator(p, ec))
@@ -40,7 +69,7 @@ int main(int argc, char** argv) {
     } else if (fs::is_regular_file(p, ec)) {
       files.push_back(p.string());
     } else {
-      std::fprintf(stderr, "ct_lint: cannot read %s\n", argv[i]);
+      std::fprintf(stderr, "ct_lint: cannot read %s\n", root.c_str());
       return 2;
     }
   }
@@ -48,7 +77,7 @@ int main(int argc, char** argv) {
 
   std::vector<Finding> findings;
   for (const auto& f : files) {
-    if (!pqtls::ctlint::lint_file(f, findings)) {
+    if (!pqtls::ctlint::lint_file(f, findings, options)) {
       std::fprintf(stderr, "ct_lint: cannot read %s\n", f.c_str());
       return 2;
     }
@@ -57,5 +86,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", pqtls::ctlint::format_finding(f).c_str());
   std::fprintf(stderr, "ct_lint: %zu file(s), %zu violation(s)\n",
                files.size(), findings.size());
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "ct_lint: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      out << "  {\"file\": \"" << json_escape(f.file) << "\", \"line\": "
+          << f.line << ", \"rule\": \"" << pqtls::ctlint::rule_name(f.rule)
+          << "\", \"message\": \"" << json_escape(f.message) << "\"}"
+          << (i + 1 < findings.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+  }
   return findings.empty() ? 0 : 1;
 }

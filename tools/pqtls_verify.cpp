@@ -1,0 +1,127 @@
+// pqtls_verify: static protocol verifier for the handshake rule tables.
+//
+//   pqtls_verify [--spec] [--product] [--all]
+//                [--dot FILE] [--graph-json FILE] [--report FILE] [--quiet]
+//
+// Checks the exported Client/Server StateMachineSpec (tls/spec.hpp) for
+// completeness, determinism and reachability, and explores the client x
+// server product automaton for termination, deadlock freedom and
+// reachability of the joint success state. Artifacts: --dot and
+// --graph-json write the joint state graph, --report the machine-readable
+// property report (the golden-locked schema in
+// tests/golden/verify_report.json).
+//
+// Exit codes: 0 all checked properties hold, 1 a property is violated,
+// 2 usage or I/O error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "tls/spec.hpp"
+#include "verify/verify.hpp"
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "pqtls_verify: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+void print_properties(const std::vector<pqtls::verify::PropertyResult>& props,
+                      bool quiet) {
+  for (const auto& p : props) {
+    if (quiet && p.passed) continue;
+    std::printf("%-24s %s\n", p.name.c_str(), p.passed ? "PASS" : "FAIL");
+    for (const auto& v : p.violations)
+      std::printf("  violation: %s\n", v.c_str());
+    if (!quiet)
+      for (const auto& n : p.notes) std::printf("  %s\n", n.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool spec_only = false, product_only = false, quiet = false;
+  std::string dot_path, graph_json_path, report_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "pqtls_verify: %s needs an argument\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--spec") spec_only = true;
+    else if (arg == "--product") product_only = true;
+    else if (arg == "--all") spec_only = product_only = false;
+    else if (arg == "--dot") dot_path = next();
+    else if (arg == "--graph-json") graph_json_path = next();
+    else if (arg == "--report") report_path = next();
+    else if (arg == "--quiet") quiet = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--spec|--product|--all] [--dot FILE] "
+                   "[--graph-json FILE] [--report FILE] [--quiet]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  bool run_spec = !product_only || spec_only;
+  bool run_product = !spec_only || product_only;
+
+  pqtls::tls::StateMachineSpec client = pqtls::tls::client_spec();
+  pqtls::tls::StateMachineSpec server = pqtls::tls::server_spec();
+
+  bool ok = true;
+  if (run_spec && run_product) {
+    // Full run: one report covering everything, plus optional artifacts.
+    pqtls::verify::JointGraph graph;
+    pqtls::verify::Report report =
+        pqtls::verify::run_all(client, server, &graph);
+    print_properties(report.properties, quiet);
+    std::printf(
+        "pqtls_verify: %zu client rules, %zu server rules, %zu joint "
+        "states, %zu joint edges — %s\n",
+        report.client_rules, report.server_rules, report.joint_states,
+        report.joint_edges, all_passed(report) ? "all properties hold"
+                                               : "PROPERTY VIOLATIONS");
+    ok = all_passed(report);
+    if (!dot_path.empty() &&
+        !write_file(dot_path, pqtls::verify::render_dot(graph)))
+      return 2;
+    if (!graph_json_path.empty() &&
+        !write_file(graph_json_path, pqtls::verify::render_graph_json(graph)))
+      return 2;
+    if (!report_path.empty() &&
+        !write_file(report_path, pqtls::verify::render_report_json(report)))
+      return 2;
+  } else if (run_spec) {
+    for (const auto& spec : {client, server}) {
+      auto props = pqtls::verify::check_machine(spec);
+      print_properties(props, quiet);
+      for (const auto& p : props) ok = ok && p.passed;
+    }
+  } else {
+    pqtls::verify::ProductResult product =
+        pqtls::verify::check_product(client, server);
+    print_properties(product.properties, quiet);
+    for (const auto& p : product.properties) ok = ok && p.passed;
+    if (!dot_path.empty() &&
+        !write_file(dot_path, pqtls::verify::render_dot(product.graph)))
+      return 2;
+    if (!graph_json_path.empty() &&
+        !write_file(graph_json_path,
+                    pqtls::verify::render_graph_json(product.graph)))
+      return 2;
+  }
+  return ok ? 0 : 1;
+}
