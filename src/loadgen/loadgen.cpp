@@ -36,25 +36,29 @@ double exp_sample(Drbg& rng, double mean) {
 
 const HandshakeProfile& calibrated_profile(const std::string& ka,
                                            const std::string& sa,
-                                           std::uint64_t pki_seed) {
+                                           std::uint64_t pki_seed,
+                                           bool resumed) {
   struct Entry {
     std::once_flag once;
     HandshakeProfile profile;
   };
   static std::mutex mu;
-  static std::map<std::tuple<std::string, std::string, std::uint64_t>, Entry>
+  static std::map<std::tuple<std::string, std::string, std::uint64_t, bool>,
+                  Entry>
       cache;
   Entry* entry;
   {
     std::lock_guard<std::mutex> lock(mu);
-    entry = &cache[std::make_tuple(ka, sa, pki_seed)];
+    entry = &cache[std::make_tuple(ka, sa, pki_seed, resumed)];
   }
   // call_once rethrows on failure and leaves the flag unset, so an unknown
   // algorithm keeps throwing instead of caching a half-built profile.
   std::call_once(entry->once, [&] {
     // One real handshake (modeled clock) for the wire volumes: the flight
     // sizes carry the certificate chain, KEM artifacts, and all TCP/frame
-    // overhead exactly as the testbed measures them.
+    // overhead exactly as the testbed measures them. The resumed variant
+    // resumes every sample, so the server flight carries no certificate
+    // chain or CertificateVerify.
     testbed::ExperimentConfig cfg;
     cfg.ka = ka;
     cfg.sa = sa;
@@ -62,6 +66,7 @@ const HandshakeProfile& calibrated_profile(const std::string& ka,
     cfg.time_model = testbed::TimeModel::kModeled;
     cfg.seed = pki_seed ^ 0x10adC0deull;
     cfg.pki_seed = pki_seed;
+    cfg.resumption_ratio = resumed ? 1.0 : 0.0;
     testbed::ExperimentResult r = testbed::run_experiment(cfg);
     if (!r.ok)
       throw std::runtime_error("loadgen calibration failed for " + ka + "/" +
@@ -76,13 +81,29 @@ const HandshakeProfile& calibrated_profile(const std::string& ka,
     const perf::CostModel& cm = perf::CostModel::builtin();
     std::size_t ch_wire =
         p.client_bytes > kFinishedWire ? p.client_bytes - kFinishedWire : 64;
-    p.client_hello_cpu = cm.kem_keygen(ka) + cm.per_byte(ch_wire) + cm.step();
-    p.server_flight_cpu = cm.kem_encaps(ka) + cm.sign(sa) + 5 * cm.kdf() +
-                          cm.per_byte(p.server_bytes) + cm.step();
-    p.client_finish_cpu = cm.kem_decaps(ka) + 2 * cm.verify(sa) +
-                          7 * cm.kdf() + cm.per_byte(p.server_bytes) +
-                          2 * cm.step();
-    p.server_finish_cpu = cm.kdf() + cm.per_byte(kFinishedWire) + cm.step();
+    if (resumed) {
+      // PSK + (EC)DHE charge sites: the signature and the two chain
+      // verifies vanish; the binder computation/check and the early/ticket
+      // PSK derivations add KDF invocations on both ends, and the server
+      // mints a fresh NewSessionTicket after the client Finished.
+      p.client_hello_cpu =
+          cm.kem_keygen(ka) + 3 * cm.kdf() + cm.per_byte(ch_wire) + cm.step();
+      p.server_flight_cpu = cm.kem_encaps(ka) + 8 * cm.kdf() +
+                            cm.per_byte(p.server_bytes) + cm.step();
+      p.client_finish_cpu = cm.kem_decaps(ka) + 9 * cm.kdf() +
+                            cm.per_byte(p.server_bytes) + 2 * cm.step();
+      p.server_finish_cpu =
+          3 * cm.kdf() + cm.per_byte(kFinishedWire) + cm.step();
+    } else {
+      p.client_hello_cpu =
+          cm.kem_keygen(ka) + cm.per_byte(ch_wire) + cm.step();
+      p.server_flight_cpu = cm.kem_encaps(ka) + cm.sign(sa) + 5 * cm.kdf() +
+                            cm.per_byte(p.server_bytes) + cm.step();
+      p.client_finish_cpu = cm.kem_decaps(ka) + 2 * cm.verify(sa) +
+                            7 * cm.kdf() + cm.per_byte(p.server_bytes) +
+                            2 * cm.step();
+      p.server_finish_cpu = cm.kdf() + cm.per_byte(kFinishedWire) + cm.step();
+    }
   });
   return entry->profile;
 }
@@ -109,6 +130,7 @@ enum class Stage : std::uint32_t {
 struct Conn {
   double arrival = 0;  // SYN emission time at the client
   int client = -1;     // closed-loop population index; -1 = open loop
+  bool resumed = false;  // uses the resumed profile's costs and payloads
   bool accepted = false;
   bool dropped = false;
   bool abandoned = false;
@@ -146,11 +168,34 @@ struct TimeAvg {
   double mean() const { return t1 > t0 ? integral / (t1 - t0) : 0; }
 };
 
+// Per-profile flight payload sizes: reproduce the calibrated per-direction
+// wire volume across the handshake's packets (SYN/SYN-ACK and each
+// flight's own frame carry net::kFrameOverhead).
+struct Payloads {
+  std::size_t ch = 0, fin = 0, flight = 0;
+
+  explicit Payloads(const HandshakeProfile& profile) {
+    std::size_t up = profile.client_bytes;
+    std::size_t overhead = 2 * net::kFrameOverhead + kFinishedWire;
+    ch = up > overhead + 64 ? up - overhead : 64;
+    fin = kFinishedWire - net::kFrameOverhead;
+    std::size_t down = profile.server_bytes;
+    flight = down > 2 * net::kFrameOverhead + 64
+                 ? down - 2 * net::kFrameOverhead
+                 : 64;
+  }
+};
+
 class Engine {
  public:
-  Engine(const LoadConfig& config, const HandshakeProfile& profile)
+  // `resumed` is the resumption-variant profile, null when the ratio is 0;
+  // capacity (and therefore load_factor) stays quoted against the full
+  // profile so "0.9x load" means the same offered rate at every ratio.
+  Engine(const LoadConfig& config, const HandshakeProfile& profile,
+         const HandshakeProfile* resumed)
       : config_(config),
         profile_(profile),
+        resumed_profile_(resumed),
         capacity_(analytic_capacity(config, profile)),
         t0_(config.warmup_s),
         t1_(config.warmup_s + config.duration_s),
@@ -160,20 +205,11 @@ class Engine {
         c2s_(loop_, config.netem, master_.fork("link-c2s")),
         s2c_(loop_, config.netem, master_.fork("link-s2c")),
         queue_(JobOrder{config.policy == Policy::kSjf}),
-        free_cores_(config.cores) {
+        free_cores_(config.cores),
+        full_pay_(profile),
+        resumed_pay_(resumed ? *resumed : profile) {
     queue_depth_.t0 = busy_cores_.t0 = t0_;
     queue_depth_.t1 = busy_cores_.t1 = t1_;
-    // Flight payloads reproduce the calibrated per-direction wire volume
-    // across the handshake's packets (SYN/SYN-ACK and each flight's own
-    // frame carry net::kFrameOverhead).
-    std::size_t up = profile.client_bytes;
-    std::size_t overhead = 2 * net::kFrameOverhead + kFinishedWire;
-    ch_payload_ = up > overhead + 64 ? up - overhead : 64;
-    fin_payload_ = kFinishedWire - net::kFrameOverhead;
-    std::size_t down = profile.server_bytes;
-    flight_payload_ =
-        down > 2 * net::kFrameOverhead + 64 ? down - 2 * net::kFrameOverhead
-                                            : 64;
     c2s_.set_deliver([this](const net::Packet& p) { on_server_packet(p); });
     s2c_.set_deliver([this](const net::Packet& p) { on_client_packet(p); });
   }
@@ -218,6 +254,12 @@ class Engine {
     Conn conn;
     conn.arrival = loop_.now();
     conn.client = client;
+    // Deterministic interleaving by connection index (the testbed's
+    // spreading rule): no extra randomness, so ratio 0 is bit-identical.
+    conn.resumed =
+        resumed_profile_ &&
+        static_cast<long long>((id + 1) * config_.resumption_ratio) >
+            static_cast<long long>(id * config_.resumption_ratio);
     conns_.push_back(conn);
     loop_.schedule_in(config_.timeout_s, [this, id] { on_timeout(id); });
     send(c2s_, id, Stage::kSyn, 0);
@@ -262,12 +304,12 @@ class Engine {
       case Stage::kClientHello:
         if (conn.abandoned) return;
         enqueue_job({id,
-                     config_.harness_overhead_s + profile_.server_flight_cpu,
+                     config_.harness_overhead_s + prof(conn).server_flight_cpu,
                      job_seq_++, /*final_stage=*/false});
         return;
       case Stage::kClientFinished:
         if (conn.abandoned) return;
-        enqueue_job({id, profile_.server_finish_cpu, job_seq_++,
+        enqueue_job({id, prof(conn).server_finish_cpu, job_seq_++,
                      /*final_stage=*/true});
         return;
       default:
@@ -308,7 +350,7 @@ class Engine {
       if (job.final_stage)
         complete(job.conn);
       else
-        send(s2c_, job.conn, Stage::kServerFlight, flight_payload_);
+        send(s2c_, job.conn, Stage::kServerFlight, pay(conn).flight);
     }
     next_from_queue();
   }
@@ -355,20 +397,21 @@ class Engine {
 
   void on_client_packet(const net::Packet& p) {
     std::uint32_t id = p.tcp.seq;
-    if (conns_[id].abandoned) return;
+    const Conn& conn = conns_[id];
+    if (conn.abandoned) return;
     switch (static_cast<Stage>(p.tcp.ack)) {
       case Stage::kSynAck:
         // Client compute is latency-only: the client population is not the
         // contended resource in this model.
-        loop_.schedule_in(profile_.client_hello_cpu, [this, id] {
+        loop_.schedule_in(prof(conn).client_hello_cpu, [this, id] {
           if (!conns_[id].abandoned)
-            send(c2s_, id, Stage::kClientHello, ch_payload_);
+            send(c2s_, id, Stage::kClientHello, pay(conns_[id]).ch);
         });
         return;
       case Stage::kServerFlight:
-        loop_.schedule_in(profile_.client_finish_cpu, [this, id] {
+        loop_.schedule_in(prof(conn).client_finish_cpu, [this, id] {
           if (!conns_[id].abandoned)
-            send(c2s_, id, Stage::kClientFinished, fin_payload_);
+            send(c2s_, id, Stage::kClientFinished, pay(conns_[id]).fin);
         });
         return;
       default:
@@ -386,9 +429,23 @@ class Engine {
 
     LoadMetrics m;
     m.analytic_capacity = capacity_;
-    m.server_cpu_s = config_.harness_overhead_s + profile_.server_cpu();
-    m.client_bytes = profile_.client_bytes;
-    m.server_bytes = profile_.server_bytes;
+    if (resumed_profile_) {
+      // Ratio-weighted expectation over the full/resumed mix.
+      double r = config_.resumption_ratio;
+      m.server_cpu_s = config_.harness_overhead_s +
+                       (1 - r) * profile_.server_cpu() +
+                       r * resumed_profile_->server_cpu();
+      m.client_bytes = static_cast<std::size_t>(std::llround(
+          (1 - r) * static_cast<double>(profile_.client_bytes) +
+          r * static_cast<double>(resumed_profile_->client_bytes)));
+      m.server_bytes = static_cast<std::size_t>(std::llround(
+          (1 - r) * static_cast<double>(profile_.server_bytes) +
+          r * static_cast<double>(resumed_profile_->server_bytes)));
+    } else {
+      m.server_cpu_s = config_.harness_overhead_s + profile_.server_cpu();
+      m.client_bytes = profile_.client_bytes;
+      m.server_bytes = profile_.server_bytes;
+    }
     m.arrivals = arrivals_;
     m.completed = static_cast<long long>(latencies_.size());
     m.dropped = dropped_;
@@ -410,8 +467,16 @@ class Engine {
     return m;
   }
 
+  const HandshakeProfile& prof(const Conn& conn) const {
+    return conn.resumed ? *resumed_profile_ : profile_;
+  }
+  const Payloads& pay(const Conn& conn) const {
+    return conn.resumed ? resumed_pay_ : full_pay_;
+  }
+
   const LoadConfig& config_;
   const HandshakeProfile& profile_;
+  const HandshakeProfile* resumed_profile_ = nullptr;
   double capacity_ = 0;
   double offered_ = 0;
   double t0_ = 0, t1_ = 0;
@@ -429,7 +494,7 @@ class Engine {
   int free_cores_ = 0;
   int in_system_ = 0;
 
-  std::size_t ch_payload_ = 0, fin_payload_ = 0, flight_payload_ = 0;
+  Payloads full_pay_, resumed_pay_;
   TimeAvg queue_depth_, busy_cores_;
   std::vector<double> latencies_;
   long long arrivals_ = 0, dropped_ = 0, timed_out_ = 0;
@@ -441,7 +506,12 @@ LoadMetrics run_load(const LoadConfig& config) {
   std::uint64_t pki_seed = config.pki_seed ? config.pki_seed : config.seed;
   const HandshakeProfile& profile =
       calibrated_profile(config.ka, config.sa, pki_seed);
-  Engine engine(config, profile);
+  const HandshakeProfile* resumed =
+      config.resumption_ratio > 0
+          ? &calibrated_profile(config.ka, config.sa, pki_seed,
+                                /*resumed=*/true)
+          : nullptr;
+  Engine engine(config, profile, resumed);
   return engine.run();
 }
 

@@ -78,6 +78,14 @@ struct LoadConfig {
   /// Seed for the calibration handshake's PKI material (0 = use `seed`);
   /// campaigns pin it to the base seed so cells share cached chains.
   std::uint64_t pki_seed = 0;
+
+  /// Fraction of connections that resume from a session ticket: connection
+  /// i resumes iff floor((i+1)*r) > floor(i*r) (the testbed's deterministic
+  /// interleaving — no extra randomness, so a ratio of 0 is bit-identical
+  /// to the pre-resumption engine). Resumed connections use a second
+  /// calibrated profile with no signature/chain-verify CPU and no
+  /// certificate bytes on the wire.
+  double resumption_ratio = 0;
 };
 
 /// Per-handshake work profile: wire volumes calibrated from one modeled
@@ -97,12 +105,16 @@ struct HandshakeProfile {
 };
 
 /// Calibrated profile for (ka, sa): runs one 2-sample modeled-time testbed
-/// experiment (cached per (ka, sa, pki_seed), thread-safe) for the wire
-/// volumes and derives CPU steps from perf::CostModel::builtin(). Throws
-/// std::invalid_argument for unknown algorithms.
+/// experiment (cached per (ka, sa, pki_seed, resumed), thread-safe) for the
+/// wire volumes and derives CPU steps from perf::CostModel::builtin().
+/// `resumed` calibrates the session-resumption variant: the testbed run
+/// resumes every sample (psk_dhe_ke), so the wire volumes carry no
+/// certificate chain and the CPU steps drop the signature/verify charges.
+/// Throws std::invalid_argument for unknown algorithms.
 const HandshakeProfile& calibrated_profile(const std::string& ka,
                                            const std::string& sa,
-                                           std::uint64_t pki_seed);
+                                           std::uint64_t pki_seed,
+                                           bool resumed = false);
 
 /// Analytic capacity bound in handshakes/second: cores / (per-connection
 /// harness overhead + server CPU per handshake). Achieved rates saturate

@@ -1,0 +1,41 @@
+#include "session/session.hpp"
+
+#include "crypto/ct.hpp"
+
+namespace pqtls::session {
+
+SessionTicket::~SessionTicket() { ct::wipe(psk); }
+
+void SessionCache::put(SessionTicket ticket) {
+  if (ticket.identity.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  by_server_[ticket.server_name].push_back(std::move(ticket));
+}
+
+std::optional<SessionTicket> SessionCache::take(const std::string& server_name,
+                                                std::uint64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_server_.find(server_name);
+  if (it == by_server_.end()) return std::nullopt;
+  auto& queue = it->second;
+  while (!queue.empty()) {
+    SessionTicket ticket = std::move(queue.front());
+    queue.pop_front();
+    if (ticket.usable_at(now_ms)) {
+      if (queue.empty()) by_server_.erase(it);
+      return ticket;
+    }
+    // expired while cached: drop and keep scanning
+  }
+  by_server_.erase(it);
+  return std::nullopt;
+}
+
+std::size_t SessionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [name, queue] : by_server_) n += queue.size();
+  return n;
+}
+
+}  // namespace pqtls::session

@@ -1,0 +1,120 @@
+// Session-resumption state for both ends of the connection:
+//
+//  * TicketStore — the server side. Owns the ticket-encryption key, mints
+//    self-encrypted tickets and validates redeemed ones (lifetime window
+//    enforced against the server's clock). Stateless per ticket, so it is
+//    shared by every ServerConnection of a testbed/loadgen run; the only
+//    mutable state is the issue/redeem counters, which are atomic.
+//
+//  * SessionCache — the client side. A mutex-guarded cache of received
+//    tickets keyed by server identity (SNI). Tickets are single-use
+//    (RFC 8446 C.4 anti-replay guidance): take() removes what it returns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "session/ticket.hpp"
+
+namespace pqtls::session {
+
+/// A ticket as the client holds it: the opaque identity to echo, the
+/// derived PSK, and everything needed for the obfuscated age (4.2.11).
+struct SessionTicket {
+  std::string server_name;
+  std::string ka;
+  std::string sa;
+  Bytes identity;  // opaque server blob, echoed in pre_shared_key
+  Bytes psk;       // CT_SECRET: psk -- wiped by owner
+  std::uint64_t received_at_ms = 0;
+  std::uint32_t lifetime_s = 0;
+  std::uint32_t age_add = 0;
+  std::uint32_t max_early_data = 0;
+
+  ~SessionTicket();
+  SessionTicket() = default;
+  SessionTicket(SessionTicket&&) = default;
+  SessionTicket& operator=(SessionTicket&&) = default;
+  SessionTicket(const SessionTicket&) = default;
+  SessionTicket& operator=(const SessionTicket&) = default;
+
+  /// obfuscated_ticket_age for a ClientHello sent at `now_ms`.
+  std::uint32_t obfuscated_age(std::uint64_t now_ms) const {
+    return static_cast<std::uint32_t>(now_ms - received_at_ms) + age_add;
+  }
+  /// Client-side freshness check against the advertised lifetime.
+  bool usable_at(std::uint64_t now_ms) const {
+    return now_ms >= received_at_ms &&
+           (now_ms - received_at_ms) / 1000 < lifetime_s;
+  }
+};
+
+/// Server-side ticket mint + validator. Thread-safe: the AEAD key is
+/// immutable after construction and the counters are atomic.
+class TicketStore {
+ public:
+  /// Derives the ticket-encryption key from a deterministic seed stream.
+  explicit TicketStore(crypto::Drbg key_rng)
+      : crypto_(key_rng.bytes(16)) {}
+
+  /// Seal server-side resumption state into an opaque ticket blob.
+  Bytes issue(const TicketState& state, crypto::Drbg& rng) {
+    issued_.fetch_add(1, std::memory_order_relaxed);
+    return crypto_.seal(state, rng);
+  }
+
+  /// Decrypt and validate a redeemed ticket against the server clock.
+  /// nullopt = unknown/forged/expired — caller falls back to a full
+  /// handshake (never a fatal alert; RFC 8446 4.2.11).
+  std::optional<TicketState> validate(BytesView ticket,
+                                      std::uint64_t now_ms) {
+    auto state = crypto_.open(ticket);
+    if (!state) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    if (now_ms < state->issued_at_ms ||
+        (now_ms - state->issued_at_ms) / 1000 >= state->lifetime_s) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    redeemed_.fetch_add(1, std::memory_order_relaxed);
+    return state;
+  }
+
+  std::uint64_t issued() const { return issued_.load(std::memory_order_relaxed); }
+  std::uint64_t redeemed() const { return redeemed_.load(std::memory_order_relaxed); }
+  std::uint64_t expired() const { return expired_.load(std::memory_order_relaxed); }
+  std::uint64_t rejected() const { return rejected_.load(std::memory_order_relaxed); }
+
+ private:
+  TicketCrypto crypto_;
+  std::atomic<std::uint64_t> issued_{0};
+  std::atomic<std::uint64_t> redeemed_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+/// Client-side ticket cache keyed by server identity. FIFO per server,
+/// single-use tickets.
+class SessionCache {
+ public:
+  void put(SessionTicket ticket);
+  /// Pop the oldest usable ticket for `server_name`; nullopt when the
+  /// cache has none (the caller then runs a full handshake). Expired
+  /// tickets encountered on the way are dropped.
+  std::optional<SessionTicket> take(const std::string& server_name,
+                                    std::uint64_t now_ms);
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::deque<SessionTicket>> by_server_;
+};
+
+}  // namespace pqtls::session

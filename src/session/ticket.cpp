@@ -1,0 +1,71 @@
+#include "session/ticket.hpp"
+
+#include "crypto/ct.hpp"
+#include "tls/wire.hpp"
+
+namespace pqtls::session {
+
+namespace {
+
+constexpr std::uint8_t kTicketVersion = 1;
+constexpr std::size_t kNonceLen = 12;
+
+}  // namespace
+
+TicketState::~TicketState() { ct::wipe(resumption_psk); }
+
+Bytes encode_ticket_state(const TicketState& state) {
+  tls::Writer w;
+  w.u8(kTicketVersion);
+  w.vec8(BytesView{reinterpret_cast<const std::uint8_t*>(state.ka.data()),
+                   state.ka.size()});
+  w.vec8(BytesView{reinterpret_cast<const std::uint8_t*>(state.sa.data()),
+                   state.sa.size()});
+  w.vec8(state.resumption_psk);
+  w.u32(static_cast<std::uint32_t>(state.issued_at_ms >> 32));
+  w.u32(static_cast<std::uint32_t>(state.issued_at_ms));
+  w.u32(state.lifetime_s);
+  w.u32(state.age_add);
+  w.vec8(state.nonce);
+  return w.buffer();
+}
+
+std::optional<TicketState> parse_ticket_state(BytesView data) {
+  tls::Reader r(data);
+  if (r.u8() != kTicketVersion) return std::nullopt;
+  TicketState out;
+  Bytes ka = r.vec8();
+  Bytes sa = r.vec8();
+  out.resumption_psk = r.vec8();
+  std::uint64_t hi = r.u32();
+  out.issued_at_ms = (hi << 32) | r.u32();
+  out.lifetime_s = r.u32();
+  out.age_add = r.u32();
+  out.nonce = r.vec8();
+  if (r.failed() || !r.done() || out.resumption_psk.empty())
+    return std::nullopt;
+  out.ka.assign(ka.begin(), ka.end());
+  out.sa.assign(sa.begin(), sa.end());
+  return out;
+}
+
+Bytes TicketCrypto::seal(const TicketState& state, crypto::Drbg& rng) const {
+  Bytes nonce = rng.bytes(kNonceLen);
+  Bytes plaintext = encode_ticket_state(state);  // CT_SECRET: plaintext
+  ct::Wiper plaintext_guard(plaintext);
+  Bytes out = nonce;
+  append(out, aead_.seal(nonce, {}, plaintext));
+  return out;
+}
+
+std::optional<TicketState> TicketCrypto::open(BytesView ticket) const {
+  if (ticket.size() < kNonceLen + crypto::AesGcm::kTagSize)
+    return std::nullopt;
+  auto plaintext =
+      aead_.open(ticket.first(kNonceLen), {}, ticket.subspan(kNonceLen));
+  if (!plaintext) return std::nullopt;
+  ct::Wiper plaintext_guard(*plaintext);
+  return parse_ticket_state(*plaintext);
+}
+
+}  // namespace pqtls::session

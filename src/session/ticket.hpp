@@ -1,0 +1,55 @@
+// Self-encrypted session tickets (RFC 8446 4.6.1 + RFC 5077 style
+// stateless server): the server serialises the resumption state it will
+// need later — algorithm pair, PSK, issue time, lifetime — and seals it
+// under a process-local AES-128-GCM session-ticket-encryption key. The
+// ticket the client echoes back in pre_shared_key IS the server's state;
+// no per-client storage is required.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "crypto/aes.hpp"
+#include "crypto/drbg.hpp"
+
+namespace pqtls::session {
+
+using pqtls::Bytes;
+using pqtls::BytesView;
+
+/// Everything the server must recover from a redeemed ticket.
+struct TicketState {
+  std::string ka;  // catalog names pin the resumed algorithm pair
+  std::string sa;
+  Bytes resumption_psk;  // CT_SECRET: resumption_psk -- wiped by owner
+  std::uint64_t issued_at_ms = 0;
+  std::uint32_t lifetime_s = 0;
+  std::uint32_t age_add = 0;
+  Bytes nonce;  // the NewSessionTicket nonce the PSK was derived from
+
+  ~TicketState();
+  TicketState() = default;
+  TicketState(TicketState&&) = default;
+  TicketState& operator=(TicketState&&) = default;
+  TicketState(const TicketState&) = default;
+  TicketState& operator=(const TicketState&) = default;
+};
+
+Bytes encode_ticket_state(const TicketState& state);
+std::optional<TicketState> parse_ticket_state(BytesView data);
+
+/// AES-128-GCM wrapping of TicketState under the store's ticket key.
+/// Layout: 12-byte random nonce || ciphertext || 16-byte tag.
+class TicketCrypto {
+ public:
+  explicit TicketCrypto(BytesView key16) : aead_(key16) {}
+
+  Bytes seal(const TicketState& state, crypto::Drbg& rng) const;
+  std::optional<TicketState> open(BytesView ticket) const;
+
+ private:
+  crypto::AesGcm aead_;
+};
+
+}  // namespace pqtls::session

@@ -5,6 +5,7 @@
 
 #include "analysis/stats.hpp"
 #include "crypto/catalog.hpp"
+#include "session/session.hpp"
 #include "sim/event_loop.hpp"
 #include "tcp/tcp.hpp"
 #include "tls/server_context.hpp"
@@ -235,6 +236,39 @@ class Timestamper {
   trace::Recorder* trace_ = nullptr;
 };
 
+// Mint one session ticket through an in-memory full handshake (plain
+// flight pumping — no links, no event loop, no tap): resumption samples
+// measure the resumed wire exchange only, never the priming connection.
+std::optional<session::SessionTicket> mint_ticket(
+    const tls::ClientConfig& base, const tls::ServerConfig& scfg,
+    Drbg client_rng, Drbg server_rng) {
+  tls::ClientConfig ccfg = base;
+  ccfg.request_ticket = true;
+  ccfg.resume = nullptr;
+  tls::ClientConnection client(ccfg, std::move(client_rng));
+  tls::ServerConnection server(scfg, std::move(server_rng));
+  std::vector<Bytes> to_server, to_client;
+  client.start(
+      [&](BytesView d) { to_server.emplace_back(d.begin(), d.end()); });
+  for (int round = 0;
+       round < 30 && !(to_server.empty() && to_client.empty()); ++round) {
+    std::vector<Bytes> in = std::move(to_server);
+    to_server.clear();
+    for (const Bytes& flight : in)
+      server.on_data(flight, [&](BytesView d) {
+        to_client.emplace_back(d.begin(), d.end());
+      });
+    in = std::move(to_client);
+    to_client.clear();
+    for (const Bytes& flight : in)
+      client.on_data(flight, [&](BytesView d) {
+        to_server.emplace_back(d.begin(), d.end());
+      });
+  }
+  if (!client.handshake_complete()) return std::nullopt;
+  return client.take_ticket();
+}
+
 }  // namespace
 
 const std::vector<Scenario>& standard_scenarios() {
@@ -279,6 +313,28 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     ccfg.also_supported = {ka};
   }
   tls::ServerConfig scfg = context.server_config(config.buffering);
+
+  // Session resumption: everything below is gated on the knob so a ratio of
+  // zero leaves the master DRBG fork stream and the endpoint configs
+  // untouched — full-handshake rows stay byte-identical to a build without
+  // the subsystem. The store validates tickets statelessly, so one minted
+  // ticket serves every resumed sample.
+  std::optional<session::TicketStore> tickets;
+  std::optional<session::SessionTicket> ticket;
+  tls::ClientConfig resumed_ccfg;
+  if (config.resumption_ratio > 0) {
+    tickets.emplace(master.fork("tickets"));
+    scfg.tickets = &*tickets;
+    scfg.accept_early_data = config.early_data;
+    ticket = mint_ticket(ccfg, scfg, master.fork("prime-client"),
+                         master.fork("prime-server"));
+    if (!ticket) return result;  // priming must succeed; ok stays false
+    resumed_ccfg = ccfg;
+    resumed_ccfg.resume = &*ticket;
+    resumed_ccfg.psk_only = config.psk_only_resumption;
+    if (config.early_data)
+      resumed_ccfg.early_data = Bytes(64, 0xE5);  // fixed 0-RTT payload
+  }
 
   perf::Profiler server_profiler, client_profiler;
   perf::Profiler* sp = config.white_box ? &server_profiler : nullptr;
@@ -355,8 +411,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       }
     });
 
+    bool resumed_sample =
+        ticket.has_value() &&
+        static_cast<long long>((i + 1) * config.resumption_ratio) >
+            static_cast<long long>(i * config.resumption_ratio);
     client_host.set_client(std::make_unique<tls::ClientConnection>(
-        ccfg, hs_rng.fork("client"), cp));
+        resumed_sample ? resumed_ccfg : ccfg, hs_rng.fork("client"), cp));
     server_host.set_server(std::make_unique<tls::ServerConnection>(
         scfg, hs_rng.fork("server"), sp));
 

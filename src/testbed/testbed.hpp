@@ -72,6 +72,20 @@ struct ExperimentConfig {
   /// HelloRetryRequest and the handshake costs 2 RTTs. Empty = 1-RTT, the
   /// paper's configuration.
   std::string client_wrong_guess;
+  /// Fraction of sampled handshakes resumed from a session ticket
+  /// (RFC 8446 2.2). When > 0 the server gets a TicketStore and one untimed
+  /// in-memory priming handshake mints the ticket; sample i then resumes
+  /// iff floor((i+1)*r) > floor(i*r), a deterministic interleaving that
+  /// needs no extra randomness. Everything is gated on the knob: 0 (the
+  /// default) leaves the DRBG fork stream and endpoint configs bit-identical
+  /// to the pre-resumption testbed.
+  double resumption_ratio = 0;
+  /// Resumed samples additionally offer 0-RTT early data, and the server is
+  /// configured to accept it.
+  bool early_data = false;
+  /// Resumed samples offer psk_ke (no fresh key share, no (EC)DHE) instead
+  /// of the default psk_dhe_ke.
+  bool psk_only_resumption = false;
   /// Optional flight recorder. The FIRST sample records packet, TCP, TLS
   /// and timestamper events (one representative connection per cell);
   /// later samples run untraced. Null (the default) leaves every hook a

@@ -17,6 +17,8 @@ using perf::Scope;
 std::vector<std::uint8_t> handshake_alphabet() {
   return {static_cast<std::uint8_t>(HandshakeType::kClientHello),
           static_cast<std::uint8_t>(HandshakeType::kServerHello),
+          static_cast<std::uint8_t>(HandshakeType::kNewSessionTicket),
+          static_cast<std::uint8_t>(HandshakeType::kEndOfEarlyData),
           static_cast<std::uint8_t>(HandshakeType::kEncryptedExtensions),
           static_cast<std::uint8_t>(HandshakeType::kCertificate),
           static_cast<std::uint8_t>(HandshakeType::kCertificateVerify),
@@ -39,12 +41,20 @@ std::span<const ClientConnection::Rule> ClientConnection::rules() {
        &ClientConnection::on_server_hello},
       {State::kWaitEncryptedExtensions, HandshakeType::kEncryptedExtensions,
        &ClientConnection::on_encrypted_extensions},
+      {State::kWaitEncryptedExtensionsPsk, HandshakeType::kEncryptedExtensions,
+       &ClientConnection::on_encrypted_extensions_psk},
       {State::kWaitCertificate, HandshakeType::kCertificate,
        &ClientConnection::on_certificate},
       {State::kWaitCertificateVerify, HandshakeType::kCertificateVerify,
        &ClientConnection::on_certificate_verify},
       {State::kWaitFinished, HandshakeType::kFinished,
        &ClientConnection::on_server_finished},
+      {State::kWaitFinishedPsk, HandshakeType::kFinished,
+       &ClientConnection::on_finished_psk},
+      {State::kWaitFinishedPskEarly, HandshakeType::kFinished,
+       &ClientConnection::on_finished_psk_early},
+      {State::kWaitSessionTicket, HandshakeType::kNewSessionTicket,
+       &ClientConnection::on_new_session_ticket},
   };
   return kRules;
 }
@@ -58,18 +68,32 @@ StateMachineSpec ClientConnection::spec() {
   spec.done = state_name(State::kComplete);
   spec.error = state_name(State::kFailed);
   for (State s : {State::kStart, State::kWaitServerHello,
-                  State::kWaitEncryptedExtensions, State::kWaitCertificate,
+                  State::kWaitEncryptedExtensions,
+                  State::kWaitEncryptedExtensionsPsk, State::kWaitCertificate,
                   State::kWaitCertificateVerify, State::kWaitFinished,
-                  State::kComplete, State::kFailed}) {
+                  State::kWaitFinishedPsk, State::kWaitFinishedPskEarly,
+                  State::kWaitSessionTicket, State::kComplete,
+                  State::kFailed}) {
     spec.states.push_back(state_name(s));
     if (!spec.is_terminal(state_name(s)) && alert_on_unexpected(s))
       spec.alert_states.push_back(state_name(s));
   }
   spec.alphabet = handshake_alphabet();
-  // start(): emit ClientHello, arm for the ServerHello.
-  spec.start = SpecStart{state_name(State::kStart),
-                         state_name(State::kWaitServerHello),
-                         {{code(HandshakeType::kClientHello), "plain"}}};
+  // start(): emit ClientHello, arm for the ServerHello. Three variants:
+  // a full handshake, a PSK resumption offer, and a resumption offer with
+  // 0-RTT early data — each flavors the ClientHello differently so the
+  // product explorer drives the server down every acceptance path.
+  spec.starts = {
+      SpecStart{"full", state_name(State::kStart),
+                state_name(State::kWaitServerHello),
+                {{code(HandshakeType::kClientHello), "plain"}}},
+      SpecStart{"resume", state_name(State::kStart),
+                state_name(State::kWaitServerHello),
+                {{code(HandshakeType::kClientHello), "psk"}}},
+      SpecStart{"resume_early", state_name(State::kStart),
+                state_name(State::kWaitServerHello),
+                {{code(HandshakeType::kClientHello), "psk_early"}}},
+  };
   // Declared outcomes per rule. Keyed by the rule's state (one rule per
   // state); a rule with no declared outcomes is a verifier error, so a new
   // table entry cannot land without teaching the spec its behaviour.
@@ -89,31 +113,80 @@ StateMachineSpec ClientConnection::spec() {
                          .alert = false,
                          .on_flavors = {}};
     };
+    // The client flight closing the handshake: plain Finished when it does
+    // not want a ticket, a want_ticket-flavored Finished when it asked for
+    // one (psk_key_exchange_modes in its ClientHello) and so arms
+    // kWaitSessionTicket for the server's NewSessionTicket.
+    auto finish_outcomes = [&](std::vector<SpecEmit> prefix) {
+      std::vector<SpecEmit> plain = prefix, ticket = std::move(prefix);
+      plain.push_back({code(HandshakeType::kFinished), "plain"});
+      ticket.push_back({code(HandshakeType::kFinished), "want_ticket"});
+      SpecOutcome accept = ok(state_name(State::kComplete));
+      accept.emits = std::move(plain);
+      SpecOutcome with_ticket{.label = "ok_ticket",
+                              .next = state_name(State::kWaitSessionTicket),
+                              .emits = std::move(ticket),
+                              .once = false,
+                              .alert = false,
+                              .on_flavors = {}};
+      return std::vector<SpecOutcome>{accept, with_ticket, reject};
+    };
     switch (rule.state) {
       case State::kWaitServerHello: {
-        // A plain ServerHello advances; the HRR flavor re-key-shares and
-        // re-enters the wait (at most once, hrr_seen_).
+        // A plain ServerHello advances the full handshake; a psk-flavored
+        // one (pre_shared_key accepted) selects the resumption arm; the
+        // HRR flavor re-key-shares and re-enters the wait (at most once,
+        // hrr_seen_ — and the retry drops any PSK offer).
         SpecOutcome accept = ok(state_name(State::kWaitEncryptedExtensions));
         accept.on_flavors = {"plain"};
+        SpecOutcome resume{
+            .label = "resume",
+            .next = state_name(State::kWaitEncryptedExtensionsPsk),
+            .emits = {},
+            .once = false,
+            .alert = false,
+            .on_flavors = {"psk"}};
         SpecOutcome hrr{.label = "hrr",
                         .next = state_name(State::kWaitServerHello),
                         .emits = {{code(HandshakeType::kClientHello), "plain"}},
                         .once = true,
                         .alert = false,
                         .on_flavors = {"hrr"}};
-        return {accept, hrr, reject};
+        return {accept, resume, hrr, reject};
       }
-      case State::kWaitEncryptedExtensions:
-        return {ok(state_name(State::kWaitCertificate)), reject};
+      case State::kWaitEncryptedExtensions: {
+        // A full handshake must never see the early_data acceptance.
+        SpecOutcome accept = ok(state_name(State::kWaitCertificate));
+        accept.on_flavors = {"plain"};
+        return {accept, reject};
+      }
+      case State::kWaitEncryptedExtensionsPsk: {
+        // plain EE: 0-RTT declined (or never offered), straight to the
+        // server Finished; early_ok EE: early data accepted, the closing
+        // flight must carry EndOfEarlyData.
+        SpecOutcome accept = ok(state_name(State::kWaitFinishedPsk));
+        accept.on_flavors = {"plain"};
+        SpecOutcome early{.label = "early_ok",
+                          .next = state_name(State::kWaitFinishedPskEarly),
+                          .emits = {},
+                          .once = false,
+                          .alert = false,
+                          .on_flavors = {"early_ok"}};
+        return {accept, early, reject};
+      }
       case State::kWaitCertificate:
         return {ok(state_name(State::kWaitCertificateVerify)), reject};
       case State::kWaitCertificateVerify:
         return {ok(state_name(State::kWaitFinished)), reject};
-      case State::kWaitFinished: {
-        SpecOutcome accept = ok(state_name(State::kComplete));
-        accept.emits = {{code(HandshakeType::kFinished), "plain"}};
-        return {accept, reject};
-      }
+      case State::kWaitFinished:
+        return finish_outcomes({});
+      case State::kWaitFinishedPsk:
+        return finish_outcomes({});
+      case State::kWaitFinishedPskEarly:
+        return finish_outcomes({{code(HandshakeType::kEndOfEarlyData),
+                                 "plain"}});
+      case State::kWaitSessionTicket:
+        return {ok(state_name(State::kComplete)), reject};
       default:
         throw std::logic_error(
             "client rule without declared spec outcomes for state " +
@@ -141,9 +214,14 @@ const char* ClientConnection::state_name(State state) {
     case State::kStart: return "start";
     case State::kWaitServerHello: return "wait_server_hello";
     case State::kWaitEncryptedExtensions: return "wait_encrypted_extensions";
+    case State::kWaitEncryptedExtensionsPsk:
+      return "wait_encrypted_extensions_psk";
     case State::kWaitCertificate: return "wait_certificate";
     case State::kWaitCertificateVerify: return "wait_certificate_verify";
     case State::kWaitFinished: return "wait_finished";
+    case State::kWaitFinishedPsk: return "wait_finished_psk";
+    case State::kWaitFinishedPskEarly: return "wait_finished_psk_early";
+    case State::kWaitSessionTicket: return "wait_session_ticket";
     case State::kComplete: return "complete";
     case State::kFailed: return "failed";
   }
@@ -158,19 +236,34 @@ void ClientConnection::start(const FlightSink& sink) {
 }
 
 void ClientConnection::send_client_hello(const FlightSink& sink) {
+  // A resumption offer rides only on the first flight: after a
+  // HelloRetryRequest the retry is a clean full handshake (the ticket is
+  // single-use and the binder transcript surgery is not worth modeling).
+  bool resuming = config_.resume != nullptr && !hrr_seen_;
+  psk_offered_ = resuming;
+  if (resuming)
+    key_schedule_.set_psk(config_.resume->psk);
+  else
+    key_schedule_.clear_psk();
+
+  ClientHello hello;
   // Pre-compute the key share for the group we expect the server to select
   // (1-RTT handshake; the paper configured TLS so the 2-RTT fallback never
   // happened). After a HelloRetryRequest this runs again for the group the
-  // server demanded.
-  kem::KeyPair kp;
-  {
-    Scope scope(profiler_, Lib::kLibcrypto);
-    kp = active_ka_->generate_keypair(rng_);
+  // server demanded. PSK-only resumption (psk_ke) needs no share at all.
+  bool want_key_share = !(resuming && config_.psk_only);
+  if (want_key_share) {
+    kem::KeyPair kp;
+    {
+      Scope scope(profiler_, Lib::kLibcrypto);
+      kp = active_ka_->generate_keypair(rng_);
+    }
+    if (costs_) charge(costs_->kem_keygen(active_ka_->name()));
+    kem_secret_key_ = std::move(kp.secret_key);
+    hello.key_share_group = group_id(*active_ka_);
+    hello.key_share = std::move(kp.public_key);
+    hello.has_key_share = true;
   }
-  if (costs_) charge(costs_->kem_keygen(active_ka_->name()));
-  kem_secret_key_ = std::move(kp.secret_key);
-
-  ClientHello hello;
   hello.random = rng_.bytes(32);
   hello.session_id = rng_.bytes(32);  // legacy_session_id (compat mode)
   hello.cipher_suites = {kAes128GcmSha256};
@@ -180,14 +273,51 @@ void ClientConnection::send_client_hello(const FlightSink& sink) {
   for (const kem::Kem* extra : config_.also_supported)
     if (extra != active_ka_) hello.supported_groups.push_back(group_id(*extra));
   hello.signature_schemes = {scheme_id(*config_.sa)};
-  hello.key_share_group = group_id(*active_ka_);
-  hello.key_share = std::move(kp.public_key);
+  if (resuming || config_.request_ticket)
+    hello.psk_modes = {config_.psk_only ? kPskModePsk : kPskModePskDhe};
+  if (resuming) {
+    hello.early_data = !config_.early_data.empty();
+    hello.has_psk = true;
+    hello.psk_identity = config_.resume->identity;
+    hello.obfuscated_ticket_age =
+        config_.resume->obfuscated_age(config_.now_ms);
+    hello.psk_binder = Bytes(kPskBinderLen, 0);  // patched below
+  }
 
   Bytes msg = encode_client_hello(hello);
+  if (resuming) {
+    // PSK binder (RFC 8446 4.2.11.2): HMAC over the ClientHello minus the
+    // binders list, patched into the zero-filled placeholder.
+    Bytes binder;
+    {
+      Scope scope(profiler_, Lib::kLibcrypto);
+      binder = key_schedule_.psk_binder(
+          BytesView(msg).first(msg.size() - kPskBinderSuffixLen));
+    }
+    if (costs_) charge(2 * costs_->kdf());
+    std::copy(binder.begin(), binder.end(), msg.end() - kPskBinderLen);
+  }
   key_schedule_.update_transcript(msg);
   Bytes record = records_.seal(ContentType::kHandshake, msg);
   if (costs_) charge(costs_->per_byte(record.size()));
   state_ = State::kWaitServerHello;
+
+  if (resuming && !config_.early_data.empty()) {
+    // 0-RTT: client_early_traffic_secret over the (patched) ClientHello;
+    // the early data travels in the same flight, and the write side stays
+    // on these keys until EndOfEarlyData.
+    {
+      Scope scope(profiler_, Lib::kLibcrypto);
+      Bytes early = key_schedule_.derive_early_traffic_secret();
+      ct::Wiper early_guard(early);
+      records_.set_write_keys(derive_traffic_keys(early));
+    }
+    if (costs_) charge(2 * costs_->kdf());
+    Bytes early_records =
+        records_.seal(ContentType::kApplicationData, config_.early_data);
+    if (costs_) charge(costs_->per_byte(early_records.size()));
+    append(record, early_records);
+  }
   sink(record);
 }
 
@@ -202,30 +332,45 @@ void ClientConnection::on_server_hello(BytesView body, BytesView full,
   if (!sh) return fail_alert(sink);
   if (sh->retry_request) return on_retry_request(*sh, full, sink);
   if (sh->cipher_suite != kAes128GcmSha256) return fail_alert(sink);
-  if (sh->key_share_group != group_id(*active_ka_)) return fail_alert(sink);
+  // The server may only accept a PSK we actually offered.
+  if (sh->psk_accepted && !psk_offered_) return fail_alert(sink);
+  resumed_ = sh->psk_accepted;
+  if (!resumed_) key_schedule_.clear_psk();  // declined: full handshake
 
   key_schedule_.update_transcript(full);
-  std::optional<Bytes> shared;  // CT_SECRET: shared
-  {
-    Scope scope(profiler_, Lib::kLibcrypto);
-    shared = active_ka_->decapsulate(kem_secret_key_, sh->key_share);
+  Bytes shared;  // CT_SECRET: shared
+  if (sh->has_key_share) {
+    if (sh->key_share_group != group_id(*active_ka_)) return fail_alert(sink);
+    std::optional<Bytes> decapsed;
+    {
+      Scope scope(profiler_, Lib::kLibcrypto);
+      decapsed = active_ka_->decapsulate(kem_secret_key_, sh->key_share);
+    }
+    if (costs_) charge(costs_->kem_decaps(active_ka_->name()));
+    // The decapsulation key share is one-shot; drop it immediately.
+    ct::wipe(kem_secret_key_);
+    kem_secret_key_.clear();
+    if (!decapsed) return fail_alert(sink);
+    shared = std::move(*decapsed);
+  } else if (!resumed_ || !config_.psk_only) {
+    // A key-share-free ServerHello is only legal for accepted psk_ke.
+    return fail_alert(sink);
   }
-  if (costs_) charge(costs_->kem_decaps(active_ka_->name()));
-  // The decapsulation key share is one-shot; drop it immediately.
-  ct::wipe(kem_secret_key_);
-  kem_secret_key_.clear();
-  if (!shared) return fail_alert(sink);  // ct-lint: allow(secret-branch) presence of the decaps result is public
   {
     Scope scope(profiler_, Lib::kLibcrypto);
-    key_schedule_.derive_handshake_secrets(*shared);
+    key_schedule_.derive_handshake_secrets(shared);
     records_.set_read_keys(
         derive_traffic_keys(key_schedule_.server_handshake_traffic()));
-    records_.set_write_keys(
-        derive_traffic_keys(key_schedule_.client_handshake_traffic()));
+    // With 0-RTT still in flight the write side stays on the early keys
+    // until EndOfEarlyData (or until the offer is declined in EE).
+    if (!(resumed_ && early_offered()))
+      records_.set_write_keys(
+          derive_traffic_keys(key_schedule_.client_handshake_traffic()));
   }
   if (costs_) charge(3 * costs_->kdf());
-  ct::wipe(*shared);  // traffic secrets are installed; drop the input
-  state_ = State::kWaitEncryptedExtensions;
+  ct::wipe(shared);  // traffic secrets are installed; drop the input
+  state_ = resumed_ ? State::kWaitEncryptedExtensionsPsk
+                    : State::kWaitEncryptedExtensions;
 }
 
 void ClientConnection::on_retry_request(const ServerHello& hrr, BytesView full,
@@ -240,6 +385,9 @@ void ClientConnection::on_retry_request(const ServerHello& hrr, BytesView full,
     offered = offered || requested_ka == extra;
   if (!requested_ka || !offered) return fail_alert(sink);
   active_ka_ = requested_ka;
+  // If the declined flight carried 0-RTT data the write side holds the
+  // early keys; the retried ClientHello must go out in plaintext.
+  records_.clear_write_keys();
   key_schedule_.convert_to_hrr_transcript();
   key_schedule_.update_transcript(full);
   send_client_hello(sink);
@@ -247,9 +395,37 @@ void ClientConnection::on_retry_request(const ServerHello& hrr, BytesView full,
 
 void ClientConnection::on_encrypted_extensions(BytesView body, BytesView full,
                                                const FlightSink& sink) {
-  if (!parse_encrypted_extensions(body)) return fail_alert(sink);
+  std::optional<EncryptedExtensions> ee = parse_encrypted_extensions(body);
+  // early_data acceptance outside a resumed handshake is a violation.
+  if (!ee || ee->early_data) return fail_alert(sink);
   key_schedule_.update_transcript(full);
   state_ = State::kWaitCertificate;
+}
+
+void ClientConnection::on_encrypted_extensions_psk(BytesView body,
+                                                   BytesView full,
+                                                   const FlightSink& sink) {
+  std::optional<EncryptedExtensions> ee = parse_encrypted_extensions(body);
+  if (!ee) return fail_alert(sink);
+  // The server may only accept early data we offered.
+  if (ee->early_data && !early_offered()) return fail_alert(sink);
+  key_schedule_.update_transcript(full);
+  if (ee->early_data) {
+    early_data_accepted_ = true;
+    state_ = State::kWaitFinishedPskEarly;
+    return;
+  }
+  if (early_offered()) {
+    // 0-RTT declined: the records already sent will be skipped; move the
+    // write side onto the handshake keys (no EndOfEarlyData is sent).
+    {
+      Scope scope(profiler_, Lib::kLibcrypto);
+      records_.set_write_keys(
+          derive_traffic_keys(key_schedule_.client_handshake_traffic()));
+    }
+    if (costs_) charge(costs_->kdf());
+  }
+  state_ = State::kWaitFinishedPsk;
 }
 
 void ClientConnection::on_certificate(BytesView body, BytesView full,
@@ -285,6 +461,22 @@ void ClientConnection::on_certificate_verify(BytesView body, BytesView full,
 
 void ClientConnection::on_server_finished(BytesView body, BytesView full,
                                           const FlightSink& sink) {
+  finish_handshake(body, full, sink, /*early_accepted=*/false);
+}
+
+void ClientConnection::on_finished_psk(BytesView body, BytesView full,
+                                       const FlightSink& sink) {
+  finish_handshake(body, full, sink, /*early_accepted=*/false);
+}
+
+void ClientConnection::on_finished_psk_early(BytesView body, BytesView full,
+                                             const FlightSink& sink) {
+  finish_handshake(body, full, sink, /*early_accepted=*/true);
+}
+
+void ClientConnection::finish_handshake(BytesView body, BytesView full,
+                                        const FlightSink& sink,
+                                        bool early_accepted) {
   Bytes expected;
   {
     Scope scope(profiler_, Lib::kLibcrypto);
@@ -294,6 +486,28 @@ void ClientConnection::on_server_finished(BytesView body, BytesView full,
   }
   if (!ct::equal(expected, body)) return fail_alert(sink);
   key_schedule_.update_transcript(full);
+  {
+    // Application traffic secrets cover the transcript only through the
+    // server Finished (RFC 8446 7.1) — derive them before EndOfEarlyData
+    // or the client Finished enter the transcript.
+    Scope scope(profiler_, Lib::kLibcrypto);
+    key_schedule_.derive_application_secrets();
+  }
+
+  Bytes out;
+  if (early_accepted) {
+    // Close the 0-RTT stream: EndOfEarlyData under the early keys, then
+    // switch the write side to the handshake keys (RFC 8446 4.5).
+    Bytes eoed = encode_end_of_early_data();
+    key_schedule_.update_transcript(eoed);
+    {
+      Scope scope(profiler_, Lib::kLibcrypto);
+      out = records_.seal(ContentType::kHandshake, eoed);
+      records_.set_write_keys(
+          derive_traffic_keys(key_schedule_.client_handshake_traffic()));
+    }
+    if (costs_) charge(costs_->kdf());
+  }
 
   // Client flight: dummy CCS + Finished, one TCP write (the paper
   // observed both always in the same IP packet).
@@ -306,17 +520,48 @@ void ClientConnection::on_server_finished(BytesView body, BytesView full,
   }
   Bytes fin = encode_finished(verify);
   key_schedule_.update_transcript(fin);
-  Bytes out = records_.seal(ContentType::kChangeCipherSpec, ccs_payload());
+  append(out, records_.seal(ContentType::kChangeCipherSpec, ccs_payload()));
   {
     Scope scope(profiler_, Lib::kLibcrypto);
     append(out, records_.seal(ContentType::kHandshake, fin));
-    key_schedule_.derive_application_secrets();
+    // resumption_master_secret over the transcript through the client
+    // Finished — derived on every handshake (not modeled-cost-charged so
+    // full-handshake cells stay bit-identical to the pre-resumption model)
+    // and the only handshake-stage secret wipe_handshake_secrets() keeps.
+    key_schedule_.derive_resumption_master();
+    // NewSessionTicket arrives post-handshake under the application keys.
+    records_.set_read_keys(
+        derive_traffic_keys(key_schedule_.server_application_traffic()));
   }
   // Two Finished MACs, the sealed flight, application-secret derivation.
   if (costs_) charge(4 * costs_->kdf() + costs_->per_byte(out.size()));
   key_schedule_.wipe_handshake_secrets();
-  state_ = State::kComplete;
+  state_ = config_.request_ticket ? State::kWaitSessionTicket
+                                  : State::kComplete;
   sink(out);
+}
+
+void ClientConnection::on_new_session_ticket(BytesView body, BytesView,
+                                             const FlightSink& sink) {
+  std::optional<NewSessionTicket> nst = parse_new_session_ticket(body);
+  if (!nst) return fail_alert(sink);
+  // Post-handshake message: never part of any transcript (RFC 8446 4.6.1).
+  session::SessionTicket ticket;
+  ticket.server_name = "pqtls-bench.example.net";
+  ticket.ka = active_ka_->name();
+  ticket.sa = config_.sa->name();
+  ticket.identity = nst->ticket;
+  {
+    Scope scope(profiler_, Lib::kLibcrypto);
+    ticket.psk = key_schedule_.resumption_psk(nst->nonce);
+  }
+  if (costs_) charge(costs_->kdf());
+  ticket.received_at_ms = config_.now_ms;
+  ticket.lifetime_s = nst->lifetime_s;
+  ticket.age_add = nst->age_add;
+  ticket.max_early_data = nst->max_early_data;
+  ticket_ = std::move(ticket);
+  state_ = State::kComplete;
 }
 
 // ---------------------------------------------------------------------------
@@ -326,6 +571,7 @@ void ClientConnection::on_server_finished(BytesView body, BytesView full,
 const char* ServerConnection::state_name(State state) {
   switch (state) {
     case State::kWaitClientHello: return "wait_client_hello";
+    case State::kWaitEndOfEarlyData: return "wait_end_of_early_data";
     case State::kWaitClientFinished: return "wait_client_finished";
     case State::kComplete: return "complete";
     case State::kFailed: return "failed";
@@ -337,6 +583,8 @@ std::span<const ServerConnection::Rule> ServerConnection::rules() {
   static constexpr Rule kRules[] = {
       {State::kWaitClientHello, HandshakeType::kClientHello,
        &ServerConnection::on_client_hello},
+      {State::kWaitEndOfEarlyData, HandshakeType::kEndOfEarlyData,
+       &ServerConnection::on_end_of_early_data},
       {State::kWaitClientFinished, HandshakeType::kFinished,
        &ServerConnection::on_client_finished},
   };
@@ -351,8 +599,9 @@ StateMachineSpec ServerConnection::spec() {
   spec.initial = state_name(State::kWaitClientHello);
   spec.done = state_name(State::kComplete);
   spec.error = state_name(State::kFailed);
-  for (State s : {State::kWaitClientHello, State::kWaitClientFinished,
-                  State::kComplete, State::kFailed}) {
+  for (State s : {State::kWaitClientHello, State::kWaitEndOfEarlyData,
+                  State::kWaitClientFinished, State::kComplete,
+                  State::kFailed}) {
     spec.states.push_back(state_name(s));
     if (!spec.is_terminal(state_name(s)) && alert_on_unexpected(s))
       spec.alert_states.push_back(state_name(s));
@@ -366,24 +615,54 @@ StateMachineSpec ServerConnection::spec() {
                        .once = false,
                        .alert = true,
                        .on_flavors = {}};
+    const std::vector<SpecEmit> full_flight = {
+        {code(HandshakeType::kServerHello), "plain"},
+        {code(HandshakeType::kEncryptedExtensions), "plain"},
+        {code(HandshakeType::kCertificate), "plain"},
+        {code(HandshakeType::kCertificateVerify), "plain"},
+        {code(HandshakeType::kFinished), "plain"}};
     switch (rule.state) {
       case State::kWaitClientHello:
         // ok: the full server flight in one dispatch (SH, EE, Cert, CV,
-        // Fin — the dummy CCS is not a handshake message). hrr: wrong key
-        // share but negotiable group, at most once (hrr_sent_).
-        return {SpecOutcome{
-                    .label = "ok",
+        // Fin — the dummy CCS is not a handshake message). resume /
+        // resume_early: a validated PSK offer collapses the flight to SH,
+        // EE, Fin (no certificate material on the wire); the early variant
+        // accepts the 0-RTT stream and waits for EndOfEarlyData. fallback:
+        // a PSK offer whose ticket is unknown/expired answers with the
+        // full flight instead (never an alert). hrr: wrong key share but
+        // negotiable group, at most once (hrr_sent_).
+        return {SpecOutcome{.label = "ok",
+                            .next = state_name(State::kWaitClientFinished),
+                            .emits = full_flight,
+                            .once = false,
+                            .alert = false,
+                            .on_flavors = {"plain"}},
+                SpecOutcome{
+                    .label = "resume",
                     .next = state_name(State::kWaitClientFinished),
-                    .emits = {{code(HandshakeType::kServerHello), "plain"},
+                    .emits = {{code(HandshakeType::kServerHello), "psk"},
                               {code(HandshakeType::kEncryptedExtensions),
-                               "plain"},
-                              {code(HandshakeType::kCertificate), "plain"},
-                              {code(HandshakeType::kCertificateVerify),
                                "plain"},
                               {code(HandshakeType::kFinished), "plain"}},
                     .once = false,
                     .alert = false,
-                    .on_flavors = {}},
+                    .on_flavors = {"psk", "psk_early"}},
+                SpecOutcome{
+                    .label = "resume_early",
+                    .next = state_name(State::kWaitEndOfEarlyData),
+                    .emits = {{code(HandshakeType::kServerHello), "psk"},
+                              {code(HandshakeType::kEncryptedExtensions),
+                               "early_ok"},
+                              {code(HandshakeType::kFinished), "plain"}},
+                    .once = false,
+                    .alert = false,
+                    .on_flavors = {"psk_early"}},
+                SpecOutcome{.label = "fallback",
+                            .next = state_name(State::kWaitClientFinished),
+                            .emits = full_flight,
+                            .once = false,
+                            .alert = false,
+                            .on_flavors = {"psk", "psk_early"}},
                 SpecOutcome{
                     .label = "hrr",
                     .next = state_name(State::kWaitClientHello),
@@ -392,13 +671,31 @@ StateMachineSpec ServerConnection::spec() {
                     .alert = false,
                     .on_flavors = {}},
                 reject};
+      case State::kWaitEndOfEarlyData:
+        return {SpecOutcome{.label = "ok",
+                            .next = state_name(State::kWaitClientFinished),
+                            .emits = {},
+                            .once = false,
+                            .alert = false,
+                            .on_flavors = {}},
+                reject};
       case State::kWaitClientFinished:
+        // A want_ticket-flavored Finished (the client advertised
+        // psk_key_exchange_modes) is answered with a NewSessionTicket.
         return {SpecOutcome{.label = "ok",
                             .next = state_name(State::kComplete),
                             .emits = {},
                             .once = false,
                             .alert = false,
-                            .on_flavors = {}},
+                            .on_flavors = {"plain"}},
+                SpecOutcome{
+                    .label = "ok_ticket",
+                    .next = state_name(State::kComplete),
+                    .emits = {{code(HandshakeType::kNewSessionTicket),
+                               "plain"}},
+                    .once = false,
+                    .alert = false,
+                    .on_flavors = {"want_ticket"}},
                 reject};
       default:
         throw std::logic_error(
@@ -458,6 +755,159 @@ void ServerConnection::on_client_hello(BytesView body, BytesView full,
   std::uint16_t client_scheme =
       hello->signature_schemes.empty() ? 0 : hello->signature_schemes.front();
   if (client_scheme != scheme_id(*config_.sa)) return fail_alert(sink);
+
+  // Ticket bookkeeping: any psk_key_exchange_modes offer makes a completed
+  // handshake end with a NewSessionTicket (when a store is attached).
+  want_ticket_ = config_.tickets != nullptr && !hello->psk_modes.empty();
+
+  // --- PSK resumption offer (RFC 8446 4.2.11) ---
+  bool psk_ok = false;
+  bool psk_only_mode = false;
+  if (hello->has_psk && config_.tickets != nullptr) {
+    std::optional<session::TicketState> ticket =
+        config_.tickets->validate(hello->psk_identity, config_.now_ms);
+    if (ticket && ticket->ka == config_.ka->name() &&
+        ticket->sa == config_.sa->name()) {
+      key_schedule_.set_psk(ticket->resumption_psk);
+      Bytes expected_binder;
+      {
+        Scope scope(profiler_, Lib::kLibcrypto);
+        expected_binder = key_schedule_.psk_binder(
+            full.first(full.size() - kPskBinderSuffixLen));
+      }
+      if (costs_) charge(2 * costs_->kdf());
+      // A decryptable ticket with a wrong binder is an active attack:
+      // abort with a fatal alert, never fall back (RFC 8446 4.2.11).
+      if (!ct::equal(expected_binder, hello->psk_binder)) {
+        key_schedule_.clear_psk();
+        return fail_alert(sink);
+      }
+      bool mode_psk = false, mode_dhe = false;
+      for (std::uint8_t mode : hello->psk_modes) {
+        mode_psk = mode_psk || mode == kPskModePsk;
+        mode_dhe = mode_dhe || mode == kPskModePskDhe;
+      }
+      bool share_ok = hello->has_key_share &&
+                      hello->key_share_group == group_id(*config_.ka);
+      if (mode_dhe && share_ok) {
+        psk_ok = true;  // psk_dhe_ke: fresh KEM exchange under the PSK
+      } else if (mode_psk) {
+        psk_ok = true;  // psk_ke: no key share at all
+        psk_only_mode = true;
+      } else {
+        key_schedule_.clear_psk();  // unusable modes: full fallback
+      }
+    }
+    // Unknown/forged/expired ticket: silent fallback to a full handshake.
+  }
+
+  if (psk_ok) {
+    key_schedule_.update_transcript(full);
+
+    // Early-data acceptance is decided here; the early traffic secret is
+    // bound to the transcript through this ClientHello only.
+    bool accept_early = hello->early_data && config_.accept_early_data;
+    Bytes early_secret;  // CT_SECRET: early_secret
+    if (accept_early) {
+      Scope scope(profiler_, Lib::kLibcrypto);
+      early_secret = key_schedule_.derive_early_traffic_secret();
+    }
+
+    // --- ServerHello: PSK accepted, key share only for psk_dhe_ke ---
+    std::optional<kem::Encapsulation> enc;
+    ServerHello sh;
+    if (!psk_only_mode) {
+      {
+        Scope scope(profiler_, Lib::kLibcrypto);
+        enc = config_.ka->encapsulate(hello->key_share, rng_);
+      }
+      if (costs_) charge(costs_->kem_encaps(config_.ka->name()));
+      if (!enc) return fail_alert(sink);
+      sh.key_share_group = group_id(*config_.ka);
+      sh.key_share = enc->ciphertext;
+    } else {
+      sh.has_key_share = false;
+    }
+    sh.random = rng_.bytes(32);
+    sh.session_id = hello->session_id;  // echo
+    sh.cipher_suite = kAes128GcmSha256;
+    sh.psk_accepted = true;
+    Bytes sh_msg = encode_server_hello(sh);
+    key_schedule_.update_transcript(sh_msg);
+    if (costs_) charge(costs_->per_byte(sh_msg.size() + ccs_payload().size()));
+    queue(records_.seal(ContentType::kHandshake, sh_msg), sink, false);
+    queue(records_.seal(ContentType::kChangeCipherSpec, ccs_payload()), sink,
+          true);
+
+    {
+      Scope scope(profiler_, Lib::kLibcrypto);
+      key_schedule_.derive_handshake_secrets(
+          enc ? BytesView(enc->shared_secret) : BytesView{});
+      records_.set_write_keys(
+          derive_traffic_keys(key_schedule_.server_handshake_traffic()));
+      // The read side handles the 0-RTT stream first when accepted; the
+      // handshake keys are parked until EndOfEarlyData.
+      client_hs_keys_ =
+          derive_traffic_keys(key_schedule_.client_handshake_traffic());
+      if (accept_early) {
+        records_.set_read_keys(derive_traffic_keys(early_secret));
+        ct::wipe(early_secret);
+      } else {
+        records_.set_read_keys(client_hs_keys_);
+      }
+    }
+    if (costs_) charge(3 * costs_->kdf());
+    if (accept_early && costs_) charge(2 * costs_->kdf());
+    if (enc) ct::wipe(enc->shared_secret);
+    // Offered-but-declined 0-RTT records are undecryptable under the
+    // handshake keys: skip them without failing (RFC 8446 4.2.10).
+    if (hello->early_data && !accept_early)
+      records_.set_skip_undecryptable(true);
+
+    // --- EncryptedExtensions (early_data echo when accepted) ---
+    EncryptedExtensions ee;
+    ee.early_data = accept_early;
+    Bytes ee_msg = encode_encrypted_extensions(ee);
+    key_schedule_.update_transcript(ee_msg);
+    Bytes ee_sealed;
+    {
+      Scope scope(profiler_, Lib::kLibcrypto);
+      ee_sealed = records_.seal(ContentType::kHandshake, ee_msg);
+    }
+    if (costs_) charge(costs_->per_byte(ee_sealed.size()));
+    queue(std::move(ee_sealed), sink, false);
+
+    // --- Finished (no Certificate / CertificateVerify on this path) ---
+    Bytes verify;
+    {
+      Scope scope(profiler_, Lib::kLibcrypto);
+      verify = key_schedule_.finished_verify_data(
+          key_schedule_.server_handshake_traffic(),
+          key_schedule_.transcript_hash());
+    }
+    Bytes fin_msg = encode_finished(verify);
+    key_schedule_.update_transcript(fin_msg);
+    Bytes fin_sealed;
+    {
+      Scope scope(profiler_, Lib::kLibcrypto);
+      fin_sealed = records_.seal(ContentType::kHandshake, fin_msg);
+    }
+    if (costs_)
+      charge(2 * costs_->kdf() + costs_->per_byte(fin_sealed.size()));
+    queue(std::move(fin_sealed), sink, true);
+    flush(sink);
+
+    {
+      Scope scope(profiler_, Lib::kLibcrypto);
+      key_schedule_.derive_application_secrets();
+    }
+    resumed_ = true;
+    early_accepted_ = accept_early;
+    state_ = accept_early ? State::kWaitEndOfEarlyData
+                          : State::kWaitClientFinished;
+    return;
+  }
+
   if (!hello->has_key_share ||
       hello->key_share_group != group_id(*config_.ka)) {
     return send_retry_request(*hello, full, sink);
@@ -497,6 +947,9 @@ void ServerConnection::on_client_hello(BytesView body, BytesView full,
   }
   if (costs_) charge(3 * costs_->kdf());
   ct::wipe(enc->shared_secret);  // traffic secrets are installed; drop the input
+  // A client whose resumption offer fell back to a full handshake may have
+  // 0-RTT records in flight; they are undecryptable here and skipped.
+  if (hello->early_data) records_.set_skip_undecryptable(true);
 
   // --- EncryptedExtensions ---
   Bytes ee_msg = encode_encrypted_extensions();
@@ -592,6 +1045,20 @@ void ServerConnection::send_retry_request(const ClientHello& hello,
   // Stay in kWaitClientHello for the retried ClientHello.
 }
 
+void ServerConnection::on_end_of_early_data(BytesView body, BytesView full,
+                                            const FlightSink& sink) {
+  if (!body.empty()) return fail_alert(sink);
+  key_schedule_.update_transcript(full);
+  // The 0-RTT stream is closed; the client Finished arrives under the
+  // parked handshake keys.
+  {
+    Scope scope(profiler_, Lib::kLibcrypto);
+    records_.set_read_keys(client_hs_keys_);
+  }
+  if (costs_) charge(costs_->kdf());
+  state_ = State::kWaitClientFinished;
+}
+
 void ServerConnection::on_client_finished(BytesView body, BytesView full,
                                           const FlightSink& sink) {
   Bytes expected;
@@ -604,8 +1071,57 @@ void ServerConnection::on_client_finished(BytesView body, BytesView full,
   if (costs_) charge(costs_->kdf());
   if (!ct::equal(expected, body)) return fail_alert(sink);
   key_schedule_.update_transcript(full);
+  records_.set_skip_undecryptable(false);
+  {
+    Scope scope(profiler_, Lib::kLibcrypto);
+    // Transcript now covers the client Finished — exactly the
+    // resumption_master_secret point (RFC 8446 7.1). No modeled-cost
+    // charge: full-handshake cells stay bit-identical to the
+    // pre-resumption model.
+    key_schedule_.derive_resumption_master();
+  }
+  if (want_ticket_) send_new_session_ticket(sink);
   key_schedule_.wipe_handshake_secrets();
   state_ = State::kComplete;
+}
+
+void ServerConnection::send_new_session_ticket(const FlightSink& sink) {
+  // Post-handshake message under the server application traffic keys; it
+  // never enters a handshake transcript (RFC 8446 4.6.1).
+  {
+    Scope scope(profiler_, Lib::kLibcrypto);
+    records_.set_write_keys(
+        derive_traffic_keys(key_schedule_.server_application_traffic()));
+  }
+  NewSessionTicket nst;
+  nst.lifetime_s = config_.ticket_lifetime_s;
+  nst.age_add = rng_.u32();
+  nst.nonce = rng_.bytes(8);
+  nst.max_early_data = config_.accept_early_data ? config_.max_early_data : 0;
+
+  session::TicketState state;
+  state.ka = config_.ka->name();
+  state.sa = config_.sa->name();
+  {
+    Scope scope(profiler_, Lib::kLibcrypto);
+    state.resumption_psk = key_schedule_.resumption_psk(nst.nonce);
+  }
+  state.issued_at_ms = config_.now_ms;
+  state.lifetime_s = config_.ticket_lifetime_s;
+  state.age_add = nst.age_add;
+  state.nonce = nst.nonce;
+  nst.ticket = config_.tickets->issue(state, rng_);
+
+  Bytes msg = encode_new_session_ticket(nst);
+  Bytes sealed;
+  {
+    Scope scope(profiler_, Lib::kLibcrypto);
+    sealed = records_.seal(ContentType::kHandshake, msg);
+  }
+  // Ticket-PSK derivation, the AEAD seal, the record bytes.
+  if (costs_) charge(2 * costs_->kdf() + costs_->per_byte(sealed.size()));
+  queue(std::move(sealed), sink, true);
+  flush(sink);
 }
 
 }  // namespace pqtls::tls

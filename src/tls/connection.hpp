@@ -22,6 +22,7 @@
 #include "perf/cost_model.hpp"
 #include "perf/profiler.hpp"
 #include "pki/certificate.hpp"
+#include "session/session.hpp"
 #include "sig/sig.hpp"
 #include "tls/key_schedule.hpp"
 #include "tls/messages.hpp"
@@ -44,6 +45,20 @@ struct ServerConfig {
   Bytes leaf_secret_key;
   Buffering buffering = Buffering::kImmediate;
   std::size_t buffer_limit = 4096;
+
+  /// Session resumption (RFC 8446 2.2/4.6.1): with a ticket store attached
+  /// the server issues a NewSessionTicket after each completed handshake
+  /// whose client advertised psk_key_exchange_modes, and accepts PSK
+  /// resumption offers carrying tickets the store validates. Null disables
+  /// resumption entirely (the PR 1-6 behaviour, bit for bit).
+  session::TicketStore* tickets = nullptr;
+  /// Accept 0-RTT early data on resumed connections (RFC 8446 4.2.10).
+  /// When false, offered early data is skipped record-by-record.
+  bool accept_early_data = false;
+  std::uint32_t ticket_lifetime_s = 7200;
+  std::uint32_t max_early_data = 16384;
+  /// Server clock for ticket issue/validate timestamps.
+  std::uint64_t now_ms = 1'800'000'000'000ull;
 };
 
 struct ClientConfig {
@@ -57,6 +72,20 @@ struct ClientConfig {
   const sig::Signer* sa = nullptr;  // expected server SA
   pki::Certificate root;            // trust anchor
   std::uint64_t now = 1'800'000'000;
+
+  /// Resume from a cached ticket (borrowed; must outlive the connection).
+  /// Null = full handshake. The ticket's KA/SA names must match what the
+  /// server expects or it falls back to a full handshake.
+  const session::SessionTicket* resume = nullptr;
+  /// Offer psk_ke (no key share) instead of psk_dhe_ke when resuming.
+  bool psk_only = false;
+  /// Advertise psk_key_exchange_modes on full handshakes too, asking the
+  /// server for a NewSessionTicket after Finished.
+  bool request_ticket = false;
+  /// 0-RTT application data to send alongside a resumption offer.
+  Bytes early_data;
+  /// Client clock for the obfuscated ticket age (RFC 8446 4.2.11).
+  std::uint64_t now_ms = 1'800'000'000'000ull;
 };
 
 /// Receives output flights; each call corresponds to one TCP write (the
@@ -116,6 +145,12 @@ class HandshakeCore {
       if (!record) return;
       if (costs_) charge(costs_->per_byte(record->payload.size()));
       if (record->type == ContentType::kChangeCipherSpec) continue;
+      if (record->type == ContentType::kApplicationData) {
+        // Mid-handshake application data is only legal as 0-RTT early
+        // data; the role decides (server buffers or drops, client fails).
+        if (!self().on_app_data_record(record->payload)) return self().fail();
+        continue;
+      }
       if (record->type != ContentType::kHandshake) return self().fail();
       append(handshake_buffer_, record->payload);
       // Extract complete handshake messages.
@@ -204,6 +239,19 @@ class ClientConnection : public HandshakeCore<ClientConnection> {
   bool failed() const { return state_ == State::kFailed; }
   const Bytes& exporter_secret() const { return key_schedule_.client_application_traffic(); }
 
+  /// True when the completed handshake was a PSK resumption (no
+  /// Certificate/CertificateVerify on the wire).
+  bool resumed() const { return resumed_; }
+  /// True when the server accepted the 0-RTT early data we offered.
+  bool early_data_accepted() const { return early_data_accepted_; }
+  /// The NewSessionTicket received on this connection (if any), converted
+  /// to a cacheable client ticket. Consumes the stored ticket.
+  std::optional<session::SessionTicket> take_ticket() {
+    auto out = std::move(ticket_);
+    ticket_.reset();
+    return out;
+  }
+
   /// Introspection seam for the static verifier: the rule table plus its
   /// declared outcomes, as data (see tls/spec.hpp). Built from rules(), so
   /// the spec cannot drift from the dispatch table.
@@ -219,9 +267,13 @@ class ClientConnection : public HandshakeCore<ClientConnection> {
     kStart,
     kWaitServerHello,
     kWaitEncryptedExtensions,
+    kWaitEncryptedExtensionsPsk,
     kWaitCertificate,
     kWaitCertificateVerify,
     kWaitFinished,
+    kWaitFinishedPsk,
+    kWaitFinishedPskEarly,
+    kWaitSessionTicket,
     kComplete,
     kFailed,
   };
@@ -242,6 +294,12 @@ class ClientConnection : public HandshakeCore<ClientConnection> {
     return state_ == State::kComplete || state_ == State::kFailed;
   }
   void fail() { state_ = State::kFailed; }
+  /// The client never receives application data mid-handshake.
+  bool on_app_data_record(BytesView) { return false; }
+  /// True while a resumption offer with early data is outstanding.
+  bool early_offered() const {
+    return psk_offered_ && !config_.early_data.empty();
+  }
 
   void send_client_hello(const FlightSink& sink);
   void on_server_hello(BytesView body, BytesView full, const FlightSink& sink);
@@ -249,11 +307,23 @@ class ClientConnection : public HandshakeCore<ClientConnection> {
                         const FlightSink& sink);
   void on_encrypted_extensions(BytesView body, BytesView full,
                                const FlightSink& sink);
+  void on_encrypted_extensions_psk(BytesView body, BytesView full,
+                                   const FlightSink& sink);
   void on_certificate(BytesView body, BytesView full, const FlightSink& sink);
   void on_certificate_verify(BytesView body, BytesView full,
                              const FlightSink& sink);
   void on_server_finished(BytesView body, BytesView full,
                           const FlightSink& sink);
+  void on_finished_psk(BytesView body, BytesView full, const FlightSink& sink);
+  void on_finished_psk_early(BytesView body, BytesView full,
+                             const FlightSink& sink);
+  void on_new_session_ticket(BytesView body, BytesView full,
+                             const FlightSink& sink);
+  /// Shared tail of every server-Finished handler: verify, send the client
+  /// flight (EndOfEarlyData when 0-RTT was accepted), derive application
+  /// and resumption-master secrets, wipe.
+  void finish_handshake(BytesView body, BytesView full, const FlightSink& sink,
+                        bool early_accepted);
 
   ClientConfig config_;
   State state_ = State::kStart;
@@ -261,6 +331,10 @@ class ClientConnection : public HandshakeCore<ClientConnection> {
   Bytes kem_secret_key_;
   pki::CertificateChain peer_chain_;
   bool hrr_seen_ = false;
+  bool psk_offered_ = false;
+  bool resumed_ = false;
+  bool early_data_accepted_ = false;
+  std::optional<session::SessionTicket> ticket_;
 };
 
 class ServerConnection : public HandshakeCore<ServerConnection> {
@@ -275,6 +349,13 @@ class ServerConnection : public HandshakeCore<ServerConnection> {
   bool handshake_complete() const { return state_ == State::kComplete; }
   bool failed() const { return state_ == State::kFailed; }
 
+  /// True when this handshake was resumed from a validated ticket.
+  bool resumed() const { return resumed_; }
+  /// True when 0-RTT early data was accepted on this connection.
+  bool early_data_accepted() const { return early_accepted_; }
+  /// 0-RTT application data received before EndOfEarlyData.
+  const Bytes& early_data() const { return early_data_; }
+
   /// Introspection seam for the static verifier (see ClientConnection).
   static StateMachineSpec spec();
   static std::size_t rule_count();
@@ -284,6 +365,7 @@ class ServerConnection : public HandshakeCore<ServerConnection> {
 
   enum class State {
     kWaitClientHello,
+    kWaitEndOfEarlyData,
     kWaitClientFinished,
     kComplete,
     kFailed,
@@ -300,7 +382,8 @@ class ServerConnection : public HandshakeCore<ServerConnection> {
   /// the server has committed to a connection, an out-of-place message is
   /// answered with a fatal unexpected_message alert like the client's.
   static bool alert_on_unexpected(State state) {
-    return state == State::kWaitClientFinished;
+    return state == State::kWaitClientFinished ||
+           state == State::kWaitEndOfEarlyData;
   }
   static std::span<const Rule> rules();
   static const char* state_name(State state);
@@ -309,12 +392,25 @@ class ServerConnection : public HandshakeCore<ServerConnection> {
     return state_ == State::kComplete || state_ == State::kFailed;
   }
   void fail() { state_ = State::kFailed; }
+  /// Application data mid-handshake: accepted 0-RTT records are buffered
+  /// until EndOfEarlyData; before the ClientHello (trial-decryption skip
+  /// mode off) or after the handshake it is a protocol violation.
+  bool on_app_data_record(BytesView payload) {
+    if (state_ == State::kWaitEndOfEarlyData) {
+      append(early_data_, payload);
+      return true;
+    }
+    return false;
+  }
 
   void on_client_hello(BytesView body, BytesView full, const FlightSink& sink);
   void send_retry_request(const ClientHello& hello, BytesView full,
                           const FlightSink& sink);
+  void on_end_of_early_data(BytesView body, BytesView full,
+                            const FlightSink& sink);
   void on_client_finished(BytesView body, BytesView full,
                           const FlightSink& sink);
+  void send_new_session_ticket(const FlightSink& sink);
   // Buffered-send helpers implementing the two OpenSSL behaviours.
   void queue(Bytes record_bytes, const FlightSink& sink, bool message_done);
   void flush(const FlightSink& sink);
@@ -323,6 +419,11 @@ class ServerConnection : public HandshakeCore<ServerConnection> {
   State state_ = State::kWaitClientHello;
   Bytes pending_;  // output buffer (default mode)
   bool hrr_sent_ = false;
+  bool want_ticket_ = false;    // client sent psk_key_exchange_modes
+  bool resumed_ = false;
+  bool early_accepted_ = false;
+  Bytes early_data_;
+  TrafficKeys client_hs_keys_;  // deferred read keys while 0-RTT is read
 };
 
 }  // namespace pqtls::tls

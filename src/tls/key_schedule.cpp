@@ -12,6 +12,7 @@ namespace pqtls::tls {
 // well. The KEM shared secret arrives as a caller-owned view.
 // CT_SECRET: handshake_secret_, master_secret_, client_hs_, server_hs_
 // CT_SECRET: client_app_, server_app_, shared_secret -- inputs stay tainted
+// CT_SECRET: psk_early_secret_, resumption_master_, psk -- resumption stage
 
 using crypto::hkdf_expand_sha256;
 using crypto::hkdf_extract_sha256;
@@ -44,6 +45,7 @@ KeySchedule::KeySchedule() = default;
 KeySchedule::~KeySchedule() {
   wipe_handshake_secrets();
   ct::wipe(master_secret_);
+  ct::wipe(resumption_master_);
   ct::wipe(client_app_);
   ct::wipe(server_app_);
 }
@@ -52,6 +54,39 @@ void KeySchedule::wipe_handshake_secrets() {
   ct::wipe(handshake_secret_);
   ct::wipe(client_hs_);
   ct::wipe(server_hs_);
+  ct::wipe(psk_early_secret_);
+  psk_early_secret_.clear();  // keep has_psk() truthful after the wipe
+  // master_secret_ and resumption_master_ intentionally survive: tickets
+  // are minted (server) and redeemed (client) after the handshake is done
+  // and the handshake-stage secrets are gone. The destructor wipes both.
+}
+
+void KeySchedule::set_psk(BytesView psk) {
+  ct::wipe(psk_early_secret_);
+  psk_early_secret_ = hkdf_extract_sha256({}, psk);
+}
+
+void KeySchedule::clear_psk() {
+  // Wipe AND empty: has_psk() keys off emptiness, so a wiped-but-sized
+  // buffer would silently select the PSK schedule with an all-zero early
+  // secret — diverging from a peer that never installed a PSK (the
+  // declined-offer fallback would then never decrypt the server flight).
+  ct::wipe(psk_early_secret_);
+  psk_early_secret_.clear();
+}
+
+Bytes KeySchedule::psk_binder(BytesView truncated_client_hello) const {
+  Bytes empty_hash = crypto::sha256({});
+  Bytes binder_key =  // CT_SECRET: binder_key
+      derive_secret(psk_early_secret_, "res binder", empty_hash);
+  ct::Wiper binder_guard(binder_key);
+  Bytes context = transcript_snapshot_;
+  append(context, truncated_client_hello);
+  return finished_verify_data(binder_key, crypto::sha256(context));
+}
+
+Bytes KeySchedule::derive_early_traffic_secret() const {
+  return derive_secret(psk_early_secret_, "c e traffic", transcript_hash());
 }
 
 void KeySchedule::update_transcript(BytesView message) {
@@ -74,12 +109,19 @@ void KeySchedule::convert_to_hrr_transcript() {
 
 void KeySchedule::derive_handshake_secrets(BytesView shared_secret) {
   Bytes zeros(32, 0);
-  Bytes early_secret = hkdf_extract_sha256({}, zeros);  // CT_SECRET
+  // With a PSK installed the early secret is HKDF-Extract(0, psk); without
+  // one it is the RFC 7.1 zero-key extract. PSK-only handshakes pass an
+  // empty shared secret, which the schedule replaces with 32 zero bytes.
+  Bytes early_secret =  // CT_SECRET: early_secret
+      has_psk() ? psk_early_secret_ : hkdf_extract_sha256({}, zeros);
   ct::Wiper early_guard(early_secret);
   Bytes empty_hash = crypto::sha256({});
   Bytes derived = derive_secret(early_secret, "derived", empty_hash);  // CT_SECRET
   ct::Wiper derived_guard(derived);
-  handshake_secret_ = hkdf_extract_sha256(derived, shared_secret);
+  handshake_secret_ =
+      hkdf_extract_sha256(derived, shared_secret.empty()
+                                       ? BytesView(zeros)
+                                       : shared_secret);
   Bytes th = transcript_hash();
   client_hs_ = derive_secret(handshake_secret_, "c hs traffic", th);
   server_hs_ = derive_secret(handshake_secret_, "s hs traffic", th);
@@ -94,6 +136,16 @@ void KeySchedule::derive_application_secrets() {
   Bytes th = transcript_hash();
   client_app_ = derive_secret(master_secret_, "c ap traffic", th);
   server_app_ = derive_secret(master_secret_, "s ap traffic", th);
+}
+
+void KeySchedule::derive_resumption_master() {
+  ct::wipe(resumption_master_);
+  resumption_master_ =
+      derive_secret(master_secret_, "res master", transcript_hash());
+}
+
+Bytes KeySchedule::resumption_psk(BytesView ticket_nonce) const {
+  return hkdf_expand_label(resumption_master_, "resumption", ticket_nonce, 32);
 }
 
 Bytes KeySchedule::finished_verify_data(BytesView traffic_secret,

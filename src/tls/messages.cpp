@@ -130,7 +130,7 @@ Bytes encode_client_hello(const ClientHello& hello) {
     exts.u16(static_cast<std::uint16_t>(Extension::kSignatureAlgorithms));
     exts.vec16(sa.buffer());
   }
-  {  // key_share
+  if (hello.has_key_share) {  // key_share (absent in PSK-only offers)
     Writer ks;
     Writer entries;
     entries.u16(hello.key_share_group);
@@ -138,6 +138,34 @@ Bytes encode_client_hello(const ClientHello& hello) {
     ks.vec16(entries.buffer());
     exts.u16(static_cast<std::uint16_t>(Extension::kKeyShare));
     exts.vec16(ks.buffer());
+  }
+  if (!hello.psk_modes.empty()) {  // psk_key_exchange_modes
+    Writer pm;
+    pm.vec8(hello.psk_modes);
+    exts.u16(static_cast<std::uint16_t>(Extension::kPskKeyExchangeModes));
+    exts.vec16(pm.buffer());
+  }
+  if (hello.early_data) {  // early_data (empty in a ClientHello)
+    exts.u16(static_cast<std::uint16_t>(Extension::kEarlyData));
+    exts.vec16({});
+  }
+  if (hello.has_psk) {  // pre_shared_key MUST be the last extension
+    Writer psk;
+    {
+      Writer identities;
+      identities.vec16(hello.psk_identity);
+      identities.u32(hello.obfuscated_ticket_age);
+      psk.vec16(identities.buffer());
+    }
+    {
+      Writer binders;
+      Bytes binder = hello.psk_binder;
+      binder.resize(kPskBinderLen, 0);
+      binders.vec8(binder);
+      psk.vec16(binders.buffer());
+    }
+    exts.u16(static_cast<std::uint16_t>(Extension::kPreSharedKey));
+    exts.vec16(psk.buffer());
   }
   body.vec16(exts.buffer());
   return handshake_message(HandshakeType::kClientHello, body.buffer());
@@ -194,6 +222,34 @@ std::optional<ClientHello> parse_client_hello(BytesView body) {
         out.has_key_share = true;
         break;
       }
+      case Extension::kPskKeyExchangeModes: {
+        Reader pr(ext_data);
+        Bytes modes = pr.vec8();
+        if (pr.failed() || !pr.done() || modes.empty()) return std::nullopt;
+        out.psk_modes.assign(modes.begin(), modes.end());
+        break;
+      }
+      case Extension::kEarlyData: {
+        if (!ext_data.empty()) return std::nullopt;
+        out.early_data = true;
+        break;
+      }
+      case Extension::kPreSharedKey: {
+        Reader pr(ext_data);
+        Bytes identities = pr.vec16();
+        Bytes binders = pr.vec16();
+        if (pr.failed() || !pr.done()) return std::nullopt;
+        Reader ir(identities);  // first identity only (single-ticket clients)
+        out.psk_identity = ir.vec16();
+        out.obfuscated_ticket_age = ir.u32();
+        if (ir.failed()) return std::nullopt;
+        Reader br(binders);
+        out.psk_binder = br.vec8();
+        if (br.failed() || out.psk_binder.size() != kPskBinderLen)
+          return std::nullopt;
+        out.has_psk = true;
+        break;
+      }
       default:
         break;  // unknown extensions are skipped (their bytes are consumed)
     }
@@ -216,12 +272,18 @@ Bytes encode_server_hello(const ServerHello& hello) {
       exts.u16(static_cast<std::uint16_t>(Extension::kSupportedVersions));
       exts.vec16(sv.buffer());
     }
-    {
+    if (hello.has_key_share) {
       Writer ks;
       ks.u16(hello.key_share_group);
       if (!hello.retry_request) ks.vec16(hello.key_share);
       exts.u16(static_cast<std::uint16_t>(Extension::kKeyShare));
       exts.vec16(ks.buffer());
+    }
+    if (hello.psk_accepted) {
+      Writer psk;
+      psk.u16(0);  // selected_identity: single-ticket clients offer one
+      exts.u16(static_cast<std::uint16_t>(Extension::kPreSharedKey));
+      exts.vec16(psk.buffer());
     }
     body.vec16(exts.buffer());
   }
@@ -239,44 +301,111 @@ std::optional<ServerHello> parse_server_hello(BytesView body) {
   Bytes exts = r.vec16();
   if (r.failed()) return std::nullopt;
   out.retry_request = out.random == hrr_random();
+  out.has_key_share = false;
 
   Reader er(exts);
   while (!er.done()) {
     std::uint16_t ext_type = er.u16();
     Bytes ext_data = er.vec16();
     if (er.failed()) return std::nullopt;
-    if (static_cast<Extension>(ext_type) != Extension::kKeyShare) continue;
-    if (out.retry_request) {
-      // HelloRetryRequest carries the demanded group only, no key.
-      if (ext_data.size() != 2) return std::nullopt;
-      out.key_share_group = u16_at(ext_data, 0);
-    } else {
-      Reader kr(ext_data);
-      out.key_share_group = kr.u16();
-      out.key_share = kr.vec16();
-      if (kr.failed() || !kr.done()) return std::nullopt;
+    switch (static_cast<Extension>(ext_type)) {
+      case Extension::kKeyShare:
+        if (out.retry_request) {
+          // HelloRetryRequest carries the demanded group only, no key.
+          if (ext_data.size() != 2) return std::nullopt;
+          out.key_share_group = u16_at(ext_data, 0);
+        } else {
+          Reader kr(ext_data);
+          out.key_share_group = kr.u16();
+          out.key_share = kr.vec16();
+          if (kr.failed() || !kr.done()) return std::nullopt;
+        }
+        out.has_key_share = true;
+        break;
+      case Extension::kPreSharedKey:
+        // selected_identity; we only ever offer one, which must be chosen.
+        if (ext_data.size() != 2 || u16_at(ext_data, 0) != 0)
+          return std::nullopt;
+        out.psk_accepted = true;
+        break;
+      default:
+        break;
     }
   }
   return out;
 }
 
-Bytes encode_encrypted_extensions() {
-  Writer ee;
-  ee.vec16({});
-  return handshake_message(HandshakeType::kEncryptedExtensions, ee.buffer());
+Bytes encode_encrypted_extensions(const EncryptedExtensions& ee) {
+  Writer w;
+  Writer exts;
+  if (ee.early_data) {
+    exts.u16(static_cast<std::uint16_t>(Extension::kEarlyData));
+    exts.vec16({});
+  }
+  w.vec16(exts.buffer());
+  return handshake_message(HandshakeType::kEncryptedExtensions, w.buffer());
 }
 
-bool parse_encrypted_extensions(BytesView body) {
+std::optional<EncryptedExtensions> parse_encrypted_extensions(BytesView body) {
   Reader r(body);
   Bytes exts = r.vec16();
-  if (r.failed()) return false;
+  if (r.failed()) return std::nullopt;
+  EncryptedExtensions out;
   Reader er(exts);
   while (!er.done()) {
-    er.u16();
-    er.vec16();
-    if (er.failed()) return false;
+    std::uint16_t ext_type = er.u16();
+    Bytes ext_data = er.vec16();
+    if (er.failed()) return std::nullopt;
+    if (static_cast<Extension>(ext_type) == Extension::kEarlyData) {
+      if (!ext_data.empty()) return std::nullopt;
+      out.early_data = true;
+    }
   }
-  return true;
+  return out;
+}
+
+Bytes encode_new_session_ticket(const NewSessionTicket& nst) {
+  Writer w;
+  w.u32(nst.lifetime_s);
+  w.u32(nst.age_add);
+  w.vec8(nst.nonce);
+  w.vec16(nst.ticket);
+  Writer exts;
+  if (nst.max_early_data > 0) {
+    Writer ed;
+    ed.u32(nst.max_early_data);
+    exts.u16(static_cast<std::uint16_t>(Extension::kEarlyData));
+    exts.vec16(ed.buffer());
+  }
+  w.vec16(exts.buffer());
+  return handshake_message(HandshakeType::kNewSessionTicket, w.buffer());
+}
+
+std::optional<NewSessionTicket> parse_new_session_ticket(BytesView body) {
+  Reader r(body);
+  NewSessionTicket out;
+  out.lifetime_s = r.u32();
+  out.age_add = r.u32();
+  out.nonce = r.vec8();
+  out.ticket = r.vec16();
+  Bytes exts = r.vec16();
+  if (r.failed() || !r.done() || out.ticket.empty()) return std::nullopt;
+  Reader er(exts);
+  while (!er.done()) {
+    std::uint16_t ext_type = er.u16();
+    Bytes ext_data = er.vec16();
+    if (er.failed()) return std::nullopt;
+    if (static_cast<Extension>(ext_type) == Extension::kEarlyData) {
+      if (ext_data.size() != 4) return std::nullopt;
+      Reader dr(ext_data);
+      out.max_early_data = dr.u32();
+    }
+  }
+  return out;
+}
+
+Bytes encode_end_of_early_data() {
+  return handshake_message(HandshakeType::kEndOfEarlyData, {});
 }
 
 Bytes encode_certificate(const pki::CertificateChain& chain) {

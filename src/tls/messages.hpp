@@ -21,6 +21,8 @@ namespace pqtls::tls {
 enum class HandshakeType : std::uint8_t {
   kClientHello = 1,
   kServerHello = 2,
+  kNewSessionTicket = 4,
+  kEndOfEarlyData = 5,
   kEncryptedExtensions = 8,
   kCertificate = 11,
   kCertificateVerify = 15,
@@ -31,9 +33,23 @@ enum class Extension : std::uint16_t {
   kServerName = 0,
   kSupportedGroups = 10,
   kSignatureAlgorithms = 13,
+  kPreSharedKey = 41,
+  kEarlyData = 42,
   kSupportedVersions = 43,
+  kPskKeyExchangeModes = 45,
   kKeyShare = 51,
 };
+
+// PskKeyExchangeMode codepoints (RFC 8446 4.2.9).
+constexpr std::uint8_t kPskModePsk = 0;     // psk_ke: PSK-only
+constexpr std::uint8_t kPskModePskDhe = 1;  // psk_dhe_ke: PSK + (EC)DHE
+
+// SHA-256 binders are 32 bytes; the pre_shared_key binders list trailer on
+// a single-identity ClientHello is therefore a fixed 35-byte suffix (2-byte
+// binders-list length + 1-byte binder length + 32-byte binder). The binder
+// HMAC covers the ClientHello with exactly this suffix removed (4.2.11.2).
+constexpr std::size_t kPskBinderLen = 32;
+constexpr std::size_t kPskBinderSuffixLen = 2 + 1 + kPskBinderLen;
 
 constexpr std::uint16_t kLegacyVersion = 0x0303;
 constexpr std::uint16_t kTls13 = 0x0304;
@@ -71,10 +87,20 @@ struct ClientHello {
   std::uint16_t key_share_group = 0;
   Bytes key_share;
   bool has_key_share = false;
+  // Resumption surface. psk_modes empty = no psk_key_exchange_modes
+  // extension (and per RFC 8446 the server then never issues tickets).
+  std::vector<std::uint8_t> psk_modes;
+  bool early_data = false;
+  bool has_psk = false;
+  Bytes psk_identity;  // opaque server-issued ticket
+  std::uint32_t obfuscated_ticket_age = 0;
+  Bytes psk_binder;  // kPskBinderLen bytes (zero-filled before patching)
 };
 
 /// Full handshake message, extensions in the fixed order server_name,
-/// supported_versions, supported_groups, signature_algorithms, key_share.
+/// supported_versions, supported_groups, signature_algorithms, key_share
+/// (when has_key_share), psk_key_exchange_modes, early_data, and —
+/// mandatorily last (RFC 8446 4.2.11) — pre_shared_key.
 Bytes encode_client_hello(const ClientHello& hello);
 std::optional<ClientHello> parse_client_hello(BytesView body);
 
@@ -85,14 +111,38 @@ struct ServerHello {
   std::uint16_t key_share_group = 0;
   Bytes key_share;  // KEM ciphertext; empty in a retry request
   bool retry_request = false;
+  bool has_key_share = true;  // false in a PSK-only (psk_ke) answer
+  bool psk_accepted = false;  // pre_shared_key ext, selected_identity 0
 };
 
-/// Extensions: supported_versions then key_share (group only for HRR).
+/// Extensions: supported_versions then key_share (group only for HRR,
+/// omitted entirely for PSK-only), then pre_shared_key when accepted.
 Bytes encode_server_hello(const ServerHello& hello);
 std::optional<ServerHello> parse_server_hello(BytesView body);
 
-Bytes encode_encrypted_extensions();
-bool parse_encrypted_extensions(BytesView body);
+struct EncryptedExtensions {
+  bool early_data = false;  // server accepted the client's 0-RTT offer
+};
+
+Bytes encode_encrypted_extensions(const EncryptedExtensions& ee = {});
+std::optional<EncryptedExtensions> parse_encrypted_extensions(BytesView body);
+
+/// NewSessionTicket (RFC 8446 4.6.1). `nonce` feeds the per-ticket PSK
+/// derivation (HKDF-Expand-Label(resumption_master_secret, "resumption",
+/// nonce)); `ticket` is the server's self-encrypted state.
+struct NewSessionTicket {
+  std::uint32_t lifetime_s = 0;
+  std::uint32_t age_add = 0;
+  Bytes nonce;
+  Bytes ticket;
+  std::uint32_t max_early_data = 0;  // early_data extension when non-zero
+};
+
+Bytes encode_new_session_ticket(const NewSessionTicket& nst);
+std::optional<NewSessionTicket> parse_new_session_ticket(BytesView body);
+
+/// EndOfEarlyData (RFC 8446 4.5): empty body, sent under the 0-RTT keys.
+Bytes encode_end_of_early_data();
 
 /// Certificate message carrying a leaf-first chain (empty request context,
 /// no per-certificate extensions). Empty-chain policy is the caller's.

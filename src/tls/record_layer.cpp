@@ -61,32 +61,38 @@ Bytes RecordLayer::seal(ContentType type, BytesView payload) {
 void RecordLayer::feed(BytesView data) { append(input_, data); }
 
 std::optional<Record> RecordLayer::pop() {
-  if (failed_ || input_.size() < 5) return std::nullopt;
-  std::size_t len = (std::size_t{input_[3]} << 8) | input_[4];
-  if (input_.size() < 5 + len) return std::nullopt;
-  auto type = static_cast<ContentType>(input_[0]);
-  Bytes payload(input_.begin() + 5, input_.begin() + 5 + len);
-  Bytes header(input_.begin(), input_.begin() + 5);
-  input_.erase(input_.begin(), input_.begin() + 5 + len);
+  while (true) {
+    if (failed_ || input_.size() < 5) return std::nullopt;
+    std::size_t len = (std::size_t{input_[3]} << 8) | input_[4];
+    if (input_.size() < 5 + len) return std::nullopt;
+    auto type = static_cast<ContentType>(input_[0]);
+    Bytes payload(input_.begin() + 5, input_.begin() + 5 + len);
+    Bytes header(input_.begin(), input_.begin() + 5);
+    input_.erase(input_.begin(), input_.begin() + 5 + len);
 
-  if (read_aead_ && type == ContentType::kApplicationData) {
-    Bytes nonce = next_nonce(read_iv_, read_seq_++);
-    auto inner = read_aead_->open(nonce, header, payload);
-    if (!inner) {
-      failed_ = true;
-      return std::nullopt;
+    if (read_aead_ && type == ContentType::kApplicationData) {
+      // The sequence number only advances on successful decryption: a
+      // skipped 0-RTT record must not desynchronise the handshake keys.
+      Bytes nonce = next_nonce(read_iv_, read_seq_);
+      auto inner = read_aead_->open(nonce, header, payload);
+      if (!inner) {
+        if (skip_undecryptable_) continue;
+        failed_ = true;
+        return std::nullopt;
+      }
+      ++read_seq_;
+      // Strip zero padding, recover inner type.
+      while (!inner->empty() && inner->back() == 0) inner->pop_back();
+      if (inner->empty()) {
+        failed_ = true;
+        return std::nullopt;
+      }
+      auto real_type = static_cast<ContentType>(inner->back());
+      inner->pop_back();
+      return Record{real_type, std::move(*inner)};
     }
-    // Strip zero padding, recover inner type.
-    while (!inner->empty() && inner->back() == 0) inner->pop_back();
-    if (inner->empty()) {
-      failed_ = true;
-      return std::nullopt;
-    }
-    auto real_type = static_cast<ContentType>(inner->back());
-    inner->pop_back();
-    return Record{real_type, std::move(*inner)};
+    return Record{type, std::move(payload)};
   }
-  return Record{type, std::move(payload)};
 }
 
 }  // namespace pqtls::tls

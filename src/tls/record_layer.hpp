@@ -38,13 +38,29 @@ class RecordLayer {
   void set_read_keys(const TrafficKeys& keys);
   bool read_protected() const { return read_aead_ != nullptr; }
 
+  /// Drop write protection. Needed when a client that installed 0-RTT
+  /// early-data keys receives a HelloRetryRequest: the retried ClientHello
+  /// must go out in plaintext again (RFC 8446 4.1.2).
+  void clear_write_keys() {
+    write_aead_.reset();
+    write_iv_.clear();
+    write_seq_ = 0;
+  }
+
   /// Feed raw transport bytes; complete records become poppable.
   void feed(BytesView data);
   /// Pop the next complete record (decrypted if read keys are installed).
   /// nullopt when no complete record is buffered; sets failed() on MAC or
-  /// framing errors.
+  /// framing errors — unless skip mode is on, in which case undecryptable
+  /// records are silently dropped and scanning continues.
   std::optional<Record> pop();
   bool failed() const { return failed_; }
+
+  /// 0-RTT rejection mode (RFC 8446 4.2.10): a server that declines early
+  /// data cannot decrypt the client's 0-RTT records and must skip them
+  /// (up to the Finished, which arrives under the handshake keys). The
+  /// read sequence number does not advance over skipped records.
+  void set_skip_undecryptable(bool on) { skip_undecryptable_ = on; }
 
  private:
   Bytes next_nonce(Bytes iv, std::uint64_t seq) const;
@@ -55,6 +71,7 @@ class RecordLayer {
   std::uint64_t write_seq_ = 0, read_seq_ = 0;
   Bytes input_;
   bool failed_ = false;
+  bool skip_undecryptable_ = false;
 };
 
 }  // namespace pqtls::tls

@@ -12,6 +12,8 @@ std::string handshake_type_name(std::uint8_t type) {
     case HandshakeType::kCertificate: return "certificate";
     case HandshakeType::kCertificateVerify: return "certificate_verify";
     case HandshakeType::kFinished: return "finished";
+    case HandshakeType::kNewSessionTicket: return "new_session_ticket";
+    case HandshakeType::kEndOfEarlyData: return "end_of_early_data";
   }
   return "unknown(" + std::to_string(type) + ")";
 }

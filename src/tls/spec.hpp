@@ -24,7 +24,8 @@ namespace pqtls::tls {
 /// shares ServerHello's type code but drives the client's retry path.
 struct SpecEmit {
   std::uint8_t message = 0;
-  std::string flavor = "plain";  // "plain" | "hrr"
+  // "plain" | "hrr" | "psk" | "psk_early" | "want_ticket" | "early_ok"
+  std::string flavor = "plain";
 };
 
 /// One way a rule's handler can leave its state. Every transition also has
@@ -59,8 +60,12 @@ struct SpecTransition {
 };
 
 /// Spontaneous output before any input (the client's start(): emit
-/// ClientHello and move to wait_server_hello).
+/// ClientHello and move to wait_server_hello). A role may declare several
+/// start variants — full handshake, resumption, resumption with 0-RTT —
+/// each emitting a differently flavored first flight; the verifier
+/// explores every variant.
 struct SpecStart {
+  std::string label;  // "full" | "resume" | "resume_early"
   std::string from;
   std::string next;
   std::vector<SpecEmit> emits;
@@ -74,7 +79,7 @@ struct StateMachineSpec {
   std::vector<std::string> states;        // every state, by name
   std::vector<std::uint8_t> alphabet;     // handshake types the role knows
   std::vector<SpecTransition> transitions;
-  std::optional<SpecStart> start;
+  std::vector<SpecStart> starts;
   /// States in which an unexpected handshake message is answered with a
   /// fatal unexpected_message alert before failing; in any other
   /// non-terminal state the connection fails silently (the server's

@@ -135,15 +135,20 @@ struct Explorer {
       int id = static_cast<int>(next_unprocessed++);
       JointState from = graph.states[id];  // copy: states may reallocate
       bool quiescent = true;
-      if (!from.client_started && client.start &&
-          from.client == client.start->from) {
-        JointState next = from;
-        next.client = client.start->next;
-        next.client_started = true;
-        for (const tls::SpecEmit& m : client.start->emits)
-          next.c2s.push_back({m.message, m.flavor});
-        graph.edges.push_back({id, intern(next), "c:start"});
-        quiescent = false;
+      if (!from.client_started) {
+        // Branch one start edge per declared variant (full handshake,
+        // resumption, resumption + 0-RTT) out of the client's initial
+        // state; each seeds a differently flavored first flight.
+        for (const tls::SpecStart& start : client.starts) {
+          if (from.client != start.from) continue;
+          JointState next = from;
+          next.client = start.next;
+          next.client_started = true;
+          for (const tls::SpecEmit& m : start.emits)
+            next.c2s.push_back({m.message, m.flavor});
+          graph.edges.push_back({id, intern(next), "c:start/" + start.label});
+          quiescent = false;
+        }
       }
       if (!from.c2s.empty()) {
         deliver(from, id, /*to_server=*/true);

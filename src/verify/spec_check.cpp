@@ -90,7 +90,10 @@ PropertyResult check_completeness(const StateMachineSpec& spec) {
             "policy");
       }
     }
-    if (!has_rule && !(spec.start && spec.start->from == state))
+    bool has_start = false;
+    for (const tls::SpecStart& s : spec.starts)
+      has_start = has_start || s.from == state;
+    if (!has_rule && !has_start)
       result.violations.push_back("dead-end state '" + state +
                                   "': non-terminal but has neither rules "
                                   "nor a start action");
@@ -116,7 +119,8 @@ PropertyResult check_reachability(const StateMachineSpec& spec) {
   while (!frontier.empty()) {
     std::string state = frontier.front();
     frontier.pop_front();
-    if (spec.start && spec.start->from == state) visit(spec.start->next);
+    for (const tls::SpecStart& s : spec.starts)
+      if (s.from == state) visit(s.next);
     for (const SpecTransition& t : spec.transitions) {
       if (t.from != state) continue;
       for (const SpecOutcome& o : t.outcomes) visit(o.next);

@@ -55,13 +55,17 @@ TEST(Verify, ShippedSpecsPassAllProperties) {
     EXPECT_TRUE(p.passed) << p.name << ": "
                           << (p.violations.empty() ? "" : p.violations[0]);
   EXPECT_TRUE(verify::all_passed(report));
-  // The paper's handshake: 8 client states x 5 rules, 4 server states x 2
-  // rules, and a joint graph that both completes and rejects.
-  EXPECT_EQ(report.client_states, 8u);
-  EXPECT_EQ(report.client_rules, 5u);
-  EXPECT_EQ(report.server_states, 4u);
-  EXPECT_EQ(report.server_rules, 2u);
-  EXPECT_GE(report.joint_done, 2u);   // 1-RTT and HRR completions
+  // The paper's handshake plus the resumption subsystem: 12 client states
+  // x 9 rules, 5 server states x 3 rules, and a joint graph that both
+  // completes and rejects.
+  EXPECT_EQ(report.client_states, 12u);
+  EXPECT_EQ(report.client_rules, 9u);
+  EXPECT_EQ(report.server_states, 5u);
+  EXPECT_EQ(report.server_rules, 3u);
+  // All completion paths (1-RTT, PSK, 0-RTT, ticketed) converge on the
+  // same quiescent complete/complete joint state; the HRR retry keeps its
+  // own copy via the spent-retry flag, hence exactly two.
+  EXPECT_EQ(report.joint_done, 2u);
   EXPECT_GE(report.joint_error, 1u);  // explicit rejections exist
 }
 
@@ -79,9 +83,9 @@ TEST(Verify, CompletenessIsNotVacuous) {
                          return n.find(needle) != std::string::npos;
                        });
   };
-  EXPECT_TRUE(has_note(*client, "unexpected_message alert: 31"));
+  EXPECT_TRUE(has_note(*client, "unexpected_message alert: 71"));
   EXPECT_TRUE(has_note(*client, "silently by documented policy: 0"));
-  EXPECT_TRUE(has_note(*server, "silently by documented policy: 5"));
+  EXPECT_TRUE(has_note(*server, "silently by documented policy: 7"));
 }
 
 // ---- mutation checks: the properties actually constrain the tables ----
@@ -125,8 +129,59 @@ TEST(VerifyMutation, DeletingClientFinishedRuleFails) {
   erase_rule(client, "wait_finished");
   Report report = verify::run_all(client, tls::server_spec());
   EXPECT_FALSE(verify::all_passed(report));
+  // The resumption arm still completes, so the gap is structural: the
+  // full-handshake tail dead-ends in wait_finished.
+  EXPECT_FALSE(property(report, "client.completeness")->passed);
+}
+
+TEST(VerifyMutation, DeletingResumptionEeRuleFails) {
+  // Dropping the client's PSK EncryptedExtensions rule orphans the whole
+  // resumption arm: wait_encrypted_extensions_psk dead-ends and the
+  // Finished-psk states become unreachable.
+  StateMachineSpec client = tls::client_spec();
+  erase_rule(client, "wait_encrypted_extensions_psk");
+  Report report = verify::run_all(client, tls::server_spec());
+  EXPECT_FALSE(verify::all_passed(report));
+  EXPECT_FALSE(property(report, "client.completeness")->passed);
   EXPECT_FALSE(property(report, "client.reachability")->passed);
-  EXPECT_FALSE(property(report, "joint.reaches_done")->passed);
+}
+
+TEST(VerifyMutation, DeletingSessionTicketRuleFails) {
+  StateMachineSpec client = tls::client_spec();
+  erase_rule(client, "wait_session_ticket");
+  Report report = verify::run_all(client, tls::server_spec());
+  EXPECT_FALSE(verify::all_passed(report));
+  EXPECT_FALSE(property(report, "client.completeness")->passed);
+}
+
+TEST(VerifyMutation, DeletingEndOfEarlyDataRuleFails) {
+  StateMachineSpec server = tls::server_spec();
+  auto it = std::remove_if(server.transitions.begin(),
+                           server.transitions.end(),
+                           [](const SpecTransition& t) {
+                             return t.from == "wait_end_of_early_data";
+                           });
+  server.transitions.erase(it, server.transitions.end());
+  Report report = verify::run_all(tls::client_spec(), server);
+  EXPECT_FALSE(verify::all_passed(report));
+  EXPECT_FALSE(property(report, "server.completeness")->passed);
+}
+
+TEST(VerifyMutation, RetargetedResumeOutcomeBreaksDeterminism) {
+  // Pointing the client's ServerHello "resume" outcome at a state that
+  // does not exist must fail structurally.
+  StateMachineSpec client = tls::client_spec();
+  bool retargeted = false;
+  for (SpecTransition& t : client.transitions)
+    if (t.from == "wait_server_hello")
+      for (SpecOutcome& o : t.outcomes)
+        if (o.label == "resume") {
+          o.next = "limbo";
+          retargeted = true;
+        }
+  ASSERT_TRUE(retargeted);
+  Report report = verify::run_all(client, tls::server_spec());
+  EXPECT_FALSE(property(report, "client.determinism")->passed);
 }
 
 TEST(VerifyMutation, DuplicateRuleBreaksDeterminism) {
@@ -201,7 +256,8 @@ TEST(SpecLockstep, SpecMirrorsRuleTables) {
 std::set<std::pair<std::string, std::string>> declared_edges(
     const StateMachineSpec& spec) {
   std::set<std::pair<std::string, std::string>> edges;
-  if (spec.start) edges.insert({spec.start->from, spec.start->next});
+  for (const tls::SpecStart& s : spec.starts)
+    edges.insert({s.from, s.next});
   for (const SpecTransition& t : spec.transitions)
     for (const SpecOutcome& o : t.outcomes) edges.insert({t.from, o.next});
   for (const std::string& state : spec.states)
@@ -312,6 +368,71 @@ TEST(SpecLockstep, GarbageRejectStaysWithinDeclaredEdges) {
   TracedRun run = traced_handshake("kyber768", "kyber768",
                                    /*garbage_first=*/true);
   expect_trace_within_spec(run.recorder);
+}
+
+TEST(SpecLockstep, ResumedHandshakeStaysWithinDeclaredEdges) {
+  // First handshake mints a ticket; the resumed one (with 0-RTT) must walk
+  // only edges the enlarged spec declares.
+  const sig::Signer* sa = sig::find_signer("dilithium2");
+  crypto::Drbg setup_rng(0x7272);
+  auto ca = pki::make_root_ca(*sa, "verify root", setup_rng);
+  auto leaf_kp = sa->generate_keypair(setup_rng);
+  auto leaf = pki::issue_certificate(ca, "verify server", sa->name(),
+                                     leaf_kp.public_key, setup_rng);
+  session::TicketStore store{crypto::Drbg(0x7373)};
+  tls::ServerConfig server_config;
+  server_config.ka = kem::find_kem("kyber768");
+  server_config.sa = sa;
+  server_config.chain.certificates = {leaf};
+  server_config.leaf_secret_key = leaf_kp.secret_key;
+  server_config.tickets = &store;
+  server_config.accept_early_data = true;
+  tls::ClientConfig client_config;
+  client_config.ka = kem::find_kem("kyber768");
+  client_config.sa = sa;
+  client_config.root = ca.certificate;
+  client_config.request_ticket = true;
+
+  auto run_handshake = [&](tls::ClientConnection& client,
+                           tls::ServerConnection& server) {
+    std::vector<Bytes> to_server, to_client;
+    client.start([&](BytesView d) {
+      to_server.emplace_back(d.begin(), d.end());
+    });
+    for (int round = 0; round < 30; ++round) {
+      if (to_server.empty() && to_client.empty()) break;
+      for (auto& f : to_server)
+        server.on_data(f, [&](BytesView d) {
+          to_client.emplace_back(d.begin(), d.end());
+        });
+      to_server.clear();
+      for (auto& f : to_client)
+        client.on_data(f, [&](BytesView d) {
+          to_server.emplace_back(d.begin(), d.end());
+        });
+      to_client.clear();
+    }
+    return client.handshake_complete() && server.handshake_complete();
+  };
+
+  tls::ClientConnection first(client_config, crypto::Drbg(1));
+  tls::ServerConnection first_server(server_config, crypto::Drbg(2));
+  ASSERT_TRUE(run_handshake(first, first_server));
+  auto ticket = first.take_ticket();
+  ASSERT_TRUE(ticket.has_value());
+
+  trace::Recorder recorder;
+  tls::ClientConfig resume_config = client_config;
+  resume_config.resume = &*ticket;
+  resume_config.early_data = {0xDE, 0xAD, 0xBE, 0xEF};
+  tls::ClientConnection resumed(resume_config, crypto::Drbg(3));
+  tls::ServerConnection resumed_server(server_config, crypto::Drbg(4));
+  resumed.set_trace(&recorder, "tls:client");
+  resumed_server.set_trace(&recorder, "tls:server");
+  ASSERT_TRUE(run_handshake(resumed, resumed_server));
+  EXPECT_TRUE(resumed.resumed());
+  EXPECT_TRUE(resumed.early_data_accepted());
+  expect_trace_within_spec(recorder);
 }
 
 }  // namespace
