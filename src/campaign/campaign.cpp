@@ -201,6 +201,47 @@ CampaignSpec build_resumption() {
   return spec;
 }
 
+// Certificate-hierarchy campaign: a placement matrix (one or two same-SA
+// intermediates, and a Dilithium2 root+intermediate under a pair-SA leaf —
+// the "fast placement" the Merkle-tree-certs discussion motivates) crossed
+// with the three certificate-flight transports: full chain, RFC 8879
+// compressed, and a Merkle inclusion proof against a pinned tree head.
+// All cells ride kyber512 so the KA contribution is constant and the
+// certificate flight dominates the deltas.
+CampaignSpec build_cert_chains() {
+  CampaignSpec spec;
+  spec.name = "cert_chains";
+  spec.description =
+      "Certificate hierarchies: chain depth/placement x transport (full, "
+      "RFC 8879 compressed, Merkle proof) per representative SA";
+  static constexpr const char* kSas[] = {"dilithium2", "falcon512",
+                                         "sphincs128"};
+  struct Mode {
+    const char* suffix;
+    tls::CertMode mode;
+  };
+  static constexpr Mode kModes[] = {{"full", tls::CertMode::kFull},
+                                    {"comp", tls::CertMode::kCompressed},
+                                    {"merkle", tls::CertMode::kMerkle}};
+  for (const char* sa : kSas) {
+    const std::vector<pki::ChainProfile> profiles = {
+        {"int1", "", {sa}},
+        {"int2", "", {sa, sa}},
+        {"dil-int", "dilithium2", {"dilithium2"}},
+    };
+    for (const pki::ChainProfile& profile : profiles) {
+      for (const Mode& mode : kModes) {
+        Cell cell = make_cell("kyber512", sa, 5);
+        cell.id += "/chain-" + profile.name + "-" + mode.suffix;
+        cell.config.chain_profile = profile;
+        cell.config.cert_mode = mode.mode;
+        spec.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return spec;
+}
+
 CampaignSpec build_all(const std::vector<CampaignSpec>& others) {
   CampaignSpec spec;
   spec.name = "all";
@@ -212,8 +253,9 @@ CampaignSpec build_all(const std::vector<CampaignSpec>& others) {
   for (const auto& other : others) {
     // The resumption campaign's /full cells would duplicate plain cells
     // under a different id (and thus a different derived seed); keep the
-    // union limited to the paper's full-handshake campaigns.
-    if (other.name == "resumption") continue;
+    // union limited to the paper's full-handshake campaigns. The hierarchy
+    // campaign likewise measures non-paper chain variants.
+    if (other.name == "resumption" || other.name == "cert_chains") continue;
     for (const auto& cell : other.cells)
       if (!cell.loadgen && seen.insert(cell.id).second)
         spec.cells.push_back(cell);
@@ -246,6 +288,7 @@ const std::vector<CampaignSpec>& campaigns() {
         "Loadgen capacity: representative SAs with x25519, 4-core server",
         loadgen_sas(), /*vary_ka=*/false));
     out.push_back(build_resumption());
+    out.push_back(build_cert_chains());
     out.push_back(build_all(out));
     return out;
   }();

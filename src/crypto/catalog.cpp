@@ -146,4 +146,12 @@ const AlgorithmInfo& AlgorithmCatalog::require_signer(
       " (valid signature algorithms: " + join_names(signers_) + ")");
 }
 
+std::size_t AlgorithmCatalog::chain_bytes(
+    const std::string& sa_name, const pki::ChainProfile& profile) const {
+  const AlgorithmInfo& info = require_signer(sa_name);
+  return pki::chain_encoded_size(profile, *info.signer,
+                                 "pqtls-bench.example.net",
+                                 "pqtls-bench root CA");
+}
+
 }  // namespace pqtls::crypto

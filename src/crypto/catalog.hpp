@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "kem/kem.hpp"
+#include "pki/certificate.hpp"
 #include "sig/sig.hpp"
 
 namespace pqtls::crypto {
@@ -41,7 +42,9 @@ struct AlgorithmInfo {
   // Static wire sizes in bytes. `signature_bytes` is a maximum for
   // variable-size schemes (Falcon, ECDSA). `cert_chain_bytes` is the
   // testbed's leaf-only Certificate-message chain for this SA, derived from
-  // the pki encoding; it inherits the signature-size maximum.
+  // the pki encoding; it inherits the signature-size maximum. Deeper
+  // hierarchies are priced by AlgorithmCatalog::chain_bytes — this field
+  // stays the leaf-only default so downstream consumers are unchanged.
   std::size_t public_key_bytes = 0;
   std::size_t ciphertext_bytes = 0;  // KEMs only
   std::size_t signature_bytes = 0;   // signers only
@@ -69,6 +72,15 @@ class AlgorithmCatalog {
   /// valid names ("unknown algorithm: <name> (valid ...: a, b, ...)").
   const AlgorithmInfo& require_kem(const std::string& name) const;
   const AlgorithmInfo& require_signer(const std::string& name) const;
+
+  /// Wire size of the Certificate-message chain for signature algorithm
+  /// `sa_name` under an arbitrary hierarchy profile, over the testbed's
+  /// fixed subject names (pki::chain_encoded_size). The default leaf-only
+  /// profile reproduces the entry's static `cert_chain_bytes` exactly;
+  /// variable-size schemes (Falcon, ECDSA) inherit the signature-size
+  /// maximum, so the value is an upper bound there. Throws for unknown SAs.
+  std::size_t chain_bytes(const std::string& sa_name,
+                          const pki::ChainProfile& profile) const;
 
  private:
   AlgorithmCatalog();

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "analysis/stats.hpp"
+#include "crypto/catalog.hpp"
 #include "crypto/drbg.hpp"
 #include "perf/cost_model.hpp"
 #include "sim/event_loop.hpp"
@@ -37,19 +38,23 @@ double exp_sample(Drbg& rng, double mean) {
 const HandshakeProfile& calibrated_profile(const std::string& ka,
                                            const std::string& sa,
                                            std::uint64_t pki_seed,
-                                           bool resumed) {
+                                           bool resumed,
+                                           const pki::ChainProfile& chain,
+                                           tls::CertMode cert_mode) {
   struct Entry {
     std::once_flag once;
     HandshakeProfile profile;
   };
   static std::mutex mu;
-  static std::map<std::tuple<std::string, std::string, std::uint64_t, bool>,
+  static std::map<std::tuple<std::string, std::string, std::uint64_t, bool,
+                             std::string, int>,
                   Entry>
       cache;
   Entry* entry;
   {
     std::lock_guard<std::mutex> lock(mu);
-    entry = &cache[std::make_tuple(ka, sa, pki_seed, resumed)];
+    entry = &cache[std::make_tuple(ka, sa, pki_seed, resumed, chain.name,
+                                   static_cast<int>(cert_mode))];
   }
   // call_once rethrows on failure and leaves the flag unset, so an unknown
   // algorithm keeps throwing instead of caching a half-built profile.
@@ -67,6 +72,8 @@ const HandshakeProfile& calibrated_profile(const std::string& ka,
     cfg.seed = pki_seed ^ 0x10adC0deull;
     cfg.pki_seed = pki_seed;
     cfg.resumption_ratio = resumed ? 1.0 : 0.0;
+    cfg.chain_profile = chain;
+    cfg.cert_mode = cert_mode;
     testbed::ExperimentResult r = testbed::run_experiment(cfg);
     if (!r.ok)
       throw std::runtime_error("loadgen calibration failed for " + ka + "/" +
@@ -95,13 +102,33 @@ const HandshakeProfile& calibrated_profile(const std::string& ka,
       p.server_finish_cpu =
           3 * cm.kdf() + cm.per_byte(kFinishedWire) + cm.step();
     } else {
+      // Certificate-flight charge sites (tls::Connection): the client
+      // verifies the CertificateVerify plus one signature per chain
+      // certificate (leaf + intermediates); Merkle mode verifies the leaf
+      // only plus a KDF-priced proof walk; compression adds per-byte codec
+      // work over the uncompressed Certificate body on both ends.
+      double verifies = 2.0 + static_cast<double>(chain.intermediate_sas.size());
+      double extra_client = 0, extra_server = 0;
+      if (cert_mode == tls::CertMode::kMerkle) {
+        verifies = 1.0;
+        extra_client = cm.kdf();
+      } else if (cert_mode == tls::CertMode::kCompressed) {
+        const crypto::AlgorithmCatalog& catalog =
+            crypto::AlgorithmCatalog::instance();
+        std::size_t body = pki::chain_encoded_size(
+            chain, *catalog.require_signer(sa).signer,
+            "pqtls-bench.example.net", "pqtls-bench root CA");
+        extra_client = cm.per_byte(body);
+        extra_server = cm.per_byte(body);
+      }
       p.client_hello_cpu =
           cm.kem_keygen(ka) + cm.per_byte(ch_wire) + cm.step();
       p.server_flight_cpu = cm.kem_encaps(ka) + cm.sign(sa) + 5 * cm.kdf() +
-                            cm.per_byte(p.server_bytes) + cm.step();
-      p.client_finish_cpu = cm.kem_decaps(ka) + 2 * cm.verify(sa) +
+                            cm.per_byte(p.server_bytes) + extra_server +
+                            cm.step();
+      p.client_finish_cpu = cm.kem_decaps(ka) + verifies * cm.verify(sa) +
                             7 * cm.kdf() + cm.per_byte(p.server_bytes) +
-                            2 * cm.step();
+                            extra_client + 2 * cm.step();
       p.server_finish_cpu = cm.kdf() + cm.per_byte(kFinishedWire) + cm.step();
     }
   });
@@ -505,11 +532,13 @@ class Engine {
 LoadMetrics run_load(const LoadConfig& config) {
   std::uint64_t pki_seed = config.pki_seed ? config.pki_seed : config.seed;
   const HandshakeProfile& profile =
-      calibrated_profile(config.ka, config.sa, pki_seed);
+      calibrated_profile(config.ka, config.sa, pki_seed, /*resumed=*/false,
+                         config.chain_profile, config.cert_mode);
   const HandshakeProfile* resumed =
       config.resumption_ratio > 0
           ? &calibrated_profile(config.ka, config.sa, pki_seed,
-                                /*resumed=*/true)
+                                /*resumed=*/true, config.chain_profile,
+                                config.cert_mode)
           : nullptr;
   Engine engine(config, profile, resumed);
   return engine.run();

@@ -86,6 +86,13 @@ struct LoadConfig {
   /// calibrated profile with no signature/chain-verify CPU and no
   /// certificate bytes on the wire.
   double resumption_ratio = 0;
+
+  /// Certificate hierarchy served by the calibration handshake (testbed
+  /// knob passthrough). The default leaf-only profile with kFull transport
+  /// keeps the calibration — and every cached profile — bit-identical to
+  /// the pre-hierarchy engine.
+  pki::ChainProfile chain_profile;
+  tls::CertMode cert_mode = tls::CertMode::kFull;
 };
 
 /// Per-handshake work profile: wire volumes calibrated from one modeled
@@ -105,16 +112,20 @@ struct HandshakeProfile {
 };
 
 /// Calibrated profile for (ka, sa): runs one 2-sample modeled-time testbed
-/// experiment (cached per (ka, sa, pki_seed, resumed), thread-safe) for the
-/// wire volumes and derives CPU steps from perf::CostModel::builtin().
-/// `resumed` calibrates the session-resumption variant: the testbed run
-/// resumes every sample (psk_dhe_ke), so the wire volumes carry no
-/// certificate chain and the CPU steps drop the signature/verify charges.
+/// experiment (cached per (ka, sa, pki_seed, resumed, chain profile, cert
+/// mode), thread-safe) for the wire volumes and derives CPU steps from
+/// perf::CostModel::builtin(). `resumed` calibrates the session-resumption
+/// variant: the testbed run resumes every sample (psk_dhe_ke), so the wire
+/// volumes carry no certificate chain and the CPU steps drop the
+/// signature/verify charges. `chain_profile`/`cert_mode` calibrate the
+/// hierarchy variants: deeper chains add per-certificate verify charges,
+/// compression adds the per-byte codec work on both ends, and Merkle mode
+/// replaces the chain walk with one leaf verify plus a proof-walk KDF.
 /// Throws std::invalid_argument for unknown algorithms.
-const HandshakeProfile& calibrated_profile(const std::string& ka,
-                                           const std::string& sa,
-                                           std::uint64_t pki_seed,
-                                           bool resumed = false);
+const HandshakeProfile& calibrated_profile(
+    const std::string& ka, const std::string& sa, std::uint64_t pki_seed,
+    bool resumed = false, const pki::ChainProfile& chain_profile = {},
+    tls::CertMode cert_mode = tls::CertMode::kFull);
 
 /// Analytic capacity bound in handshakes/second: cores / (per-connection
 /// harness overhead + server CPU per handshake). Achieved rates saturate

@@ -1,5 +1,7 @@
 #include "pki/certificate.hpp"
 
+#include <stdexcept>
+
 namespace pqtls::pki {
 
 namespace {
@@ -174,6 +176,99 @@ Certificate issue_certificate(const CertificateAuthority& ca,
                                  subject_public_key.end());
   cert.signature = ca.signer->sign(ca.secret_key, cert.tbs(), rng);
   return cert;
+}
+
+std::string intermediate_subject(std::size_t level) {
+  return "pqtls-bench intermediate CA " + std::to_string(level + 1);
+}
+
+IssuedChain issue_chain(const ChainProfile& profile,
+                        const sig::Signer& leaf_signer,
+                        const std::string& leaf_subject,
+                        const std::string& root_subject, sig::Drbg& rng) {
+  const sig::Signer* root_signer = &leaf_signer;
+  if (!profile.root_sa.empty()) {
+    root_signer = sig::find_signer(profile.root_sa);
+    if (!root_signer)
+      throw std::runtime_error("issue_chain: unknown root SA " +
+                               profile.root_sa);
+  }
+  IssuedChain issued;
+  CertificateAuthority ca = make_root_ca(*root_signer, root_subject, rng);
+  issued.root = ca.certificate;
+
+  // Intermediates, root-nearest first; each is issued by the CA above it.
+  std::vector<Certificate> intermediates;
+  for (std::size_t i = 0; i < profile.intermediate_sas.size(); ++i) {
+    const sig::Signer* signer = sig::find_signer(profile.intermediate_sas[i]);
+    if (!signer)
+      throw std::runtime_error("issue_chain: unknown intermediate SA " +
+                               profile.intermediate_sas[i]);
+    sig::SigKeyPair kp = signer->generate_keypair(rng);
+    Certificate cert = issue_certificate(ca, intermediate_subject(i),
+                                         signer->name(), kp.public_key, rng);
+    intermediates.push_back(cert);
+    ca.certificate = std::move(cert);
+    ca.secret_key = std::move(kp.secret_key);
+    ca.signer = signer;
+  }
+
+  sig::SigKeyPair leaf_kp = leaf_signer.generate_keypair(rng);
+  Certificate leaf = issue_certificate(ca, leaf_subject, leaf_signer.name(),
+                                       leaf_kp.public_key, rng);
+  issued.leaf_secret_key = std::move(leaf_kp.secret_key);
+
+  // Wire order: leaf first, then intermediates leaf-nearest first.
+  issued.chain.certificates.push_back(std::move(leaf));
+  for (auto it = intermediates.rbegin(); it != intermediates.rend(); ++it)
+    issued.chain.certificates.push_back(std::move(*it));
+  return issued;
+}
+
+namespace {
+
+// Encoded size of one certificate: four length-prefixed strings, two u64
+// timestamps, and u32-prefixed public key and signature.
+std::size_t cert_encoded_size(const std::string& subject,
+                              const std::string& issuer,
+                              const sig::Signer& key_sa,
+                              const sig::Signer& issuer_sa) {
+  return (2 + subject.size()) + (2 + issuer.size()) +
+         (2 + key_sa.name().size()) + (2 + issuer_sa.name().size()) + 16 +
+         (4 + key_sa.public_key_size()) + (4 + issuer_sa.signature_size());
+}
+
+}  // namespace
+
+std::size_t chain_encoded_size(const ChainProfile& profile,
+                               const sig::Signer& leaf_signer,
+                               const std::string& leaf_subject,
+                               const std::string& root_subject) {
+  const sig::Signer* root_signer = &leaf_signer;
+  if (!profile.root_sa.empty()) {
+    root_signer = sig::find_signer(profile.root_sa);
+    if (!root_signer)
+      throw std::runtime_error("chain_encoded_size: unknown root SA " +
+                               profile.root_sa);
+  }
+  // Mirror issue_chain: walk the hierarchy top-down, accumulating the
+  // wire-transmitted certificates (everything except the root).
+  std::size_t total = 1;  // chain count byte
+  const sig::Signer* issuer_sa = root_signer;
+  std::string issuer_subject = root_subject;
+  for (std::size_t i = 0; i < profile.intermediate_sas.size(); ++i) {
+    const sig::Signer* signer = sig::find_signer(profile.intermediate_sas[i]);
+    if (!signer)
+      throw std::runtime_error("chain_encoded_size: unknown intermediate SA " +
+                               profile.intermediate_sas[i]);
+    total += 4 + cert_encoded_size(intermediate_subject(i), issuer_subject,
+                                   *signer, *issuer_sa);
+    issuer_sa = signer;
+    issuer_subject = intermediate_subject(i);
+  }
+  total += 4 + cert_encoded_size(leaf_subject, issuer_subject, leaf_signer,
+                                 *issuer_sa);
+  return total;
 }
 
 bool verify_chain(const CertificateChain& chain, const Certificate& root,

@@ -59,4 +59,51 @@ Certificate issue_certificate(const CertificateAuthority& ca,
 bool verify_chain(const CertificateChain& chain, const Certificate& root,
                   std::uint64_t now);
 
+/// Shape of a certificate hierarchy: which SA signs at every level above the
+/// leaf. The default (no intermediates, empty `root_sa`) reproduces the
+/// historical two-level root -> leaf hierarchy byte-for-byte, with the root
+/// keyed on the leaf's own SA.
+struct ChainProfile {
+  /// Slug used in cache keys, campaign cell ids, and filenames.
+  std::string name = "leaf";
+  /// SA keying the root CA; empty = same SA as the leaf.
+  std::string root_sa;
+  /// Key SA of each intermediate CA, root-nearest first; empty = no
+  /// intermediates (the root issues the leaf directly).
+  std::vector<std::string> intermediate_sas;
+
+  /// True for the default two-level hierarchy (root issues leaf directly
+  /// and is keyed on the leaf SA).
+  bool leaf_only() const { return intermediate_sas.empty() && root_sa.empty(); }
+};
+
+/// Subject name of intermediate CA `level` (root-nearest, zero-based). Shared
+/// with the catalog's wire-size accounting so predicted sizes stay exact.
+std::string intermediate_subject(std::size_t level);
+
+/// A fully issued hierarchy: the trusted root plus the leaf-first chain the
+/// server puts on the wire (leaf, then intermediates leaf-nearest first; the
+/// root itself is never transmitted).
+struct IssuedChain {
+  Certificate root;
+  CertificateChain chain;
+  Bytes leaf_secret_key;
+};
+
+/// Issue a hierarchy per `profile`: root CA, intermediates root-nearest
+/// first, then the leaf keyed on `leaf_signer`. DRBG consumption for the
+/// default profile matches the historical root+leaf issuance exactly.
+IssuedChain issue_chain(const ChainProfile& profile,
+                        const sig::Signer& leaf_signer,
+                        const std::string& leaf_subject,
+                        const std::string& root_subject, sig::Drbg& rng);
+
+/// Exact on-the-wire size of `CertificateChain::encode()` for a hierarchy
+/// issued per `profile` with `leaf_signer` keys at the leaf, computed from
+/// the catalog'd SA sizes without running key generation.
+std::size_t chain_encoded_size(const ChainProfile& profile,
+                               const sig::Signer& leaf_signer,
+                               const std::string& leaf_subject,
+                               const std::string& root_subject);
+
 }  // namespace pqtls::pki

@@ -1,0 +1,124 @@
+#include "pki/merkle.hpp"
+
+#include <algorithm>
+
+#include "crypto/sha2.hpp"
+
+namespace pqtls::pki {
+
+namespace {
+
+// RFC 6962-style domain separation between leaves and interior nodes.
+constexpr std::uint8_t kLeafPrefix = 0x00;
+constexpr std::uint8_t kNodePrefix = 0x01;
+
+Bytes node_hash(BytesView left, BytesView right) {
+  crypto::Sha256 h;
+  const std::uint8_t prefix[1] = {kNodePrefix};
+  h.update({prefix, 1});
+  h.update(left);
+  h.update(right);
+  return h.finish();
+}
+
+// Filler leaf `i` of the synthetic tree: a label-derived hash, so the whole
+// tree is computable on demand from the pinned certificate alone.
+Bytes filler_leaf(std::uint32_t index) {
+  static const char kLabel[] = "pqtls-merkle-filler";
+  crypto::Sha256 h;
+  h.update({reinterpret_cast<const std::uint8_t*>(kLabel), sizeof(kLabel) - 1});
+  std::uint8_t be[4];
+  store_be32(be, index);
+  h.update({be, 4});
+  return h.finish();
+}
+
+}  // namespace
+
+Bytes merkle_leaf_hash(BytesView encoded_certificate) {
+  crypto::Sha256 h;
+  const std::uint8_t prefix[1] = {kLeafPrefix};
+  h.update({prefix, 1});
+  h.update(encoded_certificate);
+  return h.finish();
+}
+
+Bytes MerkleProof::encode() const {
+  Bytes out;
+  std::uint8_t be[4];
+  store_be32(be, leaf_index);
+  append(out, {be, 4});
+  store_be32(be, tree_leaves);
+  append(out, {be, 4});
+  out.push_back(static_cast<std::uint8_t>(path.size()));
+  for (const Bytes& node : path) append(out, node);
+  return out;
+}
+
+std::optional<MerkleProof> MerkleProof::decode(BytesView data) {
+  if (data.size() < 9) return std::nullopt;
+  MerkleProof proof;
+  proof.leaf_index = load_be32(data.data());
+  proof.tree_leaves = load_be32(data.data() + 4);
+  std::size_t count = data[8];
+  if (data.size() != 9 + count * kMerkleHashSize) return std::nullopt;
+  std::size_t pos = 9;
+  for (std::size_t i = 0; i < count; ++i) {
+    proof.path.emplace_back(data.begin() + pos,
+                            data.begin() + pos + kMerkleHashSize);
+    pos += kMerkleHashSize;
+  }
+  return proof;
+}
+
+MerkleBundle pin_certificate(const Certificate& cert) {
+  Bytes target = merkle_leaf_hash(cert.encode());
+  // The slot is derived from the leaf hash itself: deterministic, spread
+  // across the tree, and requiring no stored issuance state.
+  std::uint32_t index = target[0] % kMerkleTreeLeaves;
+
+  std::vector<Bytes> level;
+  level.reserve(kMerkleTreeLeaves);
+  for (std::uint32_t i = 0; i < kMerkleTreeLeaves; ++i)
+    level.push_back(i == index ? target : filler_leaf(i));
+
+  MerkleBundle bundle;
+  bundle.proof.leaf_index = index;
+  bundle.proof.tree_leaves = kMerkleTreeLeaves;
+  std::uint32_t pos = index;
+  while (level.size() > 1) {
+    bundle.proof.path.push_back(level[pos ^ 1]);
+    std::vector<Bytes> next;
+    next.reserve(level.size() / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(node_hash(level[i], level[i + 1]));
+    level = std::move(next);
+    pos >>= 1;
+  }
+  bundle.root = level[0];
+  return bundle;
+}
+
+bool verify_inclusion(const Certificate& cert, const MerkleProof& proof,
+                      BytesView root) {
+  if (root.size() != kMerkleHashSize) return false;
+  if (proof.tree_leaves == 0 || proof.leaf_index >= proof.tree_leaves)
+    return false;
+  // A tree over N leaves needs exactly ceil(log2(N)) siblings; reject
+  // padded or truncated paths outright.
+  std::size_t depth = 0;
+  while ((std::uint64_t{1} << depth) < proof.tree_leaves) ++depth;
+  if (proof.path.size() != depth) return false;
+  Bytes node = merkle_leaf_hash(cert.encode());
+  std::uint32_t pos = proof.leaf_index;
+  for (const Bytes& sibling : proof.path) {
+    if (sibling.size() != kMerkleHashSize) return false;
+    node = (pos & 1) ? node_hash(sibling, node) : node_hash(node, sibling);
+    pos >>= 1;
+  }
+  // The tree head is public pinned state; no constant-time needs here.
+  return node.size() == root.size() &&
+         std::equal(node.begin(), node.end(), root.begin());
+}
+
+}  // namespace pqtls::pki

@@ -1,0 +1,48 @@
+// Merkle-tree certificates (cf. draft-davidben-tls-merkle-tree-certs): the
+// server proves membership of its leaf certificate in a tree whose head the
+// client pinned out of band, replacing the intermediate chain with a short
+// SHA-256 inclusion proof.
+#pragma once
+
+#include <optional>
+
+#include "pki/certificate.hpp"
+
+namespace pqtls::pki {
+
+/// SHA-256 digest size of every tree node.
+inline constexpr std::size_t kMerkleHashSize = 32;
+
+/// Leaves in the synthetic demo tree (power of two; proofs are log2 deep).
+inline constexpr std::size_t kMerkleTreeLeaves = 256;
+
+/// Inclusion proof: the audit path from the leaf to the tree head.
+struct MerkleProof {
+  std::uint32_t leaf_index = 0;
+  std::uint32_t tree_leaves = 0;
+  std::vector<Bytes> path;  // sibling hashes, leaf level first
+
+  Bytes encode() const;
+  static std::optional<MerkleProof> decode(BytesView data);
+};
+
+/// A pinned certificate: the tree head the relying party trusts plus the
+/// proof the server transmits.
+struct MerkleBundle {
+  Bytes root;  // 32-byte tree head
+  MerkleProof proof;
+};
+
+/// Domain-separated leaf hash of an encoded certificate.
+Bytes merkle_leaf_hash(BytesView encoded_certificate);
+
+/// Pin `cert` into a deterministic 256-leaf tree (the other leaves are
+/// label-derived filler hashes, the slot is chosen from the leaf hash).
+/// Consumes no randomness, so pinning never perturbs a DRBG stream.
+MerkleBundle pin_certificate(const Certificate& cert);
+
+/// Walk `proof` from `cert`'s leaf hash and compare against `root`.
+bool verify_inclusion(const Certificate& cert, const MerkleProof& proof,
+                      BytesView root);
+
+}  // namespace pqtls::pki

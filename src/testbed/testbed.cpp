@@ -5,6 +5,7 @@
 
 #include "analysis/stats.hpp"
 #include "crypto/catalog.hpp"
+#include "pki/merkle.hpp"
 #include "session/session.hpp"
 #include "sim/event_loop.hpp"
 #include "tcp/tcp.hpp"
@@ -298,7 +299,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   Drbg master(config.seed);
   std::uint64_t pki_seed = config.pki_seed ? config.pki_seed : config.seed;
-  const tls::ServerContext& context = tls::server_context(*ka, *sa, pki_seed);
+  // The profile overload delegates leaf-only profiles to the plain cache,
+  // so the default configuration resolves to exactly the historical
+  // material (byte-identical golden rows).
+  const tls::ServerContext& context =
+      tls::server_context(*ka, *sa, config.chain_profile, pki_seed);
   const perf::CostModel* costs = config.time_model == TimeModel::kModeled
                                      ? &perf::CostModel::builtin()
                                      : nullptr;
@@ -313,6 +318,23 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     ccfg.also_supported = {ka};
   }
   tls::ServerConfig scfg = context.server_config(config.buffering);
+
+  // Certificate-flight transport. Gated on the knob: kFull (the default)
+  // leaves both endpoint configs untouched, so pre-existing rows never see
+  // the subsystem. Merkle mode pins the tree head over the leaf (a pure,
+  // DRBG-free computation) and hands the client the root, the server the
+  // inclusion proof.
+  if (config.cert_mode != tls::CertMode::kFull) {
+    ccfg.cert_mode = config.cert_mode;
+    scfg.cert_mode = config.cert_mode;
+    if (config.cert_mode == tls::CertMode::kMerkle &&
+        !context.chain.certificates.empty()) {
+      pki::MerkleBundle bundle =
+          pki::pin_certificate(context.chain.certificates[0]);
+      ccfg.merkle_root = bundle.root;
+      scfg.merkle_proof = bundle.proof.encode();
+    }
+  }
 
   // Session resumption: everything below is gated on the knob so a ratio of
   // zero leaves the master DRBG fork stream and the endpoint configs

@@ -91,6 +91,16 @@ struct ExperimentConfig {
   /// later samples run untraced. Null (the default) leaves every hook a
   /// single pointer check, so results are identical with tracing off.
   trace::Recorder* trace = nullptr;
+  /// Certificate hierarchy served by the server: root → intermediates →
+  /// leaf, with per-level signature placement (pki::ChainProfile). The
+  /// default leaf-only profile uses the pre-existing PKI cache, so every
+  /// historical golden row stays byte-identical.
+  pki::ChainProfile chain_profile;
+  /// Certificate-flight transport: full chain (default), RFC 8879
+  /// compressed, or a Merkle inclusion proof against a pinned tree head.
+  /// kFull with a leaf-only profile is the untouched legacy path; any other
+  /// combination routes through the profile-aware context cache.
+  tls::CertMode cert_mode = tls::CertMode::kFull;
 };
 
 struct HandshakeSample {

@@ -1,0 +1,116 @@
+#include "tls/cert_compress.hpp"
+
+#include <algorithm>
+
+namespace pqtls::tls {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 8;
+constexpr std::size_t kMaxToken = 0xffff;  // u16 lengths and distances
+constexpr std::size_t kHashBits = 15;
+
+constexpr std::uint8_t kTokenLiteral = 0x00;
+constexpr std::uint8_t kTokenMatch = 0x01;
+
+// Fibonacci-style multiplicative hash over the next 8 bytes.
+std::uint32_t window_hash(const std::uint8_t* p) {
+  std::uint64_t v = load_le64(p);
+  return static_cast<std::uint32_t>((v * 0x9e3779b97f4a7c15ull) >>
+                                    (64 - kHashBits));
+}
+
+void put_u16(Bytes& out, std::size_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+// Emit [begin, end) as literal tokens, splitting runs longer than a u16.
+void flush_literals(Bytes& out, BytesView input, std::size_t begin,
+                    std::size_t end) {
+  while (begin < end) {
+    std::size_t len = std::min(end - begin, kMaxToken);
+    out.push_back(kTokenLiteral);
+    put_u16(out, len);
+    append(out, input.subspan(begin, len));
+    begin += len;
+  }
+}
+
+}  // namespace
+
+Bytes lz_compress(BytesView input) {
+  Bytes out;
+  // Single-probe hash table of most-recent positions; overwrite on collision
+  // keeps the scheme deterministic and allocation-bounded.
+  std::vector<std::int32_t> table(std::size_t{1} << kHashBits, -1);
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+  while (pos + kMinMatch <= input.size()) {
+    std::uint32_t h = window_hash(input.data() + pos);
+    std::int32_t candidate = table[h];
+    table[h] = static_cast<std::int32_t>(pos);
+    if (candidate >= 0) {
+      std::size_t cand = static_cast<std::size_t>(candidate);
+      std::size_t distance = pos - cand;
+      if (distance >= 1 && distance <= kMaxToken) {
+        std::size_t limit = std::min(input.size() - pos, kMaxToken);
+        std::size_t len = 0;
+        while (len < limit && input[cand + len] == input[pos + len]) ++len;
+        if (len >= kMinMatch) {
+          flush_literals(out, input, literal_start, pos);
+          out.push_back(kTokenMatch);
+          put_u16(out, distance);
+          put_u16(out, len);
+          // Index the interior of the match so later repeats still hit.
+          std::size_t end = pos + len;
+          for (std::size_t p = pos + 1; p + kMinMatch <= end; ++p)
+            table[window_hash(input.data() + p)] =
+                static_cast<std::int32_t>(p);
+          pos = end;
+          literal_start = pos;
+          continue;
+        }
+      }
+    }
+    ++pos;
+  }
+  flush_literals(out, input, literal_start, input.size());
+  return out;
+}
+
+std::optional<Bytes> lz_decompress(BytesView input,
+                                   std::size_t expected_size) {
+  Bytes out;
+  out.reserve(expected_size);
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    std::uint8_t token = input[pos++];
+    if (pos + 2 > input.size()) return std::nullopt;
+    std::size_t a = (std::size_t{input[pos]} << 8) | input[pos + 1];
+    pos += 2;
+    if (token == kTokenLiteral) {
+      if (a < 1 || pos + a > input.size()) return std::nullopt;
+      if (out.size() + a > expected_size) return std::nullopt;
+      append(out, input.subspan(pos, a));
+      pos += a;
+    } else if (token == kTokenMatch) {
+      if (pos + 2 > input.size()) return std::nullopt;
+      std::size_t len = (std::size_t{input[pos]} << 8) | input[pos + 1];
+      pos += 2;
+      if (a < 1 || a > out.size()) return std::nullopt;  // distance
+      if (len < kMinMatch || out.size() + len > expected_size)
+        return std::nullopt;
+      // Byte-wise copy: overlapping references (distance < length) repeat
+      // the just-written bytes, exactly as the compressor assumed.
+      std::size_t src = out.size() - a;
+      for (std::size_t i = 0; i < len; ++i) out.push_back(out[src + i]);
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (out.size() != expected_size) return std::nullopt;
+  return out;
+}
+
+}  // namespace pqtls::tls

@@ -1,0 +1,33 @@
+// Deterministic LZ77-style codec backing the RFC 8879 compress_certificate
+// extension. Certificate chains are mostly high-entropy signature/key
+// material interleaved with highly repetitive structure (algorithm names,
+// issuer/subject strings, validity windows shared across chain levels); the
+// token format is chosen so literal runs cost 3 bytes regardless of length,
+// keeping compression a strict win even on SPHINCS+-sized payloads.
+//
+// Token stream:
+//   0x00 <u16 len> <len bytes>            literal run (len >= 1)
+//   0x01 <u16 distance> <u16 len>         back-reference (len >= 8, dist >= 1)
+#pragma once
+
+#include <optional>
+
+#include "crypto/bytes.hpp"
+
+namespace pqtls::tls {
+
+/// RFC 8879 CertificateCompressionAlgorithm id for the built-in codec
+/// (private-use range 0x4000-0xffff, not zlib/brotli/zstd).
+inline constexpr std::uint16_t kCertCompressionLz = 0x4000;
+
+/// Compress `input` into the token stream. Deterministic: same input, same
+/// output, on every platform and worker count.
+Bytes lz_compress(BytesView input);
+
+/// Decompress, enforcing that the output is exactly `expected_size` bytes
+/// (the advertised uncompressed_length) and never allocating beyond it.
+/// Returns nullopt on malformed tokens, out-of-window references, or any
+/// size mismatch.
+std::optional<Bytes> lz_decompress(BytesView input, std::size_t expected_size);
+
+}  // namespace pqtls::tls

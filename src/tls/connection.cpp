@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "crypto/ct.hpp"
+#include "pki/merkle.hpp"
+#include "tls/cert_compress.hpp"
 
 namespace pqtls::tls {
 
@@ -22,7 +24,9 @@ std::vector<std::uint8_t> handshake_alphabet() {
           static_cast<std::uint8_t>(HandshakeType::kEncryptedExtensions),
           static_cast<std::uint8_t>(HandshakeType::kCertificate),
           static_cast<std::uint8_t>(HandshakeType::kCertificateVerify),
-          static_cast<std::uint8_t>(HandshakeType::kFinished)};
+          static_cast<std::uint8_t>(HandshakeType::kFinished),
+          static_cast<std::uint8_t>(HandshakeType::kCompressedCertificate),
+          static_cast<std::uint8_t>(HandshakeType::kMerkleCertificate)};
 }
 
 std::uint8_t code(HandshakeType type) {
@@ -45,6 +49,10 @@ std::span<const ClientConnection::Rule> ClientConnection::rules() {
        &ClientConnection::on_encrypted_extensions_psk},
       {State::kWaitCertificate, HandshakeType::kCertificate,
        &ClientConnection::on_certificate},
+      {State::kWaitCertificate, HandshakeType::kCompressedCertificate,
+       &ClientConnection::on_compressed_certificate},
+      {State::kWaitCertificate, HandshakeType::kMerkleCertificate,
+       &ClientConnection::on_merkle_certificate},
       {State::kWaitCertificateVerify, HandshakeType::kCertificateVerify,
        &ClientConnection::on_certificate_verify},
       {State::kWaitFinished, HandshakeType::kFinished,
@@ -79,10 +87,12 @@ StateMachineSpec ClientConnection::spec() {
       spec.alert_states.push_back(state_name(s));
   }
   spec.alphabet = handshake_alphabet();
-  // start(): emit ClientHello, arm for the ServerHello. Three variants:
-  // a full handshake, a PSK resumption offer, and a resumption offer with
-  // 0-RTT early data — each flavors the ClientHello differently so the
-  // product explorer drives the server down every acceptance path.
+  // start(): emit ClientHello, arm for the ServerHello. Five variants:
+  // a full handshake, a PSK resumption offer, a resumption offer with
+  // 0-RTT early data, and full handshakes offering certificate
+  // compression or Merkle-tree certificates — each flavors the
+  // ClientHello differently so the product explorer drives the server
+  // down every acceptance path.
   spec.starts = {
       SpecStart{"full", state_name(State::kStart),
                 state_name(State::kWaitServerHello),
@@ -93,10 +103,16 @@ StateMachineSpec ClientConnection::spec() {
       SpecStart{"resume_early", state_name(State::kStart),
                 state_name(State::kWaitServerHello),
                 {{code(HandshakeType::kClientHello), "psk_early"}}},
+      SpecStart{"full_compress", state_name(State::kStart),
+                state_name(State::kWaitServerHello),
+                {{code(HandshakeType::kClientHello), "compress"}}},
+      SpecStart{"full_merkle", state_name(State::kStart),
+                state_name(State::kWaitServerHello),
+                {{code(HandshakeType::kClientHello), "merkle"}}},
   };
-  // Declared outcomes per rule. Keyed by the rule's state (one rule per
-  // state); a rule with no declared outcomes is a verifier error, so a new
-  // table entry cannot land without teaching the spec its behaviour.
+  // Declared outcomes per rule, keyed by the rule's (state, message); a
+  // rule with no declared outcomes is a verifier error, so a new table
+  // entry cannot land without teaching the spec its behaviour.
   auto outcomes_for = [](const Rule& rule) -> std::vector<SpecOutcome> {
     const auto fail_name = std::string(state_name(State::kFailed));
     SpecOutcome reject{.label = "reject",
@@ -175,6 +191,9 @@ StateMachineSpec ClientConnection::spec() {
         return {accept, early, reject};
       }
       case State::kWaitCertificate:
+        // Three rules share this state (plain, compressed, and Merkle
+        // certificate flights); each authenticates the chain its own way
+        // and arms the same CertificateVerify wait.
         return {ok(state_name(State::kWaitCertificateVerify)), reject};
       case State::kWaitCertificateVerify:
         return {ok(state_name(State::kWaitFinished)), reject};
@@ -273,6 +292,15 @@ void ClientConnection::send_client_hello(const FlightSink& sink) {
   for (const kem::Kem* extra : config_.also_supported)
     if (extra != active_ka_) hello.supported_groups.push_back(group_id(*extra));
   hello.signature_schemes = {scheme_id(*config_.sa)};
+  // Certificate-flight offers ride only on the first full-handshake
+  // ClientHello: resumption omits the certificate flight entirely, and the
+  // post-HRR retry is kept a clean baseline handshake (mirroring the PSK
+  // drop above).
+  if (!resuming && !hrr_seen_) {
+    hello.offer_cert_compression = config_.cert_mode == CertMode::kCompressed;
+    hello.offer_merkle_cert =
+        config_.cert_mode == CertMode::kMerkle && !config_.merkle_root.empty();
+  }
   if (resuming || config_.request_ticket)
     hello.psk_modes = {config_.psk_only ? kPskModePsk : kPskModePskDhe};
   if (resuming) {
@@ -437,6 +465,62 @@ void ClientConnection::on_certificate(BytesView body, BytesView full,
   state_ = State::kWaitCertificateVerify;
 }
 
+void ClientConnection::on_compressed_certificate(BytesView body, BytesView full,
+                                                 const FlightSink& sink) {
+  // Only legal when this client offered compression on this flight
+  // (RFC 8879 4); offers are dropped on the post-HRR retry.
+  if (config_.cert_mode != CertMode::kCompressed || hrr_seen_)
+    return fail_alert(sink);
+  std::optional<CompressedCertificate> cc = parse_compressed_certificate(body);
+  if (!cc || cc->algorithm != kCertCompressionLz) return fail_alert(sink);
+  std::optional<Bytes> plain;
+  {
+    Scope scope(profiler_, Lib::kLibcrypto);
+    plain = lz_decompress(cc->compressed, cc->uncompressed_length);
+  }
+  if (costs_) charge(costs_->per_byte(cc->uncompressed_length));
+  if (!plain) return fail_alert(sink);
+  std::optional<pki::CertificateChain> chain = parse_certificate(*plain);
+  if (!chain || chain->certificates.empty()) return fail_alert(sink);
+  peer_chain_ = std::move(*chain);
+  // RFC 8879 5: the transcript carries the CompressedCertificate message
+  // exactly as transmitted, never its decompressed form.
+  key_schedule_.update_transcript(full);
+  state_ = State::kWaitCertificateVerify;
+}
+
+void ClientConnection::on_merkle_certificate(BytesView body, BytesView full,
+                                             const FlightSink& sink) {
+  // Only legal when this client offered the Merkle mode on this flight
+  // (and therefore holds a pinned tree head to verify against).
+  if (config_.cert_mode != CertMode::kMerkle || hrr_seen_ ||
+      config_.merkle_root.empty())
+    return fail_alert(sink);
+  std::optional<MerkleCertificate> mc = parse_merkle_certificate(body);
+  if (!mc) return fail_alert(sink);
+  std::optional<pki::Certificate> cert =
+      pki::Certificate::decode(mc->leaf_certificate);
+  std::optional<pki::MerkleProof> proof = pki::MerkleProof::decode(mc->proof);
+  if (!cert || !proof) return fail_alert(sink);
+  // The inclusion proof replaces chain verification; the leaf's validity
+  // window and key algorithm are still checked like on_certificate's path.
+  if (config_.now < cert->not_before || config_.now > cert->not_after)
+    return fail_alert(sink);
+  if (cert->key_algorithm != config_.sa->name()) return fail_alert(sink);
+  bool included;
+  {
+    Scope scope(profiler_, Lib::kLibcrypto);
+    included = pki::verify_inclusion(*cert, *proof, config_.merkle_root);
+  }
+  // The proof walk is log2(leaves)+1 hash compressions — one KDF's worth.
+  if (costs_) charge(costs_->kdf());
+  if (!included) return fail_alert(sink);
+  peer_chain_.certificates = {std::move(*cert)};
+  merkle_used_ = true;
+  key_schedule_.update_transcript(full);
+  state_ = State::kWaitCertificateVerify;
+}
+
 void ClientConnection::on_certificate_verify(BytesView body, BytesView full,
                                              const FlightSink& sink) {
   std::optional<CertificateVerify> cv = parse_certificate_verify(body);
@@ -449,11 +533,20 @@ void ClientConnection::on_certificate_verify(BytesView body, BytesView full,
     ok = verify_certificate_verify(*signer,
                                    peer_chain_.certificates[0].subject_public_key,
                                    key_schedule_.transcript_hash(),
-                                   cv->signature) &&
-         pki::verify_chain(peer_chain_, config_.root, config_.now);
+                                   cv->signature);
+    // A Merkle-authenticated leaf was already proven against the pinned
+    // tree head; there is no transmitted chain to walk.
+    if (ok && !merkle_used_)
+      ok = pki::verify_chain(peer_chain_, config_.root, config_.now);
   }
-  // CertificateVerify plus the chain signature: two verifications.
-  if (costs_) charge(2 * costs_->verify(signer->name()));
+  // CertificateVerify plus one verification per transmitted chain
+  // certificate (the root self-check is treated as free, matching the
+  // historical two-verification charge for a leaf-only chain).
+  std::size_t verifications =
+      merkle_used_ ? 1 : 1 + peer_chain_.certificates.size();
+  if (costs_)
+    charge(static_cast<double>(verifications) *
+           costs_->verify(signer->name()));
   if (!ok) return fail_alert(sink);
   key_schedule_.update_transcript(full);
   state_ = State::kWaitFinished;
@@ -624,19 +717,52 @@ StateMachineSpec ServerConnection::spec() {
     switch (rule.state) {
       case State::kWaitClientHello:
         // ok: the full server flight in one dispatch (SH, EE, Cert, CV,
-        // Fin — the dummy CCS is not a handshake message). resume /
-        // resume_early: a validated PSK offer collapses the flight to SH,
-        // EE, Fin (no certificate material on the wire); the early variant
-        // accepts the 0-RTT stream and waits for EndOfEarlyData. fallback:
-        // a PSK offer whose ticket is unknown/expired answers with the
-        // full flight instead (never an alert). hrr: wrong key share but
-        // negotiable group, at most once (hrr_sent_).
+        // Fin — the dummy CCS is not a handshake message); it also covers
+        // declining a compression/Merkle offer, which falls back to the
+        // plain Certificate. ok_compressed / ok_merkle: the client offered
+        // and this server's preference matches, so the certificate travels
+        // as CompressedCertificate (RFC 8879) or as a leaf plus inclusion
+        // proof. resume / resume_early: a validated PSK offer collapses
+        // the flight to SH, EE, Fin (no certificate material on the wire);
+        // the early variant accepts the 0-RTT stream and waits for
+        // EndOfEarlyData. fallback: a PSK offer whose ticket is
+        // unknown/expired answers with the full flight instead (never an
+        // alert). hrr: wrong key share but negotiable group, at most once
+        // (hrr_sent_).
         return {SpecOutcome{.label = "ok",
                             .next = state_name(State::kWaitClientFinished),
                             .emits = full_flight,
                             .once = false,
                             .alert = false,
-                            .on_flavors = {"plain"}},
+                            .on_flavors = {"plain", "compress", "merkle"}},
+                SpecOutcome{
+                    .label = "ok_compressed",
+                    .next = state_name(State::kWaitClientFinished),
+                    .emits = {{code(HandshakeType::kServerHello), "plain"},
+                              {code(HandshakeType::kEncryptedExtensions),
+                               "plain"},
+                              {code(HandshakeType::kCompressedCertificate),
+                               "plain"},
+                              {code(HandshakeType::kCertificateVerify),
+                               "plain"},
+                              {code(HandshakeType::kFinished), "plain"}},
+                    .once = false,
+                    .alert = false,
+                    .on_flavors = {"compress"}},
+                SpecOutcome{
+                    .label = "ok_merkle",
+                    .next = state_name(State::kWaitClientFinished),
+                    .emits = {{code(HandshakeType::kServerHello), "plain"},
+                              {code(HandshakeType::kEncryptedExtensions),
+                               "plain"},
+                              {code(HandshakeType::kMerkleCertificate),
+                               "plain"},
+                              {code(HandshakeType::kCertificateVerify),
+                               "plain"},
+                              {code(HandshakeType::kFinished), "plain"}},
+                    .once = false,
+                    .alert = false,
+                    .on_flavors = {"merkle"}},
                 SpecOutcome{
                     .label = "resume",
                     .next = state_name(State::kWaitClientFinished),
@@ -962,8 +1088,38 @@ void ServerConnection::on_client_hello(BytesView body, BytesView full,
   if (costs_) charge(costs_->per_byte(ee_sealed.size()));
   queue(std::move(ee_sealed), sink, false);
 
-  // --- Certificate ---
-  Bytes cert_msg = encode_certificate(config_.chain);
+  // --- Certificate (plain, compressed, or Merkle inclusion proof) ---
+  // The preference in config_ takes effect only when the client offered
+  // the matching extension; anything else falls back to the plain
+  // Certificate message, never to an alert.
+  bool use_merkle = config_.cert_mode == CertMode::kMerkle &&
+                    hello->offer_merkle_cert && !config_.merkle_proof.empty() &&
+                    !config_.chain.certificates.empty();
+  bool use_compressed = config_.cert_mode == CertMode::kCompressed &&
+                        hello->offer_cert_compression;
+  Bytes cert_msg;
+  if (use_merkle) {
+    MerkleCertificate mc;
+    mc.leaf_certificate = config_.chain.certificates[0].encode();
+    mc.proof = config_.merkle_proof;
+    cert_msg = encode_merkle_certificate(mc);
+  } else if (use_compressed) {
+    Bytes cert_full = encode_certificate(config_.chain);
+    CompressedCertificate cc;
+    cc.algorithm = kCertCompressionLz;
+    // Compress the Certificate body; the 4-byte handshake header is
+    // reconstructed by the peer (RFC 8879 4).
+    BytesView cert_body = BytesView(cert_full).subspan(4);
+    cc.uncompressed_length = static_cast<std::uint32_t>(cert_body.size());
+    {
+      Scope scope(profiler_, Lib::kLibcrypto);
+      cc.compressed = lz_compress(cert_body);
+    }
+    if (costs_) charge(costs_->per_byte(cert_body.size()));  // codec walk
+    cert_msg = encode_compressed_certificate(cc);
+  } else {
+    cert_msg = encode_certificate(config_.chain);
+  }
   key_schedule_.update_transcript(cert_msg);
   Bytes cert_sealed;
   {

@@ -38,6 +38,16 @@ enum class Buffering {
   kImmediate,  // push ServerHello and Certificate as soon as computed
 };
 
+/// How the server's certificate flight travels on a full handshake.
+/// On the client this is the offer (extensions in the ClientHello); on the
+/// server it is the preference, applied only when the client offered it —
+/// otherwise the server falls back to the plain Certificate message.
+enum class CertMode {
+  kFull,        // plain Certificate message (RFC 8446)
+  kCompressed,  // CompressedCertificate (RFC 8879, built-in codec)
+  kMerkle,      // leaf + inclusion proof against a pinned tree head
+};
+
 struct ServerConfig {
   const kem::Kem* ka = nullptr;
   const sig::Signer* sa = nullptr;
@@ -59,6 +69,14 @@ struct ServerConfig {
   std::uint32_t max_early_data = 16384;
   /// Server clock for ticket issue/validate timestamps.
   std::uint64_t now_ms = 1'800'000'000'000ull;
+
+  /// Certificate-flight preference for full handshakes. kCompressed and
+  /// kMerkle take effect only when the client offers the matching
+  /// extension; kMerkle additionally requires `merkle_proof`.
+  CertMode cert_mode = CertMode::kFull;
+  /// Encoded pki::MerkleProof pinning chain.certificates[0] (the leaf) into
+  /// the tree head the client trusts. Required for kMerkle.
+  Bytes merkle_proof;
 };
 
 struct ClientConfig {
@@ -86,6 +104,16 @@ struct ClientConfig {
   Bytes early_data;
   /// Client clock for the obfuscated ticket age (RFC 8446 4.2.11).
   std::uint64_t now_ms = 1'800'000'000'000ull;
+
+  /// Certificate-flight offer for full handshakes: kCompressed adds the
+  /// compress_certificate extension, kMerkle the Merkle offer (which also
+  /// requires `merkle_root`). Offers are dropped on the post-HRR retry and
+  /// when resuming; the server may always decline by sending a plain
+  /// Certificate.
+  CertMode cert_mode = CertMode::kFull;
+  /// Pinned 32-byte Merkle tree head the client trusts (out-of-band
+  /// distribution, like a trust anchor). Required for kMerkle.
+  Bytes merkle_root;
 };
 
 /// Receives output flights; each call corresponds to one TCP write (the
@@ -183,7 +211,9 @@ class HandshakeCore {
         trace_state(before);
         return;
       }
-      break;  // expected state, unexpected message (one rule per state)
+      // A state may hold several rules (e.g. wait_certificate accepts the
+      // plain, compressed, and Merkle certificate flights); keep scanning.
+      // Determinism is still per (state, message) — the verifier checks it.
     }
     const char* before = Derived::state_name(self().state_);
     if (Derived::alert_on_unexpected(self().state_))
@@ -242,6 +272,9 @@ class ClientConnection : public HandshakeCore<ClientConnection> {
   /// True when the completed handshake was a PSK resumption (no
   /// Certificate/CertificateVerify on the wire).
   bool resumed() const { return resumed_; }
+  /// True when the server's chain arrived as a Merkle certificate flight
+  /// and was authenticated against the pinned tree head.
+  bool merkle_used() const { return merkle_used_; }
   /// True when the server accepted the 0-RTT early data we offered.
   bool early_data_accepted() const { return early_data_accepted_; }
   /// The NewSessionTicket received on this connection (if any), converted
@@ -310,6 +343,10 @@ class ClientConnection : public HandshakeCore<ClientConnection> {
   void on_encrypted_extensions_psk(BytesView body, BytesView full,
                                    const FlightSink& sink);
   void on_certificate(BytesView body, BytesView full, const FlightSink& sink);
+  void on_compressed_certificate(BytesView body, BytesView full,
+                                 const FlightSink& sink);
+  void on_merkle_certificate(BytesView body, BytesView full,
+                             const FlightSink& sink);
   void on_certificate_verify(BytesView body, BytesView full,
                              const FlightSink& sink);
   void on_server_finished(BytesView body, BytesView full,
@@ -330,6 +367,7 @@ class ClientConnection : public HandshakeCore<ClientConnection> {
   const kem::Kem* active_ka_ = nullptr;  // after HRR may differ from config
   Bytes kem_secret_key_;
   pki::CertificateChain peer_chain_;
+  bool merkle_used_ = false;  // chain authenticated via inclusion proof
   bool hrr_seen_ = false;
   bool psk_offered_ = false;
   bool resumed_ = false;

@@ -1,6 +1,7 @@
 #include "tls/messages.hpp"
 
 #include "crypto/sha2.hpp"
+#include "tls/cert_compress.hpp"
 #include "tls/wire.hpp"
 
 namespace pqtls::tls {
@@ -149,6 +150,18 @@ Bytes encode_client_hello(const ClientHello& hello) {
     exts.u16(static_cast<std::uint16_t>(Extension::kEarlyData));
     exts.vec16({});
   }
+  if (hello.offer_cert_compression) {  // compress_certificate (RFC 8879)
+    Writer cc;
+    Writer algs;
+    algs.u16(kCertCompressionLz);
+    cc.vec8(algs.buffer());
+    exts.u16(static_cast<std::uint16_t>(Extension::kCompressCertificate));
+    exts.vec16(cc.buffer());
+  }
+  if (hello.offer_merkle_cert) {  // merkle-tree certificate offer (empty)
+    exts.u16(static_cast<std::uint16_t>(Extension::kMerkleCertOffer));
+    exts.vec16({});
+  }
   if (hello.has_psk) {  // pre_shared_key MUST be the last extension
     Writer psk;
     {
@@ -232,6 +245,22 @@ std::optional<ClientHello> parse_client_hello(BytesView body) {
       case Extension::kEarlyData: {
         if (!ext_data.empty()) return std::nullopt;
         out.early_data = true;
+        break;
+      }
+      case Extension::kCompressCertificate: {
+        Reader cr(ext_data);
+        Bytes algs = cr.vec8();
+        if (cr.failed() || !cr.done() || algs.size() % 2 != 0 || algs.empty())
+          return std::nullopt;
+        // Offered only if the client lists the one algorithm we implement.
+        for (std::size_t i = 0; i + 1 < algs.size(); i += 2)
+          if (u16_at(algs, i) == kCertCompressionLz)
+            out.offer_cert_compression = true;
+        break;
+      }
+      case Extension::kMerkleCertOffer: {
+        if (!ext_data.empty()) return std::nullopt;
+        out.offer_merkle_cert = true;
         break;
       }
       case Extension::kPreSharedKey: {
@@ -438,6 +467,45 @@ std::optional<pki::CertificateChain> parse_certificate(BytesView body) {
     chain.certificates.push_back(std::move(*cert));
   }
   return chain;
+}
+
+Bytes encode_compressed_certificate(const CompressedCertificate& cc) {
+  Writer w;
+  w.u16(cc.algorithm);
+  w.u24(cc.uncompressed_length);
+  w.vec24(cc.compressed);
+  return handshake_message(HandshakeType::kCompressedCertificate, w.buffer());
+}
+
+std::optional<CompressedCertificate> parse_compressed_certificate(
+    BytesView body) {
+  Reader r(body);
+  CompressedCertificate cc;
+  cc.algorithm = r.u16();
+  cc.uncompressed_length = r.u24();
+  cc.compressed = r.vec24();
+  if (r.failed() || !r.done()) return std::nullopt;
+  if (cc.uncompressed_length == 0 ||
+      cc.uncompressed_length > kMaxUncompressedCertificate)
+    return std::nullopt;
+  return cc;
+}
+
+Bytes encode_merkle_certificate(const MerkleCertificate& mc) {
+  Writer w;
+  w.vec24(mc.leaf_certificate);
+  w.vec16(mc.proof);
+  return handshake_message(HandshakeType::kMerkleCertificate, w.buffer());
+}
+
+std::optional<MerkleCertificate> parse_merkle_certificate(BytesView body) {
+  Reader r(body);
+  MerkleCertificate mc;
+  mc.leaf_certificate = r.vec24();
+  mc.proof = r.vec16();
+  if (r.failed() || !r.done() || mc.leaf_certificate.empty())
+    return std::nullopt;
+  return mc;
 }
 
 Bytes encode_certificate_verify(const CertificateVerify& cv) {

@@ -27,17 +27,21 @@ enum class HandshakeType : std::uint8_t {
   kCertificate = 11,
   kCertificateVerify = 15,
   kFinished = 20,
+  kCompressedCertificate = 25,  // RFC 8879
+  kMerkleCertificate = 26,      // synthetic, cf. draft-davidben-tls-merkle-tree-certs
 };
 
 enum class Extension : std::uint16_t {
   kServerName = 0,
   kSupportedGroups = 10,
   kSignatureAlgorithms = 13,
+  kCompressCertificate = 27,  // RFC 8879
   kPreSharedKey = 41,
   kEarlyData = 42,
   kSupportedVersions = 43,
   kPskKeyExchangeModes = 45,
   kKeyShare = 51,
+  kMerkleCertOffer = 58,  // synthetic trust-anchor offer (cf. tai drafts)
 };
 
 // PskKeyExchangeMode codepoints (RFC 8446 4.2.9).
@@ -95,12 +99,17 @@ struct ClientHello {
   Bytes psk_identity;  // opaque server-issued ticket
   std::uint32_t obfuscated_ticket_age = 0;
   Bytes psk_binder;  // kPskBinderLen bytes (zero-filled before patching)
+  // Certificate-flight negotiation surface (both are pure client offers the
+  // server is free to decline by answering with a plain Certificate).
+  bool offer_cert_compression = false;  // compress_certificate, RFC 8879
+  bool offer_merkle_cert = false;       // Merkle-tree certificate mode
 };
 
 /// Full handshake message, extensions in the fixed order server_name,
 /// supported_versions, supported_groups, signature_algorithms, key_share
-/// (when has_key_share), psk_key_exchange_modes, early_data, and —
-/// mandatorily last (RFC 8446 4.2.11) — pre_shared_key.
+/// (when has_key_share), psk_key_exchange_modes, early_data,
+/// compress_certificate, merkle offer, and — mandatorily last
+/// (RFC 8446 4.2.11) — pre_shared_key.
 Bytes encode_client_hello(const ClientHello& hello);
 std::optional<ClientHello> parse_client_hello(BytesView body);
 
@@ -148,6 +157,34 @@ Bytes encode_end_of_early_data();
 /// no per-certificate extensions). Empty-chain policy is the caller's.
 Bytes encode_certificate(const pki::CertificateChain& chain);
 std::optional<pki::CertificateChain> parse_certificate(BytesView body);
+
+/// CompressedCertificate (RFC 8879 4): the algorithm both sides negotiated,
+/// the exact length of the Certificate message body it decompresses to, and
+/// the compressed payload.
+struct CompressedCertificate {
+  std::uint16_t algorithm = 0;
+  std::uint32_t uncompressed_length = 0;  // u24 on the wire
+  Bytes compressed;
+};
+
+Bytes encode_compressed_certificate(const CompressedCertificate& cc);
+std::optional<CompressedCertificate> parse_compressed_certificate(
+    BytesView body);
+
+/// Largest Certificate body a CompressedCertificate may claim to expand to;
+/// decompression bombs beyond this are rejected before allocation.
+inline constexpr std::size_t kMaxUncompressedCertificate = 1u << 20;
+
+/// Merkle-tree certificate flight: the leaf certificate plus the inclusion
+/// proof against the client's pinned tree head — the intermediate chain
+/// never touches the wire.
+struct MerkleCertificate {
+  Bytes leaf_certificate;  // encoded pki::Certificate
+  Bytes proof;             // encoded pki::MerkleProof
+};
+
+Bytes encode_merkle_certificate(const MerkleCertificate& mc);
+std::optional<MerkleCertificate> parse_merkle_certificate(BytesView body);
 
 struct CertificateVerify {
   std::uint16_t scheme = 0;

@@ -60,6 +60,37 @@ const PkiMaterial& cached_pki(const sig::Signer& sa, std::uint64_t seed) {
   return entry->material;
 }
 
+// Hierarchy variant: keyed additionally by the profile name, drawing from a
+// profile-tagged DRBG fork so the leaf-only cache above (and every golden
+// row derived from it) never sees different bytes.
+const PkiMaterial& cached_pki(const sig::Signer& sa,
+                              const pki::ChainProfile& profile,
+                              std::uint64_t seed) {
+  struct Entry {
+    std::once_flag once;
+    PkiMaterial material;
+  };
+  static std::mutex mu;
+  static std::map<std::tuple<std::string, std::string, std::uint64_t>, Entry>
+      cache;
+  Entry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    entry = &cache[std::make_tuple(sa.name(), profile.name, seed)];
+  }
+  std::call_once(entry->once, [&] {
+    Drbg rng(seed);
+    Drbg pki_rng = rng.fork("pki:" + sa.name() + ":" + profile.name);
+    pki::IssuedChain issued = pki::issue_chain(
+        profile, sa, "pqtls-bench.example.net", "pqtls-bench root CA",
+        pki_rng);
+    entry->material.chain = std::move(issued.chain);
+    entry->material.leaf_secret = std::move(issued.leaf_secret_key);
+    entry->material.root = std::move(issued.root);
+  });
+  return entry->material;
+}
+
 }  // namespace
 
 ServerConfig ServerContext::server_config(Buffering buffering) const {
@@ -98,6 +129,36 @@ const ServerContext& server_context(const kem::Kem& ka, const sig::Signer& sa,
     // Layered over the per-(SA, seed) PKI cache: a new KA with an
     // already-built SA reuses the certificates and pays nothing.
     const PkiMaterial& material = cached_pki(sa, seed);
+    entry->context.ka = &ka;
+    entry->context.sa = &sa;
+    entry->context.chain = material.chain;
+    entry->context.leaf_secret_key = material.leaf_secret;
+    entry->context.root = material.root;
+  });
+  return entry->context;
+}
+
+const ServerContext& server_context(const kem::Kem& ka, const sig::Signer& sa,
+                                    const pki::ChainProfile& profile,
+                                    std::uint64_t seed) {
+  // A leaf-only profile is definitionally the plain context: share its
+  // cache so the material (and all downstream DRBG draws) stay identical.
+  if (profile.leaf_only()) return server_context(ka, sa, seed);
+  struct Entry {
+    std::once_flag once;
+    ServerContext context;
+  };
+  static std::mutex mu;
+  static std::map<
+      std::tuple<std::string, std::string, std::string, std::uint64_t>, Entry>
+      cache;
+  Entry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    entry = &cache[std::make_tuple(ka.name(), sa.name(), profile.name, seed)];
+  }
+  std::call_once(entry->once, [&] {
+    const PkiMaterial& material = cached_pki(sa, profile, seed);
     entry->context.ka = &ka;
     entry->context.sa = &sa;
     entry->context.chain = material.chain;

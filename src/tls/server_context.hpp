@@ -20,7 +20,7 @@ namespace pqtls::tls {
 struct ServerContext {
   const kem::Kem* ka = nullptr;
   const sig::Signer* sa = nullptr;
-  pki::CertificateChain chain;  // leaf only, as sent on the wire
+  pki::CertificateChain chain;  // wire order: leaf first, then intermediates
   Bytes leaf_secret_key;
   pki::Certificate root;  // the client's pre-installed trust anchor
 
@@ -37,6 +37,16 @@ struct ServerContext {
 /// (ka, sa) pair sees byte-identical certificates regardless of which pair
 /// populated the cache first (the campaign's reproducibility contract).
 const ServerContext& server_context(const kem::Kem& ka, const sig::Signer& sa,
+                                    std::uint64_t seed);
+
+/// Chain-profile-aware variant: the server's identity is the leaf of an
+/// N-level hierarchy described by `profile` (pki::ChainProfile), and the
+/// wire chain carries the intermediates. A leaf-only profile delegates to
+/// the plain cache above, so existing seeds reproduce byte-identical
+/// material; deeper profiles draw from a separate DRBG fork
+/// ("pki:" + sa.name() + ":" + profile.name) and never perturb it.
+const ServerContext& server_context(const kem::Kem& ka, const sig::Signer& sa,
+                                    const pki::ChainProfile& profile,
                                     std::uint64_t seed);
 
 }  // namespace pqtls::tls

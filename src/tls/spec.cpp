@@ -14,6 +14,9 @@ std::string handshake_type_name(std::uint8_t type) {
     case HandshakeType::kFinished: return "finished";
     case HandshakeType::kNewSessionTicket: return "new_session_ticket";
     case HandshakeType::kEndOfEarlyData: return "end_of_early_data";
+    case HandshakeType::kCompressedCertificate:
+      return "compressed_certificate";
+    case HandshakeType::kMerkleCertificate: return "merkle_certificate";
   }
   return "unknown(" + std::to_string(type) + ")";
 }

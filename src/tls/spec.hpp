@@ -25,6 +25,7 @@ namespace pqtls::tls {
 struct SpecEmit {
   std::uint8_t message = 0;
   // "plain" | "hrr" | "psk" | "psk_early" | "want_ticket" | "early_ok"
+  // | "compress" | "merkle" (ClientHello certificate-flight offers)
   std::string flavor = "plain";
 };
 
@@ -65,7 +66,8 @@ struct SpecTransition {
 /// each emitting a differently flavored first flight; the verifier
 /// explores every variant.
 struct SpecStart {
-  std::string label;  // "full" | "resume" | "resume_early"
+  // "full" | "resume" | "resume_early" | "full_compress" | "full_merkle"
+  std::string label;
   std::string from;
   std::string next;
   std::vector<SpecEmit> emits;

@@ -2,6 +2,7 @@
 // handshake over the in-flight message queues, branching every dispatch
 // across its declared outcomes. See verify.hpp for the property catalog.
 #include <map>
+#include <set>
 #include <sstream>
 #include <tuple>
 
@@ -202,6 +203,19 @@ bool has_cycle(const JointGraph& graph) {
   return false;
 }
 
+/// Every handshake-type code a role can ever put on the wire: its start
+/// flights plus every declared outcome emission. The alert marker is
+/// policy, not a handshake message, and is excluded.
+std::set<std::uint8_t> emittable_messages(const StateMachineSpec& spec) {
+  std::set<std::uint8_t> out;
+  for (const tls::SpecStart& start : spec.starts)
+    for (const tls::SpecEmit& m : start.emits) out.insert(m.message);
+  for (const SpecTransition& t : spec.transitions)
+    for (const SpecOutcome& o : t.outcomes)
+      for (const tls::SpecEmit& m : o.emits) out.insert(m.message);
+  return out;
+}
+
 std::string describe(const JointState& s) {
   std::ostringstream os;
   os << "client=" << s.client << " server=" << s.server << " c2s=[";
@@ -261,8 +275,45 @@ ProductResult check_product(const StateMachineSpec& client,
         "no reachable joint state completes the handshake on both sides");
   reaches_done.passed = reaches_done.violations.empty();
 
+  // Emission coverage: the two rule tables must mirror each other. An
+  // "orphan emission" is a message one side can send that the peer has no
+  // rule for anywhere (it would only ever land on the unexpected-message
+  // policy); a "dead rule" is a message a side handles that the peer can
+  // never emit. Either one is how a deleted compression/Merkle/resumption
+  // rule or outcome escapes the progress properties — the alert policy
+  // absorbs orphans into clean error terminals, so only this pairwise
+  // check catches them.
+  PropertyResult coverage;
+  coverage.name = "joint.emission_coverage";
+  auto check_coverage = [&](const StateMachineSpec& sender,
+                            const StateMachineSpec& receiver) {
+    std::set<std::uint8_t> sent = emittable_messages(sender);
+    std::set<std::uint8_t> handled;
+    for (const SpecTransition& t : receiver.transitions)
+      handled.insert(t.message);
+    for (std::uint8_t m : sent)
+      if (!handled.count(m))
+        coverage.violations.push_back(
+            "orphan emission: " + sender.role + " can send " +
+            tls::handshake_type_name(m) + " but " + receiver.role +
+            " has no rule for it");
+    for (std::uint8_t m : handled)
+      if (!sent.count(m))
+        coverage.violations.push_back(
+            "dead rule: " + receiver.role + " handles " +
+            tls::handshake_type_name(m) + " but " + sender.role +
+            " never emits it");
+    coverage.notes.push_back(sender.role + " emits " +
+                             std::to_string(sent.size()) +
+                             " message types, " + receiver.role +
+                             " handles " + std::to_string(handled.size()));
+  };
+  check_coverage(client, server);
+  check_coverage(server, client);
+  coverage.passed = coverage.violations.empty();
+
   result.properties = {std::move(termination), std::move(deadlock),
-                       std::move(reaches_done)};
+                       std::move(reaches_done), std::move(coverage)};
   return result;
 }
 

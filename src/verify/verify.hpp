@@ -25,7 +25,12 @@
 //     deadlock-freedom   every quiescent joint state is either joint
 //                        success (both complete, queues drained) or an
 //                        explicit error (at least one side failed);
-//     reaches-done       the joint success state is actually reachable.
+//     reaches-done       the joint success state is actually reachable;
+//     emission-coverage  the rule tables mirror each other: every message
+//                        a side can emit has a peer rule (no orphan
+//                        emissions absorbed by the alert policy), and
+//                        every message a side has a rule for is peer-
+//                        emittable (no dead rules).
 //   Together: every reachable joint state either advances toward Done or
 //   terminates in an explicit error. The graph is exported as DOT and
 //   JSON artifacts (render_dot / render_graph_json).

@@ -55,11 +55,12 @@ TEST(Verify, ShippedSpecsPassAllProperties) {
     EXPECT_TRUE(p.passed) << p.name << ": "
                           << (p.violations.empty() ? "" : p.violations[0]);
   EXPECT_TRUE(verify::all_passed(report));
-  // The paper's handshake plus the resumption subsystem: 12 client states
-  // x 9 rules, 5 server states x 3 rules, and a joint graph that both
-  // completes and rejects.
+  // The paper's handshake plus the resumption and certificate-hierarchy
+  // subsystems: 12 client states x 11 rules (wait_certificate also accepts
+  // the compressed and Merkle certificate flights), 5 server states x 3
+  // rules, and a joint graph that both completes and rejects.
   EXPECT_EQ(report.client_states, 12u);
-  EXPECT_EQ(report.client_rules, 9u);
+  EXPECT_EQ(report.client_rules, 11u);
   EXPECT_EQ(report.server_states, 5u);
   EXPECT_EQ(report.server_rules, 3u);
   // All completion paths (1-RTT, PSK, 0-RTT, ticketed) converge on the
@@ -83,9 +84,9 @@ TEST(Verify, CompletenessIsNotVacuous) {
                          return n.find(needle) != std::string::npos;
                        });
   };
-  EXPECT_TRUE(has_note(*client, "unexpected_message alert: 71"));
+  EXPECT_TRUE(has_note(*client, "unexpected_message alert: 89"));
   EXPECT_TRUE(has_note(*client, "silently by documented policy: 0"));
-  EXPECT_TRUE(has_note(*server, "silently by documented policy: 7"));
+  EXPECT_TRUE(has_note(*server, "silently by documented policy: 9"));
 }
 
 // ---- mutation checks: the properties actually constrain the tables ----
@@ -165,6 +166,92 @@ TEST(VerifyMutation, DeletingEndOfEarlyDataRuleFails) {
   Report report = verify::run_all(tls::client_spec(), server);
   EXPECT_FALSE(verify::all_passed(report));
   EXPECT_FALSE(property(report, "server.completeness")->passed);
+}
+
+TEST(VerifyMutation, DeletingCompressedCertificateRuleFailsCoverage) {
+  // The decline path masks the gap from every progress property: a client
+  // without the CompressedCertificate rule still completes plain
+  // handshakes, and the compress offer dead-ends in a clean alert terminal.
+  // Only emission coverage notices the server can send a message the
+  // client no longer has a rule for.
+  StateMachineSpec client = tls::client_spec();
+  auto it = std::remove_if(
+      client.transitions.begin(), client.transitions.end(),
+      [](const SpecTransition& t) {
+        return t.from == "wait_certificate" &&
+               t.message ==
+                   static_cast<std::uint8_t>(
+                       tls::HandshakeType::kCompressedCertificate);
+      });
+  ASSERT_NE(it, client.transitions.end());
+  client.transitions.erase(it, client.transitions.end());
+  Report report = verify::run_all(client, tls::server_spec());
+  EXPECT_FALSE(verify::all_passed(report));
+  const PropertyResult* coverage =
+      property(report, "joint.emission_coverage");
+  ASSERT_NE(coverage, nullptr);
+  EXPECT_FALSE(coverage->passed);
+  ASSERT_FALSE(coverage->violations.empty());
+  EXPECT_NE(coverage->violations[0].find("orphan emission"),
+            std::string::npos);
+}
+
+TEST(VerifyMutation, DeletingMerkleCertificateRuleFailsCoverage) {
+  StateMachineSpec client = tls::client_spec();
+  auto it = std::remove_if(
+      client.transitions.begin(), client.transitions.end(),
+      [](const SpecTransition& t) {
+        return t.from == "wait_certificate" &&
+               t.message == static_cast<std::uint8_t>(
+                                tls::HandshakeType::kMerkleCertificate);
+      });
+  ASSERT_NE(it, client.transitions.end());
+  client.transitions.erase(it, client.transitions.end());
+  Report report = verify::run_all(client, tls::server_spec());
+  EXPECT_FALSE(verify::all_passed(report));
+  EXPECT_FALSE(property(report, "joint.emission_coverage")->passed);
+}
+
+TEST(VerifyMutation, DeletingServerCompressedOutcomeFailsCoverage) {
+  // The mirror-image mutation: without the server's ok_compressed outcome
+  // nothing ever emits CompressedCertificate, so the client's rule for it
+  // is dead code the joint exploration cannot reach.
+  StateMachineSpec server = tls::server_spec();
+  bool erased = false;
+  for (SpecTransition& t : server.transitions) {
+    if (t.from != "wait_client_hello") continue;
+    auto it = std::remove_if(
+        t.outcomes.begin(), t.outcomes.end(),
+        [](const SpecOutcome& o) { return o.label == "ok_compressed"; });
+    erased = it != t.outcomes.end();
+    t.outcomes.erase(it, t.outcomes.end());
+  }
+  ASSERT_TRUE(erased);
+  Report report = verify::run_all(tls::client_spec(), server);
+  EXPECT_FALSE(verify::all_passed(report));
+  const PropertyResult* coverage =
+      property(report, "joint.emission_coverage");
+  ASSERT_NE(coverage, nullptr);
+  EXPECT_FALSE(coverage->passed);
+  ASSERT_FALSE(coverage->violations.empty());
+  EXPECT_NE(coverage->violations[0].find("dead rule"), std::string::npos);
+}
+
+TEST(VerifyMutation, DeletingServerMerkleOutcomeFailsCoverage) {
+  StateMachineSpec server = tls::server_spec();
+  bool erased = false;
+  for (SpecTransition& t : server.transitions) {
+    if (t.from != "wait_client_hello") continue;
+    auto it = std::remove_if(
+        t.outcomes.begin(), t.outcomes.end(),
+        [](const SpecOutcome& o) { return o.label == "ok_merkle"; });
+    erased = it != t.outcomes.end();
+    t.outcomes.erase(it, t.outcomes.end());
+  }
+  ASSERT_TRUE(erased);
+  Report report = verify::run_all(tls::client_spec(), server);
+  EXPECT_FALSE(verify::all_passed(report));
+  EXPECT_FALSE(property(report, "joint.emission_coverage")->passed);
 }
 
 TEST(VerifyMutation, RetargetedResumeOutcomeBreaksDeterminism) {
