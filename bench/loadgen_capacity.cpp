@@ -6,6 +6,9 @@
 // deterministic and takes seconds of wall clock.
 //
 //   loadgen_capacity [points] [out.jsonl]
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -68,6 +71,8 @@ int main(int argc, char** argv) {
               "knee[1/s]", "knee ach.", "knee p99", "knee/cap");
 
   bool all_ok = true;
+  long long sim_events = 0;
+  const auto wall0 = std::chrono::steady_clock::now();
   for (const Pair& pair : kPairs) {
     loadgen::LoadConfig config = base;
     config.ka = pair.ka;
@@ -86,6 +91,7 @@ int main(int argc, char** argv) {
                   "no point in SLO");
       all_ok = false;
     }
+    for (const auto& point : r.points) sim_events += point.metrics.sim_events;
     if (sink) {
       int index = 0;
       for (const auto& point : r.points) {
@@ -108,5 +114,18 @@ int main(int argc, char** argv) {
 
   std::printf("\nknee = highest offered load with p99 <= SLO and <1%% "
               "loss; capacity = cores / per-handshake server CPU.\n");
+
+  // Simulator throughput, for tracking the discrete-event core itself:
+  // total events across every sweep point, wall-clock rate, and peak RSS.
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall0)
+                            .count();
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  std::printf("simulated %lld events in %.2fs wall (%.2fM events/s), "
+              "peak RSS %.1f MiB\n",
+              sim_events, wall_s,
+              wall_s > 0 ? sim_events / wall_s / 1e6 : 0.0,
+              static_cast<double>(usage.ru_maxrss) / 1024.0);
   return all_ok ? 0 : 2;
 }

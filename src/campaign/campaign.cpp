@@ -167,6 +167,91 @@ CampaignSpec build_loadgen(const char* name, const char* description,
   return spec;
 }
 
+// Fleet campaign: the capacity-knee surface of a multi-server fleet —
+// fleet size x algorithm pair x balancing policy at 90% of aggregate
+// analytic capacity, plus one churn cell (clients arriving/departing
+// mid-run, two event-loop shards) and one heterogeneous-client-class cell
+// (wired / LTE-M / 5G mix from the netem scenario set). Rows carry SLO
+// columns (p99 against slo_ms, <=1% loss), golden-locked like every other
+// campaign and byte-identical at any worker or shard count.
+CampaignSpec build_fleet() {
+  CampaignSpec spec;
+  spec.name = "fleet";
+  spec.description =
+      "Fleet capacity knee: servers x algorithm x balancing policy at 0.9x "
+      "aggregate capacity, with churn and client-class cells";
+  static constexpr const char* kPairs[][2] = {
+      {"x25519", "rsa:2048"},
+      {"kyber512", "dilithium2"},
+      {"kyber512", "sphincs128"},
+  };
+  static constexpr loadgen::BalancerKind kBalancers[] = {
+      loadgen::BalancerKind::kRoundRobin,
+      loadgen::BalancerKind::kLeastLoaded,
+      loadgen::BalancerKind::kPowerOfTwo,
+  };
+  auto base = [](const char* ka, const char* sa) {
+    loadgen::LoadConfig load;
+    load.ka = ka;
+    load.sa = sa;
+    load.arrival = loadgen::Arrival::kPoisson;
+    load.load_factor = 0.9;
+    load.cores = 4;
+    load.backlog = 256;
+    load.timeout_s = 1.0;
+    load.duration_s = 2.0;
+    load.warmup_s = 0.25;
+    return load;
+  };
+  auto add = [&spec](loadgen::LoadConfig load, const std::string& suffix) {
+    Cell cell;
+    cell.id = load.ka + "/" + load.sa + "/" + suffix;
+    cell.config.ka = load.ka;
+    cell.config.sa = load.sa;
+    cell.loadgen = std::move(load);
+    spec.cells.push_back(std::move(cell));
+  };
+  for (const auto& pair : kPairs) {
+    for (int servers : {2, 4}) {
+      for (loadgen::BalancerKind balancer : kBalancers) {
+        loadgen::LoadConfig load = base(pair[0], pair[1]);
+        load.servers = servers;
+        load.balancer = balancer;
+        char suffix[48];
+        std::snprintf(suffix, sizeof(suffix), "fleet-%ds-%s", servers,
+                      loadgen::balancer_name(balancer));
+        add(std::move(load), suffix);
+      }
+    }
+  }
+  {
+    // Churn: a closed-loop base population plus clients arriving at 20/s
+    // with ~1 s lifetimes, on two shards (results are shard-invariant).
+    loadgen::LoadConfig load = base("x25519", "rsa:2048");
+    load.arrival = loadgen::Arrival::kClosed;
+    load.clients = 32;
+    load.servers = 4;
+    load.balancer = loadgen::BalancerKind::kLeastLoaded;
+    load.shards = 2;
+    load.churn_rate = 20.0;
+    load.churn_lifetime_s = 1.0;
+    add(std::move(load), "fleet-churn");
+  }
+  {
+    // Heterogeneous client classes from the standard netem scenario set.
+    loadgen::LoadConfig load = base("kyber512", "dilithium2");
+    load.servers = 4;
+    load.balancer = loadgen::BalancerKind::kPowerOfTwo;
+    load.client_classes = {
+        {"wired", {.loss = 0, .delay_s = 0.005, .rate_bps = 0}, 0.6},
+        {"lte-m", {.loss = 0.10, .delay_s = 0.1, .rate_bps = 1e6}, 0.2},
+        {"5g", {.loss = 0.04, .delay_s = 0.022, .rate_bps = 880e6}, 0.2},
+    };
+    add(std::move(load), "fleet-classes");
+  }
+  return spec;
+}
+
 // Session-resumption campaign: every representative pair measured three
 // ways — full handshake, every-sample psk_dhe_ke resumption, and resumption
 // with accepted 0-RTT early data. The /full cell re-measures the pair under
@@ -287,6 +372,7 @@ const std::vector<CampaignSpec>& campaigns() {
         "loadgen_sigs",
         "Loadgen capacity: representative SAs with x25519, 4-core server",
         loadgen_sas(), /*vary_ka=*/false));
+    out.push_back(build_fleet());
     out.push_back(build_resumption());
     out.push_back(build_cert_chains());
     out.push_back(build_all(out));

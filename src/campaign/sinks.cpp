@@ -1,6 +1,8 @@
 #include "campaign/sinks.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <string_view>
@@ -11,11 +13,19 @@ namespace {
 
 // snprintf with a C locale-independent fixed format: identical doubles
 // always serialize to identical bytes, which the determinism guarantee
-// (equal rows at any worker count) depends on.
+// (equal rows at any worker count) depends on. Non-finite values (the
+// engines report NaN percentiles for a window with zero completions)
+// canonicalize to "nan" — platform printf would emit "nan"/"-nan"/"nan(…)".
 std::string fmt_ms(double seconds) {
+  if (!std::isfinite(seconds)) return "nan";
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6f", seconds * 1e3);
   return buf;
+}
+
+// JSON has no NaN literal; empty windows serialize as null.
+std::string fmt_ms_json(double seconds) {
+  return std::isfinite(seconds) ? fmt_ms(seconds) : "null";
 }
 
 std::string json_escape(std::string_view text) {
@@ -71,10 +81,35 @@ bool is_loadgen_campaign(const CampaignSpec& spec) {
   return !spec.cells.empty() && spec.cells.front().loadgen.has_value();
 }
 
+bool is_fleet_campaign(const CampaignSpec& spec) {
+  return is_loadgen_campaign(spec) && spec.cells.front().loadgen->is_fleet();
+}
+
+// SLO verdict for fleet rows: tail latency within the configured budget and
+// at most 1% of arrivals lost to drops/abandonment (the sweep's knee rule).
+bool within_slo(const loadgen::LoadConfig& lc, const CellOutcome& o) {
+  const auto& m = o.load;
+  if (!o.ok() || !std::isfinite(m.p99)) return false;
+  double lost = static_cast<double>(m.dropped + m.timed_out);
+  return m.p99 <= lc.slo_s &&
+         (m.arrivals <= 0 || lost <= 0.01 * static_cast<double>(m.arrivals));
+}
+
+// A sink receiving ok=true metrics with non-finite percentiles means an
+// engine skipped the zero-completion guard — fail loudly in debug builds.
+void check_percentiles(const CellOutcome& o) {
+  assert((!o.cell.loadgen || !o.ok() ||
+          (std::isfinite(o.load.p50) && std::isfinite(o.load.p90) &&
+           std::isfinite(o.load.p99) && std::isfinite(o.load.p999))) &&
+         "ok metrics must carry finite percentiles");
+  (void)o;
+}
+
 }  // namespace
 
 void JsonlSink::cell(const CellOutcome& o) {
   if (o.cell.loadgen) {
+    check_percentiles(o);
     const auto& lc = *o.cell.loadgen;
     const auto& m = o.load;
     out_ << "{\"campaign\":\"" << json_escape(o.campaign) << "\""
@@ -91,16 +126,29 @@ void JsonlSink::cell(const CellOutcome& o) {
          << ",\"offered_hs_s\":" << fmt_rate(m.offered_rate)
          << ",\"achieved_hs_s\":" << fmt_rate(m.achieved_rate)
          << ",\"capacity_hs_s\":" << fmt_rate(m.analytic_capacity)
-         << ",\"p50_ms\":" << fmt_ms(m.p50)
-         << ",\"p90_ms\":" << fmt_ms(m.p90)
-         << ",\"p99_ms\":" << fmt_ms(m.p99)
-         << ",\"p999_ms\":" << fmt_ms(m.p999)
+         << ",\"p50_ms\":" << fmt_ms_json(m.p50)
+         << ",\"p90_ms\":" << fmt_ms_json(m.p90)
+         << ",\"p99_ms\":" << fmt_ms_json(m.p99)
+         << ",\"p999_ms\":" << fmt_ms_json(m.p999)
          << ",\"mean_queue_depth\":" << fmt_rate(m.mean_queue_depth)
          << ",\"core_utilization\":" << fmt_rate(m.core_utilization)
          << ",\"arrivals\":" << m.arrivals
          << ",\"completed\":" << m.completed
          << ",\"dropped\":" << m.dropped
-         << ",\"timed_out\":" << m.timed_out << "}\n";
+         << ",\"timed_out\":" << m.timed_out;
+    if (lc.is_fleet()) {
+      out_ << ",\"servers\":" << lc.servers
+           << ",\"balancer\":\"" << loadgen::balancer_name(lc.balancer)
+           << "\""
+           << ",\"shards\":" << lc.shards
+           << ",\"min_server_util\":" << fmt_rate(m.min_server_util)
+           << ",\"max_server_util\":" << fmt_rate(m.max_server_util)
+           << ",\"churn_arrived\":" << m.churn_arrived
+           << ",\"churn_departed\":" << m.churn_departed
+           << ",\"slo_ms\":" << fmt_ms(lc.slo_s)
+           << ",\"within_slo\":" << (within_slo(lc, o) ? "true" : "false");
+    }
+    out_ << "}\n";
     return;
   }
   const auto& c = o.cell.config;
@@ -128,7 +176,11 @@ void CsvSink::begin(const CampaignSpec& spec, const RunnerOptions&) {
     out_ << "campaign,id,ka,sa,arrival,policy,seed,ok,error,cores,backlog,"
             "offered_hs_s,achieved_hs_s,capacity_hs_s,p50_ms,p90_ms,p99_ms,"
             "p999_ms,mean_queue_depth,core_utilization,arrivals,completed,"
-            "dropped,timed_out\n";
+            "dropped,timed_out";
+    if (is_fleet_campaign(spec))
+      out_ << ",servers,balancer,shards,min_server_util,max_server_util,"
+              "churn_arrived,churn_departed,slo_ms,within_slo";
+    out_ << "\n";
     return;
   }
   out_ << "campaign,id,ka,sa,scenario,seed,ok,timed_out,error,samples,"
@@ -138,6 +190,7 @@ void CsvSink::begin(const CampaignSpec& spec, const RunnerOptions&) {
 
 void CsvSink::cell(const CellOutcome& o) {
   if (o.cell.loadgen) {
+    check_percentiles(o);
     const auto& lc = *o.cell.loadgen;
     const auto& m = o.load;
     out_ << csv_escape(o.campaign) << ',' << csv_escape(o.cell.id) << ','
@@ -151,7 +204,16 @@ void CsvSink::cell(const CellOutcome& o) {
          << fmt_ms(m.p90) << ',' << fmt_ms(m.p99) << ',' << fmt_ms(m.p999)
          << ',' << fmt_rate(m.mean_queue_depth) << ','
          << fmt_rate(m.core_utilization) << ',' << m.arrivals << ','
-         << m.completed << ',' << m.dropped << ',' << m.timed_out << '\n';
+         << m.completed << ',' << m.dropped << ',' << m.timed_out;
+    if (lc.is_fleet()) {
+      out_ << ',' << lc.servers << ','
+           << loadgen::balancer_name(lc.balancer) << ',' << lc.shards << ','
+           << fmt_rate(m.min_server_util) << ','
+           << fmt_rate(m.max_server_util) << ',' << m.churn_arrived << ','
+           << m.churn_departed << ',' << fmt_ms(lc.slo_s) << ','
+           << (within_slo(lc, o) ? "true" : "false");
+    }
+    out_ << '\n';
     return;
   }
   const auto& c = o.cell.config;
@@ -195,6 +257,7 @@ void AsciiSink::begin(const CampaignSpec& spec, const RunnerOptions& opts) {
 
 void AsciiSink::cell(const CellOutcome& o) {
   if (o.cell.loadgen) {
+    check_percentiles(o);
     char line[256];
     if (!o.ok()) {
       std::snprintf(line, sizeof(line), "%-34s FAILED: %s\n",

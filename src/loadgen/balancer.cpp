@@ -1,0 +1,84 @@
+#include "loadgen/balancer.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pqtls::loadgen {
+
+namespace {
+
+class RoundRobin final : public Balancer {
+ public:
+  int pick(const std::vector<int>& outstanding) override {
+    return static_cast<int>(next_++ % outstanding.size());
+  }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+class LeastLoaded final : public Balancer {
+ public:
+  int pick(const std::vector<int>& outstanding) override {
+    int best = 0;
+    for (int s = 1; s < static_cast<int>(outstanding.size()); ++s)
+      if (outstanding[s] < outstanding[best]) best = s;
+    return best;
+  }
+};
+
+class PowerOfTwo final : public Balancer {
+ public:
+  explicit PowerOfTwo(crypto::Drbg rng) : rng_(std::move(rng)) {}
+
+  int pick(const std::vector<int>& outstanding) override {
+    const auto n = static_cast<std::uint64_t>(outstanding.size());
+    // Two independent probes (they may coincide — the textbook scheme);
+    // the first probe wins ties so the draw order fully fixes the choice.
+    int i = static_cast<int>(rng_.uniform(n));
+    int j = static_cast<int>(rng_.uniform(n));
+    return outstanding[j] < outstanding[i] ? j : i;
+  }
+
+ private:
+  crypto::Drbg rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<Balancer> make_balancer(BalancerKind kind, crypto::Drbg rng) {
+  switch (kind) {
+    case BalancerKind::kRoundRobin:
+      return std::make_unique<RoundRobin>();
+    case BalancerKind::kLeastLoaded:
+      return std::make_unique<LeastLoaded>();
+    case BalancerKind::kPowerOfTwo:
+      return std::make_unique<PowerOfTwo>(std::move(rng));
+  }
+  throw std::invalid_argument("unknown balancer kind");
+}
+
+const char* balancer_name(BalancerKind kind) {
+  switch (kind) {
+    case BalancerKind::kRoundRobin:
+      return "round_robin";
+    case BalancerKind::kLeastLoaded:
+      return "least_loaded";
+    case BalancerKind::kPowerOfTwo:
+      return "power_of_two";
+  }
+  return "?";
+}
+
+BalancerKind parse_balancer(const std::string& name) {
+  if (name == "round_robin" || name == "rr")
+    return BalancerKind::kRoundRobin;
+  if (name == "least_loaded" || name == "ll")
+    return BalancerKind::kLeastLoaded;
+  if (name == "power_of_two" || name == "p2c" || name == "po2")
+    return BalancerKind::kPowerOfTwo;
+  throw std::invalid_argument("unknown balancer: " + name +
+                              " (round_robin|least_loaded|power_of_two)");
+}
+
+}  // namespace pqtls::loadgen

@@ -1,0 +1,40 @@
+// Load-balancing seam for the fleet engine: maps an incoming connection to
+// one of M servers given the frontend's *mirror* of per-server outstanding
+// connections. The mirror is intentionally stale — assignments increment it
+// immediately, but completions/drops/abandons decrement it only after the
+// notification has travelled one client link delay back to the balancer —
+// which is exactly the information a real L4 balancer acts on.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/drbg.hpp"
+
+namespace pqtls::loadgen {
+
+enum class BalancerKind {
+  kRoundRobin,   // strict rotation, ignores load
+  kLeastLoaded,  // global-minimum outstanding, lowest index wins ties
+  kPowerOfTwo,   // two uniform probes, pick the less loaded (Mitzenmacher)
+};
+
+class Balancer {
+ public:
+  virtual ~Balancer() = default;
+  /// Pick a server index given the outstanding-connection mirror.
+  virtual int pick(const std::vector<int>& outstanding) = 0;
+};
+
+/// `rng` feeds the randomized policies (power-of-two probes); deterministic
+/// policies never draw from it, so policy choice does not perturb the other
+/// DRBG streams.
+std::unique_ptr<Balancer> make_balancer(BalancerKind kind, crypto::Drbg rng);
+
+const char* balancer_name(BalancerKind kind);
+/// Accepts the canonical names plus short forms ("rr", "ll", "p2c");
+/// throws std::invalid_argument otherwise.
+BalancerKind parse_balancer(const std::string& name);
+
+}  // namespace pqtls::loadgen

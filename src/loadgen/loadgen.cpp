@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <set>
@@ -12,6 +13,8 @@
 #include "analysis/stats.hpp"
 #include "crypto/catalog.hpp"
 #include "crypto/drbg.hpp"
+#include "loadgen/fleet.hpp"
+#include "loadgen/model.hpp"
 #include "perf/cost_model.hpp"
 #include "sim/event_loop.hpp"
 
@@ -20,18 +23,14 @@ namespace pqtls::loadgen {
 namespace {
 
 using crypto::Drbg;
+using model::exp_sample;
+using model::Job;
+using model::JobOrder;
+using model::kFinishedWire;
+using model::Payloads;
+using model::Stage;
+using model::TimeAvg;
 using sim::EventLoop;
-
-// Uplink wire budget attributed to the client Finished flight (sealed
-// Finished record plus its ACK frames); the rest of the calibrated client
-// volume travels with the SYN and the ClientHello flight.
-constexpr std::size_t kFinishedWire = 200;
-
-double exp_sample(Drbg& rng, double mean) {
-  if (mean <= 0) return 0;
-  // rng.real() is in [0, 1), so the argument of log1p stays in (-1, 0].
-  return -std::log1p(-rng.real()) * mean;
-}
 
 }  // namespace
 
@@ -144,15 +143,9 @@ double analytic_capacity(const LoadConfig& config,
 
 namespace {
 
-// Handshake flights are plain packets on the shared links; the connection
-// index rides in tcp.seq and the flight kind in tcp.ack.
-enum class Stage : std::uint32_t {
-  kSyn = 0,
-  kSynAck = 1,
-  kClientHello = 2,
-  kServerFlight = 3,
-  kClientFinished = 4,
-};
+// The handshake stage/job/payload model is shared with the fleet engine in
+// loadgen/model.hpp; flights here are plain packets on the two shared
+// links — the connection index rides in tcp.seq, the Stage in tcp.ack.
 
 struct Conn {
   double arrival = 0;  // SYN emission time at the client
@@ -162,55 +155,6 @@ struct Conn {
   bool dropped = false;
   bool abandoned = false;
   bool done = false;
-};
-
-struct Job {
-  std::uint32_t conn = 0;
-  double cost = 0;
-  std::uint64_t seq = 0;  // admission order; FIFO key and SJF tie-break
-  bool final_stage = false;
-};
-
-struct JobOrder {
-  bool sjf;
-  bool operator()(const Job& a, const Job& b) const {
-    if (sjf && a.cost != b.cost) return a.cost < b.cost;
-    return a.seq < b.seq;
-  }
-};
-
-// Time-weighted average of a piecewise-constant quantity over the
-// measurement window [t0, t1): call advance(now, value_held_since_last)
-// immediately before every change of the quantity.
-struct TimeAvg {
-  double t0 = 0, t1 = 0;
-  double last = 0, integral = 0;
-
-  void advance(double now, double value) {
-    double a = std::clamp(last, t0, t1);
-    double b = std::clamp(now, t0, t1);
-    integral += value * (b - a);
-    last = now;
-  }
-  double mean() const { return t1 > t0 ? integral / (t1 - t0) : 0; }
-};
-
-// Per-profile flight payload sizes: reproduce the calibrated per-direction
-// wire volume across the handshake's packets (SYN/SYN-ACK and each
-// flight's own frame carry net::kFrameOverhead).
-struct Payloads {
-  std::size_t ch = 0, fin = 0, flight = 0;
-
-  explicit Payloads(const HandshakeProfile& profile) {
-    std::size_t up = profile.client_bytes;
-    std::size_t overhead = 2 * net::kFrameOverhead + kFinishedWire;
-    ch = up > overhead + 64 ? up - overhead : 64;
-    fin = kFinishedWire - net::kFrameOverhead;
-    std::size_t down = profile.server_bytes;
-    flight = down > 2 * net::kFrameOverhead + 64
-                 ? down - 2 * net::kFrameOverhead
-                 : 64;
-  }
 };
 
 class Engine {
@@ -255,8 +199,10 @@ class Engine {
         schedule_client_start(i, exp_sample(think_rng_, config_.think_s));
     }
     // Arrivals stop at t1_; drain in-flight handshakes up to the timeout.
-    loop_.run(t1_ + config_.timeout_s + 5.0);
-    return finish();
+    std::size_t events = loop_.run(t1_ + config_.timeout_s + 5.0);
+    LoadMetrics metrics = finish();
+    metrics.sim_events = static_cast<long long>(events);
+    return metrics;
   }
 
  private:
@@ -490,6 +436,11 @@ class Engine {
       m.p90 = analysis::percentile(latencies_, 90);
       m.p99 = analysis::percentile(latencies_, 99);
       m.p999 = analysis::percentile(latencies_, 99.9);
+    } else {
+      // No completions: there is no latency distribution. NaN, not 0 —
+      // "instantly fast" is the one thing an empty window does not mean.
+      double nan = std::numeric_limits<double>::quiet_NaN();
+      m.mean_latency = m.p50 = m.p90 = m.p99 = m.p999 = nan;
     }
     return m;
   }
@@ -530,6 +481,10 @@ class Engine {
 }  // namespace
 
 LoadMetrics run_load(const LoadConfig& config) {
+  // Fleet-class configs run on the sharded multi-server engine; the
+  // default class keeps this classic engine, so its golden rows stay
+  // byte-identical by construction.
+  if (config.is_fleet()) return run_fleet(config);
   std::uint64_t pki_seed = config.pki_seed ? config.pki_seed : config.seed;
   const HandshakeProfile& profile =
       calibrated_profile(config.ka, config.sa, pki_seed, /*resumed=*/false,

@@ -13,7 +13,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "loadgen/balancer.hpp"
 #include "net/link.hpp"
 #include "testbed/testbed.hpp"
 
@@ -29,6 +31,15 @@ enum class Arrival {
 enum class Policy {
   kFifo,  // first-come first-served (arrival order)
   kSjf,   // shortest job first (by modeled cost, FIFO tie-break)
+};
+
+/// One client population sharing a link class in a fleet run. Weights are
+/// relative draw probabilities for open-loop arrivals and churn clients and
+/// a proportional split of the fixed closed-loop pool.
+struct ClientClass {
+  std::string name = "default";
+  net::NetemConfig netem{.loss = 0, .delay_s = 0.005, .rate_bps = 0};
+  double weight = 1.0;
 };
 
 struct LoadConfig {
@@ -93,6 +104,38 @@ struct LoadConfig {
   /// the pre-hierarchy engine.
   pki::ChainProfile chain_profile;
   tls::CertMode cert_mode = tls::CertMode::kFull;
+
+  // ---- fleet extensions (DESIGN.md §6f) ----
+  // Any non-default value below routes run_load() to the fleet engine
+  // (see is_fleet()); the defaults keep the classic single-server engine
+  // and its byte-identical golden rows.
+
+  /// Number of servers behind the balancer, each with `cores` cores and
+  /// its own `backlog` accept queue.
+  int servers = 1;
+  BalancerKind balancer = BalancerKind::kRoundRobin;
+  /// Event-loop shards for the fleet engine; 0 or 1 runs serial. Results
+  /// are bit-identical at any shard count (ShardedEventLoop contract), so
+  /// this is purely a wall-clock knob.
+  std::uint32_t shards = 1;
+  /// Client churn: Poisson arrivals of new closed-loop clients
+  /// (clients/second) with exponentially distributed lifetime; a churn
+  /// client issues think-separated connections until it departs. 0 = off.
+  double churn_rate = 0;
+  double churn_lifetime_s = 30.0;
+  /// Heterogeneous client link classes; empty = one class built from
+  /// `netem` above. The fleet lookahead is the minimum class delay.
+  std::vector<ClientClass> client_classes;
+  /// SLO threshold on p99 handshake latency (seconds); fleet campaign rows
+  /// report slo_ms and a within_slo verdict against it.
+  double slo_s = 0.05;
+
+  /// True when any fleet-only feature is engaged; run_load() then uses the
+  /// sharded fleet engine instead of the classic single-server engine.
+  bool is_fleet() const {
+    return servers > 1 || balancer != BalancerKind::kRoundRobin ||
+           shards > 1 || churn_rate > 0 || !client_classes.empty();
+  }
 };
 
 /// Per-handshake work profile: wire volumes calibrated from one modeled
@@ -140,7 +183,9 @@ struct LoadMetrics {
   double achieved_rate = 0;      // completions/s in the window
   double analytic_capacity = 0;  // cores / server CPU (see above)
 
-  // Handshake latency (SYN to handshake completion), seconds.
+  // Handshake latency (SYN to handshake completion), seconds. NaN when the
+  // measurement window saw zero completions (ok=false) — a window with no
+  // data has no percentiles, and 0.0 would read as "instant".
   double p50 = 0, p90 = 0, p99 = 0, p999 = 0;
   double mean_latency = 0;
 
@@ -155,10 +200,21 @@ struct LoadMetrics {
   double server_cpu_s = 0;         // per handshake, from the profile
   std::size_t client_bytes = 0;    // per handshake, from the profile
   std::size_t server_bytes = 0;
+
+  // ---- fleet extensions (zero under the classic single-server engine,
+  // except sim_events, which both engines report) ----
+  long long sim_events = 0;     // discrete events the simulation processed
+  double min_server_util = 0;   // least/most utilized server in the fleet
+  double max_server_util = 0;
+  long long churn_arrived = 0;  // churn clients that joined in the window
+  long long churn_departed = 0;
 };
 
 /// Simulate one load configuration to completion and report metrics.
-/// Deterministic: depends only on the config (including seeds).
+/// Deterministic: depends only on the config (including seeds). Dispatches
+/// to the fleet engine when config.is_fleet(); the default config class
+/// runs the classic single-server engine unchanged, so existing golden
+/// rows are byte-identical by construction.
 LoadMetrics run_load(const LoadConfig& config);
 
 }  // namespace pqtls::loadgen

@@ -1,0 +1,90 @@
+// Shared internals of the two load-generation engines (the classic
+// single-server Engine in loadgen.cpp and the fleet engine in fleet.cpp):
+// the handshake stage/job model, the measurement-window integrator, and
+// the calibrated flight payload split. Internal header — not part of the
+// subsystem's public surface.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/drbg.hpp"
+#include "loadgen/loadgen.hpp"
+#include "net/packet.hpp"
+
+namespace pqtls::loadgen::model {
+
+/// Uplink wire budget attributed to the client Finished flight (sealed
+/// Finished record plus its ACK frames); the rest of the calibrated client
+/// volume travels with the SYN and the ClientHello flight.
+constexpr std::size_t kFinishedWire = 200;
+
+inline double exp_sample(crypto::Drbg& rng, double mean) {
+  if (mean <= 0) return 0;
+  // rng.real() is in [0, 1), so the argument of log1p stays in (-1, 0].
+  return -std::log1p(-rng.real()) * mean;
+}
+
+/// Handshake flights as they appear on the wire; the classic engine packs
+/// the stage into tcp.ack, the fleet engine into its event argument.
+enum class Stage : std::uint32_t {
+  kSyn = 0,
+  kSynAck = 1,
+  kClientHello = 2,
+  kServerFlight = 3,
+  kClientFinished = 4,
+};
+
+/// A handshake CPU step waiting for (or holding) a server core.
+struct Job {
+  std::uint32_t conn = 0;
+  double cost = 0;
+  std::uint64_t seq = 0;  // admission order; FIFO key and SJF tie-break
+  bool final_stage = false;
+};
+
+struct JobOrder {
+  bool sjf;
+  bool operator()(const Job& a, const Job& b) const {
+    if (sjf && a.cost != b.cost) return a.cost < b.cost;
+    return a.seq < b.seq;
+  }
+};
+
+/// Time-weighted average of a piecewise-constant quantity over the
+/// measurement window [t0, t1): call advance(now, value_held_since_last)
+/// immediately before every change of the quantity.
+struct TimeAvg {
+  double t0 = 0, t1 = 0;
+  double last = 0, integral = 0;
+
+  void advance(double now, double value) {
+    double a = std::clamp(last, t0, t1);
+    double b = std::clamp(now, t0, t1);
+    integral += value * (b - a);
+    last = now;
+  }
+  double mean() const { return t1 > t0 ? integral / (t1 - t0) : 0; }
+};
+
+/// Per-profile flight payload sizes: reproduce the calibrated per-direction
+/// wire volume across the handshake's packets (SYN/SYN-ACK and each
+/// flight's own frame carry net::kFrameOverhead).
+struct Payloads {
+  std::size_t ch = 0, fin = 0, flight = 0;
+
+  explicit Payloads(const HandshakeProfile& profile) {
+    std::size_t up = profile.client_bytes;
+    std::size_t overhead = 2 * net::kFrameOverhead + kFinishedWire;
+    ch = up > overhead + 64 ? up - overhead : 64;
+    fin = kFinishedWire - net::kFrameOverhead;
+    std::size_t down = profile.server_bytes;
+    flight = down > 2 * net::kFrameOverhead + 64
+                 ? down - 2 * net::kFrameOverhead
+                 : 64;
+  }
+};
+
+}  // namespace pqtls::loadgen::model

@@ -1,20 +1,28 @@
-// Discrete-event simulation core. The virtual clock advances through
+// Discrete-event simulation loop. The virtual clock advances through
 // scheduled events only; hosts inject *measured real compute time* of the
 // actual cryptographic/TLS code as virtual delays, and links inject
 // propagation/serialization delays — reproducing the paper's
 // "real crypto + emulated network" testbed (see DESIGN.md section 1).
+//
+// The heap itself lives in sim::EventQueue (shared with the sharded fleet
+// loop); this class keeps the single-queue std::function front-end every
+// testbed/TCP call site uses. Ordering is (time, global FIFO sequence),
+// unchanged — campaign goldens depend on it.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <vector>
+
+#include "sim/event_queue.hpp"
 
 namespace pqtls::sim {
 
 class EventLoop {
  public:
   using Callback = std::function<void()>;
+  /// Observes past-time scheduling (see schedule_at); args are the
+  /// requested time and the clock value it was clamped to.
+  using PastScheduleHook = std::function<void(double requested, double now)>;
 
   /// Sentinel horizon for run(): drain the queue without advancing the
   /// clock past the last event (there is no "end time" to advance to).
@@ -22,13 +30,29 @@ class EventLoop {
 
   double now() const { return now_; }
 
-  /// Schedule at an absolute simulation time (clamped to now).
+  /// Schedule at an absolute simulation time. A time in the past is
+  /// clamped to now — that keeps sloppy "zero-delay" call sites working —
+  /// but it is also exactly how a shard-synchronization bug would be
+  /// silently absorbed, so every clamp is counted and reported through
+  /// past_schedules() / the optional hook instead of vanishing.
   void schedule_at(double time, Callback cb) {
-    if (time < now_) time = now_;
-    queue_.push(Event{time, next_seq_++, std::move(cb)});
+    if (time < now_) {
+      ++past_schedules_;
+      if (past_schedule_hook_) past_schedule_hook_(time, now_);
+      time = now_;
+    }
+    queue_.push(time, next_seq_++, std::move(cb));
   }
   void schedule_in(double delay, Callback cb) {
     schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Number of schedule_at calls that asked for a time before now().
+  std::uint64_t past_schedules() const { return past_schedules_; }
+  /// Install an observer fired on every past-time clamp (before the event
+  /// is enqueued). Debug harnesses assert/log here; null detaches.
+  void set_past_schedule_hook(PastScheduleHook hook) {
+    past_schedule_hook_ = std::move(hook);
   }
 
   /// Run events until the queue is empty or the horizon is reached.
@@ -40,10 +64,9 @@ class EventLoop {
     std::size_t processed = 0;
     while (!queue_.empty() && !stopped_) {
       if (queue_.top().time > horizon) break;
-      Event event = queue_.top();
-      queue_.pop();
+      auto event = queue_.pop();
       now_ = event.time;
-      event.callback();
+      event.payload();
       ++processed;
     }
     if (horizon != kRunForever && !stopped_ && now_ < horizon) now_ = horizon;
@@ -53,10 +76,9 @@ class EventLoop {
   /// Process exactly one event; returns false when idle.
   bool run_one() {
     if (queue_.empty() || stopped_) return false;
-    Event event = queue_.top();
-    queue_.pop();
+    auto event = queue_.pop();
     now_ = event.time;
-    event.callback();
+    event.payload();
     return true;
   }
 
@@ -65,21 +87,12 @@ class EventLoop {
   bool idle() const { return queue_.empty(); }
 
  private:
-  struct Event {
-    double time;
-    std::uint64_t seq;  // FIFO tie-break for simultaneous events
-    Callback callback;
-
-    bool operator>(const Event& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
-  };
-
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  EventQueue<Callback> queue_;
   double now_ = 0;
-  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_seq_ = 0;  // FIFO tie-break for simultaneous events
   bool stopped_ = false;
+  std::uint64_t past_schedules_ = 0;
+  PastScheduleHook past_schedule_hook_;
 };
 
 }  // namespace pqtls::sim

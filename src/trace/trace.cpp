@@ -72,7 +72,7 @@ void write_args(std::ostream& os, const Event& e) {
 
 Event& Recorder::record(std::string cat, std::string name, std::string who) {
   Event e;
-  e.t = clock_ ? clock_->now() : 0.0;
+  e.t = clock_ ? clock_->now() : manual_t_;
   e.cat = std::move(cat);
   e.name = std::move(name);
   e.who = std::move(who);

@@ -56,6 +56,14 @@ class Recorder {
   /// owns a fresh EventLoop). Null unbinds (events stamp t = 0).
   void set_clock(const sim::EventLoop* loop) { clock_ = loop; }
 
+  /// Manual timestamp source for drivers that are not an EventLoop (the
+  /// sharded fleet engine stamps each event from its own virtual clock).
+  /// Unbinds any bound loop; the value holds until the next call.
+  void set_manual_time(double t) {
+    clock_ = nullptr;
+    manual_t_ = t;
+  }
+
   /// Append an event stamped at the current clock; returns a reference for
   /// chained `.arg(...)` calls. The reference is invalidated by the next
   /// record() call.
@@ -78,6 +86,7 @@ class Recorder {
 
  private:
   const sim::EventLoop* clock_ = nullptr;
+  double manual_t_ = 0;  // used when no loop is bound (default keeps t=0)
   std::vector<Event> events_;
 };
 

@@ -11,6 +11,9 @@
 // Everything runs in deterministic virtual time: same flags + same seed =>
 // byte-identical output. Exit code: 0 = ok, 1 = usage error, 2 = the run
 // (or every sweep point) completed no handshake.
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,11 +22,15 @@
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hpp"
 #include "campaign/options.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/sinks.hpp"
 #include "crypto/catalog.hpp"
+#include "loadgen/fleet.hpp"
 #include "loadgen/sweep.hpp"
+#include "testbed/testbed.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -51,6 +58,21 @@ int usage(const char* argv0) {
       "  --timeout S           client abandonment timeout (default 2)\n"
       "  --delay-ms D          one-way network delay (default 5)\n"
       "  --rate-mbps M         per-direction link rate (default line rate)\n"
+      "\n"
+      "fleet (any of these switches to the sharded multi-server engine):\n"
+      "  --servers M           servers behind the balancer (default 1)\n"
+      "  --balancer NAME       round_robin|least_loaded|power_of_two\n"
+      "                        (short: rr|ll|p2c; default round_robin)\n"
+      "  --shards N            event-loop shards; results are bit-identical\n"
+      "                        at any N (default 1)\n"
+      "  --churn R[:LIFE]      churn clients arriving at R/s with mean\n"
+      "                        lifetime LIFE s (default lifetime 30)\n"
+      "  --client-classes SPEC comma list of netem scenario slugs with\n"
+      "                        optional weights, e.g. 'no-emulation:0.6,\n"
+      "                        lte-m:0.2,5g:0.2'\n"
+      "  --trace PATH          Chrome/Perfetto trace of sampled connections\n"
+      "                        through the fleet (forces --shards 1)\n"
+      "  --trace-every N       sample every Nth connection (default 1000)\n"
       "\n"
       "measurement:\n"
       "  --duration S          measurement window (default 10)\n"
@@ -97,6 +119,64 @@ double double_or(const char* text, double fallback, const char* what) {
   return v;
 }
 
+// "--churn R[:LIFE]": arrival rate, optional mean lifetime.
+bool parse_churn(const char* text, loadgen::LoadConfig& config) {
+  if (!text) return false;
+  std::string spec = text;
+  auto colon = spec.find(':');
+  config.churn_rate =
+      double_or(spec.substr(0, colon).c_str(), -1, "--churn rate");
+  if (config.churn_rate < 0) return false;
+  if (colon != std::string::npos) {
+    config.churn_lifetime_s = double_or(spec.substr(colon + 1).c_str(), -1,
+                                        "--churn lifetime");
+    if (config.churn_lifetime_s < 0) return false;
+  }
+  return true;
+}
+
+// "--client-classes slug[:weight],slug[:weight],…" — slugs name the
+// standard netem scenario set (see pqtls_campaign --list scenarios).
+bool parse_client_classes(const char* text, loadgen::LoadConfig& config) {
+  if (!text) return false;
+  const auto& scenarios = testbed::standard_scenarios();
+  std::string spec = text;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    auto comma = spec.find(',', pos);
+    std::string item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (item.empty()) continue;
+    auto colon = item.find(':');
+    std::string slug = item.substr(0, colon);
+    double weight = 1.0;
+    if (colon != std::string::npos) {
+      weight = double_or(item.substr(colon + 1).c_str(), 0, "class weight");
+      if (weight <= 0) return false;
+    }
+    const testbed::Scenario* found = nullptr;
+    for (const auto& s : scenarios)
+      if (campaign::scenario_slug(s.name) == slug) found = &s;
+    if (!found) {
+      std::fprintf(stderr, "unknown client class scenario '%s'; slugs:",
+                   slug.c_str());
+      for (const auto& s : scenarios)
+        std::fprintf(stderr, " %s", campaign::scenario_slug(s.name).c_str());
+      std::fprintf(stderr, "\n");
+      return false;
+    }
+    config.client_classes.push_back({slug, found->netem, weight});
+  }
+  return !config.client_classes.empty();
+}
+
+double peak_rss_mb() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -104,6 +184,8 @@ int main(int argc, char** argv) {
   loadgen::SweepOptions sweep_opts;
   bool sweep = false;
   std::string jsonl_path, csv_path;
+  std::string trace_path;
+  std::uint32_t trace_every = 1000;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -182,6 +264,34 @@ int main(int argc, char** argv) {
     } else if (arg == "--slo-ms") {
       sweep_opts.slo_s =
           double_or(value(), sweep_opts.slo_s * 1e3, "--slo-ms") * 1e-3;
+      config.slo_s = sweep_opts.slo_s;
+    } else if (arg == "--servers") {
+      config.servers = campaign::positive_int_or(value(), config.servers,
+                                                 "--servers");
+    } else if (arg == "--balancer") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      try {
+        config.balancer = loadgen::parse_balancer(v);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return usage(argv[0]);
+      }
+    } else if (arg == "--shards") {
+      config.shards = static_cast<std::uint32_t>(
+          campaign::positive_int_or(value(), static_cast<int>(config.shards),
+                                    "--shards"));
+    } else if (arg == "--churn") {
+      if (!parse_churn(value(), config)) return usage(argv[0]);
+    } else if (arg == "--client-classes") {
+      if (!parse_client_classes(value(), config)) return usage(argv[0]);
+    } else if (arg == "--trace") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      trace_path = v;
+    } else if (arg == "--trace-every") {
+      trace_every = static_cast<std::uint32_t>(campaign::positive_int_or(
+          value(), static_cast<int>(trace_every), "--trace-every"));
     } else if (arg == "--out") {
       const char* v = value();
       if (!v) return usage(argv[0]);
@@ -245,7 +355,19 @@ int main(int argc, char** argv) {
 
   try {
     if (!sweep) {
-      loadgen::LoadMetrics m = loadgen::run_load(config);
+      // --trace implies the fleet engine: only it threads a recorder
+      // through sampled connections.
+      bool fleet = config.is_fleet() || !trace_path.empty();
+      trace::Recorder recorder;
+      auto wall0 = std::chrono::steady_clock::now();
+      loadgen::LoadMetrics m =
+          fleet ? loadgen::run_fleet(
+                      config, trace_path.empty() ? nullptr : &recorder,
+                      trace_every)
+                : loadgen::run_load(config);
+      double wall_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall0)
+                          .count();
       std::printf("%s/%s  %s/%s  cores=%d backlog=%d\n", config.ka.c_str(),
                   config.sa.c_str(),
                   config.arrival == loadgen::Arrival::kPoisson ? "poisson"
@@ -262,10 +384,46 @@ int main(int argc, char** argv) {
                   m.p50 * 1e3, m.p90 * 1e3, m.p99 * 1e3, m.p999 * 1e3);
       std::printf("  queue     depth %6.2f      core utilization %5.1f%%\n",
                   m.mean_queue_depth, m.core_utilization * 100);
+      if (fleet) {
+        std::printf("  fleet     %d server%s x %d cores   balancer %s   "
+                    "shards %u   classes %zu\n",
+                    config.servers, config.servers == 1 ? "" : "s",
+                    config.cores,
+                    loadgen::balancer_name(config.balancer),
+                    config.shards,
+                    config.client_classes.empty()
+                        ? std::size_t{1}
+                        : config.client_classes.size());
+        std::printf("  servers   util min %5.1f%% max %5.1f%%   churn "
+                    "+%lld/-%lld\n",
+                    m.min_server_util * 100, m.max_server_util * 100,
+                    m.churn_arrived, m.churn_departed);
+        std::printf("  engine    %lld events   %.3g events/s   wall %.2f s"
+                    "   peak RSS %.1f MB\n",
+                    m.sim_events,
+                    wall_s > 0 ? static_cast<double>(m.sim_events) / wall_s
+                               : 0.0,
+                    wall_s, peak_rss_mb());
+      }
+      if (!trace_path.empty()) {
+        std::ofstream trace_file(trace_path);
+        if (!trace_file) {
+          std::fprintf(stderr, "cannot open '%s' for writing\n",
+                       trace_path.c_str());
+          return 1;
+        }
+        recorder.write_chrome_trace(trace_file);
+        std::printf("  trace     %zu events -> %s (chrome://tracing or "
+                    "Perfetto)\n",
+                    recorder.events().size(), trace_path.c_str());
+      }
       emit(as_outcome(config.ka + "/" + config.sa + "/single", config, m));
       for (const auto& sink : owned) sink->finish();
       return m.ok ? 0 : 2;
     }
+
+    if (!trace_path.empty())
+      std::fprintf(stderr, "note: --trace is ignored with --sweep\n");
 
     loadgen::SweepResult r = loadgen::run_sweep(config, sweep_opts);
     std::printf("%s/%s sweep: %d points, cores=%d, analytic capacity %.1f "
