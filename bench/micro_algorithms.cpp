@@ -2,8 +2,26 @@
 // decapsulate for every KEM and keygen / sign / verify for every SA. These
 // are the per-operation costs behind the paper's end-to-end latencies and
 // directly support its white-box attribution (methodology supplement).
+//
+// The backend rows time the dispatchable kernels (Kyber/Dilithium NTT,
+// Haraka permutation) under every compiled backend, and the batch rows
+// time encapsulate_batch / verify_batch against their sequential loops.
+//
+//   micro_algorithms [--gate] [benchmark args...]
+//
+// --gate: time the portable vs AVX2 NTT kernels outside the benchmark
+// harness and fail (exit 1) unless the vectorized kernels clear a
+// conservative speed floor; exits 0 with a note when the binary or CPU has
+// no AVX2 (portable-only builds must stay green). CI runs this as the
+// smoke-backend speedup step.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "crypto/backend/backend.hpp"
+#include "crypto/backend/kernels.hpp"
 #include "crypto/catalog.hpp"
 #include "crypto/drbg.hpp"
 #include "kem/kem.hpp"
@@ -13,6 +31,7 @@ namespace {
 
 using pqtls::Bytes;
 using pqtls::crypto::Drbg;
+namespace backend = pqtls::crypto::backend;
 
 void bm_kem_keygen(benchmark::State& state, const pqtls::kem::Kem* kem) {
   Drbg rng(1);
@@ -62,6 +81,79 @@ void bm_sig_verify(benchmark::State& state, const pqtls::sig::Signer* sa) {
   }
 }
 
+// ---- backend kernel rows: portable vs vectorized, same random inputs ----
+
+void bm_kyber_ntt(benchmark::State& state,
+                  const backend::KyberKernels* kernels) {
+  Drbg rng(6);
+  std::int16_t poly[256];
+  for (auto& c : poly) c = static_cast<std::int16_t>(rng.uniform(3329));
+  for (auto _ : state) {
+    kernels->ntt(poly);
+    kernels->invntt(poly);  // round-trip keeps coefficients canonical
+    benchmark::DoNotOptimize(poly[0]);
+  }
+}
+
+void bm_dilithium_ntt(benchmark::State& state,
+                      const backend::DilithiumKernels* kernels) {
+  Drbg rng(7);
+  std::int32_t poly[256];
+  for (auto& c : poly) c = static_cast<std::int32_t>(rng.uniform(8380417));
+  for (auto _ : state) {
+    kernels->ntt(poly);
+    kernels->invntt(poly);
+    benchmark::DoNotOptimize(poly[0]);
+  }
+}
+
+void bm_haraka512(benchmark::State& state,
+                  const backend::HarakaKernels* kernels) {
+  Drbg rng(8);
+  Bytes rc = rng.bytes(640);
+  std::uint8_t s[64];
+  Bytes seed = rng.bytes(64);
+  std::memcpy(s, seed.data(), sizeof s);
+  for (auto _ : state) {
+    kernels->permute512(s, rc.data());
+    benchmark::DoNotOptimize(s[0]);
+  }
+}
+
+// ---- batched server ops: amortized per-key work vs sequential loops ----
+
+void bm_kem_encaps_batch(benchmark::State& state, const pqtls::kem::Kem* kem,
+                         std::size_t count) {
+  Drbg rng(9);
+  auto kp = kem->generate_keypair(rng);
+  for (auto _ : state) {
+    auto batch = kem->encapsulate_batch(kp.public_key, count, rng);
+    benchmark::DoNotOptimize(batch.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+
+void bm_sig_verify_batch(benchmark::State& state,
+                         const pqtls::sig::Signer* sa, std::size_t count) {
+  Drbg rng(10);
+  auto kp = sa->generate_keypair(rng);
+  std::vector<Bytes> messages, signatures;
+  for (std::size_t i = 0; i < count; ++i) {
+    messages.push_back(rng.bytes(64));
+    signatures.push_back(sa->sign(kp.secret_key, messages.back(), rng));
+  }
+  std::vector<pqtls::BytesView> msg_views(messages.begin(), messages.end());
+  std::vector<pqtls::BytesView> sig_views(signatures.begin(),
+                                          signatures.end());
+  for (auto _ : state) {
+    auto verdicts = sa->verify_batch(kp.public_key, msg_views, sig_views);
+    benchmark::DoNotOptimize(verdicts.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+
 struct Registrar {
   Registrar() {
     const auto& catalog = pqtls::crypto::AlgorithmCatalog::instance();
@@ -94,10 +186,117 @@ struct Registrar {
           ->Unit(benchmark::kMicrosecond)
           ->MinTime(0.05);
     }
+
+    // Dispatchable kernels, one row per compiled backend. cpu_supports
+    // guards the registration: a binary with AVX2 kernels compiled in must
+    // not execute them on a CPU without the ISA.
+    benchmark::RegisterBenchmark("ntt_kyber/portable", bm_kyber_ntt,
+                                 &backend::detail::kKyberPortable)
+        ->MinTime(0.05);
+    benchmark::RegisterBenchmark("ntt_dilithium/portable", bm_dilithium_ntt,
+                                 &backend::detail::kDilithiumPortable)
+        ->MinTime(0.05);
+    benchmark::RegisterBenchmark("haraka512/portable", bm_haraka512,
+                                 &backend::detail::kHarakaPortable)
+        ->MinTime(0.05);
+    if (backend::available(backend::Backend::kAvx2)) {
+      benchmark::RegisterBenchmark("ntt_kyber/avx2", bm_kyber_ntt,
+                                   backend::detail::kyber_avx2())
+          ->MinTime(0.05);
+      benchmark::RegisterBenchmark("ntt_dilithium/avx2", bm_dilithium_ntt,
+                                   backend::detail::dilithium_avx2())
+          ->MinTime(0.05);
+    }
+    if (backend::available(backend::Backend::kAesni)) {
+      benchmark::RegisterBenchmark("haraka512/aesni", bm_haraka512,
+                                   backend::detail::haraka_aesni())
+          ->MinTime(0.05);
+    }
+
+    // Batched server ops against their sequential equivalents (batch 1).
+    const pqtls::kem::Kem* kyber = catalog.require_kem("kyber768").kem;
+    const pqtls::sig::Signer* dilithium =
+        catalog.require_signer("dilithium2").signer;
+    for (std::size_t count : {std::size_t{1}, std::size_t{8},
+                              std::size_t{32}}) {
+      benchmark::RegisterBenchmark(
+          ("kem_encaps_batch/kyber768/b" + std::to_string(count)).c_str(),
+          bm_kem_encaps_batch, kyber, count)
+          ->Unit(benchmark::kMicrosecond)
+          ->MinTime(0.05);
+      benchmark::RegisterBenchmark(
+          ("sig_verify_batch/dilithium2/b" + std::to_string(count)).c_str(),
+          bm_sig_verify_batch, dilithium, count)
+          ->Unit(benchmark::kMicrosecond)
+          ->MinTime(0.05);
+    }
   }
 };
 const Registrar registrar;
 
+// --gate: time the NTT kernels outside the benchmark harness and fail
+// unless AVX2 clears a conservative floor. The true speedup is far higher;
+// the floor only catches regressions that erase the vectorization outright.
+template <typename Poly, typename Kernels>
+double ntt_roundtrips_per_second(const Kernels& kernels, Poly* poly,
+                                 int iters) {
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    kernels.ntt(poly);
+    kernels.invntt(poly);
+  }
+  double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  benchmark::DoNotOptimize(poly[0]);
+  return s > 0 ? iters / s : 0;
+}
+
+int run_gate() {
+  if (!backend::available(backend::Backend::kAvx2)) {
+    std::printf("backend speedup gate skipped (AVX2 %s)\n",
+                backend::compiled(backend::Backend::kAvx2)
+                    ? "not supported by this CPU"
+                    : "not compiled in");
+    return 0;
+  }
+  constexpr int kIters = 100'000;
+  constexpr double kFloor = 1.2;
+
+  Drbg rng(11);
+  std::int16_t kpoly[256];
+  for (auto& c : kpoly) c = static_cast<std::int16_t>(rng.uniform(3329));
+  double k_portable = ntt_roundtrips_per_second(
+      backend::detail::kKyberPortable, kpoly, kIters);
+  double k_avx2 = ntt_roundtrips_per_second(*backend::detail::kyber_avx2(),
+                                            kpoly, kIters);
+
+  std::int32_t dpoly[256];
+  for (auto& c : dpoly) c = static_cast<std::int32_t>(rng.uniform(8380417));
+  double d_portable = ntt_roundtrips_per_second(
+      backend::detail::kDilithiumPortable, dpoly, kIters);
+  double d_avx2 = ntt_roundtrips_per_second(
+      *backend::detail::dilithium_avx2(), dpoly, kIters);
+
+  double k_ratio = k_portable > 0 ? k_avx2 / k_portable : 0;
+  double d_ratio = d_portable > 0 ? d_avx2 / d_portable : 0;
+  std::printf("kyber ntt     portable %9.0f/s  avx2 %9.0f/s  %5.2fx\n",
+              k_portable, k_avx2, k_ratio);
+  std::printf("dilithium ntt portable %9.0f/s  avx2 %9.0f/s  %5.2fx\n",
+              d_portable, d_avx2, d_ratio);
+  std::printf("gate: avx2 >= %.1fx portable for both kernels\n", kFloor);
+  if (k_ratio < kFloor || d_ratio < kFloor) {
+    std::fprintf(stderr, "FAIL: AVX2 NTT no longer beats portable\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--gate") == 0) return run_gate();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

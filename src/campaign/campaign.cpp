@@ -167,6 +167,49 @@ CampaignSpec build_loadgen(const char* name, const char* description,
   return spec;
 }
 
+// Batched-server-ops campaign: the same 4-core near-knee Poisson cell as
+// the loadgen campaigns, swept over the server-side batching factor
+// (LoadConfig::batch -> CostModel::kem_encaps_batched). batch=1 charges
+// the exact unbatched profile, so the first cell of each pair doubles as
+// a cross-check against the loadgen_* campaigns; larger batches show the
+// amortization moving the capacity knee.
+CampaignSpec build_loadgen_batch() {
+  CampaignSpec spec;
+  spec.name = "loadgen_batch";
+  spec.description =
+      "Batched server ops: amortized Kyber encaps at batch 1/8/32, 4-core "
+      "server at 0.9x analytic capacity";
+  static constexpr const char* kPairs[][2] = {
+      {"kyber512", "dilithium2"},
+      {"kyber768", "dilithium3"},
+  };
+  static constexpr int kBatches[] = {1, 8, 32};
+  for (const auto& pair : kPairs) {
+    for (int batch : kBatches) {
+      Cell cell;
+      loadgen::LoadConfig load;
+      load.ka = pair[0];
+      load.sa = pair[1];
+      load.arrival = loadgen::Arrival::kPoisson;
+      load.load_factor = 0.9;
+      load.cores = 4;
+      load.backlog = 256;
+      load.timeout_s = 1.0;
+      load.duration_s = 4.0;
+      load.warmup_s = 0.5;
+      load.batch = batch;
+      char suffix[32];
+      std::snprintf(suffix, sizeof(suffix), "batch-%d", batch);
+      cell.id = load.ka + "/" + load.sa + "/" + suffix;
+      cell.config.ka = load.ka;
+      cell.config.sa = load.sa;
+      cell.loadgen = std::move(load);
+      spec.cells.push_back(std::move(cell));
+    }
+  }
+  return spec;
+}
+
 // Fleet campaign: the capacity-knee surface of a multi-server fleet —
 // fleet size x algorithm pair x balancing policy at 90% of aggregate
 // analytic capacity, plus one churn cell (clients arriving/departing
@@ -372,6 +415,7 @@ const std::vector<CampaignSpec>& campaigns() {
         "loadgen_sigs",
         "Loadgen capacity: representative SAs with x25519, 4-core server",
         loadgen_sas(), /*vary_ka=*/false));
+    out.push_back(build_loadgen_batch());
     out.push_back(build_fleet());
     out.push_back(build_resumption());
     out.push_back(build_cert_chains());

@@ -12,6 +12,7 @@
 #include <optional>
 #include <thread>
 
+#include "crypto/backend/backend.hpp"
 #include "trace/trace.hpp"
 
 namespace pqtls::campaign {
@@ -55,6 +56,7 @@ CellOutcome run_cell(const CampaignSpec& spec, const Cell& cell,
                      const RunnerOptions& opts) {
   CellOutcome out;
   out.campaign = spec.name;
+  out.backend = std::string(crypto::backend::active_name());
   out.cell = cell;
   testbed::ExperimentConfig& config = out.cell.config;
   config.seed = derive_cell_seed(opts.base_seed, cell.id);

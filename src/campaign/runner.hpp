@@ -47,6 +47,10 @@ struct CellOutcome {
   testbed::ExperimentResult result;
   /// Populated instead of `result` when the cell is a loadgen simulation.
   loadgen::LoadMetrics load;
+  /// Resolved crypto backend the cell ran under (backend::active_name()).
+  /// Metadata only — never part of the default row bytes, which are
+  /// backend-independent; JsonlSink emits it in the opt-in meta line.
+  std::string backend;
   std::string error;  // nonempty: what went wrong (exception or no samples)
   double wall_seconds = 0;
 

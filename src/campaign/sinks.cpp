@@ -7,6 +7,8 @@
 #include <map>
 #include <string_view>
 
+#include "crypto/backend/backend.hpp"
+
 namespace pqtls::campaign {
 
 namespace {
@@ -85,6 +87,16 @@ bool is_fleet_campaign(const CampaignSpec& spec) {
   return is_loadgen_campaign(spec) && spec.cells.front().loadgen->is_fleet();
 }
 
+// Campaigns sweeping the server-side batching factor get a batch field so
+// otherwise-identical cells stay distinguishable; campaigns where every
+// cell runs unbatched keep their pre-batching row bytes.
+bool is_batch_campaign(const CampaignSpec& spec) {
+  if (!is_loadgen_campaign(spec)) return false;
+  for (const auto& cell : spec.cells)
+    if (cell.loadgen && cell.loadgen->batch != 1) return true;
+  return false;
+}
+
 // SLO verdict for fleet rows: tail latency within the configured budget and
 // at most 1% of arrivals lost to drops/abandonment (the sweep's knee rule).
 bool within_slo(const loadgen::LoadConfig& lc, const CellOutcome& o) {
@@ -106,6 +118,15 @@ void check_percentiles(const CellOutcome& o) {
 }
 
 }  // namespace
+
+void JsonlSink::begin(const CampaignSpec& spec, const RunnerOptions& opts) {
+  batch_ = is_batch_campaign(spec);
+  if (emit_meta_) {
+    out_ << "{\"meta\":true,\"campaign\":\"" << json_escape(spec.name)
+         << "\",\"backend\":\"" << crypto::backend::active_name()
+         << "\",\"workers\":" << opts.workers << "}\n";
+  }
+}
 
 void JsonlSink::cell(const CellOutcome& o) {
   if (o.cell.loadgen) {
@@ -136,6 +157,7 @@ void JsonlSink::cell(const CellOutcome& o) {
          << ",\"completed\":" << m.completed
          << ",\"dropped\":" << m.dropped
          << ",\"timed_out\":" << m.timed_out;
+    if (batch_) out_ << ",\"batch\":" << lc.batch;
     if (lc.is_fleet()) {
       out_ << ",\"servers\":" << lc.servers
            << ",\"balancer\":\"" << loadgen::balancer_name(lc.balancer)
@@ -172,11 +194,13 @@ void JsonlSink::cell(const CellOutcome& o) {
 }
 
 void CsvSink::begin(const CampaignSpec& spec, const RunnerOptions&) {
+  batch_ = is_batch_campaign(spec);
   if (is_loadgen_campaign(spec)) {
     out_ << "campaign,id,ka,sa,arrival,policy,seed,ok,error,cores,backlog,"
             "offered_hs_s,achieved_hs_s,capacity_hs_s,p50_ms,p90_ms,p99_ms,"
             "p999_ms,mean_queue_depth,core_utilization,arrivals,completed,"
             "dropped,timed_out";
+    if (batch_) out_ << ",batch";
     if (is_fleet_campaign(spec))
       out_ << ",servers,balancer,shards,min_server_util,max_server_util,"
               "churn_arrived,churn_departed,slo_ms,within_slo";
@@ -205,6 +229,7 @@ void CsvSink::cell(const CellOutcome& o) {
          << ',' << fmt_rate(m.mean_queue_depth) << ','
          << fmt_rate(m.core_utilization) << ',' << m.arrivals << ','
          << m.completed << ',' << m.dropped << ',' << m.timed_out;
+    if (batch_) out_ << ',' << lc.batch;
     if (lc.is_fleet()) {
       out_ << ',' << lc.servers << ','
            << loadgen::balancer_name(lc.balancer) << ',' << lc.shards << ','

@@ -17,14 +17,21 @@
 
 namespace pqtls::campaign {
 
-/// One JSON object per cell, in campaign order.
+/// One JSON object per cell, in campaign order. With `emit_meta` the stream
+/// opens with one `{"meta":true,...}` line carrying run provenance (campaign
+/// name, resolved crypto backend, worker count); the default keeps the
+/// stream byte-identical to the golden rows regardless of backend.
 class JsonlSink : public Sink {
  public:
-  explicit JsonlSink(std::ostream& out) : out_(out) {}
+  explicit JsonlSink(std::ostream& out, bool emit_meta = false)
+      : out_(out), emit_meta_(emit_meta) {}
+  void begin(const CampaignSpec& spec, const RunnerOptions& opts) override;
   void cell(const CellOutcome& outcome) override;
 
  private:
   std::ostream& out_;
+  bool emit_meta_ = false;
+  bool batch_ = false;  // campaign sweeps server-side batching -> batch field
 };
 
 /// Header row plus one CSV row per cell, same fields as the JSONL sink.
@@ -36,6 +43,7 @@ class CsvSink : public Sink {
 
  private:
   std::ostream& out_;
+  bool batch_ = false;  // campaign sweeps server-side batching -> batch column
 };
 
 /// Human-readable rendering honouring the campaign's AsciiLayout: one row

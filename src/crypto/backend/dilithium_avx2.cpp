@@ -1,0 +1,215 @@
+// AVX2 kernels for the Dilithium NTT domain (q = 8380417). Coefficients
+// are int32 in [0, q); products need 46 bits, so each __m256i of 8
+// coefficients is split into even/odd 64-bit half-lanes and multiplied
+// with _mm256_mul_epu32. Montgomery arithmetic uses R = 2^32 with a
+// conditional subtract back to canonical after every step, making the
+// results bit-identical to the portable %-based kernels. Twiddles are
+// premultiplied by R at static init from the same 1753^bitrev8(i) table.
+#include <cstdint>
+
+#include "crypto/backend/kernels.hpp"
+
+#if defined(PQTLS_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace pqtls::crypto::backend::detail {
+namespace {
+
+constexpr int kN = 256;
+constexpr std::int32_t kQ = 8380417;
+constexpr std::int64_t kInv256 = 8347681;  // 256^{-1} mod q
+
+struct Tables {
+  std::int32_t zeta[256];    // plain twiddles (scalar tail layers)
+  std::int64_t zeta_m[256];  // zeta * 2^32 mod q (Montgomery form)
+  std::uint32_t nqinv;       // -q^{-1} mod 2^32
+  std::int64_t r2;           // 2^64 mod q
+  std::int64_t inv256_m;     // kInv256 * 2^32 mod q
+  Tables() {
+    auto bitrev8 = [](int x) {
+      int r = 0;
+      for (int b = 0; b < 8; ++b)
+        if (x & (1 << b)) r |= 1 << (7 - b);
+      return r;
+    };
+    for (int i = 0; i < 256; ++i) {
+      int e = bitrev8(i);
+      std::int64_t v = 1;
+      for (int j = 0; j < e; ++j) v = (v * 1753) % kQ;
+      zeta[i] = static_cast<std::int32_t>(v);
+      zeta_m[i] = (v << 32) % kQ;
+    }
+    // Newton iteration for q^{-1} mod 2^32 (q odd), then negate.
+    std::uint32_t qinv = 1;
+    for (int i = 0; i < 5; ++i)
+      qinv *= 2u - static_cast<std::uint32_t>(kQ) * qinv;
+    nqinv = ~qinv + 1u;
+    std::int64_t r1 = (static_cast<std::int64_t>(1) << 32) % kQ;
+    r2 = (r1 * r1) % kQ;
+    inv256_m = (kInv256 << 32) % kQ;
+  }
+};
+const Tables kT;
+
+// Scalar helpers for the short len<=4 layers (identical to portable).
+std::int32_t fqmul_s(std::int64_t a, std::int64_t b) {
+  std::int64_t p = (a * b) % kQ;
+  if (p < 0) p += kQ;
+  return static_cast<std::int32_t>(p);
+}
+
+std::int32_t freduce_s(std::int64_t a) {
+  a %= kQ;
+  if (a < 0) a += kQ;
+  return static_cast<std::int32_t>(a);
+}
+
+inline __m256i q32() { return _mm256_set1_epi32(kQ); }
+inline __m256i q64() { return _mm256_set1_epi64x(kQ); }
+
+// [0, 2q) -> [0, q) on 8 int32 lanes.
+inline __m256i csub32(__m256i a) {
+  __m256i lt = _mm256_cmpgt_epi32(q32(), a);
+  return _mm256_sub_epi32(a, _mm256_andnot_si256(lt, q32()));
+}
+
+// Montgomery reduction of four 64-bit lanes holding nonnegative t < 2^46:
+// returns t * 2^{-32} mod q canonical in the low half of each lane.
+inline __m256i mredc64(__m256i t) {
+  const __m256i mask32 = _mm256_set1_epi64x(0xFFFFFFFF);
+  __m256i m = _mm256_and_si256(
+      _mm256_mul_epu32(t, _mm256_set1_epi64x(
+                              static_cast<long long>(kT.nqinv))),
+      mask32);
+  __m256i r =
+      _mm256_srli_epi64(_mm256_add_epi64(t, _mm256_mul_epu32(m, q64())), 32);
+  // r < 2^14 + q, one conditional subtract.
+  __m256i lt = _mm256_cmpgt_epi64(q64(), r);
+  return _mm256_sub_epi64(r, _mm256_andnot_si256(lt, q64()));
+}
+
+// Split 8 canonical int32 lanes into even/odd 64-bit half-vectors
+// (zero-extended: values < q keep the sign bit clear).
+inline void split(__m256i v, __m256i& ev, __m256i& od) {
+  ev = _mm256_and_si256(v, _mm256_set1_epi64x(0xFFFFFFFF));
+  od = _mm256_srli_epi64(v, 32);
+}
+
+inline __m256i join(__m256i ev, __m256i od) {
+  return _mm256_or_si256(ev, _mm256_slli_epi64(od, 32));
+}
+
+// 8 canonical coefficients times a Montgomery-form constant zm (< q).
+inline __m256i mmul8(__m256i v, __m256i zm) {
+  __m256i ev, od;
+  split(v, ev, od);
+  return join(mredc64(_mm256_mul_epu32(ev, zm)),
+              mredc64(_mm256_mul_epu32(od, zm)));
+}
+
+void ntt(std::int32_t* r) {
+  int k = 0;
+  for (int len = 128; len >= 8; len >>= 1) {
+    for (int start = 0; start < kN; start += 2 * len) {
+      __m256i zm = _mm256_set1_epi64x(kT.zeta_m[++k]);
+      for (int j = start; j < start + len; j += 8) {
+        __m256i a =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r + j));
+        __m256i b =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r + j + len));
+        __m256i t = mmul8(b, zm);
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(r + j + len),
+            csub32(_mm256_add_epi32(_mm256_sub_epi32(a, t), q32())));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(r + j),
+                            csub32(_mm256_add_epi32(a, t)));
+      }
+    }
+  }
+  for (int len = 4; len >= 1; len >>= 1) {
+    for (int start = 0; start < kN; start += 2 * len) {
+      std::int32_t zeta = kT.zeta[++k];
+      for (int j = start; j < start + len; ++j) {
+        std::int32_t t = fqmul_s(zeta, r[j + len]);
+        r[j + len] = freduce_s(static_cast<std::int64_t>(r[j]) - t);
+        r[j] = freduce_s(static_cast<std::int64_t>(r[j]) + t);
+      }
+    }
+  }
+}
+
+void invntt(std::int32_t* r) {
+  int k = 256;
+  for (int len = 1; len <= 4; len <<= 1) {
+    for (int start = 0; start < kN; start += 2 * len) {
+      std::int32_t zeta = kT.zeta[--k];
+      for (int j = start; j < start + len; ++j) {
+        std::int32_t t = r[j];
+        r[j] = freduce_s(static_cast<std::int64_t>(t) + r[j + len]);
+        r[j + len] = fqmul_s(
+            zeta, freduce_s(static_cast<std::int64_t>(r[j + len]) - t));
+      }
+    }
+  }
+  for (int len = 8; len <= 128; len <<= 1) {
+    for (int start = 0; start < kN; start += 2 * len) {
+      __m256i zm = _mm256_set1_epi64x(kT.zeta_m[--k]);
+      for (int j = start; j < start + len; j += 8) {
+        __m256i a =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r + j));
+        __m256i b =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r + j + len));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(r + j),
+                            csub32(_mm256_add_epi32(a, b)));
+        __m256i d = csub32(_mm256_add_epi32(_mm256_sub_epi32(b, a), q32()));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(r + j + len),
+                            mmul8(d, zm));
+      }
+    }
+  }
+  __m256i f = _mm256_set1_epi64x(kT.inv256_m);
+  for (int j = 0; j < kN; j += 8) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r + j));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(r + j), mmul8(v, f));
+  }
+}
+
+void pointwise_acc(std::int32_t* r, const std::int32_t* a,
+                   const std::int32_t* b) {
+  const __m256i r2 = _mm256_set1_epi64x(kT.r2);
+  for (int j = 0; j < kN; j += 8) {
+    __m256i av = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + j));
+    __m256i bv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    __m256i rv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r + j));
+    __m256i ae, ao, be, bo;
+    split(av, ae, ao);
+    split(bv, be, bo);
+    // a*b*R^{-1}, then * R^2 * R^{-1} -> plain a*b mod q.
+    __m256i pe = mredc64(_mm256_mul_epu32(mredc64(_mm256_mul_epu32(ae, be)),
+                                          r2));
+    __m256i po = mredc64(_mm256_mul_epu32(mredc64(_mm256_mul_epu32(ao, bo)),
+                                          r2));
+    __m256i d = join(pe, po);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(r + j),
+                        csub32(_mm256_add_epi32(rv, d)));
+  }
+}
+
+const DilithiumKernels kDilithiumAvx2{&ntt, &invntt, &pointwise_acc};
+
+}  // namespace
+
+const DilithiumKernels* dilithium_avx2() { return &kDilithiumAvx2; }
+
+}  // namespace pqtls::crypto::backend::detail
+
+#else  // !PQTLS_HAVE_AVX2
+
+namespace pqtls::crypto::backend::detail {
+
+const DilithiumKernels* dilithium_avx2() { return nullptr; }
+
+}  // namespace pqtls::crypto::backend::detail
+
+#endif

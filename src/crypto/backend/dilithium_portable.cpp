@@ -1,0 +1,90 @@
+// Portable reference kernels for the Dilithium NTT domain (q = 8380417).
+// Canonical semantics: coefficients stay in [0, q) via exact %-based
+// reduction; optimized backends must match bit for bit.
+#include <cstdint>
+
+#include "crypto/backend/kernels.hpp"
+
+namespace pqtls::crypto::backend::detail {
+namespace {
+
+constexpr int kN = 256;
+constexpr std::int32_t kQ = 8380417;
+
+// zetas[i] = 1753^bitrev8(i) mod q.
+struct Zetas {
+  std::int32_t z[256];
+  Zetas() {
+    auto bitrev8 = [](int x) {
+      int r = 0;
+      for (int b = 0; b < 8; ++b)
+        if (x & (1 << b)) r |= 1 << (7 - b);
+      return r;
+    };
+    for (int i = 0; i < 256; ++i) {
+      int e = bitrev8(i);
+      std::int64_t v = 1;
+      for (int j = 0; j < e; ++j) v = (v * 1753) % kQ;
+      z[i] = static_cast<std::int32_t>(v);
+    }
+  }
+};
+const Zetas kZetas;
+
+std::int32_t fqmul(std::int64_t a, std::int64_t b) {
+  std::int64_t p = (a * b) % kQ;
+  if (p < 0) p += kQ;
+  return static_cast<std::int32_t>(p);
+}
+
+std::int32_t freduce(std::int64_t a) {
+  a %= kQ;
+  if (a < 0) a += kQ;
+  return static_cast<std::int32_t>(a);
+}
+
+void ntt(std::int32_t* r) {
+  int k = 0;
+  for (int len = 128; len >= 1; len >>= 1) {
+    for (int start = 0; start < kN; start += 2 * len) {
+      std::int32_t zeta = kZetas.z[++k];
+      for (int j = start; j < start + len; ++j) {
+        std::int32_t t = fqmul(zeta, r[j + len]);
+        r[j + len] = freduce(static_cast<std::int64_t>(r[j]) - t);
+        r[j] = freduce(static_cast<std::int64_t>(r[j]) + t);
+      }
+    }
+  }
+}
+
+void invntt(std::int32_t* r) {
+  int k = 256;
+  for (int len = 1; len <= 128; len <<= 1) {
+    for (int start = 0; start < kN; start += 2 * len) {
+      std::int32_t zeta = kZetas.z[--k];
+      for (int j = start; j < start + len; ++j) {
+        std::int32_t t = r[j];
+        r[j] = freduce(static_cast<std::int64_t>(t) + r[j + len]);
+        r[j + len] =
+            fqmul(zeta, freduce(static_cast<std::int64_t>(r[j + len]) - t));
+      }
+    }
+  }
+  // 256^{-1} mod q; sign is already correct for the same reason as in Kyber
+  // (zeta^256 = -1 pairs the reversed table with the (b - a) operand order).
+  constexpr std::int64_t kInv256 = 8347681;
+  for (int i = 0; i < kN; ++i) r[i] = fqmul(r[i], kInv256);
+}
+
+void pointwise_acc(std::int32_t* r, const std::int32_t* a,
+                   const std::int32_t* b) {
+  for (int i = 0; i < kN; ++i)
+    r[i] = freduce(static_cast<std::int64_t>(r[i]) +
+                   static_cast<std::int64_t>(a[i]) * b[i] % kQ);
+}
+
+}  // namespace
+
+const DilithiumKernels kDilithiumPortable{&ntt, &invntt, &pointwise_acc};
+
+}  // namespace pqtls::crypto::backend::detail

@@ -1,0 +1,92 @@
+// AES-NI Haraka permutation kernels: the same 5-round AES + MIX schedule
+// as the portable kernels, with _mm_aesenc_si128 doing the AES round and
+// _mm_unpack{lo,hi}_epi32 doing the column mix. crypto::Aes::aesenc is an
+// exact software model of _mm_aesenc_si128 and the portable unpack
+// helpers model the shuffle byte-for-byte, so this backend is
+// bit-identical by construction (and KAT-locked by the backend tests).
+#include <cstdint>
+
+#include "crypto/backend/kernels.hpp"
+
+#if defined(PQTLS_HAVE_AESNI)
+
+#include <immintrin.h>
+
+namespace pqtls::crypto::backend::detail {
+namespace {
+
+inline __m128i load(const std::uint8_t* p) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+
+inline void store(std::uint8_t* p, __m128i v) {
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+}
+
+void permute512(std::uint8_t* s, const std::uint8_t* rc) {
+  __m128i s0 = load(s);
+  __m128i s1 = load(s + 16);
+  __m128i s2 = load(s + 32);
+  __m128i s3 = load(s + 48);
+  for (int round = 0; round < 5; ++round) {
+    const std::uint8_t* r0 = rc + 128 * round;
+    s0 = _mm_aesenc_si128(s0, load(r0));
+    s1 = _mm_aesenc_si128(s1, load(r0 + 16));
+    s2 = _mm_aesenc_si128(s2, load(r0 + 32));
+    s3 = _mm_aesenc_si128(s3, load(r0 + 48));
+    s0 = _mm_aesenc_si128(s0, load(r0 + 64));
+    s1 = _mm_aesenc_si128(s1, load(r0 + 80));
+    s2 = _mm_aesenc_si128(s2, load(r0 + 96));
+    s3 = _mm_aesenc_si128(s3, load(r0 + 112));
+    // MIX4
+    __m128i tmp = _mm_unpacklo_epi32(s0, s1);
+    __m128i n0 = _mm_unpackhi_epi32(s0, s1);
+    __m128i n1 = _mm_unpacklo_epi32(s2, s3);
+    __m128i n2 = _mm_unpackhi_epi32(s2, s3);
+    s3 = _mm_unpacklo_epi32(n0, n2);
+    s0 = _mm_unpackhi_epi32(n0, n2);
+    s2 = _mm_unpackhi_epi32(n1, tmp);
+    s1 = _mm_unpacklo_epi32(n1, tmp);
+  }
+  store(s, s0);
+  store(s + 16, s1);
+  store(s + 32, s2);
+  store(s + 48, s3);
+}
+
+void permute256(std::uint8_t* s0p, std::uint8_t* s1p, const std::uint8_t* rc) {
+  __m128i s0 = load(s0p);
+  __m128i s1 = load(s1p);
+  for (int round = 0; round < 5; ++round) {
+    const std::uint8_t* r0 = rc + 64 * round;
+    s0 = _mm_aesenc_si128(s0, load(r0));
+    s1 = _mm_aesenc_si128(s1, load(r0 + 16));
+    s0 = _mm_aesenc_si128(s0, load(r0 + 32));
+    s1 = _mm_aesenc_si128(s1, load(r0 + 48));
+    // MIX2
+    __m128i lo = _mm_unpacklo_epi32(s0, s1);
+    __m128i hi = _mm_unpackhi_epi32(s0, s1);
+    s0 = lo;
+    s1 = hi;
+  }
+  store(s0p, s0);
+  store(s1p, s1);
+}
+
+const HarakaKernels kHarakaAesni{&permute512, &permute256};
+
+}  // namespace
+
+const HarakaKernels* haraka_aesni() { return &kHarakaAesni; }
+
+}  // namespace pqtls::crypto::backend::detail
+
+#else  // !PQTLS_HAVE_AESNI
+
+namespace pqtls::crypto::backend::detail {
+
+const HarakaKernels* haraka_aesni() { return nullptr; }
+
+}  // namespace pqtls::crypto::backend::detail
+
+#endif

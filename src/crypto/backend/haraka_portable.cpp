@@ -1,0 +1,81 @@
+// Portable Haraka permutation kernels (AES rounds via the table-driven
+// crypto::Aes::aesenc, which matches _mm_aesenc_si128 bit for bit).
+#include <cstdint>
+#include <cstring>
+
+#include "crypto/aes.hpp"
+#include "crypto/backend/kernels.hpp"
+
+namespace pqtls::crypto::backend::detail {
+namespace {
+
+using State = std::uint8_t[16];
+
+// _mm_unpacklo_epi32 / _mm_unpackhi_epi32 byte semantics.
+void unpacklo32(std::uint8_t out[16], const std::uint8_t a[16],
+                const std::uint8_t b[16]) {
+  std::memcpy(out, a, 4);
+  std::memcpy(out + 4, b, 4);
+  std::memcpy(out + 8, a + 4, 4);
+  std::memcpy(out + 12, b + 4, 4);
+}
+void unpackhi32(std::uint8_t out[16], const std::uint8_t a[16],
+                const std::uint8_t b[16]) {
+  std::memcpy(out, a + 8, 4);
+  std::memcpy(out + 4, b + 8, 4);
+  std::memcpy(out + 8, a + 12, 4);
+  std::memcpy(out + 12, b + 12, 4);
+}
+
+void permute512(std::uint8_t* s, const std::uint8_t* rc) {
+  std::uint8_t* s0 = s;
+  std::uint8_t* s1 = s + 16;
+  std::uint8_t* s2 = s + 32;
+  std::uint8_t* s3 = s + 48;
+  for (int round = 0; round < 5; ++round) {
+    const std::uint8_t* r0 = rc + 128 * round;  // 8 x 16-byte constants
+    crypto::Aes::aesenc(s0, r0);
+    crypto::Aes::aesenc(s1, r0 + 16);
+    crypto::Aes::aesenc(s2, r0 + 32);
+    crypto::Aes::aesenc(s3, r0 + 48);
+    crypto::Aes::aesenc(s0, r0 + 64);
+    crypto::Aes::aesenc(s1, r0 + 80);
+    crypto::Aes::aesenc(s2, r0 + 96);
+    crypto::Aes::aesenc(s3, r0 + 112);
+    // MIX4
+    State tmp, n0, n1, n2, n3;
+    unpacklo32(tmp, s0, s1);
+    unpackhi32(n0, s0, s1);
+    unpacklo32(n1, s2, s3);
+    unpackhi32(n2, s2, s3);
+    unpacklo32(n3, n0, n2);
+    unpackhi32(s0, n0, n2);
+    std::memcpy(s3, n3, 16);
+    unpackhi32(n3, n1, tmp);
+    std::memcpy(s2, n3, 16);
+    unpacklo32(n3, n1, tmp);
+    std::memcpy(s1, n3, 16);
+  }
+}
+
+void permute256(std::uint8_t* s0, std::uint8_t* s1, const std::uint8_t* rc) {
+  for (int round = 0; round < 5; ++round) {
+    const std::uint8_t* r0 = rc + 64 * round;  // 4 x 16-byte constants
+    crypto::Aes::aesenc(s0, r0);
+    crypto::Aes::aesenc(s1, r0 + 16);
+    crypto::Aes::aesenc(s0, r0 + 32);
+    crypto::Aes::aesenc(s1, r0 + 48);
+    // MIX2
+    State lo, hi;
+    unpacklo32(lo, s0, s1);
+    unpackhi32(hi, s0, s1);
+    std::memcpy(s0, lo, 16);
+    std::memcpy(s1, hi, 16);
+  }
+}
+
+}  // namespace
+
+const HarakaKernels kHarakaPortable{&permute512, &permute256};
+
+}  // namespace pqtls::crypto::backend::detail

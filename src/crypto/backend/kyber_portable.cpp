@@ -1,0 +1,108 @@
+// Portable reference kernels for the Kyber NTT domain (q = 3329). These
+// are the canonical semantics every optimized backend must match bit for
+// bit: all coefficients stay in [0, q) via exact %-based reduction.
+#include <cstdint>
+
+#include "crypto/backend/kernels.hpp"
+
+namespace pqtls::crypto::backend::detail {
+namespace {
+
+constexpr int kN = 256;
+constexpr std::int32_t kQ = 3329;
+
+// zetas[i] = 17^bitrev7(i) mod q, computed once.
+struct Zetas {
+  std::int16_t z[128];
+  Zetas() {
+    auto bitrev7 = [](int x) {
+      int r = 0;
+      for (int b = 0; b < 7; ++b)
+        if (x & (1 << b)) r |= 1 << (6 - b);
+      return r;
+    };
+    for (int i = 0; i < 128; ++i) {
+      int e = bitrev7(i);
+      std::int32_t v = 1;
+      for (int j = 0; j < e; ++j) v = (v * 17) % kQ;
+      z[i] = static_cast<std::int16_t>(v);
+    }
+  }
+};
+const Zetas kZetas;
+
+std::int16_t fqmul(std::int32_t a, std::int32_t b) {
+  std::int32_t p = (a * b) % kQ;
+  if (p < 0) p += kQ;
+  return static_cast<std::int16_t>(p);
+}
+
+// Reduce into [0, q).
+std::int16_t freduce(std::int32_t a) {
+  a %= kQ;
+  if (a < 0) a += kQ;
+  return static_cast<std::int16_t>(a);
+}
+
+void ntt(std::int16_t* r) {
+  int k = 1;
+  for (int len = 128; len >= 2; len >>= 1) {
+    for (int start = 0; start < kN; start += 2 * len) {
+      std::int16_t zeta = kZetas.z[k++];
+      for (int j = start; j < start + len; ++j) {
+        std::int16_t t = fqmul(zeta, r[j + len]);
+        r[j + len] = freduce(r[j] - t);
+        r[j] = freduce(r[j] + t);
+      }
+    }
+  }
+}
+
+void invntt(std::int16_t* r) {
+  int k = 127;
+  for (int len = 2; len <= 128; len <<= 1) {
+    for (int start = 0; start < kN; start += 2 * len) {
+      std::int16_t zeta = kZetas.z[k--];
+      for (int j = start; j < start + len; ++j) {
+        std::int16_t t = r[j];
+        r[j] = freduce(t + r[j + len]);
+        // zetas[127-s] = -zetas[64+s]^{-1} (17^128 = -1 mod q), so using the
+        // forward table in reverse with the (b - a) operand order yields the
+        // exact inverse butterfly scaled by 2 per layer.
+        r[j + len] = fqmul(zeta, freduce(r[j + len] - t + kQ));
+      }
+    }
+  }
+  constexpr std::int32_t kInv128 = 3303;  // 128^{-1} mod q
+  for (int i = 0; i < kN; ++i) r[i] = fqmul(r[i], kInv128);
+}
+
+// Multiplication of NTT-domain polynomials: pairwise products in
+// Z_q[X]/(X^2 - zeta).
+void basemul_acc(std::int16_t* r, const std::int16_t* a, const std::int16_t* b,
+                 bool accumulate) {
+  for (int i = 0; i < 64; ++i) {
+    std::int16_t zeta = kZetas.z[64 + i];
+    for (int half = 0; half < 2; ++half) {
+      int off = 4 * i + 2 * half;
+      std::int16_t z = half == 0 ? zeta : freduce(kQ - zeta);
+      std::int16_t c0 = freduce(fqmul(a[off], b[off]) +
+                                fqmul(fqmul(a[off + 1], b[off + 1]), z));
+      std::int16_t c1 =
+          freduce(fqmul(a[off], b[off + 1]) + fqmul(a[off + 1], b[off]));
+      if (accumulate) {
+        r[off] = freduce(r[off] + c0);
+        r[off + 1] = freduce(r[off + 1] + c1);
+      } else {
+        r[off] = c0;
+        r[off + 1] = c1;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const KyberKernels kKyberPortable{&ntt, &invntt, &basemul_acc};
+
+}  // namespace pqtls::crypto::backend::detail

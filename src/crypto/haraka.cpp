@@ -1,69 +1,23 @@
 #include "crypto/haraka.hpp"
 
-#include "crypto/aes.hpp"
+#include <algorithm>
+#include <cstring>
+
+#include "crypto/backend/backend.hpp"
 #include "crypto/keccak.hpp"
 
 namespace pqtls::crypto {
-
-namespace {
-
-using State = std::uint8_t[16];
-
-// _mm_unpacklo_epi32 / _mm_unpackhi_epi32 byte semantics.
-void unpacklo32(std::uint8_t out[16], const std::uint8_t a[16],
-                const std::uint8_t b[16]) {
-  std::memcpy(out, a, 4);
-  std::memcpy(out + 4, b, 4);
-  std::memcpy(out + 8, a + 4, 4);
-  std::memcpy(out + 12, b + 4, 4);
-}
-void unpackhi32(std::uint8_t out[16], const std::uint8_t a[16],
-                const std::uint8_t b[16]) {
-  std::memcpy(out, a + 8, 4);
-  std::memcpy(out + 4, b + 8, 4);
-  std::memcpy(out + 8, a + 12, 4);
-  std::memcpy(out + 12, b + 12, 4);
-}
-
-}  // namespace
 
 Haraka::Haraka(BytesView seed) {
   Shake xof(256);
   static constexpr std::uint8_t kLabel[] = {'h', 'a', 'r', 'a', 'k', 'a'};
   xof.absorb({kLabel, sizeof kLabel});
   xof.absorb(seed);
-  for (auto& rc : rc_) xof.squeeze(rc.data(), rc.size());
+  xof.squeeze(rc_.data(), rc_.size());
 }
 
 void Haraka::permute512(std::uint8_t s[64]) const {
-  std::uint8_t* s0 = s;
-  std::uint8_t* s1 = s + 16;
-  std::uint8_t* s2 = s + 32;
-  std::uint8_t* s3 = s + 48;
-  for (int round = 0; round < 5; ++round) {
-    const auto* rc = &rc_[8 * round];
-    Aes::aesenc(s0, rc[0].data());
-    Aes::aesenc(s1, rc[1].data());
-    Aes::aesenc(s2, rc[2].data());
-    Aes::aesenc(s3, rc[3].data());
-    Aes::aesenc(s0, rc[4].data());
-    Aes::aesenc(s1, rc[5].data());
-    Aes::aesenc(s2, rc[6].data());
-    Aes::aesenc(s3, rc[7].data());
-    // MIX4
-    State tmp, n0, n1, n2, n3;
-    unpacklo32(tmp, s0, s1);
-    unpackhi32(n0, s0, s1);
-    unpacklo32(n1, s2, s3);
-    unpackhi32(n2, s2, s3);
-    unpacklo32(n3, n0, n2);
-    unpackhi32(s0, n0, n2);
-    std::memcpy(s3, n3, 16);
-    unpackhi32(n3, n1, tmp);
-    std::memcpy(s2, n3, 16);
-    unpacklo32(n3, n1, tmp);
-    std::memcpy(s1, n3, 16);
-  }
+  backend::haraka_kernels().permute512(s, rc_.data());
 }
 
 void Haraka::haraka512(const std::uint8_t in[64], std::uint8_t out[32]) const {
@@ -82,19 +36,7 @@ void Haraka::haraka256(const std::uint8_t in[32], std::uint8_t out[32]) const {
   std::uint8_t s0[16], s1[16];
   std::memcpy(s0, in, 16);
   std::memcpy(s1, in + 16, 16);
-  for (int round = 0; round < 5; ++round) {
-    const auto* rc = &rc_[4 * round];
-    Aes::aesenc(s0, rc[0].data());
-    Aes::aesenc(s1, rc[1].data());
-    Aes::aesenc(s0, rc[2].data());
-    Aes::aesenc(s1, rc[3].data());
-    // MIX2
-    State lo, hi;
-    unpacklo32(lo, s0, s1);
-    unpackhi32(hi, s0, s1);
-    std::memcpy(s0, lo, 16);
-    std::memcpy(s1, hi, 16);
-  }
+  backend::haraka_kernels().permute256(s0, s1, rc_.data());
   for (int i = 0; i < 16; ++i) {
     out[i] = s0[i] ^ in[i];
     out[16 + i] = s1[i] ^ in[16 + i];

@@ -29,7 +29,9 @@ class Haraka {
  private:
   void permute512(std::uint8_t state[64]) const;
 
-  std::array<std::array<std::uint8_t, 16>, 40> rc_{};
+  // 40 16-byte round constants, flat so the backend permutation kernels
+  // (portable or AES-NI, see crypto/backend) can consume them in order.
+  std::array<std::uint8_t, 640> rc_{};
 };
 
 }  // namespace pqtls::crypto

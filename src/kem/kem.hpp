@@ -54,6 +54,30 @@ class Kem {
   /// an implicit-rejection secret for tampered ciphertexts instead.
   virtual std::optional<Bytes> decapsulate(BytesView secret_key,
                                            BytesView ciphertext) const = 0;
+
+  /// Server-side batched encapsulation against one public key: semantically
+  /// `count` sequential encapsulate() calls (same rng consumption, same
+  /// outputs bit for bit), but implementations may amortize per-key work
+  /// (pk parsing, matrix expansion) across the batch.
+  virtual std::vector<std::optional<Encapsulation>> encapsulate_batch(
+      BytesView public_key, std::size_t count, Drbg& rng) const {
+    std::vector<std::optional<Encapsulation>> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+      out.push_back(encapsulate(public_key, rng));
+    return out;
+  }
+
+  /// Batched decapsulation under one secret key; element i matches
+  /// decapsulate(secret_key, ciphertexts[i]) bit for bit.
+  virtual std::vector<std::optional<Bytes>> decapsulate_batch(
+      BytesView secret_key, const std::vector<BytesView>& ciphertexts) const {
+    std::vector<std::optional<Bytes>> out;
+    out.reserve(ciphertexts.size());
+    for (const auto& ct : ciphertexts)
+      out.push_back(decapsulate(secret_key, ct));
+    return out;
+  }
 };
 
 /// All key agreements measured by the paper (Table 2a): 23 configurations.

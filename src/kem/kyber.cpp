@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "crypto/aes.hpp"
+#include "crypto/backend/backend.hpp"
 #include "crypto/ct.hpp"
 #include "crypto/keccak.hpp"
 #include "crypto/sha2.hpp"
@@ -21,32 +22,6 @@ constexpr int kSymBytes = 32;
 
 using Poly = std::array<std::int16_t, kN>;
 
-// zetas[i] = 17^bitrev7(i) mod q, computed once.
-struct Zetas {
-  std::int16_t z[128];
-  Zetas() {
-    auto bitrev7 = [](int x) {
-      int r = 0;
-      for (int b = 0; b < 7; ++b)
-        if (x & (1 << b)) r |= 1 << (6 - b);
-      return r;
-    };
-    for (int i = 0; i < 128; ++i) {
-      int e = bitrev7(i);
-      std::int32_t v = 1;
-      for (int j = 0; j < e; ++j) v = (v * 17) % kQ;
-      z[i] = static_cast<std::int16_t>(v);
-    }
-  }
-};
-const Zetas kZetas;
-
-std::int16_t fqmul(std::int32_t a, std::int32_t b) {
-  std::int32_t p = (a * b) % kQ;
-  if (p < 0) p += kQ;
-  return static_cast<std::int16_t>(p);
-}
-
 // Reduce into [0, q).
 std::int16_t freduce(std::int32_t a) {
   a %= kQ;
@@ -54,38 +29,12 @@ std::int16_t freduce(std::int32_t a) {
   return static_cast<std::int16_t>(a);
 }
 
-void ntt(Poly& r) {
-  int k = 1;
-  for (int len = 128; len >= 2; len >>= 1) {
-    for (int start = 0; start < kN; start += 2 * len) {
-      std::int16_t zeta = kZetas.z[k++];
-      for (int j = start; j < start + len; ++j) {
-        std::int16_t t = fqmul(zeta, r[j + len]);
-        r[j + len] = freduce(r[j] - t);
-        r[j] = freduce(r[j] + t);
-      }
-    }
-  }
-}
+// NTT-domain kernels route through the runtime-selected backend
+// (crypto/backend): portable reference or AVX2, bit-identical either way.
 
-void invntt(Poly& r) {
-  int k = 127;
-  for (int len = 2; len <= 128; len <<= 1) {
-    for (int start = 0; start < kN; start += 2 * len) {
-      std::int16_t zeta = kZetas.z[k--];
-      for (int j = start; j < start + len; ++j) {
-        std::int16_t t = r[j];
-        r[j] = freduce(t + r[j + len]);
-        // zetas[127-s] = -zetas[64+s]^{-1} (17^128 = -1 mod q), so using the
-        // forward table in reverse with the (b - a) operand order yields the
-        // exact inverse butterfly scaled by 2 per layer.
-        r[j + len] = fqmul(zeta, freduce(r[j + len] - t + kQ));
-      }
-    }
-  }
-  constexpr std::int32_t kInv128 = 3303;  // 128^{-1} mod q
-  for (auto& c : r) c = fqmul(c, kInv128);
-}
+void ntt(Poly& r) { crypto::backend::kyber_kernels().ntt(r.data()); }
+
+void invntt(Poly& r) { crypto::backend::kyber_kernels().invntt(r.data()); }
 
 void poly_add(Poly& r, const Poly& a) {
   for (int i = 0; i < kN; ++i) r[i] = freduce(r[i] + a[i]);
@@ -98,24 +47,8 @@ void poly_sub(Poly& r, const Poly& a) {
 // Multiplication of NTT-domain polynomials: pairwise products in
 // Z_q[X]/(X^2 - zeta).
 void basemul_acc(Poly& r, const Poly& a, const Poly& b, bool accumulate) {
-  for (int i = 0; i < 64; ++i) {
-    std::int16_t zeta = kZetas.z[64 + i];
-    for (int half = 0; half < 2; ++half) {
-      int off = 4 * i + 2 * half;
-      std::int16_t z = half == 0 ? zeta : freduce(kQ - zeta);
-      std::int16_t c0 =
-          freduce(fqmul(a[off], b[off]) + fqmul(fqmul(a[off + 1], b[off + 1]), z));
-      std::int16_t c1 =
-          freduce(fqmul(a[off], b[off + 1]) + fqmul(a[off + 1], b[off]));
-      if (accumulate) {
-        r[off] = freduce(r[off] + c0);
-        r[off + 1] = freduce(r[off + 1] + c1);
-      } else {
-        r[off] = c0;
-        r[off + 1] = c1;
-      }
-    }
-  }
+  crypto::backend::kyber_kernels().basemul_acc(r.data(), a.data(), b.data(),
+                                               accumulate);
 }
 
 // ---- symmetric primitives, parameterized over the 90s flag ----
@@ -351,12 +284,32 @@ struct Kpke {
     for (const auto& poly : s) poly_tobytes(sk, poly);
   }
 
-  Bytes encrypt(BytesView pk, BytesView msg32, BytesView coins32) const {
-    PolyVec t(p.k);
-    for (int i = 0; i < p.k; ++i)
-      t[i] = poly_frombytes(pk.subspan(384 * i, 384));
-    BytesView rho = pk.subspan(384 * p.k, kSymBytes);
+  // Per-public-key state reusable across encryptions: the parsed t vector
+  // and the expanded A^T matrix (the dominant per-call setup cost). Both
+  // are deterministic functions of the public key, so hoisting them out of
+  // encrypt() cannot change any output byte.
+  struct ExpandedPk {
+    PolyVec t;   // k parsed NTT-domain polys
+    PolyVec at;  // A^T, row-major: at[i * k + j] = A[i][j] sampled from rho
+  };
 
+  ExpandedPk expand_pk(BytesView pk) const {
+    ExpandedPk x;
+    x.t.resize(p.k);
+    for (int i = 0; i < p.k; ++i)
+      x.t[i] = poly_frombytes(pk.subspan(384 * i, 384));
+    BytesView rho = pk.subspan(384 * p.k, kSymBytes);
+    x.at.resize(static_cast<std::size_t>(p.k) * p.k);
+    for (int i = 0; i < p.k; ++i)
+      for (int j = 0; j < p.k; ++j)
+        x.at[static_cast<std::size_t>(i) * p.k + j] = sample_uniform(
+            p.use_90s, rho, static_cast<std::uint8_t>(i),
+            static_cast<std::uint8_t>(j));
+    return x;
+  }
+
+  Bytes encrypt_with(const ExpandedPk& x, BytesView msg32,
+                     BytesView coins32) const {
     std::uint8_t nonce = 0;
     PolyVec r(p.k);
     std::size_t cbd1_len = p.eta1 * kN / 4;
@@ -373,17 +326,15 @@ struct Kpke {
     PolyVec u(p.k);
     for (int i = 0; i < p.k; ++i) {
       u[i] = Poly{};
-      for (int j = 0; j < p.k; ++j) {
-        Poly a = sample_uniform(p.use_90s, rho, static_cast<std::uint8_t>(i),
-                                static_cast<std::uint8_t>(j));
-        basemul_acc(u[i], a, r[j], true);
-      }
+      for (int j = 0; j < p.k; ++j)
+        basemul_acc(u[i], x.at[static_cast<std::size_t>(i) * p.k + j], r[j],
+                    true);
       invntt(u[i]);
       poly_add(u[i], e1[i]);
     }
     // v = invNTT(t . r) + e2 + msg
     Poly v{};
-    for (int j = 0; j < p.k; ++j) basemul_acc(v, t[j], r[j], true);
+    for (int j = 0; j < p.k; ++j) basemul_acc(v, x.t[j], r[j], true);
     invntt(v);
     poly_add(v, e2);
     Poly m = poly_from_msg(msg32);
@@ -396,7 +347,18 @@ struct Kpke {
     return ct;
   }
 
-  Bytes decrypt(BytesView sk, BytesView ct) const {
+  Bytes encrypt(BytesView pk, BytesView msg32, BytesView coins32) const {
+    return encrypt_with(expand_pk(pk), msg32, coins32);
+  }
+
+  PolyVec parse_sk(BytesView sk) const {
+    PolyVec s(p.k);
+    for (int i = 0; i < p.k; ++i)
+      s[i] = poly_frombytes(sk.subspan(384 * i, 384));
+    return s;
+  }
+
+  Bytes decrypt_with(const PolyVec& s, BytesView ct) const {
     PolyVec u(p.k);
     std::size_t u_bytes = 32 * p.du;
     for (int i = 0; i < p.k; ++i) {
@@ -405,15 +367,15 @@ struct Kpke {
     }
     Poly v = unpack_bits(ct.subspan(p.k * u_bytes, 32 * p.dv), p.dv);
 
-    PolyVec s(p.k);
-    for (int i = 0; i < p.k; ++i)
-      s[i] = poly_frombytes(sk.subspan(384 * i, 384));
-
     Poly su{};
     for (int j = 0; j < p.k; ++j) basemul_acc(su, s[j], u[j], true);
     invntt(su);
     poly_sub(v, su);
     return poly_to_msg(v);
+  }
+
+  Bytes decrypt(BytesView sk, BytesView ct) const {
+    return decrypt_with(parse_sk(sk), ct);
   }
 };
 
@@ -493,6 +455,71 @@ std::optional<Bytes> KyberKem::decapsulate(BytesView secret_key,
   Bytes kdf_in = ct::select(match, k_bar, z);  // CT_SECRET
   ct::Wiper kdf_in_guard(kdf_in);
   return kdf(use_90s_, concat(kdf_in, h_ct));
+}
+
+std::vector<std::optional<Encapsulation>> KyberKem::encapsulate_batch(
+    BytesView public_key, std::size_t count, Drbg& rng) const {
+  std::vector<std::optional<Encapsulation>> out;
+  if (public_key.size() != public_key_size()) {
+    out.assign(count, std::nullopt);
+    return out;
+  }
+  out.reserve(count);
+  Kpke kpke{{k_, eta1_, du_, dv_, use_90s_}};
+  // Per-key work hoisted out of the loop; everything below is a pure
+  // function of the public key, so outputs match sequential encapsulation.
+  const Kpke::ExpandedPk x = kpke.expand_pk(public_key);
+  const Bytes h_pk = hash_h(use_90s_, public_key);
+  for (std::size_t n = 0; n < count; ++n) {
+    Bytes m = hash_h(use_90s_, rng.bytes(kSymBytes));
+    Bytes g = hash_g(use_90s_, concat(m, h_pk));
+    BytesView k_bar{g.data(), 32};
+    BytesView coins{g.data() + 32, 32};
+    Encapsulation e;
+    e.ciphertext = kpke.encrypt_with(x, m, coins);
+    Bytes h_ct = hash_h(use_90s_, e.ciphertext);
+    e.shared_secret = kdf(use_90s_, concat(k_bar, h_ct));
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<std::optional<Bytes>> KyberKem::decapsulate_batch(
+    BytesView secret_key, const std::vector<BytesView>& ciphertexts) const {
+  std::vector<std::optional<Bytes>> out;
+  if (secret_key.size() != secret_key_size()) {
+    out.assign(ciphertexts.size(), std::nullopt);
+    return out;
+  }
+  out.reserve(ciphertexts.size());
+  Kpke kpke{{k_, eta1_, du_, dv_, use_90s_}};
+  std::size_t sk_pke_len = 384 * k_;
+  BytesView sk_pke = secret_key.subspan(0, sk_pke_len);
+  BytesView pk = secret_key.subspan(sk_pke_len, public_key_size());
+  BytesView h_pk = secret_key.subspan(sk_pke_len + public_key_size(), 32);
+  BytesView z = secret_key.subspan(sk_pke_len + public_key_size() + 32, 32);
+  const PolyVec s = kpke.parse_sk(sk_pke);
+  const Kpke::ExpandedPk x = kpke.expand_pk(pk);
+  for (BytesView ciphertext : ciphertexts) {
+    if (ciphertext.size() != ciphertext_size()) {
+      out.push_back(std::nullopt);
+      continue;
+    }
+    Bytes m = kpke.decrypt_with(s, ciphertext);  // CT_SECRET
+    ct::Wiper m_guard(m);
+    Bytes g = hash_g(use_90s_, concat(m, h_pk));  // CT_SECRET
+    ct::Wiper g_guard(g);
+    BytesView k_bar{g.data(), 32};
+    BytesView coins{g.data() + 32, 32};
+    Bytes ct2 = kpke.encrypt_with(x, m, coins);
+    Bytes h_ct = hash_h(use_90s_, ciphertext);
+    // Branchless implicit rejection, exactly as in decapsulate().
+    bool match = ct::equal(ct2, ciphertext);
+    Bytes kdf_in = ct::select(match, k_bar, z);  // CT_SECRET
+    ct::Wiper kdf_in_guard(kdf_in);
+    out.push_back(kdf(use_90s_, concat(kdf_in, h_ct)));
+  }
+  return out;
 }
 
 const KyberKem& KyberKem::kyber512() {

@@ -29,6 +29,14 @@ class KyberKem final : public Kem {
   std::optional<Bytes> decapsulate(BytesView secret_key,
                                    BytesView ciphertext) const override;
 
+  /// Batched overrides amortize public-key parsing and matrix expansion
+  /// across the batch; outputs are bit-identical to sequential calls.
+  std::vector<std::optional<Encapsulation>> encapsulate_batch(
+      BytesView public_key, std::size_t count, Drbg& rng) const override;
+  std::vector<std::optional<Bytes>> decapsulate_batch(
+      BytesView secret_key,
+      const std::vector<BytesView>& ciphertexts) const override;
+
   static const KyberKem& kyber512();
   static const KyberKem& kyber768();
   static const KyberKem& kyber1024();

@@ -33,10 +33,18 @@ class PowerOfTwo final : public Balancer {
 
   int pick(const std::vector<int>& outstanding) override {
     const auto n = static_cast<std::uint64_t>(outstanding.size());
-    // Two independent probes (they may coincide — the textbook scheme);
-    // the first probe wins ties so the draw order fully fixes the choice.
+    // Two distinct probes (sampling without replacement — Mitzenmacher's
+    // d=2 scheme): draw the second from the n-1 other servers by shifting
+    // the draw past the first. Probing the same server twice degenerated
+    // to a single uniform probe for that connection, wasting the scheme's
+    // load information. The first probe wins ties so the draw order fully
+    // fixes the choice.
     int i = static_cast<int>(rng_.uniform(n));
-    int j = static_cast<int>(rng_.uniform(n));
+    int j = i;
+    if (n > 1) {
+      j = static_cast<int>(rng_.uniform(n - 1));
+      if (j >= i) ++j;
+    }
     return outstanding[j] < outstanding[i] ? j : i;
   }
 

@@ -17,7 +17,7 @@ namespace pqtls::loadgen {
 enum class BalancerKind {
   kRoundRobin,   // strict rotation, ignores load
   kLeastLoaded,  // global-minimum outstanding, lowest index wins ties
-  kPowerOfTwo,   // two uniform probes, pick the less loaded (Mitzenmacher)
+  kPowerOfTwo,   // two distinct probes, pick the less loaded (Mitzenmacher)
 };
 
 class Balancer {

@@ -734,12 +734,12 @@ LoadMetrics run_fleet(const LoadConfig& config, trace::Recorder* recorder,
   std::uint64_t pki_seed = config.pki_seed ? config.pki_seed : config.seed;
   const HandshakeProfile& profile =
       calibrated_profile(config.ka, config.sa, pki_seed, /*resumed=*/false,
-                         config.chain_profile, config.cert_mode);
+                         config.chain_profile, config.cert_mode, config.batch);
   const HandshakeProfile* resumed =
       config.resumption_ratio > 0
           ? &calibrated_profile(config.ka, config.sa, pki_seed,
                                 /*resumed=*/true, config.chain_profile,
-                                config.cert_mode)
+                                config.cert_mode, config.batch)
           : nullptr;
   FleetEngine engine(config, profile, resumed, recorder, trace_every);
   return engine.run();

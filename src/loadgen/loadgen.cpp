@@ -39,21 +39,22 @@ const HandshakeProfile& calibrated_profile(const std::string& ka,
                                            std::uint64_t pki_seed,
                                            bool resumed,
                                            const pki::ChainProfile& chain,
-                                           tls::CertMode cert_mode) {
+                                           tls::CertMode cert_mode,
+                                           int batch) {
   struct Entry {
     std::once_flag once;
     HandshakeProfile profile;
   };
   static std::mutex mu;
   static std::map<std::tuple<std::string, std::string, std::uint64_t, bool,
-                             std::string, int>,
+                             std::string, int, int>,
                   Entry>
       cache;
   Entry* entry;
   {
     std::lock_guard<std::mutex> lock(mu);
     entry = &cache[std::make_tuple(ka, sa, pki_seed, resumed, chain.name,
-                                   static_cast<int>(cert_mode))];
+                                   static_cast<int>(cert_mode), batch)];
   }
   // call_once rethrows on failure and leaves the flag unset, so an unknown
   // algorithm keeps throwing instead of caching a half-built profile.
@@ -94,7 +95,7 @@ const HandshakeProfile& calibrated_profile(const std::string& ka,
       // mints a fresh NewSessionTicket after the client Finished.
       p.client_hello_cpu =
           cm.kem_keygen(ka) + 3 * cm.kdf() + cm.per_byte(ch_wire) + cm.step();
-      p.server_flight_cpu = cm.kem_encaps(ka) + 8 * cm.kdf() +
+      p.server_flight_cpu = cm.kem_encaps_batched(ka, batch) + 8 * cm.kdf() +
                             cm.per_byte(p.server_bytes) + cm.step();
       p.client_finish_cpu = cm.kem_decaps(ka) + 9 * cm.kdf() +
                             cm.per_byte(p.server_bytes) + 2 * cm.step();
@@ -122,9 +123,9 @@ const HandshakeProfile& calibrated_profile(const std::string& ka,
       }
       p.client_hello_cpu =
           cm.kem_keygen(ka) + cm.per_byte(ch_wire) + cm.step();
-      p.server_flight_cpu = cm.kem_encaps(ka) + cm.sign(sa) + 5 * cm.kdf() +
-                            cm.per_byte(p.server_bytes) + extra_server +
-                            cm.step();
+      p.server_flight_cpu = cm.kem_encaps_batched(ka, batch) + cm.sign(sa) +
+                            5 * cm.kdf() + cm.per_byte(p.server_bytes) +
+                            extra_server + cm.step();
       p.client_finish_cpu = cm.kem_decaps(ka) + verifies * cm.verify(sa) +
                             7 * cm.kdf() + cm.per_byte(p.server_bytes) +
                             extra_client + 2 * cm.step();
@@ -488,12 +489,12 @@ LoadMetrics run_load(const LoadConfig& config) {
   std::uint64_t pki_seed = config.pki_seed ? config.pki_seed : config.seed;
   const HandshakeProfile& profile =
       calibrated_profile(config.ka, config.sa, pki_seed, /*resumed=*/false,
-                         config.chain_profile, config.cert_mode);
+                         config.chain_profile, config.cert_mode, config.batch);
   const HandshakeProfile* resumed =
       config.resumption_ratio > 0
           ? &calibrated_profile(config.ka, config.sa, pki_seed,
                                 /*resumed=*/true, config.chain_profile,
-                                config.cert_mode)
+                                config.cert_mode, config.batch)
           : nullptr;
   Engine engine(config, profile, resumed);
   return engine.run();

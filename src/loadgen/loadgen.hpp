@@ -105,6 +105,14 @@ struct LoadConfig {
   pki::ChainProfile chain_profile;
   tls::CertMode cert_mode = tls::CertMode::kFull;
 
+  /// Server-side batching factor for public-key operations: the calibrated
+  /// profile charges CostModel::kem_encaps_batched(ka, batch) for the
+  /// server flight, modeling a server that runs same-key encapsulations in
+  /// batches of this size (kem::Kem::encapsulate_batch). 1 (the default)
+  /// charges the unbatched cost exactly — bit-identical profiles. Purely a
+  /// cost-model knob; it does not engage the fleet engine.
+  int batch = 1;
+
   // ---- fleet extensions (DESIGN.md §6f) ----
   // Any non-default value below routes run_load() to the fleet engine
   // (see is_fleet()); the defaults keep the classic single-server engine
@@ -168,7 +176,7 @@ struct HandshakeProfile {
 const HandshakeProfile& calibrated_profile(
     const std::string& ka, const std::string& sa, std::uint64_t pki_seed,
     bool resumed = false, const pki::ChainProfile& chain_profile = {},
-    tls::CertMode cert_mode = tls::CertMode::kFull);
+    tls::CertMode cert_mode = tls::CertMode::kFull, int batch = 1);
 
 /// Analytic capacity bound in handshakes/second: cores / (per-connection
 /// harness overhead + server CPU per handshake). Achieved rates saturate

@@ -9,7 +9,8 @@ SweepResult run_sweep(const LoadConfig& base, const SweepOptions& options) {
   SweepResult result;
   std::uint64_t pki_seed = base.pki_seed ? base.pki_seed : base.seed;
   const HandshakeProfile& profile =
-      calibrated_profile(base.ka, base.sa, pki_seed);
+      calibrated_profile(base.ka, base.sa, pki_seed, /*resumed=*/false,
+                         base.chain_profile, base.cert_mode, base.batch);
   result.analytic_capacity = analytic_capacity(base, profile);
 
   int points = std::max(1, options.points);

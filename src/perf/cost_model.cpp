@@ -95,6 +95,37 @@ double resolve_us(const Table& table, std::string_view name, Member member) {
   return kFallbackUs;
 }
 
+// Fraction of an operation that same-key batching amortizes (public-key
+// parsing, A-matrix expansion, H(pk)); calibrated against the batch_*
+// micro-benches in bench/micro_algorithms. Hybrids amortize only their
+// PQ component, so they get roughly half the pure-PQ fraction; classical
+// algorithms and the code-based KEMs (no batched implementation) get 0.
+bool is_hybrid_name(std::string_view name) {
+  return name.find('_') != std::string_view::npos &&
+         name.find("90s") == std::string_view::npos &&
+         name.find("_aes") == std::string_view::npos;
+}
+
+double kem_encaps_fraction(std::string_view ka) {
+  if (ka.find("kyber") == std::string_view::npos) return 0.0;
+  return is_hybrid_name(ka) ? 0.18 : 0.35;
+}
+
+double kem_decaps_fraction(std::string_view ka) {
+  if (ka.find("kyber") == std::string_view::npos) return 0.0;
+  return is_hybrid_name(ka) ? 0.15 : 0.30;
+}
+
+double verify_fraction(std::string_view sa) {
+  if (sa.find("dilithium") == std::string_view::npos) return 0.0;
+  return is_hybrid_name(sa) ? 0.20 : 0.45;
+}
+
+double amortize(double cost, double fraction, int batch) {
+  if (batch <= 1) return cost;  // exact: keeps unbatched profiles identical
+  return cost * ((1.0 - fraction) + fraction / static_cast<double>(batch));
+}
+
 }  // namespace
 
 const CostModel& CostModel::builtin() {
@@ -116,6 +147,16 @@ double CostModel::sign(std::string_view sa) const {
 }
 double CostModel::verify(std::string_view sa) const {
   return resolve_us(sig_costs(), sa, &SigCost::verify) * 1e-6;
+}
+
+double CostModel::kem_encaps_batched(std::string_view ka, int batch) const {
+  return amortize(kem_encaps(ka), kem_encaps_fraction(ka), batch);
+}
+double CostModel::kem_decaps_batched(std::string_view ka, int batch) const {
+  return amortize(kem_decaps(ka), kem_decaps_fraction(ka), batch);
+}
+double CostModel::verify_batched(std::string_view sa, int batch) const {
+  return amortize(verify(sa), verify_fraction(sa), batch);
 }
 
 }  // namespace pqtls::perf

@@ -31,6 +31,17 @@ class CostModel {
   double sign(std::string_view sa) const;
   double verify(std::string_view sa) const;
 
+  // Amortized per-operation cost when the server runs same-key batches of
+  // `batch` operations (kem::Kem::encapsulate_batch and friends): the
+  // amortizable fraction of the op — public-key parsing, matrix expansion,
+  // key hashing — is divided by the batch size, the rest is charged in
+  // full. batch <= 1 returns the unbatched cost exactly (same double), so
+  // unbatched profiles stay bit-identical. Algorithms with no batchable
+  // setup (classical ECDH/RSA) have fraction 0 and are batch-invariant.
+  double kem_encaps_batched(std::string_view ka, int batch) const;
+  double kem_decaps_batched(std::string_view ka, int batch) const;
+  double verify_batched(std::string_view sa, int batch) const;
+
   /// Record protection + transcript hashing, charged per processed byte.
   double per_byte(std::size_t n) const { return 30e-9 * static_cast<double>(n); }
   /// One key-schedule derivation (HKDF extract/expand family).

@@ -2,9 +2,20 @@
 
 #include <stdexcept>
 
+#include "crypto/catalog.hpp"
+
 namespace pqtls::pki {
 
 namespace {
+
+// All signer lookups go through the unified catalog (its headline/metadata
+// view is the single source of algorithm truth); nullptr for unknown names
+// so callers keep their own error story.
+const sig::Signer* catalog_signer(const std::string& name) {
+  const crypto::AlgorithmInfo* info =
+      crypto::AlgorithmCatalog::instance().signer(name);
+  return info ? info->signer : nullptr;
+}
 
 void put_string(Bytes& out, const std::string& s) {
   out.push_back(static_cast<std::uint8_t>(s.size() >> 8));
@@ -188,7 +199,7 @@ IssuedChain issue_chain(const ChainProfile& profile,
                         const std::string& root_subject, sig::Drbg& rng) {
   const sig::Signer* root_signer = &leaf_signer;
   if (!profile.root_sa.empty()) {
-    root_signer = sig::find_signer(profile.root_sa);
+    root_signer = catalog_signer(profile.root_sa);
     if (!root_signer)
       throw std::runtime_error("issue_chain: unknown root SA " +
                                profile.root_sa);
@@ -200,7 +211,7 @@ IssuedChain issue_chain(const ChainProfile& profile,
   // Intermediates, root-nearest first; each is issued by the CA above it.
   std::vector<Certificate> intermediates;
   for (std::size_t i = 0; i < profile.intermediate_sas.size(); ++i) {
-    const sig::Signer* signer = sig::find_signer(profile.intermediate_sas[i]);
+    const sig::Signer* signer = catalog_signer(profile.intermediate_sas[i]);
     if (!signer)
       throw std::runtime_error("issue_chain: unknown intermediate SA " +
                                profile.intermediate_sas[i]);
@@ -246,7 +257,7 @@ std::size_t chain_encoded_size(const ChainProfile& profile,
                                const std::string& root_subject) {
   const sig::Signer* root_signer = &leaf_signer;
   if (!profile.root_sa.empty()) {
-    root_signer = sig::find_signer(profile.root_sa);
+    root_signer = catalog_signer(profile.root_sa);
     if (!root_signer)
       throw std::runtime_error("chain_encoded_size: unknown root SA " +
                                profile.root_sa);
@@ -257,7 +268,7 @@ std::size_t chain_encoded_size(const ChainProfile& profile,
   const sig::Signer* issuer_sa = root_signer;
   std::string issuer_subject = root_subject;
   for (std::size_t i = 0; i < profile.intermediate_sas.size(); ++i) {
-    const sig::Signer* signer = sig::find_signer(profile.intermediate_sas[i]);
+    const sig::Signer* signer = catalog_signer(profile.intermediate_sas[i]);
     if (!signer)
       throw std::runtime_error("chain_encoded_size: unknown intermediate SA " +
                                profile.intermediate_sas[i]);
@@ -281,7 +292,7 @@ bool verify_chain(const CertificateChain& chain, const Certificate& root,
                                     ? &chain.certificates[i + 1]
                                     : &root;
     if (cert.issuer != issuer->subject) return false;
-    const sig::Signer* signer = sig::find_signer(cert.signature_algorithm);
+    const sig::Signer* signer = catalog_signer(cert.signature_algorithm);
     if (!signer || signer->name() != issuer->key_algorithm) return false;
     if (!signer->verify(issuer->subject_public_key, cert.tbs(),
                         cert.signature))
@@ -289,7 +300,7 @@ bool verify_chain(const CertificateChain& chain, const Certificate& root,
   }
   // The last chain certificate must be the root itself or directly issued
   // by it; verify the root's self-signature too.
-  const sig::Signer* root_signer = sig::find_signer(root.signature_algorithm);
+  const sig::Signer* root_signer = catalog_signer(root.signature_algorithm);
   if (!root_signer) return false;
   return root_signer->verify(root.subject_public_key, root.tbs(),
                              root.signature);

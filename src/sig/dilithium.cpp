@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "crypto/aes.hpp"
+#include "crypto/backend/backend.hpp"
 #include "crypto/ct.hpp"
 #include "crypto/keccak.hpp"
 
@@ -21,32 +22,6 @@ constexpr int kD = 13;
 using Poly = std::array<std::int32_t, kN>;
 using PolyVec = std::vector<Poly>;
 
-// zetas[i] = 1753^bitrev8(i) mod q.
-struct Zetas {
-  std::int32_t z[256];
-  Zetas() {
-    auto bitrev8 = [](int x) {
-      int r = 0;
-      for (int b = 0; b < 8; ++b)
-        if (x & (1 << b)) r |= 1 << (7 - b);
-      return r;
-    };
-    for (int i = 0; i < 256; ++i) {
-      int e = bitrev8(i);
-      std::int64_t v = 1;
-      for (int j = 0; j < e; ++j) v = (v * 1753) % kQ;
-      z[i] = static_cast<std::int32_t>(v);
-    }
-  }
-};
-const Zetas kZetas;
-
-std::int32_t fqmul(std::int64_t a, std::int64_t b) {
-  std::int64_t p = (a * b) % kQ;
-  if (p < 0) p += kQ;
-  return static_cast<std::int32_t>(p);
-}
-
 std::int32_t freduce(std::int64_t a) {
   a %= kQ;
   if (a < 0) a += kQ;
@@ -58,42 +33,16 @@ std::int32_t centered(std::int32_t a) {
   return a > kQ / 2 ? a - kQ : a;
 }
 
-void ntt(Poly& r) {
-  int k = 0;
-  for (int len = 128; len >= 1; len >>= 1) {
-    for (int start = 0; start < kN; start += 2 * len) {
-      std::int32_t zeta = kZetas.z[++k];
-      for (int j = start; j < start + len; ++j) {
-        std::int32_t t = fqmul(zeta, r[j + len]);
-        r[j + len] = freduce(static_cast<std::int64_t>(r[j]) - t);
-        r[j] = freduce(static_cast<std::int64_t>(r[j]) + t);
-      }
-    }
-  }
-}
+// NTT-domain kernels route through the runtime-selected backend
+// (crypto/backend): portable reference or AVX2, bit-identical either way.
 
-void invntt(Poly& r) {
-  int k = 256;
-  for (int len = 1; len <= 128; len <<= 1) {
-    for (int start = 0; start < kN; start += 2 * len) {
-      std::int32_t zeta = kZetas.z[--k];
-      for (int j = start; j < start + len; ++j) {
-        std::int32_t t = r[j];
-        r[j] = freduce(static_cast<std::int64_t>(t) + r[j + len]);
-        r[j + len] = fqmul(zeta, freduce(static_cast<std::int64_t>(r[j + len]) - t));
-      }
-    }
-  }
-  // 256^{-1} mod q; sign is already correct for the same reason as in Kyber
-  // (zeta^256 = -1 pairs the reversed table with the (b - a) operand order).
-  constexpr std::int64_t kInv256 = 8347681;
-  for (auto& c : r) c = fqmul(c, kInv256);
-}
+void ntt(Poly& r) { crypto::backend::dilithium_kernels().ntt(r.data()); }
+
+void invntt(Poly& r) { crypto::backend::dilithium_kernels().invntt(r.data()); }
 
 void poly_pointwise_acc(Poly& r, const Poly& a, const Poly& b) {
-  for (int i = 0; i < kN; ++i)
-    r[i] = freduce(static_cast<std::int64_t>(r[i]) +
-                   static_cast<std::int64_t>(a[i]) * b[i] % kQ);
+  crypto::backend::dilithium_kernels().pointwise_acc(r.data(), a.data(),
+                                                     b.data());
 }
 
 void poly_add(Poly& r, const Poly& a) {
@@ -721,60 +670,110 @@ Bytes DilithiumSigner::sign(BytesView secret_key, BytesView message,
   }
 }
 
-bool DilithiumSigner::verify(BytesView public_key, BytesView message,
-                             BytesView signature) const {
-  if (public_key.size() != public_key_size() ||
-      signature.size() != signature_size())
-    return false;
-  BytesView rho = public_key.subspan(0, 32);
-  PolyVec t1(k_);
-  for (int i = 0; i < k_; ++i)
-    t1[i] = unpack_t1(public_key.subspan(32 + 320 * i, 320));
+namespace {
 
-  std::size_t z_bytes = gamma1_ == (1 << 17) ? 576 : 640;
+// Public-key-only verification state, reusable across a batch: the
+// expanded matrix A, the NTT of t1 * 2^d, and tr = H(pk). Everything here
+// is a deterministic function of the public key alone, so hoisting it out
+// of the per-signature path cannot change any verdict.
+struct VerifyCtx {
+  PolyVec a;       // row-major: a[i * l + j]
+  PolyVec t1_hat;  // per i: NTT(t1[i] << d)
+  Bytes tr;        // H(pk, 32)
+};
+
+VerifyCtx build_verify_ctx(bool use_aes, BytesView public_key, int k, int l) {
+  VerifyCtx ctx;
+  BytesView rho = public_key.subspan(0, 32);
+  ctx.a.resize(static_cast<std::size_t>(k) * l);
+  for (int i = 0; i < k; ++i)
+    for (int j = 0; j < l; ++j)
+      ctx.a[static_cast<std::size_t>(i) * l + j] = expand_a(use_aes, rho, i, j);
+  ctx.t1_hat.resize(k);
+  for (int i = 0; i < k; ++i) {
+    Poly t1 = unpack_t1(public_key.subspan(32 + 320 * i, 320));
+    for (auto& cc : t1) cc = freduce(static_cast<std::int64_t>(cc) << kD);
+    ntt(t1);
+    ctx.t1_hat[i] = t1;
+  }
+  ctx.tr = crypto::shake256(public_key, 32);
+  return ctx;
+}
+
+struct VerifyParams {
+  int k, l, tau, beta, omega;
+  std::int32_t gamma1, gamma2;
+};
+
+bool verify_one(const VerifyCtx& ctx, const VerifyParams& vp,
+                BytesView message, BytesView signature) {
+  std::size_t z_bytes = vp.gamma1 == (1 << 17) ? 576 : 640;
   BytesView c_tilde = signature.subspan(0, 32);
-  PolyVec z(l_);
-  for (int i = 0; i < l_; ++i) {
-    z[i] = unpack_z(signature.subspan(32 + i * z_bytes, z_bytes), gamma1_);
-    if (inf_norm(z[i]) >= gamma1_ - beta_) return false;
+  PolyVec z(vp.l);
+  for (int i = 0; i < vp.l; ++i) {
+    z[i] = unpack_z(signature.subspan(32 + i * z_bytes, z_bytes), vp.gamma1);
+    if (inf_norm(z[i]) >= vp.gamma1 - vp.beta) return false;
   }
   std::vector<std::array<bool, kN>> h;
-  if (!unpack_hints(signature.subspan(32 + l_ * z_bytes), omega_, k_, h))
+  if (!unpack_hints(signature.subspan(32 + vp.l * z_bytes), vp.omega, vp.k, h))
     return false;
 
-  Bytes tr = crypto::shake256(public_key, 32);
-  Bytes mu = crypto::shake256(concat(tr, message), 64);
-  Poly c = sample_in_ball(c_tilde, tau_);
+  Bytes mu = crypto::shake256(concat(ctx.tr, message), 64);
+  Poly c = sample_in_ball(c_tilde, vp.tau);
   Poly c_hat = c;
   ntt(c_hat);
 
   PolyVec z_hat = z;
   for (auto& p : z_hat) ntt(p);
 
-  PolyVec w1(k_);
-  for (int i = 0; i < k_; ++i) {
+  PolyVec w1(vp.k);
+  for (int i = 0; i < vp.k; ++i) {
     Poly acc{};
-    for (int j = 0; j < l_; ++j) {
-      Poly a = expand_a(use_aes_, rho, i, j);
-      poly_pointwise_acc(acc, a, z_hat[j]);
-    }
+    for (int j = 0; j < vp.l; ++j)
+      poly_pointwise_acc(acc, ctx.a[static_cast<std::size_t>(i) * vp.l + j],
+                         z_hat[j]);
     // acc -= c * t1 * 2^d
-    Poly t1_shifted = t1[i];
-    for (auto& cc : t1_shifted) cc = freduce(static_cast<std::int64_t>(cc) << kD);
-    ntt(t1_shifted);
     Poly ct1{};
-    poly_pointwise_acc(ct1, c_hat, t1_shifted);
+    poly_pointwise_acc(ct1, c_hat, ctx.t1_hat[i]);
     for (int cc = 0; cc < kN; ++cc)
       acc[cc] = freduce(static_cast<std::int64_t>(acc[cc]) - ct1[cc]);
     invntt(acc);
     for (int cc = 0; cc < kN; ++cc)
-      w1[i][cc] = use_hint(acc[cc], h[i][cc], gamma2_);
+      w1[i][cc] = use_hint(acc[cc], h[i][cc], vp.gamma2);
   }
 
   Bytes w1_packed;
-  for (const auto& p : w1) pack_w1(w1_packed, p, gamma2_);
+  for (const auto& p : w1) pack_w1(w1_packed, p, vp.gamma2);
   Bytes expected = crypto::shake256(concat(mu, w1_packed), 32);
   return ct::equal(expected, c_tilde);
+}
+
+}  // namespace
+
+bool DilithiumSigner::verify(BytesView public_key, BytesView message,
+                             BytesView signature) const {
+  if (public_key.size() != public_key_size() ||
+      signature.size() != signature_size())
+    return false;
+  VerifyCtx ctx = build_verify_ctx(use_aes_, public_key, k_, l_);
+  VerifyParams vp{k_, l_, tau_, beta_, omega_, gamma1_, gamma2_};
+  return verify_one(ctx, vp, message, signature);
+}
+
+std::vector<std::uint8_t> DilithiumSigner::verify_batch(
+    BytesView public_key, const std::vector<BytesView>& messages,
+    const std::vector<BytesView>& signatures) const {
+  std::size_t n = std::min(messages.size(), signatures.size());
+  std::vector<std::uint8_t> out(n, 0);
+  if (public_key.size() != public_key_size()) return out;
+  // Matrix expansion, the t1 NTTs, and H(pk) amortize across the batch.
+  VerifyCtx ctx = build_verify_ctx(use_aes_, public_key, k_, l_);
+  VerifyParams vp{k_, l_, tau_, beta_, omega_, gamma1_, gamma2_};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (signatures[i].size() != signature_size()) continue;
+    out[i] = verify_one(ctx, vp, messages[i], signatures[i]) ? 1 : 0;
+  }
+  return out;
 }
 
 const DilithiumSigner& DilithiumSigner::dilithium2() {

@@ -3,6 +3,8 @@
 // ECDSA/RSA-hybrid composites.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -41,6 +43,20 @@ class Signer {
                      Drbg& rng) const = 0;
   virtual bool verify(BytesView public_key, BytesView message,
                       BytesView signature) const = 0;
+
+  /// Batch verification under one public key: element i is 1 iff
+  /// verify(public_key, messages[i], signatures[i]). Implementations may
+  /// amortize per-key work (matrix expansion, key hashing) across the
+  /// batch; results match sequential verification exactly.
+  virtual std::vector<std::uint8_t> verify_batch(
+      BytesView public_key, const std::vector<BytesView>& messages,
+      const std::vector<BytesView>& signatures) const {
+    std::size_t n = std::min(messages.size(), signatures.size());
+    std::vector<std::uint8_t> out(n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = verify(public_key, messages[i], signatures[i]) ? 1 : 0;
+    return out;
+  }
 };
 
 /// All signature algorithms measured by the paper (Table 2b) plus the

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "campaign/options.hpp"
 #include "crypto/catalog.hpp"
 #include "testbed/testbed.hpp"
 #include "trace/trace.hpp"
@@ -190,7 +191,10 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
       out = argv[++i];
     } else if (std::strcmp(argv[i], "-s") == 0 && i + 1 < argc) {
-      samples = std::atoi(argv[++i]);
+      // std::atoi silently turned "3x"/"abc" into 3/0 (0 samples = an
+      // instant empty CSV); the validated parser warns and keeps the
+      // default instead.
+      samples = pqtls::campaign::positive_int_or(argv[++i], samples, "-s");
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       with_trace = true;
     } else {

@@ -22,6 +22,7 @@
 #include "campaign/options.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/sinks.hpp"
+#include "crypto/backend/backend.hpp"
 #include "crypto/catalog.hpp"
 
 namespace {
@@ -129,6 +130,11 @@ int usage(const char* argv0) {
       "  --trace-dir PATH      record a flight trace of the first sample of\n"
       "                        every cell: PATH/<id>.jsonl (schema-locked\n"
       "                        JSONL) and PATH/<id>.trace.json (Perfetto)\n"
+      "  --backend NAME        crypto backend: portable | avx2 | aesni | auto\n"
+      "                        (default auto; env PQTLS_BACKEND). Rows are\n"
+      "                        bit-identical under every backend\n"
+      "  --meta                prepend one {\"meta\":...} JSONL line with the\n"
+      "                        campaign name and resolved backend\n"
       "  --quiet               suppress per-cell progress on stderr\n",
       argv0, argv0);
   return 1;
@@ -161,6 +167,7 @@ int main(int argc, char** argv) {
   opts.progress = true;
   std::string jsonl_path, csv_path;
   bool ascii = false;
+  bool meta = false;
 
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -195,6 +202,16 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (!v) return usage(argv[0]);
       opts.trace_dir = v;
+    } else if (arg == "--backend") {
+      const char* v = value();
+      if (!v || !crypto::backend::select(v)) {
+        std::fprintf(stderr, "unknown backend '%s' (portable | avx2 | aesni "
+                             "| auto)\n",
+                     v ? v : "");
+        return usage(argv[0]);
+      }
+    } else if (arg == "--meta") {
+      meta = true;
     } else if (arg == "--quiet") {
       opts.progress = false;
     } else {
@@ -218,7 +235,7 @@ int main(int argc, char** argv) {
       }
       out = &jsonl_file;
     }
-    owned.push_back(std::make_unique<campaign::JsonlSink>(*out));
+    owned.push_back(std::make_unique<campaign::JsonlSink>(*out, meta));
   }
   if (!csv_path.empty()) {
     std::ostream* out = &std::cout;

@@ -26,6 +26,7 @@
 #include "campaign/options.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/sinks.hpp"
+#include "crypto/backend/backend.hpp"
 #include "crypto/catalog.hpp"
 #include "loadgen/fleet.hpp"
 #include "loadgen/sweep.hpp"
@@ -56,6 +57,11 @@ int usage(const char* argv0) {
       "  --policy fifo|sjf     run-queue discipline (default fifo)\n"
       "  --backlog B           max concurrent handshakes (default 256)\n"
       "  --timeout S           client abandonment timeout (default 2)\n"
+      "  --batch N             server-side batching factor: the server\n"
+      "                        flight is charged the amortized batched\n"
+      "                        encaps cost (default 1 = unbatched)\n"
+      "  --backend NAME        crypto backend: portable | avx2 | aesni |\n"
+      "                        auto (default auto; env PQTLS_BACKEND)\n"
       "  --delay-ms D          one-way network delay (default 5)\n"
       "  --rate-mbps M         per-direction link rate (default line rate)\n"
       "\n"
@@ -240,6 +246,17 @@ int main(int argc, char** argv) {
                                                  "--backlog");
     } else if (arg == "--timeout") {
       config.timeout_s = double_or(value(), config.timeout_s, "--timeout");
+    } else if (arg == "--batch") {
+      config.batch = campaign::positive_int_or(value(), config.batch,
+                                               "--batch");
+    } else if (arg == "--backend") {
+      const char* v = value();
+      if (!v || !crypto::backend::select(v)) {
+        std::fprintf(stderr, "unknown backend '%s' (portable | avx2 | aesni "
+                             "| auto)\n",
+                     v ? v : "");
+        return usage(argv[0]);
+      }
     } else if (arg == "--delay-ms") {
       config.netem.delay_s =
           double_or(value(), config.netem.delay_s * 1e3, "--delay-ms") * 1e-3;
